@@ -1,0 +1,31 @@
+//! Ablation: Dantzig vs. Bland vs. adaptive pivoting on the Figure-4
+//! problem family. Dantzig is fastest but can cycle; Bland never cycles
+//! but takes more pivots; the adaptive default should track Dantzig.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmc_core::{DeterministicModel, PivotRule, SolverOptions};
+use dmc_experiments::figure4::synthetic_network;
+use std::hint::black_box;
+
+fn pivot_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivot_rules");
+    for (name, rule) in [
+        ("dantzig", PivotRule::Dantzig),
+        ("bland", PivotRule::Bland),
+        ("adaptive", PivotRule::Adaptive),
+    ] {
+        for n in [4usize, 8] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let net = synthetic_network(n);
+                let model = DeterministicModel::new(&net, 3, true);
+                let mut opts = SolverOptions::default();
+                opts.pivot_rule = rule;
+                b.iter(|| black_box(&model).solve_quality(&opts).expect("feasible"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pivot_rules);
+criterion_main!(benches);

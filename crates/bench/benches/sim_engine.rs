@@ -1,0 +1,36 @@
+//! Simulator throughput: messages/second through the full protocol stack
+//! on the paper's Experiment-1 topology.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dmc_core::ModelConfig;
+use dmc_experiments::runner::{run_measured, RunConfig, TrueNetwork};
+use dmc_experiments::scenarios;
+use std::hint::black_box;
+
+fn full_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_full_stack");
+    let messages = 5_000u64;
+    group.throughput(Throughput::Elements(messages));
+    group.sample_size(10);
+    group.bench_function("experiment1_5k_messages", |b| {
+        let measured = scenarios::table3_true(90e6, 0.8);
+        let truth = TrueNetwork::deterministic(&measured);
+        let mut cfg = RunConfig::default();
+        cfg.messages = messages;
+        b.iter(|| {
+            let out = run_measured(
+                black_box(&measured),
+                scenarios::QUEUE_MARGIN_S,
+                &truth,
+                &ModelConfig::default(),
+                &cfg,
+            )
+            .expect("run");
+            black_box(out.quality)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_stack);
+criterion_main!(benches);

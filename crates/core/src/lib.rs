@@ -1,0 +1,79 @@
+//! Deadline-aware multipath communication: the optimization model of
+//! Chuat, Perrig & Hu, *"Deadline-Aware Multipath Communication: An
+//! Optimization Problem"* (DSN 2017).
+//!
+//! Real-time applications (voice, video, gaming, trading) tolerate loss
+//! but not lateness: data is useful only if it arrives within its
+//! *lifetime* `δ`. Given `n` end-to-end paths with bandwidth `b_i`, delay
+//! `d_i`, loss `τ_i` and cost `c_i`, which fraction of the traffic should
+//! be sent — and, after a timeout, *re*-sent — along which path? The paper
+//! formulates this packet-to-*path-combination* assignment as a linear
+//! program whose optimum upper-bounds what any protocol can achieve, and
+//! shows a practical sender (Algorithm 1) tracks the bound closely.
+//!
+//! This crate is the model:
+//!
+//! * [`PathSpec`] / [`NetworkSpec`] — scenario description (paper Table I);
+//! * [`ComboTable`] / [`Slot`] — path-combination index algebra (Eq. 13),
+//!   generalized from 2 to any number of transmissions `m`;
+//! * [`DeterministicModel`] — the LP of Eq. 10–18, plus the
+//!   cost-minimization variant of Eq. 20–23;
+//! * [`RandomDelayModel`] — the §VI-B extension where delays are random
+//!   variables (shifted gamma), including optimal retransmission timeouts
+//!   (Eq. 26/34);
+//! * [`Strategy`] — a solved assignment with its predicted metrics
+//!   (Table II) and cross-evaluation under a *different* true network
+//!   (the sensitivity analysis of Fig. 3);
+//! * [`ComboScheduler`] — Algorithm 1, the per-packet discretization.
+//!
+//! # Quick start
+//!
+//! The paper's Figure 1 scenario — a high-bandwidth/high-delay/lossy path
+//! paired with a thin low-latency lossless one:
+//!
+//! ```
+//! use dmc_core::{optimal_strategy, ModelConfig, NetworkSpec, PathSpec};
+//!
+//! # fn main() -> Result<(), dmc_core::ModelError> {
+//! let net = NetworkSpec::builder()
+//!     .path(PathSpec::new(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
+//!     .path(PathSpec::new(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
+//!     .data_rate(10e6)
+//!     .lifetime(1.0)
+//!     .build()?;
+//! let strategy = optimal_strategy(&net, &ModelConfig::default())?;
+//! // Send everything on the fat path, retransmit losses on the thin one:
+//! // 100 % of the data makes the deadline — impossible on either path
+//! // alone.
+//! assert!((strategy.quality() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod combo;
+mod network;
+mod path;
+mod random_delay;
+mod scheduler;
+mod solve;
+mod strategy;
+
+pub use builder::DeterministicModel;
+pub use combo::{ComboTable, Slot};
+pub use network::{NetworkSpec, NetworkSpecBuilder};
+pub use path::{PathSpec, SpecError};
+pub use random_delay::{
+    PlateauRule, RandomDelayConfig, RandomDelayModel, RandomNetworkSpec, RandomPath,
+};
+pub use scheduler::{ComboScheduler, RandomScheduler};
+pub use solve::{
+    min_cost_strategy, optimal_strategy, single_path_quality, ModelConfig, ModelError,
+};
+pub use strategy::{approx_fraction, CrossEvaluation, Strategy};
+
+// Re-export the solver option types callers need to tune solving.
+pub use dmc_lp::{PivotRule, SolveError, SolverOptions};

@@ -1,0 +1,195 @@
+//! Path characteristics (paper Table I: `b_i`, `d_i`, `τ_i`, `c_i`).
+
+use std::fmt;
+
+/// End-to-end characteristics of one network path.
+///
+/// Units: bandwidth in **bits/second**, delay in **seconds** (one-way),
+/// loss as a probability in `[0, 1]`, cost in abstract **units per bit**
+/// (money, energy, … — paper §IV).
+///
+/// ```
+/// use dmc_core::PathSpec;
+///
+/// // Path 1 of the paper's Figure 1: 10 Mbps, 600 ms, 10 % loss.
+/// let p = PathSpec::new(10e6, 0.600, 0.10).unwrap();
+/// assert_eq!(p.bandwidth(), 10e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSpec {
+    bandwidth: f64,
+    delay: f64,
+    loss: f64,
+    cost: f64,
+}
+
+/// Error produced when a [`PathSpec`] or a
+/// [`NetworkSpec`](crate::NetworkSpec) is out of range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub(crate) String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid specification: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl PathSpec {
+    /// Creates a path with zero cost.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive/non-finite bandwidth, negative or NaN delay,
+    /// or loss outside `[0, 1]`.
+    pub fn new(bandwidth_bps: f64, delay_s: f64, loss: f64) -> Result<Self, SpecError> {
+        Self::with_cost(bandwidth_bps, delay_s, loss, 0.0)
+    }
+
+    /// Creates a path with an explicit per-bit cost `c_i`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PathSpec::new`], plus rejects negative or non-finite cost.
+    pub fn with_cost(
+        bandwidth_bps: f64,
+        delay_s: f64,
+        loss: f64,
+        cost_per_bit: f64,
+    ) -> Result<Self, SpecError> {
+        if !(bandwidth_bps > 0.0) || !bandwidth_bps.is_finite() {
+            return Err(SpecError(format!(
+                "bandwidth must be finite and > 0, got {bandwidth_bps}"
+            )));
+        }
+        if !(delay_s >= 0.0) || delay_s.is_nan() {
+            return Err(SpecError(format!("delay must be ≥ 0, got {delay_s}")));
+        }
+        if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
+            return Err(SpecError(format!("loss must be in [0, 1], got {loss}")));
+        }
+        if !(cost_per_bit >= 0.0) || !cost_per_bit.is_finite() {
+            return Err(SpecError(format!(
+                "cost must be finite and ≥ 0, got {cost_per_bit}"
+            )));
+        }
+        Ok(PathSpec {
+            bandwidth: bandwidth_bps,
+            delay: delay_s,
+            loss,
+            cost: cost_per_bit,
+        })
+    }
+
+    /// Bandwidth `b_i` in bits/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// One-way delay `d_i` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Bit-erasure probability `τ_i`.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Cost `c_i` per bit.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Returns a copy with the bandwidth replaced (used by the sensitivity
+    /// experiment to inject estimation errors).
+    #[must_use]
+    pub fn scaled_bandwidth(&self, factor: f64) -> Self {
+        let mut p = *self;
+        p.bandwidth = (self.bandwidth * factor).max(f64::MIN_POSITIVE);
+        p
+    }
+
+    /// Returns a copy with the delay scaled by `factor`.
+    #[must_use]
+    pub fn scaled_delay(&self, factor: f64) -> Self {
+        let mut p = *self;
+        p.delay = (self.delay * factor).max(0.0);
+        p
+    }
+
+    /// Returns a copy with `error` added to the loss rate, clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn offset_loss(&self, error: f64) -> Self {
+        let mut p = *self;
+        p.loss = (self.loss + error).clamp(0.0, 1.0);
+        p
+    }
+}
+
+impl fmt::Display for PathSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} Mbps / {:.0} ms / {:.1}% loss",
+            self.bandwidth / 1e6,
+            self.delay * 1e3,
+            self.loss * 100.0
+        )?;
+        if self.cost > 0.0 {
+            write!(f, " / cost {:.3e}/bit", self.cost)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_path() {
+        let p = PathSpec::with_cost(80e6, 0.45, 0.2, 1e-9).unwrap();
+        assert_eq!(p.bandwidth(), 80e6);
+        assert_eq!(p.delay(), 0.45);
+        assert_eq!(p.loss(), 0.2);
+        assert_eq!(p.cost(), 1e-9);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        assert!(PathSpec::new(0.0, 0.1, 0.0).is_err());
+        assert!(PathSpec::new(-1.0, 0.1, 0.0).is_err());
+        assert!(PathSpec::new(f64::INFINITY, 0.1, 0.0).is_err());
+        assert!(PathSpec::new(1e6, -0.1, 0.0).is_err());
+        assert!(PathSpec::new(1e6, f64::NAN, 0.0).is_err());
+        assert!(PathSpec::new(1e6, 0.1, 1.5).is_err());
+        assert!(PathSpec::new(1e6, 0.1, -0.1).is_err());
+        assert!(PathSpec::with_cost(1e6, 0.1, 0.1, -2.0).is_err());
+    }
+
+    #[test]
+    fn infinite_delay_is_allowed() {
+        // Needed to express degenerate/dead paths; the blackhole uses it.
+        let p = PathSpec::new(1e6, f64::INFINITY, 0.0).unwrap();
+        assert_eq!(p.delay(), f64::INFINITY);
+    }
+
+    #[test]
+    fn perturbation_helpers() {
+        let p = PathSpec::new(10e6, 0.1, 0.5).unwrap();
+        assert_eq!(p.scaled_bandwidth(0.5).bandwidth(), 5e6);
+        assert_eq!(p.scaled_delay(2.0).delay(), 0.2);
+        assert_eq!(p.offset_loss(0.7).loss(), 1.0);
+        assert_eq!(p.offset_loss(-0.7).loss(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = PathSpec::with_cost(20e6, 0.1, 0.0, 1e-9).unwrap();
+        assert!(!format!("{p}").is_empty());
+        assert!(!format!("{p:?}").is_empty());
+    }
+}

@@ -1,0 +1,677 @@
+//! The random-delay extension of the model (paper §VI-B, Eq. 24–30/34).
+//!
+//! Delays are random variables (shifted gamma in the paper's experiments);
+//! the sender must additionally choose, per combination stage, a
+//! *retransmission timeout*: long enough that an acknowledgment would have
+//! arrived, short enough that the retransmission can still meet the
+//! deadline. Eq. 26/34 picks the timeout maximizing
+//!
+//! ```text
+//! g(t) = P(t + d_j ≤ δ) · P(d_i + d_min ≤ t)
+//! ```
+//!
+//! where `d_i + d_min` (data out, ack back) is computed by *convolving*
+//! the two delay distributions on a discrete grid ([`DiscreteDist`]).
+//! The product often has a plateau of equally good timeouts — the paper
+//! notes the maximizer "does not necessarily produce a unique solution" —
+//! so the plateau tie-break is configurable ([`PlateauRule`]).
+//!
+//! Because a retransmission fires exactly when the timeout expires, the
+//! *send time* of stage `s` is deterministic (the sum of the earlier
+//! stages' timeouts), which is what lets the model generalize cleanly to
+//! `m > 2` transmissions: stage `s` delivers in time with probability
+//! `P(T_s + d_{i_s} ≤ δ)` and is reached with probability
+//! `Π_{u<s} P(retrans_u)` (Eq. 27).
+
+use crate::combo::{ComboTable, Slot};
+use crate::path::SpecError;
+use crate::strategy::Strategy;
+use dmc_lp::{Problem, SolveError, SolverOptions};
+use dmc_stats::{Delay, DiscreteDist};
+use std::sync::Arc;
+
+/// A path whose one-way delay is a random variable (Eq. 24).
+#[derive(Debug, Clone)]
+pub struct RandomPath {
+    bandwidth: f64,
+    delay: Arc<dyn Delay>,
+    loss: f64,
+    cost: f64,
+}
+
+impl RandomPath {
+    /// Creates a random-delay path.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive/non-finite bandwidth, loss outside `[0, 1]`,
+    /// negative cost, or a delay distribution with non-finite mean.
+    pub fn new(
+        bandwidth_bps: f64,
+        delay: Arc<dyn Delay>,
+        loss: f64,
+        cost_per_bit: f64,
+    ) -> Result<Self, SpecError> {
+        if !(bandwidth_bps > 0.0) || !bandwidth_bps.is_finite() {
+            return Err(SpecError(format!(
+                "bandwidth must be finite and > 0, got {bandwidth_bps}"
+            )));
+        }
+        if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
+            return Err(SpecError(format!("loss must be in [0, 1], got {loss}")));
+        }
+        if !(cost_per_bit >= 0.0) || !cost_per_bit.is_finite() {
+            return Err(SpecError(format!(
+                "cost must be finite and ≥ 0, got {cost_per_bit}"
+            )));
+        }
+        if !delay.mean().is_finite() || delay.mean() < 0.0 {
+            return Err(SpecError(
+                "delay distribution must have a finite non-negative mean".into(),
+            ));
+        }
+        Ok(RandomPath {
+            bandwidth: bandwidth_bps,
+            delay,
+            loss,
+            cost: cost_per_bit,
+        })
+    }
+
+    /// Bandwidth in bits/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// The delay distribution.
+    pub fn delay(&self) -> &Arc<dyn Delay> {
+        &self.delay
+    }
+
+    /// Loss probability `τ_i`.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Cost per bit `c_i`.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// A scenario with random path delays.
+#[derive(Debug, Clone)]
+pub struct RandomNetworkSpec {
+    paths: Vec<RandomPath>,
+    data_rate: f64,
+    lifetime: f64,
+    cost_budget: f64,
+}
+
+impl RandomNetworkSpec {
+    /// Creates a scenario; same validation as
+    /// [`NetworkSpec`](crate::NetworkSpec).
+    ///
+    /// # Errors
+    ///
+    /// Requires at least one path, positive finite `λ` and `δ`.
+    pub fn new(paths: Vec<RandomPath>, data_rate: f64, lifetime: f64) -> Result<Self, SpecError> {
+        if paths.is_empty() {
+            return Err(SpecError("at least one path is required".into()));
+        }
+        if !(data_rate > 0.0) || !data_rate.is_finite() {
+            return Err(SpecError(format!(
+                "data rate must be finite and > 0, got {data_rate}"
+            )));
+        }
+        if !(lifetime > 0.0) || !lifetime.is_finite() {
+            return Err(SpecError(format!(
+                "lifetime must be finite and > 0, got {lifetime}"
+            )));
+        }
+        Ok(RandomNetworkSpec {
+            paths,
+            data_rate,
+            lifetime,
+            cost_budget: f64::INFINITY,
+        })
+    }
+
+    /// Sets the cost budget `µ` per second.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive budgets.
+    pub fn with_cost_budget(mut self, per_second: f64) -> Result<Self, SpecError> {
+        if !(per_second > 0.0) {
+            return Err(SpecError(format!("budget must be > 0, got {per_second}")));
+        }
+        self.cost_budget = per_second;
+        Ok(self)
+    }
+
+    /// The paths.
+    pub fn paths(&self) -> &[RandomPath] {
+        &self.paths
+    }
+
+    /// Data rate `λ` bits/second.
+    pub fn data_rate(&self) -> f64 {
+        self.data_rate
+    }
+
+    /// Lifetime `δ` seconds.
+    pub fn lifetime(&self) -> f64 {
+        self.lifetime
+    }
+
+    /// Cost budget `µ` per second (∞ if unset).
+    pub fn cost_budget(&self) -> f64 {
+        self.cost_budget
+    }
+
+    /// The acknowledgment path (Eq. 25): smallest *expected* delay.
+    pub fn ack_path(&self) -> usize {
+        let mut best = 0;
+        for (i, p) in self.paths.iter().enumerate() {
+            if p.delay.mean() < self.paths[best].delay.mean() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Tie-break used when Eq. 34's product is maximal over a plateau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlateauRule {
+    /// Earliest maximizing timeout (retransmit as soon as safe).
+    First,
+    /// Middle of the plateau: robust to estimation error on both sides.
+    /// The default.
+    #[default]
+    Midpoint,
+    /// Latest maximizing timeout (give the ack every chance).
+    Last,
+}
+
+/// Configuration of the random-delay model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDelayConfig {
+    /// Discretization grid step in seconds (default 1 ms, the paper's
+    /// reporting granularity).
+    pub grid_step: f64,
+    /// Number of transmissions `m` (default 2, the paper's presentation).
+    pub transmissions: usize,
+    /// Include the blackhole slot (default true).
+    pub blackhole: bool,
+    /// Plateau tie-break for Eq. 34 (default midpoint).
+    pub plateau: PlateauRule,
+}
+
+impl Default for RandomDelayConfig {
+    fn default() -> Self {
+        RandomDelayConfig {
+            grid_step: 1e-3,
+            transmissions: 2,
+            blackhole: true,
+            plateau: PlateauRule::Midpoint,
+        }
+    }
+}
+
+/// The assembled random-delay model: per-combination delivery
+/// probabilities, bandwidth/cost usage, and per-stage optimal timeouts.
+#[derive(Debug, Clone)]
+pub struct RandomDelayModel {
+    table: ComboTable,
+    ack_path: usize,
+    data_rate: f64,
+    lifetime: f64,
+    cost_budget: f64,
+    bandwidths: Vec<f64>,
+    p: Vec<f64>,
+    usage: Vec<Vec<f64>>,
+    cost: Vec<f64>,
+    /// `stage_timeouts[l][s]`: timeout armed after sending stage `s` of
+    /// combination `l`; `None` when no retransmission is scheduled
+    /// (last stage, next stage is the blackhole, or no timeout can meet
+    /// the deadline — the paper's "t₁,₁ is not defined" case).
+    stage_timeouts: Vec<Vec<Option<f64>>>,
+}
+
+impl RandomDelayModel {
+    /// Builds the model: discretizes delays, optimizes every stage timeout
+    /// (Eq. 34) and assembles the LP coefficients (Eq. 28–30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.grid_step ≤ 0` or `config.transmissions == 0`.
+    pub fn new(net: &RandomNetworkSpec, config: &RandomDelayConfig) -> Self {
+        assert!(
+            config.grid_step > 0.0 && config.grid_step.is_finite(),
+            "grid step must be positive"
+        );
+        let n = net.paths.len();
+        let table = ComboTable::new(n, config.transmissions, config.blackhole);
+        let ack_path = net.ack_path();
+        let step = config.grid_step;
+
+        // F_{d_i + d_min}: convolution of each path's delay with an
+        // independent copy of the ack path's delay (Eq. 34's
+        // `F_Xi ∗ f_Xmin`).
+        let ack_delay = Arc::clone(&net.paths[ack_path].delay);
+        let delay_dists: Vec<DiscreteDist> = net
+            .paths
+            .iter()
+            .map(|p| DiscreteDist::from_delay(p.delay.as_ref(), step))
+            .collect();
+        let ack_disc = DiscreteDist::from_delay(ack_delay.as_ref(), step);
+        let rtt_dists: Vec<DiscreteDist> = delay_dists
+            .iter()
+            .map(|d| d.convolve(&ack_disc))
+            .collect();
+
+        let delta = net.lifetime;
+        let ncombos = table.num_combos();
+        let mut p = Vec::with_capacity(ncombos);
+        let mut usage = vec![vec![0.0; ncombos]; n];
+        let mut cost = Vec::with_capacity(ncombos);
+        let mut stage_timeouts = Vec::with_capacity(ncombos);
+
+        for (l, slots) in table.iter() {
+            let mut reach = 1.0; // Π P(retrans) over earlier stages
+            let mut send_time = 0.0; // deterministic send time T_s
+            let mut pl = 0.0;
+            let mut costl = 0.0;
+            let mut timeouts = vec![None; slots.len()];
+            for (s, &slot) in slots.iter().enumerate() {
+                let Slot::Path(i) = slot else {
+                    break; // blackhole absorbs
+                };
+                let path = &net.paths[i];
+                usage[i][l] += reach;
+                costl += reach * path.cost();
+                // P(T_s + d_i ≤ δ) · (1 − τ_i), Eq. 28 generalized.
+                let in_time = path.delay.cdf(delta - send_time);
+                pl += reach * in_time * (1.0 - path.loss);
+
+                // Arm the next stage's timeout if there is a real next path.
+                let Some(&next) = slots.get(s + 1) else {
+                    break;
+                };
+                let Slot::Path(j) = next else {
+                    break; // retransmitting into the blackhole = dropping
+                };
+                let remaining = delta - send_time;
+                let opt = optimize_timeout(
+                    &rtt_dists[i],
+                    net.paths[j].delay.as_ref(),
+                    remaining,
+                    step,
+                    config.plateau,
+                );
+                let Some(theta) = opt else {
+                    break; // no timeout can meet the deadline (t₁,₁ case)
+                };
+                timeouts[s] = Some(theta);
+
+                // Duplicate-delivery correction (beyond the paper; see
+                // DESIGN.md): Eq. 28 adds the retransmission's delivery
+                // probability unconditionally, double-counting the event
+                // "the stage-s copy arrived in time AND its ack missed
+                // the timeout, so the s+1 copy also arrived in time".
+                // The receiver deduplicates, so that mass must be
+                // subtracted — without it, tight deadlines (frequent
+                // spurious retransmissions) yield p > 1.
+                let next_in_time = net.paths[j].delay.cdf(delta - send_time - theta);
+                let spurious_and_first_ok = joint_in_time_no_ack(
+                    &delay_dists[i],
+                    ack_delay.as_ref(),
+                    delta - send_time,
+                    theta,
+                );
+                pl -= reach
+                    * (1.0 - path.loss)
+                    * spurious_and_first_ok
+                    * (1.0 - net.paths[j].loss)
+                    * next_in_time;
+
+                // Eq. 27: retransmit unless the ack beat the timeout.
+                let ack_in_time = lookup_cdf(&rtt_dists[i], theta);
+                reach *= 1.0 - ack_in_time * (1.0 - path.loss);
+                send_time += theta;
+                if reach <= 1e-15 {
+                    break;
+                }
+            }
+            p.push(pl.clamp(0.0, 1.0));
+            cost.push(costl);
+            stage_timeouts.push(timeouts);
+            let _ = l;
+        }
+
+        RandomDelayModel {
+            table,
+            ack_path,
+            data_rate: net.data_rate,
+            lifetime: net.lifetime,
+            cost_budget: net.cost_budget,
+            bandwidths: net.paths.iter().map(|p| p.bandwidth).collect(),
+            p,
+            usage,
+            cost,
+            stage_timeouts,
+        }
+    }
+
+    /// The combination table.
+    pub fn table(&self) -> &ComboTable {
+        &self.table
+    }
+
+    /// The acknowledgment path (Eq. 25), 0-based.
+    pub fn ack_path(&self) -> usize {
+        self.ack_path
+    }
+
+    /// In-time delivery probability per combination (Eq. 28).
+    pub fn quality_coeffs(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Per-stage timeouts of a combination; see
+    /// [`RandomDelayModel::timeout`] for the paper's pairwise `t_{i,j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn stage_timeouts(&self, l: usize) -> &[Option<f64>] {
+        &self.stage_timeouts[l]
+    }
+
+    /// The paper's `t_{i,j}` (Eq. 26): the timeout armed after first
+    /// sending on real path `i` (0-based) when the retransmission path is
+    /// real path `j`. `None` when no timeout can meet the deadline.
+    ///
+    /// Only meaningful for `transmissions ≥ 2`.
+    pub fn timeout(&self, i: usize, j: usize) -> Option<f64> {
+        let mut slots = vec![Slot::Blackhole; self.table.transmissions()];
+        if !self.table.has_blackhole() {
+            slots = vec![Slot::Path(j); self.table.transmissions()];
+        }
+        slots[0] = Slot::Path(i);
+        if self.table.transmissions() >= 2 {
+            slots[1] = Slot::Path(j);
+        }
+        let l = self.table.index_of(&slots)?;
+        self.stage_timeouts[l].first().copied().flatten()
+    }
+
+    /// Assembles the quality-maximization LP with the random-delay
+    /// coefficients (Eq. 28–30 replacing Eq. 12/15/16).
+    pub fn quality_lp(&self) -> Problem {
+        let mut lp = Problem::maximize(self.p.clone());
+        for k in 0..self.bandwidths.len() {
+            lp.add_le(self.usage[k].clone(), self.bandwidths[k] / self.data_rate)
+                .expect("dimensions match");
+        }
+        if self.cost_budget.is_finite() {
+            lp.add_le(self.cost.clone(), self.cost_budget / self.data_rate)
+                .expect("dimensions match");
+        }
+        let ones = vec![1.0; self.table.num_combos()];
+        lp.add_eq(ones, 1.0).expect("dimensions match");
+        lp
+    }
+
+    /// Solves for the quality-optimal strategy.
+    ///
+    /// # Errors
+    ///
+    /// Forwards solver failures (with the blackhole enabled the LP is
+    /// always feasible).
+    pub fn solve_quality(&self, options: &SolverOptions) -> Result<Strategy, SolveError> {
+        let sol = self.quality_lp().solve(options)?;
+        let x = sol.into_x();
+        let quality: f64 = self.p.iter().zip(&x).map(|(p, v)| p * v).sum();
+        let send_rates: Vec<f64> = (0..self.bandwidths.len())
+            .map(|k| {
+                self.data_rate
+                    * self.usage[k]
+                        .iter()
+                        .zip(&x)
+                        .map(|(u, v)| u * v)
+                        .sum::<f64>()
+            })
+            .collect();
+        let cost_rate =
+            self.data_rate * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        Ok(Strategy::new(
+            self.table.clone(),
+            x,
+            self.data_rate,
+            quality,
+            cost_rate,
+            send_rates,
+        ))
+    }
+
+    /// Expected quality of an arbitrary well-formed assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn expected_quality(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.p.len());
+        self.p.iter().zip(x).map(|(p, v)| p * v).sum()
+    }
+
+    /// The scenario lifetime `δ`.
+    pub fn lifetime(&self) -> f64 {
+        self.lifetime
+    }
+}
+
+/// CDF lookup on a discretized distribution (0 below support, 1 above).
+fn lookup_cdf(dist: &DiscreteDist, t: f64) -> f64 {
+    dist.cdf(t)
+}
+
+/// `P(d ≤ in_time_bound  AND  d + d_ack > theta)`: the data copy arrives
+/// in time, yet its acknowledgment misses the retransmission timeout —
+/// the "spurious retransmission after successful delivery" event used by
+/// the duplicate-delivery correction. Computed by conditioning on the
+/// discretized data delay.
+fn joint_in_time_no_ack(
+    delay: &DiscreteDist,
+    ack: &dyn Delay,
+    in_time_bound: f64,
+    theta: f64,
+) -> f64 {
+    let mut total = 0.0;
+    for (k, &mass) in delay.pmf().iter().enumerate() {
+        if mass == 0.0 {
+            continue;
+        }
+        let d = delay.offset() + k as f64 * delay.step();
+        if d > in_time_bound {
+            break;
+        }
+        total += mass * (1.0 - ack.cdf(theta - d));
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Eq. 34: returns the timeout `θ ∈ [0, remaining]` maximizing
+/// `F_{d_j}(remaining − θ) · F_{d_i + d_min}(θ)`, or `None` when the
+/// maximum is zero (no retransmission can meet the deadline).
+fn optimize_timeout(
+    rtt: &DiscreteDist,
+    next_delay: &dyn Delay,
+    remaining: f64,
+    step: f64,
+    plateau: PlateauRule,
+) -> Option<f64> {
+    if remaining <= 0.0 {
+        return None;
+    }
+    let steps = (remaining / step).floor() as usize;
+    let mut best = 0.0f64;
+    let mut values = Vec::with_capacity(steps + 1);
+    for k in 0..=steps {
+        let theta = k as f64 * step;
+        let g = next_delay.cdf(remaining - theta) * rtt.cdf(theta);
+        values.push(g);
+        if g > best {
+            best = g;
+        }
+    }
+    if best <= 0.0 {
+        return None;
+    }
+    // Plateau: all grid points within a relative hair of the maximum.
+    let threshold = best * (1.0 - 1e-9);
+    let first = values.iter().position(|&g| g >= threshold)?;
+    let last = values.iter().rposition(|&g| g >= threshold)?;
+    let idx = match plateau {
+        PlateauRule::First => first,
+        PlateauRule::Last => last,
+        PlateauRule::Midpoint => (first + last) / 2,
+    };
+    Some(idx as f64 * step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_stats::{ConstantDelay, ShiftedGamma};
+
+    /// The paper's Table V network (Experiment 2).
+    fn table5_network() -> RandomNetworkSpec {
+        let p1 = RandomPath::new(
+            80e6,
+            Arc::new(ShiftedGamma::new(10.0, 0.004, 0.400).unwrap()),
+            0.2,
+            0.0,
+        )
+        .unwrap();
+        let p2 = RandomPath::new(
+            20e6,
+            Arc::new(ShiftedGamma::new(5.0, 0.002, 0.100).unwrap()),
+            0.0,
+            0.0,
+        )
+        .unwrap();
+        RandomNetworkSpec::new(vec![p1, p2], 90e6, 0.750).unwrap()
+    }
+
+    #[test]
+    fn ack_path_is_lowest_expected_delay() {
+        assert_eq!(table5_network().ack_path(), 1);
+    }
+
+    #[test]
+    fn experiment2_timeouts_near_paper_values() {
+        let model = RandomDelayModel::new(&table5_network(), &RandomDelayConfig::default());
+        // t(1,2): paper reports 615 ms. The product has a narrow peak; any
+        // maximizer lands within a few ms of it.
+        let t12 = model.timeout(0, 1).expect("t(1,2) defined");
+        assert!(
+            (0.585..=0.645).contains(&t12),
+            "t(1,2) = {:.0} ms, paper: 615 ms",
+            t12 * 1e3
+        );
+        // t(2,1): paper reports 252 ms.
+        let t21 = model.timeout(1, 0).expect("t(2,1) defined");
+        assert!(
+            (0.230..=0.270).contains(&t21),
+            "t(2,1) = {:.0} ms, paper: 252 ms",
+            t21 * 1e3
+        );
+        // t(2,2) sits on a wide plateau (paper picked 323 ms); any point
+        // on the plateau is optimal.
+        let t22 = model.timeout(1, 1).expect("t(2,2) defined");
+        assert!(
+            (0.240..=0.600).contains(&t22),
+            "t(2,2) = {:.0} ms",
+            t22 * 1e3
+        );
+        // t(1,1): paper: undefined — a path-1 retransmission cannot meet
+        // the 750 ms deadline after a path-1 timeout.
+        assert_eq!(model.timeout(0, 0), None, "t(1,1) must be undefined");
+    }
+
+    #[test]
+    fn experiment2_expected_quality_matches_paper() {
+        let model = RandomDelayModel::new(&table5_network(), &RandomDelayConfig::default());
+        let s = model.solve_quality(&SolverOptions::default()).unwrap();
+        // Paper: expected quality 93.3% (93,332 of 100,000 in simulation).
+        assert!(
+            (s.quality() - 0.9333).abs() < 0.005,
+            "Q = {:.4}, paper: 0.9333",
+            s.quality()
+        );
+        assert!(s.is_well_formed(1e-9));
+        // Send rates respect bandwidth.
+        assert!(s.send_rates()[0] <= 80e6 * (1.0 + 1e-9));
+        assert!(s.send_rates()[1] <= 20e6 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn constant_delays_reduce_to_deterministic_model() {
+        // With constant delays the random model must reproduce the
+        // deterministic coefficients (Eq. 28 → Eq. 12).
+        let p1 = RandomPath::new(80e6, Arc::new(ConstantDelay::new(0.450)), 0.2, 0.0).unwrap();
+        let p2 = RandomPath::new(20e6, Arc::new(ConstantDelay::new(0.150)), 0.0, 0.0).unwrap();
+        let net = RandomNetworkSpec::new(vec![p1, p2], 90e6, 0.8).unwrap();
+        let model = RandomDelayModel::new(&net, &RandomDelayConfig::default());
+        let s = model.solve_quality(&SolverOptions::default()).unwrap();
+        assert!(
+            (s.quality() - 42.0 / 45.0).abs() < 1e-6,
+            "Q = {}",
+            s.quality()
+        );
+    }
+
+    #[test]
+    fn plateau_rules_are_ordered() {
+        let net = table5_network();
+        let mut cfg = RandomDelayConfig::default();
+        cfg.plateau = PlateauRule::First;
+        let first = RandomDelayModel::new(&net, &cfg).timeout(1, 1).unwrap();
+        cfg.plateau = PlateauRule::Midpoint;
+        let mid = RandomDelayModel::new(&net, &cfg).timeout(1, 1).unwrap();
+        cfg.plateau = PlateauRule::Last;
+        let last = RandomDelayModel::new(&net, &cfg).timeout(1, 1).unwrap();
+        assert!(first <= mid && mid <= last, "{first} {mid} {last}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let good = Arc::new(ConstantDelay::new(0.1));
+        assert!(RandomPath::new(0.0, good.clone(), 0.0, 0.0).is_err());
+        assert!(RandomPath::new(1e6, good.clone(), 1.5, 0.0).is_err());
+        assert!(RandomPath::new(1e6, good.clone(), 0.0, -1.0).is_err());
+        let inf = Arc::new(ConstantDelay::new(f64::INFINITY));
+        assert!(RandomPath::new(1e6, inf, 0.0, 0.0).is_err());
+        let p = RandomPath::new(1e6, good, 0.0, 0.0).unwrap();
+        assert!(RandomNetworkSpec::new(vec![], 1e6, 1.0).is_err());
+        assert!(RandomNetworkSpec::new(vec![p.clone()], 0.0, 1.0).is_err());
+        assert!(RandomNetworkSpec::new(vec![p], 1e6, 0.0).is_err());
+    }
+
+    #[test]
+    fn cost_budget_row_present() {
+        let p1 = RandomPath::new(80e6, Arc::new(ConstantDelay::new(0.450)), 0.2, 1.0).unwrap();
+        let p2 = RandomPath::new(20e6, Arc::new(ConstantDelay::new(0.150)), 0.0, 0.0).unwrap();
+        let net = RandomNetworkSpec::new(vec![p1, p2], 90e6, 0.8)
+            .unwrap()
+            .with_cost_budget(1.0)
+            .unwrap();
+        let model = RandomDelayModel::new(&net, &RandomDelayConfig::default());
+        let s = model.solve_quality(&SolverOptions::default()).unwrap();
+        // Path 0 unaffordable → only path 1's 20 Mbps of 90 → Q ≈ 2/9.
+        assert!((s.quality() - 2.0 / 9.0).abs() < 1e-6, "Q = {}", s.quality());
+    }
+}

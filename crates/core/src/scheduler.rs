@@ -1,0 +1,302 @@
+//! Packet-level discretization of the LP solution — the paper's
+//! Algorithm 1.
+//!
+//! The LP produces *fractions* of traffic per path combination; an actual
+//! sender must assign whole packets. Algorithm 1 keeps, per combination,
+//! the count of packets assigned so far and always picks the combination
+//! whose empirical share lags its target share the most
+//! (`argmin assigned[i]/total − x'_i`), which keeps the running empirical
+//! distribution within one packet of the target — much tighter than
+//! weighted random sampling (see the `scheduler` bench for the ablation).
+
+use rand::Rng;
+
+/// Deficit-based combination selector (paper Algorithm 1).
+///
+/// ```
+/// use dmc_core::ComboScheduler;
+///
+/// let mut sched = ComboScheduler::new(vec![0.75, 0.25]).unwrap();
+/// let picks: Vec<usize> = (0..4).map(|_| sched.next_combo()).collect();
+/// assert_eq!(picks.iter().filter(|&&c| c == 0).count(), 3);
+/// assert_eq!(picks.iter().filter(|&&c| c == 1).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComboScheduler {
+    x: Vec<f64>,
+    assigned: Vec<u64>,
+    total: u64,
+}
+
+impl ComboScheduler {
+    /// Creates a scheduler for target distribution `x` (must be
+    /// non-negative and sum to 1 within `1e-6`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for empty, negative or non-normalized
+    /// input.
+    pub fn new(x: Vec<f64>) -> Result<Self, String> {
+        if x.is_empty() {
+            return Err("empty distribution".into());
+        }
+        if x.iter().any(|&v| !v.is_finite() || v < -1e-12) {
+            return Err("distribution entries must be finite and ≥ 0".into());
+        }
+        let total: f64 = x.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("distribution sums to {total}, expected 1"));
+        }
+        let len = x.len();
+        Ok(ComboScheduler {
+            x,
+            assigned: vec![0; len],
+            total: 0,
+        })
+    }
+
+    /// Selects the combination for the next packet (Algorithm 1's
+    /// `selectPathCombination`).
+    pub fn next_combo(&mut self) -> usize {
+        let res = if self.total == 0 {
+            // First packet: the combination with the largest share.
+            argmax(&self.x)
+        } else {
+            // The combination lagging most behind its target share.
+            // Zero-share combinations are skipped: their deficit can never
+            // go negative, so they could only win exact ties — and
+            // selecting them (e.g. the blackhole) would be wrong.
+            let total = self.total as f64;
+            let mut best = usize::MAX;
+            let mut best_deficit = f64::INFINITY;
+            for (i, (&a, &xi)) in self.assigned.iter().zip(&self.x).enumerate() {
+                if xi <= 0.0 {
+                    continue;
+                }
+                let deficit = a as f64 / total - xi;
+                if deficit < best_deficit - 1e-15 {
+                    best_deficit = deficit;
+                    best = i;
+                }
+            }
+            debug_assert!(best != usize::MAX, "distribution sums to 1");
+            best
+        };
+        self.assigned[res] += 1;
+        self.total += 1;
+        res
+    }
+
+    /// Packets assigned per combination so far.
+    pub fn assigned(&self) -> &[u64] {
+        &self.assigned
+    }
+
+    /// Total packets assigned so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Target distribution.
+    pub fn target(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Largest deviation `|assigned_i/total − x_i|` of the empirical
+    /// distribution from the target (0 when nothing assigned yet).
+    pub fn max_deviation(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        self.assigned
+            .iter()
+            .zip(&self.x)
+            .map(|(&a, &xi)| (a as f64 / total - xi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Replaces the target distribution while keeping history, so an
+    /// adaptive sender can re-solve mid-stream and converge smoothly to
+    /// the new solution.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ComboScheduler::new`]; the new distribution
+    /// must have the same length.
+    pub fn retarget(&mut self, x: Vec<f64>) -> Result<(), String> {
+        if x.len() != self.x.len() {
+            return Err(format!(
+                "new distribution has {} entries, expected {}",
+                x.len(),
+                self.x.len()
+            ));
+        }
+        let fresh = ComboScheduler::new(x)?;
+        self.x = fresh.x;
+        Ok(())
+    }
+
+    /// Forgets assignment history (e.g. after a long pause when the old
+    /// empirical distribution no longer matters).
+    pub fn reset_history(&mut self) {
+        self.assigned.iter_mut().for_each(|a| *a = 0);
+        self.total = 0;
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Baseline for the ablation study: i.i.d. weighted random assignment.
+///
+/// Converges to the target distribution only as `O(1/√N)` versus
+/// Algorithm 1's `O(1/N)`; the difference is what makes Algorithm 1 track
+/// the LP solution "in the long run" (paper §VII, Experiment 2) with
+/// short-horizon traffic too.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    cumulative: Vec<f64>,
+}
+
+impl RandomScheduler {
+    /// Creates the sampler; same validation as [`ComboScheduler::new`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ComboScheduler::new`].
+    pub fn new(x: Vec<f64>) -> Result<Self, String> {
+        // Reuse validation.
+        let _ = ComboScheduler::new(x.clone())?;
+        let mut acc = 0.0;
+        let cumulative = x
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        Ok(RandomScheduler { cumulative })
+    }
+
+    /// Samples a combination.
+    pub fn next_combo<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(ComboScheduler::new(vec![]).is_err());
+        assert!(ComboScheduler::new(vec![0.5, 0.6]).is_err());
+        assert!(ComboScheduler::new(vec![-0.1, 1.1]).is_err());
+        assert!(ComboScheduler::new(vec![f64::NAN, 1.0]).is_err());
+        assert!(ComboScheduler::new(vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn first_pick_is_argmax() {
+        let mut s = ComboScheduler::new(vec![0.2, 0.5, 0.3]).unwrap();
+        assert_eq!(s.next_combo(), 1);
+    }
+
+    #[test]
+    fn exact_quarters() {
+        let mut s = ComboScheduler::new(vec![0.25, 0.75]).unwrap();
+        let picks: Vec<usize> = (0..8).map(|_| s.next_combo()).collect();
+        assert_eq!(picks.iter().filter(|&&c| c == 0).count(), 2);
+        assert_eq!(picks.iter().filter(|&&c| c == 1).count(), 6);
+        assert!(s.max_deviation() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_bounded_by_one_packet() {
+        // Algorithm 1's deficit rule keeps every combination within one
+        // packet of its target share at all times.
+        let x = vec![4.0 / 25.0, 4.0 / 5.0, 1.0 / 25.0]; // Table IV λ=100 row
+        let mut s = ComboScheduler::new(x.clone()).unwrap();
+        for step in 1..=5_000u64 {
+            s.next_combo();
+            let bound = (x.len() as f64) / step as f64;
+            assert!(
+                s.max_deviation() <= bound,
+                "step {step}: deviation {} > {bound}",
+                s.max_deviation()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_entries_never_selected() {
+        let mut s = ComboScheduler::new(vec![0.0, 1.0, 0.0]).unwrap();
+        for _ in 0..100 {
+            assert_eq!(s.next_combo(), 1);
+        }
+    }
+
+    #[test]
+    fn retarget_keeps_history_and_converges() {
+        let mut s = ComboScheduler::new(vec![1.0, 0.0]).unwrap();
+        for _ in 0..100 {
+            s.next_combo();
+        }
+        s.retarget(vec![0.0, 1.0]).unwrap();
+        for _ in 0..900 {
+            s.next_combo();
+        }
+        // 100 on combo 0 then 900 on combo 1 → empirical (0.1, 0.9),
+        // steering toward (0, 1).
+        assert_eq!(s.assigned()[0], 100);
+        assert_eq!(s.assigned()[1], 900);
+        assert!(s.retarget(vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn reset_history() {
+        let mut s = ComboScheduler::new(vec![0.5, 0.5]).unwrap();
+        s.next_combo();
+        s.reset_history();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.assigned(), &[0, 0]);
+    }
+
+    #[test]
+    fn random_baseline_is_looser_than_algorithm1() {
+        let x = vec![0.6, 0.3, 0.1];
+        let n = 2_000;
+        let mut det = ComboScheduler::new(x.clone()).unwrap();
+        for _ in 0..n {
+            det.next_combo();
+        }
+        let rand_sched = RandomScheduler::new(x.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[rand_sched.next_combo(&mut rng)] += 1;
+        }
+        let rand_dev = counts
+            .iter()
+            .zip(&x)
+            .map(|(&c, &xi)| (c as f64 / n as f64 - xi).abs())
+            .fold(0.0, f64::max);
+        assert!(det.max_deviation() < rand_dev,
+            "algorithm 1 {} should beat random {rand_dev}", det.max_deviation());
+        assert!(det.max_deviation() <= 3.0 / n as f64);
+    }
+}

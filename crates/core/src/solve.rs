@@ -1,0 +1,238 @@
+//! High-level entry points: one call from scenario to optimal strategy.
+
+use crate::builder::DeterministicModel;
+use crate::network::NetworkSpec;
+use crate::path::SpecError;
+use crate::strategy::Strategy;
+use dmc_lp::{SolveError, SolverOptions};
+use std::fmt;
+
+/// Configuration shared by the solving entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Number of transmissions `m` per data unit (default 2: one
+    /// transmission + one retransmission, the paper's base model).
+    pub transmissions: usize,
+    /// Include the blackhole path (default true; keeps the LP feasible
+    /// under overload, Eq. 19).
+    pub blackhole: bool,
+    /// LP solver options.
+    pub solver: SolverOptions,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            transmissions: 2,
+            blackhole: true,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Shorthand for a config with `m` transmissions and defaults
+    /// otherwise.
+    pub fn with_transmissions(m: usize) -> Self {
+        ModelConfig {
+            transmissions: m,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from the high-level API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The scenario itself is invalid.
+    Spec(SpecError),
+    /// The LP could not be solved (infeasible without a blackhole,
+    /// unbounded, or numerically hostile).
+    Solve(SolveError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Spec(e) => write!(f, "{e}"),
+            ModelError::Solve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Spec(e) => Some(e),
+            ModelError::Solve(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for ModelError {
+    fn from(e: SpecError) -> Self {
+        ModelError::Spec(e)
+    }
+}
+
+impl From<SolveError> for ModelError {
+    fn from(e: SolveError) -> Self {
+        ModelError::Solve(e)
+    }
+}
+
+/// Solves the paper's primary problem (Eq. 10): the quality-maximal
+/// packet-to-path-combination assignment for a deterministic scenario.
+///
+/// ```
+/// use dmc_core::{optimal_strategy, ModelConfig, NetworkSpec, PathSpec};
+///
+/// # fn main() -> Result<(), dmc_core::ModelError> {
+/// let net = NetworkSpec::builder()
+///     .path(PathSpec::new(80e6, 0.450, 0.2)?)
+///     .path(PathSpec::new(20e6, 0.150, 0.0)?)
+///     .data_rate(90e6)
+///     .lifetime(0.800)
+///     .build()?;
+/// let strategy = optimal_strategy(&net, &ModelConfig::default())?;
+/// assert!((strategy.quality() - 42.0 / 45.0).abs() < 1e-9); // 93.3 %
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ModelError::Solve`] on LP failure; with the default
+/// blackhole-enabled config the LP is always feasible.
+pub fn optimal_strategy(net: &NetworkSpec, config: &ModelConfig) -> Result<Strategy, ModelError> {
+    let model = DeterministicModel::new(net, config.transmissions, config.blackhole);
+    Ok(model.solve_quality(&config.solver)?)
+}
+
+/// Solves the cost-minimization variant (§VI-A, Eq. 20–23): the cheapest
+/// assignment achieving at least `min_quality`.
+///
+/// # Errors
+///
+/// [`ModelError::Solve`] with [`SolveError::Infeasible`] when
+/// `min_quality` is simply not achievable on this network.
+pub fn min_cost_strategy(
+    net: &NetworkSpec,
+    min_quality: f64,
+    config: &ModelConfig,
+) -> Result<Strategy, ModelError> {
+    let model = DeterministicModel::new(net, config.transmissions, config.blackhole);
+    Ok(model.solve_min_cost(min_quality, &config.solver)?)
+}
+
+/// Best achievable quality using only path `index` (0-based) — the
+/// "single-path theory" baselines of Figure 2.
+///
+/// # Errors
+///
+/// Forwards solver failures.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn single_path_quality(
+    net: &NetworkSpec,
+    index: usize,
+    config: &ModelConfig,
+) -> Result<f64, ModelError> {
+    let restricted = net.restricted_to_path(index);
+    Ok(optimal_strategy(&restricted, config)?.quality())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathSpec;
+
+    fn table3(lambda: f64, delta: f64) -> NetworkSpec {
+        NetworkSpec::builder()
+            .path(PathSpec::new(80e6, 0.450, 0.2).unwrap())
+            .path(PathSpec::new(20e6, 0.150, 0.0).unwrap())
+            .data_rate(lambda)
+            .lifetime(delta)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn multipath_beats_both_single_paths() {
+        // Figure 2's headline: the multipath optimum dominates each
+        // single-path optimum across the sweep.
+        let cfg = ModelConfig::default();
+        for lambda in [10e6, 40e6, 90e6, 120e6] {
+            let net = table3(lambda, 0.8);
+            let multi = optimal_strategy(&net, &cfg).unwrap().quality();
+            let p1 = single_path_quality(&net, 0, &cfg).unwrap();
+            let p2 = single_path_quality(&net, 1, &cfg).unwrap();
+            assert!(multi >= p1 - 1e-9 && multi >= p2 - 1e-9,
+                "λ={lambda}: multi {multi} vs single {p1}/{p2}");
+        }
+    }
+
+    #[test]
+    fn single_path_theory_values() {
+        // At λ=90, δ=800: path 1 alone can deliver at most
+        // (1−τ)·80/90 = 0.7111 (its retransmissions can't return in time:
+        // 450+150… single path ⇒ dmin = 450 ⇒ 450·2+450 > 800).
+        let net = table3(90e6, 0.8);
+        let cfg = ModelConfig::default();
+        let p1 = single_path_quality(&net, 0, &cfg).unwrap();
+        assert!((p1 - 0.8 * 80.0 / 90.0).abs() < 1e-9, "p1 = {p1}");
+        // Path 2 alone: capacity-bound to 20/90.
+        let p2 = single_path_quality(&net, 1, &cfg).unwrap();
+        assert!((p2 - 20.0 / 90.0).abs() < 1e-9, "p2 = {p2}");
+    }
+
+    #[test]
+    fn quality_monotone_in_lifetime_and_rate() {
+        let cfg = ModelConfig::default();
+        let mut prev = 0.0;
+        for delta in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
+            let q = optimal_strategy(&table3(90e6, delta), &cfg).unwrap().quality();
+            assert!(q >= prev - 1e-9, "δ={delta}: {q} < {prev}");
+            prev = q;
+        }
+        let mut prev = 1.0;
+        for lambda in [20e6, 60e6, 100e6, 140e6] {
+            let q = optimal_strategy(&table3(lambda, 0.8), &cfg).unwrap().quality();
+            assert!(q <= prev + 1e-9, "λ={lambda}: {q} > {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn min_cost_vs_quality_duality() {
+        // Minimizing cost at the quality the quality-max strategy achieves
+        // must not cost more than that strategy.
+        let net = NetworkSpec::builder()
+            .path(PathSpec::with_cost(80e6, 0.450, 0.2, 3e-9).unwrap())
+            .path(PathSpec::with_cost(20e6, 0.150, 0.0, 1e-9).unwrap())
+            .data_rate(90e6)
+            .lifetime(0.8)
+            .build()
+            .unwrap();
+        let cfg = ModelConfig::default();
+        let qmax = optimal_strategy(&net, &cfg).unwrap();
+        let cheap = min_cost_strategy(&net, qmax.quality() - 1e-9, &cfg).unwrap();
+        assert!(cheap.cost_rate() <= qmax.cost_rate() + 1e-6);
+        assert!(cheap.quality() >= qmax.quality() - 1e-6);
+    }
+
+    #[test]
+    fn error_types_are_displayable() {
+        let e = ModelError::from(SpecError("boom".into()));
+        assert!(!format!("{e}").is_empty());
+        let net = table3(200e6, 0.8);
+        let mut cfg = ModelConfig::default();
+        cfg.blackhole = false;
+        let err = optimal_strategy(&net, &cfg).unwrap_err();
+        assert!(matches!(err, ModelError::Solve(_)));
+        assert!(!format!("{err}").is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Experiment 2: random delays, Eq.-34 timeouts, simulation.
+
+use dmc_experiments::experiment2;
+use dmc_experiments::runner::RunConfig;
+
+fn main() {
+    let mut cfg = RunConfig::default();
+    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    eprintln!("simulating {} messages (set MESSAGES to change)…", cfg.messages);
+    match experiment2::run(&cfg) {
+        Ok(result) => print!("{}", experiment2::render(&result)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: quality vs. data rate and vs. lifetime.
+
+use dmc_experiments::figure2;
+use dmc_experiments::runner::RunConfig;
+
+fn main() {
+    let mut cfg = RunConfig::default();
+    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    eprintln!("simulating {} messages per point (set MESSAGES to change)…", cfg.messages);
+
+    println!("# Figure 2 (top): quality vs. data rate, δ = 800 ms\n");
+    let pts = figure2::rate_sweep(&figure2::paper_lambdas(), &cfg);
+    println!("{}", figure2::render(&pts, "λ (Mbps)", 1e-6));
+
+    println!("\n# Figure 2 (bottom): quality vs. lifetime, λ = 90 Mbps\n");
+    let pts = figure2::lifetime_sweep(&figure2::paper_deltas(), &cfg);
+    println!("{}", figure2::render(&pts, "δ (ms)", 1e3));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 3: sensitivity to estimation errors.
+
+use dmc_experiments::figure3::{self, Metric};
+use dmc_experiments::runner::RunConfig;
+
+fn main() {
+    let mut cfg = RunConfig::default();
+    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    eprintln!("simulating {} messages per point (set MESSAGES to change)…", cfg.messages);
+
+    let rel = figure3::relative_errors();
+    let loss = figure3::loss_errors();
+
+    println!("# Figure 3 — quality vs. estimation error (λ = 90 Mbps, δ = 800 ms)\n");
+    for (metric, errors, title) in [
+        (Metric::Bandwidth, &rel, "top: bandwidth error"),
+        (Metric::Delay, &rel, "middle: delay error"),
+        (Metric::Loss, &loss, "bottom: loss error (absolute)"),
+    ] {
+        println!("## {title}\n");
+        let c1 = figure3::curve(metric, 0, errors, &cfg);
+        let c2 = figure3::curve(metric, 1, errors, &cfg);
+        println!("{}", figure3::render(metric, &c1, &c2));
+        println!();
+    }
+}

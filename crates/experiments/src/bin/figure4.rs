@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: LP solve times vs. problem size.
+
+use dmc_experiments::figure4;
+
+fn main() {
+    let runs = std::env::var("RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100usize);
+    eprintln!("averaging over {runs} runs per point (set RUNS to change)…");
+    println!("# Figure 4 — model build + solve time (paper: log-scale ms, 2.8 GHz i5)\n");
+    let pts = figure4::sweep(runs);
+    println!("{}", figure4::render(&pts));
+    println!("\n§VIII-B reference point: 2 paths (+blackhole), 2 transmissions ≈ 458 µs with CGAL.");
+}

@@ -1,0 +1,107 @@
+//! Experiment 2: the random-delay extension end-to-end — Eq. 34 timeouts,
+//! expected quality, and the gamma-delay simulation (paper: 93,332 of
+//! 100,000 messages in time; expected 93.3 %).
+
+use crate::runner::{run_random_delay, RunConfig, RunOutcome};
+use crate::scenarios;
+use dmc_core::{RandomDelayConfig, RandomDelayModel, SolverOptions};
+
+/// Everything Experiment 2 reports.
+#[derive(Debug, Clone)]
+pub struct Experiment2Result {
+    /// `t(1,2)` in seconds (paper: 615 ms).
+    pub t12: Option<f64>,
+    /// `t(2,1)` in seconds (paper: 252 ms).
+    pub t21: Option<f64>,
+    /// `t(2,2)` in seconds (paper: 323 ms, on a wide plateau).
+    pub t22: Option<f64>,
+    /// `t(1,1)` — the paper says undefined (must be `None`).
+    pub t11: Option<f64>,
+    /// Model-expected quality (paper: 93.3 %).
+    pub expected_quality: f64,
+    /// Simulation outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Runs the full experiment: λ = 90 Mbps, δ = 750 ms, Table V network.
+/// The true links are over-provisioned ×1.5 (the paper over-provisions to
+/// isolate the delay distribution from queueing).
+///
+/// # Errors
+///
+/// Forwards solver/simulation failures as strings.
+pub fn run(cfg: &RunConfig) -> Result<Experiment2Result, String> {
+    let net = scenarios::table5(90e6, 0.750);
+    let rd_cfg = RandomDelayConfig::default();
+    let model = RandomDelayModel::new(&net, &rd_cfg);
+    let strategy = model
+        .solve_quality(&SolverOptions::default())
+        .map_err(|e| e.to_string())?;
+    let outcome = run_random_delay(&net, &rd_cfg, 1.5, cfg)?;
+    Ok(Experiment2Result {
+        t12: model.timeout(0, 1),
+        t21: model.timeout(1, 0),
+        t22: model.timeout(1, 1),
+        t11: model.timeout(0, 0),
+        expected_quality: strategy.quality(),
+        outcome,
+    })
+}
+
+/// Renders the result in the paper's terms.
+pub fn render(r: &Experiment2Result) -> String {
+    let ms = |t: Option<f64>| {
+        t.map(|v| format!("{:.0} ms", v * 1e3))
+            .unwrap_or_else(|| "undefined".into())
+    };
+    let mut out = String::new();
+    out.push_str("Experiment 2 (Table V, λ=90 Mbps, δ=750 ms)\n");
+    out.push_str(&format!("  t(1,2) = {:>9}   (paper: 615 ms)\n", ms(r.t12)));
+    out.push_str(&format!("  t(2,1) = {:>9}   (paper: 252 ms)\n", ms(r.t21)));
+    out.push_str(&format!(
+        "  t(2,2) = {:>9}   (paper: 323 ms, wide plateau)\n",
+        ms(r.t22)
+    ));
+    out.push_str(&format!(
+        "  t(1,1) = {:>9}   (paper: undefined)\n",
+        ms(r.t11)
+    ));
+    out.push_str(&format!(
+        "  expected quality  = {:.2}%  (paper: 93.3%)\n",
+        r.expected_quality * 100.0
+    ));
+    out.push_str(&format!(
+        "  simulated quality = {:.2}%  ({} of {} in time; paper: 93,332 of 100,000)\n",
+        r.outcome.quality * 100.0,
+        r.outcome.receiver.unique_in_time,
+        r.outcome.sender.generated,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment2_reproduces_paper() {
+        let mut cfg = RunConfig::default();
+        cfg.messages = 20_000; // fast CI variant; the bin runs 100k
+        let r = run(&cfg).unwrap();
+        assert!(r.t11.is_none(), "t(1,1) must be undefined");
+        let t12 = r.t12.expect("t(1,2)");
+        assert!((0.585..=0.645).contains(&t12), "t12 = {t12}");
+        let t21 = r.t21.expect("t(2,1)");
+        assert!((0.230..=0.270).contains(&t21), "t21 = {t21}");
+        assert!(
+            (r.expected_quality - 0.9333).abs() < 0.005,
+            "expected {}",
+            r.expected_quality
+        );
+        assert!(
+            (r.outcome.quality - 0.9333).abs() < 0.01,
+            "simulated {}",
+            r.outcome.quality
+        );
+    }
+}

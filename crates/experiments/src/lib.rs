@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§VII).
+//!
+//! | Artifact | Module | Binary |
+//! |---|---|---|
+//! | Table IV (optimal solutions vs. λ and δ) | [`table4`] | `cargo run -p dmc-experiments --bin table4 --release` |
+//! | Figure 2 (theory vs. simulation vs. single paths) | [`figure2`] | `… --bin figure2` |
+//! | Experiment 2 (random delays, Eq.-34 timeouts) | [`experiment2`] | `… --bin experiment2` |
+//! | Figure 3 (sensitivity to estimation errors) | [`figure3`] | `… --bin figure3` |
+//! | Figure 4 (LP solve times) | [`figure4`] | `… --bin figure4` (and `cargo bench -p dmc-bench`) |
+//!
+//! The binaries honor a `MESSAGES` environment variable to trade accuracy
+//! for speed (default: the paper's 100,000 messages per simulation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment2;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod table4;
+
+/// Reads the `MESSAGES` environment override for simulation length.
+pub fn messages_from_env(default: u64) -> u64 {
+    std::env::var("MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,93 @@
+//! Plain-text/markdown table formatting for experiment output.
+
+/// Formats a markdown table from a header and rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// `92.5%`-style percentage with one decimal.
+pub fn pct(q: f64) -> String {
+    format!("{:.1}%", q * 100.0)
+}
+
+/// Formats a fraction like the paper's Table IV (`5/8`), falling back to
+/// decimals for non-simple values.
+pub fn frac(v: f64) -> String {
+    if v.abs() < 1e-12 {
+        return "0".into();
+    }
+    let (num, den) = dmc_core::approx_fraction(v, 100_000);
+    if den == 1 {
+        return format!("{num}");
+    }
+    let approx = num as f64 / den as f64;
+    if (approx - v).abs() < 1e-9 && den <= 1000 {
+        format!("{num}/{den}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = markdown_table(
+            &["a", "long header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["wide cell".into(), "x".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.933333), "93.3%");
+        assert_eq!(frac(0.625), "5/8");
+        assert_eq!(frac(0.0), "0");
+        assert_eq!(frac(1.0), "1");
+        assert_eq!(frac(2.0 / 45.0), "2/45");
+    }
+}

@@ -1,0 +1,139 @@
+//! Table IV: optimal LP solutions for the Table III network.
+
+use crate::report;
+use crate::scenarios;
+use dmc_core::{optimal_strategy, ModelConfig, Strategy};
+
+/// One row of Table IV.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// The swept parameter (λ in bits/s for the top half, δ in seconds
+    /// for the bottom half).
+    pub param: f64,
+    /// The solved strategy.
+    pub strategy: Strategy,
+}
+
+impl Table4Row {
+    /// Optimal quality `Q`.
+    pub fn quality(&self) -> f64 {
+        self.strategy.quality()
+    }
+}
+
+/// Paper values for the top half (λ in Mbps → Q).
+pub const PAPER_TOP: &[(f64, f64)] = &[
+    (10.0, 1.0),
+    (20.0, 1.0),
+    (40.0, 1.0),
+    (60.0, 1.0),
+    (80.0, 1.0),
+    (100.0, 0.84),
+    (120.0, 0.70),
+    (140.0, 0.60),
+];
+
+/// Paper values for the bottom half (δ in ms → Q).
+pub const PAPER_BOTTOM: &[(f64, f64)] = &[
+    (150.0, 0.2222222222222222),
+    (400.0, 0.2222222222222222),
+    (450.0, 0.8444444444444444),
+    (700.0, 0.8444444444444444),
+    (750.0, 0.9333333333333333),
+    (1000.0, 0.9333333333333333),
+    (1050.0, 0.9333333333333333),
+];
+
+/// Computes the top half: δ = 800 ms, λ swept (Mbps).
+///
+/// # Panics
+///
+/// Panics if the LP solver fails on these (always-feasible) scenarios.
+pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
+    lambdas_mbps
+        .iter()
+        .map(|&l| {
+            let net = scenarios::table3_model(l * 1e6, 0.800);
+            Table4Row {
+                param: l * 1e6,
+                strategy: optimal_strategy(&net, &ModelConfig::default()).expect("feasible"),
+            }
+        })
+        .collect()
+}
+
+/// Computes the bottom half: λ = 90 Mbps, δ swept (ms).
+///
+/// # Panics
+///
+/// Panics if the LP solver fails on these (always-feasible) scenarios.
+pub fn bottom(deltas_ms: &[f64]) -> Vec<Table4Row> {
+    deltas_ms
+        .iter()
+        .map(|&d| {
+            let net = scenarios::table3_model(90e6, d / 1e3);
+            Table4Row {
+                param: d / 1e3,
+                strategy: optimal_strategy(&net, &ModelConfig::default()).expect("feasible"),
+            }
+        })
+        .collect()
+}
+
+/// Renders a half as a markdown table (rows show the nonzero solution
+/// entries, like the paper).
+pub fn render(rows: &[Table4Row], param_name: &str, param_scale: f64) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let solution: Vec<String> = r
+                .strategy
+                .nonzero()
+                .iter()
+                .map(|(label, _, v)| format!("{label}={}", report::frac(*v)))
+                .collect();
+            vec![
+                format!("{:.0}", r.param * param_scale),
+                solution.join("  "),
+                report::pct(r.quality()),
+            ]
+        })
+        .collect();
+    report::markdown_table(&[param_name, "solution", "quality Q"], &table_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_half_matches_paper() {
+        let lambdas: Vec<f64> = PAPER_TOP.iter().map(|(l, _)| *l).collect();
+        for (row, &(l, want)) in top(&lambdas).iter().zip(PAPER_TOP) {
+            assert!(
+                (row.quality() - want).abs() < 1e-9,
+                "λ={l} Mbps: Q={}, paper {want}",
+                row.quality()
+            );
+        }
+    }
+
+    #[test]
+    fn bottom_half_matches_paper() {
+        let deltas: Vec<f64> = PAPER_BOTTOM.iter().map(|(d, _)| *d).collect();
+        for (row, &(d, want)) in bottom(&deltas).iter().zip(PAPER_BOTTOM) {
+            assert!(
+                (row.quality() - want).abs() < 1e-9,
+                "δ={d} ms: Q={}, paper {want}",
+                row.quality()
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_quality_column() {
+        let rows = top(&[40.0]);
+        let text = render(&rows, "rate (Mbps)", 1e-6);
+        assert!(text.contains("100.0%"), "{text}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for problem construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while *constructing* a [`crate::Problem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// A constraint row has a different number of coefficients than the
+    /// problem has variables.
+    DimensionMismatch {
+        /// Number of variables declared by the objective.
+        expected: usize,
+        /// Number of coefficients supplied in the offending row.
+        found: usize,
+    },
+    /// A coefficient or bound is NaN or infinite.
+    NonFiniteCoefficient,
+    /// The problem has zero variables.
+    Empty,
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::DimensionMismatch { expected, found } => write!(
+                f,
+                "constraint has {found} coefficients but the problem has {expected} variables"
+            ),
+            ProblemError::NonFiniteCoefficient => {
+                write!(f, "coefficient or bound is NaN or infinite")
+            }
+            ProblemError::Empty => write!(f, "problem has no variables"),
+        }
+    }
+}
+
+impl Error for ProblemError {}
+
+/// Error raised while *solving* a [`crate::Problem`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    ///
+    /// Carries the residual infeasibility (phase-1 objective) for
+    /// diagnostics.
+    Infeasible {
+        /// Sum of artificial variables at the phase-1 optimum; how far the
+        /// closest point is from satisfying all constraints.
+        residual: f64,
+    },
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot-iteration limit was exceeded (should not happen with the
+    /// default anti-cycling configuration; indicates numerically hostile
+    /// input).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The problem itself is malformed.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible { residual } => {
+                write!(f, "problem is infeasible (residual {residual:.3e})")
+            }
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded {limit} pivot iterations")
+            }
+            SolveError::Problem(e) => write!(f, "malformed problem: {e}"),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for SolveError {
+    fn from(e: ProblemError) -> Self {
+        SolveError::Problem(e)
+    }
+}

@@ -1,0 +1,64 @@
+//! Dense linear-programming solver for deadline-aware multipath scheduling.
+//!
+//! The DSN 2017 paper ("Deadline-Aware Multipath Communication: An
+//! Optimization Problem") solves its packet-to-path-combination assignment
+//! with an off-the-shelf LP library (CGAL). The Rust optimization-solver
+//! ecosystem is thin, and the paper's problems are *small and dense*
+//! (at most a few thousand variables and a dozen rows), so this crate
+//! implements a robust two-phase primal simplex with anti-cycling, which
+//! finds exact optimal vertices for problems of this size in microseconds
+//! to milliseconds.
+//!
+//! # Problem form
+//!
+//! Problems are expressed in the paper's "standard form" (Equation 10):
+//!
+//! ```text
+//! maximize   cᵀx
+//! subject to A x ≤ b      (inequality rows)
+//!            E x = f      (equality rows)
+//!            x ≥ 0
+//! ```
+//!
+//! Minimization is supported by negating the objective
+//! ([`Problem::minimize`]).
+//!
+//! # Example
+//!
+//! Solve `max x0 + 2 x1` subject to `x0 + x1 ≤ 3`, `x1 ≤ 2`, `x ≥ 0`:
+//!
+//! ```
+//! use dmc_lp::{Problem, SolverOptions};
+//!
+//! # fn main() -> Result<(), dmc_lp::SolveError> {
+//! let mut problem = Problem::maximize(vec![1.0, 2.0]);
+//! problem.add_le(vec![1.0, 1.0], 3.0)?;
+//! problem.add_le(vec![0.0, 1.0], 2.0)?;
+//! let solution = problem.solve(&SolverOptions::default())?;
+//! assert!((solution.objective() - 5.0).abs() < 1e-9);
+//! assert!((solution.x()[0] - 1.0).abs() < 1e-9);
+//! assert!((solution.x()[1] - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Guarantees
+//!
+//! * Terminates: Bland's rule is engaged automatically after a run of
+//!   degenerate pivots, which guarantees no cycling.
+//! * Detects and reports infeasible and unbounded problems as typed errors.
+//! * Returns dual values (shadow prices) for every constraint row, enabling
+//!   sensitivity analysis on bandwidth/cost bounds (paper §IX-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::{ProblemError, SolveError};
+pub use problem::{Constraint, ConstraintKind, Problem};
+pub use simplex::{PivotRule, SolverOptions};
+pub use solution::Solution;

@@ -1,0 +1,279 @@
+//! Problem representation: dense objective plus inequality/equality rows.
+
+use crate::error::{ProblemError, SolveError};
+use crate::simplex::{self, SolverOptions};
+use crate::solution::Solution;
+
+/// Whether a [`Constraint`] is `≤` or `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `coeffs · x ≤ rhs`
+    LessEq,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// A single dense constraint row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub(crate) coeffs: Vec<f64>,
+    pub(crate) rhs: f64,
+    pub(crate) kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// The row coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Whether the row is an inequality or an equality.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// Evaluates `coeffs · x - rhs` (positive means violated for `≤` rows).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let lhs: f64 = self.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        match self.kind {
+            ConstraintKind::LessEq => lhs - self.rhs,
+            ConstraintKind::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+}
+
+/// A dense linear program over non-negative variables.
+///
+/// See the [crate-level documentation](crate) for the problem form and a
+/// worked example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Objective coefficients, always stored in *maximization* sense.
+    pub(crate) objective: Vec<f64>,
+    /// `true` if the user asked for minimization (objective already negated);
+    /// reported objective values are negated back.
+    pub(crate) minimize: bool,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a maximization problem `max cᵀx` with `c = objective`.
+    ///
+    /// The number of variables is fixed to `objective.len()`.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Problem {
+            objective,
+            minimize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates a minimization problem `min cᵀx` with `c = objective`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Problem {
+            objective: objective.into_iter().map(|c| -c).collect(),
+            minimize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows (inequalities plus equalities).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraint rows in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective in the caller's sense (un-negated for minimization).
+    pub fn objective(&self) -> Vec<f64> {
+        if self.minimize {
+            self.objective.iter().map(|c| -c).collect()
+        } else {
+            self.objective.clone()
+        }
+    }
+
+    /// Whether this problem was created with [`Problem::minimize`].
+    pub fn is_minimize(&self) -> bool {
+        self.minimize
+    }
+
+    fn check_row(&self, coeffs: &[f64], rhs: f64) -> Result<(), ProblemError> {
+        if self.objective.is_empty() {
+            return Err(ProblemError::Empty);
+        }
+        if coeffs.len() != self.objective.len() {
+            return Err(ProblemError::DimensionMismatch {
+                expected: self.objective.len(),
+                found: coeffs.len(),
+            });
+        }
+        if !rhs.is_finite() || coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        Ok(())
+    }
+
+    /// Adds an inequality `coeffs · x ≤ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::DimensionMismatch`] if `coeffs` has the wrong
+    /// length and [`ProblemError::NonFiniteCoefficient`] on NaN/∞ input.
+    pub fn add_le(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
+        self.check_row(&coeffs, rhs)?;
+        self.constraints.push(Constraint {
+            coeffs,
+            rhs,
+            kind: ConstraintKind::LessEq,
+        });
+        Ok(self)
+    }
+
+    /// Adds an inequality `coeffs · x ≥ rhs` (stored as `-coeffs · x ≤ -rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::add_le`].
+    pub fn add_ge(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
+        self.check_row(&coeffs, rhs)?;
+        self.constraints.push(Constraint {
+            coeffs: coeffs.into_iter().map(|c| -c).collect(),
+            rhs: -rhs,
+            kind: ConstraintKind::LessEq,
+        });
+        Ok(self)
+    }
+
+    /// Adds an equality `coeffs · x = rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::add_le`].
+    pub fn add_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
+        self.check_row(&coeffs, rhs)?;
+        self.constraints.push(Constraint {
+            coeffs,
+            rhs,
+            kind: ConstraintKind::Eq,
+        });
+        Ok(self)
+    }
+
+    /// Solves the problem with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Infeasible`] if no point satisfies the constraints.
+    /// * [`SolveError::Unbounded`] if the objective can grow without bound.
+    /// * [`SolveError::IterationLimit`] on hostile numerics (see
+    ///   [`SolverOptions::max_iterations`]).
+    pub fn solve(&self, options: &SolverOptions) -> Result<Solution, SolveError> {
+        if self.objective.is_empty() {
+            return Err(ProblemError::Empty.into());
+        }
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(ProblemError::NonFiniteCoefficient.into());
+        }
+        simplex::solve(self, options)
+    }
+
+    /// Checks a candidate point against every constraint and the
+    /// non-negativity bounds.
+    ///
+    /// Returns the largest violation (`≤ tol` means feasible within `tol`).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for c in &self.constraints {
+            worst = worst.max(c.violation(x));
+        }
+        for &v in x {
+            worst = worst.max(-v);
+        }
+        worst
+    }
+
+    /// Evaluates the objective at `x` in the caller's sense.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        let v: f64 = self.objective.iter().zip(x).map(|(c, v)| c * v).sum();
+        if self.minimize {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        let err = p.add_le(vec![1.0], 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            ProblemError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        let mut p = Problem::maximize(vec![1.0]);
+        assert_eq!(
+            p.add_le(vec![f64::NAN], 1.0).unwrap_err(),
+            ProblemError::NonFiniteCoefficient
+        );
+        assert_eq!(
+            p.add_le(vec![1.0], f64::INFINITY).unwrap_err(),
+            ProblemError::NonFiniteCoefficient
+        );
+    }
+
+    #[test]
+    fn ge_is_stored_negated() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_ge(vec![2.0], 4.0).unwrap();
+        let c = &p.constraints()[0];
+        assert_eq!(c.coeffs(), &[-2.0]);
+        assert_eq!(c.rhs(), -4.0);
+        assert_eq!(c.kind(), ConstraintKind::LessEq);
+    }
+
+    #[test]
+    fn minimize_reports_original_sense() {
+        let p = Problem::minimize(vec![3.0, -1.0]);
+        assert_eq!(p.objective(), vec![3.0, -1.0]);
+        assert!((p.objective_value(&[2.0, 1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_measures_both_kinds() {
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.add_le(vec![1.0, 1.0], 1.0).unwrap();
+        p.add_eq(vec![1.0, -1.0], 0.0).unwrap();
+        // x = (1, 0): row0 lhs = 1 (ok), row1 |1 - 0| = 1 violated.
+        assert!((p.max_violation(&[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        // x = (0.5, 0.5): both satisfied.
+        assert!(p.max_violation(&[0.5, 0.5]) < 1e-12);
+        // negative coordinate violates x >= 0
+        assert!((p.max_violation(&[-0.25, 0.25]) - 0.5).abs() < 1e-12);
+    }
+}

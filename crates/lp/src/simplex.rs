@@ -1,0 +1,613 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution; phase 2 optimizes the user objective. Redundant rows
+//! discovered at the end of phase 1 are dropped. Anti-cycling is handled by
+//! switching from Dantzig to Bland pivoting after a run of degenerate
+//! pivots (see [`PivotRule`]).
+
+use crate::error::SolveError;
+use crate::problem::{ConstraintKind, Problem};
+use crate::solution::Solution;
+
+/// Pivot-column selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PivotRule {
+    /// Most-negative reduced cost. Fast in practice; can cycle on
+    /// degenerate problems.
+    Dantzig,
+    /// Smallest-index improving column (Bland). Guaranteed to terminate;
+    /// slower.
+    Bland,
+    /// Dantzig, switching to Bland after a run of degenerate pivots.
+    /// This is the default and combines speed with guaranteed termination.
+    #[default]
+    Adaptive,
+}
+
+/// Tuning knobs for [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Feasibility/optimality tolerance (default `1e-9`).
+    ///
+    /// Rows are equilibrated (scaled by their largest coefficient) before
+    /// solving, so this tolerance is meaningful regardless of input scale.
+    pub tolerance: f64,
+    /// Hard cap on pivot iterations per phase (default `50_000`).
+    pub max_iterations: usize,
+    /// Pivot-column selection rule (default [`PivotRule::Adaptive`]).
+    pub pivot_rule: PivotRule,
+    /// Number of consecutive degenerate pivots before [`PivotRule::Adaptive`]
+    /// falls back to Bland's rule (default `64`).
+    pub degenerate_switch: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 50_000,
+            pivot_rule: PivotRule::Adaptive,
+            degenerate_switch: 64,
+        }
+    }
+}
+
+/// Dense tableau: `rows` constraint rows plus one objective row, each of
+/// width `cols + 1` (last column is the RHS).
+struct Tableau {
+    /// Row-major storage, `(rows + 1) * (cols + 1)` entries.
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basic variable (column index) for each constraint row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn width(&self) -> usize {
+        self.cols + 1
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * (self.cols + 1) + c] = v;
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// The objective row is stored at index `rows`.
+    fn obj(&self, c: usize) -> f64 {
+        self.at(self.rows, c)
+    }
+
+    /// Gauss-Jordan pivot on `(pr, pc)`, including the objective row.
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.width();
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > 0.0, "pivot on zero element");
+        let inv = 1.0 / pivot;
+        let prow_start = pr * w;
+        for j in 0..w {
+            self.data[prow_start + j] *= inv;
+        }
+        // Pivot column becomes exactly the unit vector; set explicitly to
+        // avoid drift.
+        self.data[prow_start + pc] = 1.0;
+        for r in 0..=self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor == 0.0 {
+                continue;
+            }
+            let row_start = r * w;
+            for j in 0..w {
+                let delta = factor * self.data[prow_start + j];
+                self.data[row_start + j] -= delta;
+            }
+            self.data[row_start + pc] = 0.0;
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Rebuilds the objective row for cost vector `cost` (length `cols`)
+    /// given the current basis: `obj[j] = c_B·B⁻¹A_j − c_j`,
+    /// `obj[rhs] = c_B·B⁻¹b`.
+    fn install_objective(&mut self, cost: &[f64]) {
+        let w = self.width();
+        // Zero the row first.
+        for j in 0..w {
+            self.set(self.rows, j, 0.0);
+        }
+        for j in 0..self.cols {
+            self.set(self.rows, j, -cost[j]);
+        }
+        for r in 0..self.rows {
+            let cb = cost[self.basis[r]];
+            if cb == 0.0 {
+                continue;
+            }
+            let row_start = r * w;
+            for j in 0..w {
+                let delta = cb * self.data[row_start + j];
+                self.data[self.rows * w + j] += delta;
+            }
+        }
+        // Basic columns must have exactly zero reduced cost.
+        for r in 0..self.rows {
+            let b = self.basis[r];
+            self.set(self.rows, b, 0.0);
+        }
+    }
+
+    /// Removes constraint row `r` (used for redundant rows after phase 1).
+    fn remove_row(&mut self, r: usize) {
+        let w = self.width();
+        let start = r * w;
+        self.data.drain(start..start + w);
+        self.basis.remove(r);
+        self.rows -= 1;
+    }
+}
+
+/// Column classification for the assembled tableau.
+struct Layout {
+    /// Number of structural variables.
+    n_struct: usize,
+    /// First artificial column (slacks live in `n_struct..art_start`).
+    art_start: usize,
+    /// For each original constraint row: the column of its slack
+    /// (inequalities) and whether the row was negated during normalization.
+    row_info: Vec<RowInfo>,
+}
+
+#[derive(Clone, Copy)]
+struct RowInfo {
+    /// Column holding this row's slack variable, if it is an inequality.
+    slack_col: Option<usize>,
+    /// Column holding this row's artificial variable, if one was created.
+    art_col: Option<usize>,
+    /// Whether the row was multiplied by −1 to make its RHS non-negative.
+    negated: bool,
+    /// Scale factor the row was divided by during equilibration.
+    scale: f64,
+}
+
+/// Entry point used by [`Problem::solve`].
+pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, SolveError> {
+    let tol = options.tolerance;
+    let m = problem.num_constraints();
+    let n = problem.num_vars();
+
+    // ---- Assemble normalized rows -------------------------------------
+    // Equilibrate each row by its max |coeff| so tolerances are scale-free.
+    let mut norm_rows: Vec<(Vec<f64>, f64, ConstraintKind, bool, f64)> = Vec::with_capacity(m);
+    for c in problem.constraints() {
+        let scale = c
+            .coeffs()
+            .iter()
+            .fold(c.rhs().abs(), |acc, v| acc.max(v.abs()))
+            .max(1e-300);
+        let mut coeffs: Vec<f64> = c.coeffs().iter().map(|v| v / scale).collect();
+        let mut rhs = c.rhs() / scale;
+        let mut negated = false;
+        if rhs < 0.0 {
+            for v in &mut coeffs {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            negated = true;
+        }
+        norm_rows.push((coeffs, rhs, c.kind(), negated, scale));
+    }
+
+    // ---- Column layout -------------------------------------------------
+    // structural | slacks (one per inequality) | artificials
+    let n_slack = norm_rows
+        .iter()
+        .filter(|r| r.2 == ConstraintKind::LessEq)
+        .count();
+    let art_start = n + n_slack;
+    // An inequality that was NOT negated starts with its slack basic and
+    // needs no artificial. Negated inequalities (originally `≥` after
+    // normalization) and equalities need an artificial.
+    let n_art = norm_rows
+        .iter()
+        .filter(|r| r.2 == ConstraintKind::Eq || r.3)
+        .count();
+    let cols = art_start + n_art;
+
+    let mut tab = Tableau {
+        data: vec![0.0; (m + 1) * (cols + 1)],
+        rows: m,
+        cols,
+        basis: vec![usize::MAX; m],
+    };
+    let mut row_info = Vec::with_capacity(m);
+    let mut next_slack = n;
+    let mut next_art = art_start;
+    for (r, (coeffs, rhs, kind, negated, scale)) in norm_rows.iter().enumerate() {
+        for (j, &v) in coeffs.iter().enumerate() {
+            tab.set(r, j, v);
+        }
+        tab.set(r, cols, *rhs);
+        let mut info = RowInfo {
+            slack_col: None,
+            art_col: None,
+            negated: *negated,
+            scale: *scale,
+        };
+        if *kind == ConstraintKind::LessEq {
+            // Slack carries the sign of the (possibly negated) row: for a
+            // normalized row `−a·x ≤ −b` → `−a·x + s = −b` becomes, after
+            // negation, `a·x − s = b`.
+            let sign = if *negated { -1.0 } else { 1.0 };
+            tab.set(r, next_slack, sign);
+            info.slack_col = Some(next_slack);
+            next_slack += 1;
+        }
+        if *kind == ConstraintKind::Eq || *negated {
+            tab.set(r, next_art, 1.0);
+            info.art_col = Some(next_art);
+            tab.basis[r] = next_art;
+            next_art += 1;
+        } else {
+            // Plain `≤` row with non-negative RHS: slack is basic.
+            tab.basis[r] = info.slack_col.expect("LessEq row has a slack");
+        }
+        row_info.push(info);
+    }
+    debug_assert_eq!(next_art, cols);
+    let layout = Layout {
+        n_struct: n,
+        art_start,
+        row_info,
+    };
+
+    let mut iterations = 0usize;
+
+    // ---- Phase 1: drive artificials to zero ----------------------------
+    if n_art > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for c in art_start..cols {
+            phase1_cost[c] = -1.0; // maximize −Σ artificials
+        }
+        tab.install_objective(&phase1_cost);
+        iterate(&mut tab, options, cols, &mut iterations)?;
+        let residual = -tab.rhs_obj();
+        if residual > tol.max(1e-7) {
+            return Err(SolveError::Infeasible { residual });
+        }
+        drive_out_artificials(&mut tab, &layout, tol);
+    }
+
+    // ---- Phase 2: user objective ---------------------------------------
+    let mut phase2_cost = vec![0.0; cols];
+    // Internal objective is always maximization (Problem negates for min).
+    // Structural costs are scaled like the rows were NOT: structural
+    // variables are untouched by row equilibration, so plain copy works.
+    phase2_cost[..n].copy_from_slice(&problem.objective);
+    tab.install_objective(&phase2_cost);
+    // Artificials must never re-enter.
+    iterate(&mut tab, options, art_start, &mut iterations)?;
+
+    // ---- Extract primal solution ---------------------------------------
+    let mut x = vec![0.0; n];
+    for r in 0..tab.rows {
+        let b = tab.basis[r];
+        if b < n {
+            // Clamp tiny negatives produced by roundoff.
+            x[b] = tab.rhs(r).max(0.0);
+        }
+    }
+    let objective_internal: f64 = problem.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let objective = if problem.minimize {
+        -objective_internal
+    } else {
+        objective_internal
+    };
+
+    // ---- Extract dual values -------------------------------------------
+    // For row i with slack column s: y_i = obj_row[s] (phase-2 cost of the
+    // slack is 0). For equality rows the artificial column plays the same
+    // role. Negated rows flip the dual's sign; equilibration divides it by
+    // the row scale.
+    let mut duals = vec![0.0; m];
+    // Map surviving tableau rows back to original rows: removed rows were
+    // redundant and keep dual 0. We track via the basis-independent
+    // row_info: recompute by matching slack/artificial columns is not
+    // possible after removal, so `drive_out_artificials` records removals.
+    for (orig, info) in layout.row_info.iter().enumerate() {
+        // For inequality rows the slack column's sign (−1 on negated rows)
+        // already encodes the normalization flip, so `y = obj[slack]/scale`
+        // holds in both cases. Equality rows read the dual off their
+        // artificial column, which is always +1, so negated equalities flip.
+        let (col, flip) = match (info.slack_col, info.art_col) {
+            (Some(s), _) => (s, false),
+            (None, Some(a)) => (a, info.negated),
+            (None, None) => continue,
+        };
+        let mut y = tab.obj(col);
+        if flip {
+            y = -y;
+        }
+        y /= info.scale;
+        // In the caller's sense: for minimization the internal objective was
+        // negated, so duals flip too.
+        if problem.minimize {
+            y = -y;
+        }
+        duals[orig] = y;
+    }
+
+    Ok(Solution::new(x, objective, duals, iterations))
+}
+
+impl Tableau {
+    fn rhs_obj(&self) -> f64 {
+        self.at(self.rows, self.cols)
+    }
+}
+
+/// Runs simplex iterations until optimality on the current objective row.
+///
+/// `enter_limit` caps which columns may enter the basis (used to lock out
+/// artificial columns during phase 2).
+fn iterate(
+    tab: &mut Tableau,
+    options: &SolverOptions,
+    enter_limit: usize,
+    iterations: &mut usize,
+) -> Result<(), SolveError> {
+    let tol = options.tolerance;
+    let mut degenerate_run = 0usize;
+    for _ in 0..options.max_iterations {
+        let use_bland = match options.pivot_rule {
+            PivotRule::Bland => true,
+            PivotRule::Dantzig => false,
+            PivotRule::Adaptive => degenerate_run >= options.degenerate_switch,
+        };
+
+        // --- entering column ---
+        let mut enter: Option<usize> = None;
+        if use_bland {
+            for j in 0..enter_limit {
+                if tab.obj(j) < -tol {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -tol;
+            for j in 0..enter_limit {
+                let rc = tab.obj(j);
+                if rc < best {
+                    best = rc;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(pc) = enter else {
+            return Ok(()); // optimal
+        };
+
+        // --- leaving row (ratio test) ---
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..tab.rows {
+            let a = tab.at(r, pc);
+            if a > tol {
+                let ratio = tab.rhs(r) / a;
+                let better = ratio < best_ratio - tol
+                    || (ratio < best_ratio + tol
+                        && leave.is_some_and(|cur| tab.basis[r] < tab.basis[cur]));
+                if leave.is_none() || better {
+                    if ratio < best_ratio {
+                        best_ratio = ratio;
+                    }
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(pr) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+
+        if best_ratio.abs() <= tol {
+            degenerate_run += 1;
+        } else {
+            degenerate_run = 0;
+        }
+        tab.pivot(pr, pc);
+        *iterations += 1;
+    }
+    Err(SolveError::IterationLimit {
+        limit: options.max_iterations,
+    })
+}
+
+/// After phase 1, pivots basic artificials out of the basis (degenerate
+/// pivots) or removes their rows when linearly dependent.
+fn drive_out_artificials(tab: &mut Tableau, layout: &Layout, tol: f64) {
+    let mut r = 0;
+    while r < tab.rows {
+        if tab.basis[r] >= layout.art_start {
+            // Try to pivot in any non-artificial column with a nonzero
+            // entry in this row (the RHS is ~0, so the pivot is degenerate
+            // and preserves feasibility regardless of sign).
+            let mut pivot_col = None;
+            for j in 0..layout.art_start {
+                if tab.at(r, j).abs() > tol.max(1e-10) {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            match pivot_col {
+                Some(pc) => {
+                    tab.pivot(r, pc);
+                    r += 1;
+                }
+                None => {
+                    // Row is a linear combination of others: drop it.
+                    tab.remove_row(r);
+                }
+            }
+        } else {
+            r += 1;
+        }
+    }
+    let _ = layout.n_struct;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // max 3x + 2y ; x + y <= 4 ; x + 3y <= 6 ; x,y >= 0 → x=4,y=0, obj 12
+        let mut p = Problem::maximize(vec![3.0, 2.0]);
+        p.add_le(vec![1.0, 1.0], 4.0).unwrap();
+        p.add_le(vec![1.0, 3.0], 6.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 12.0).abs() < 1e-9);
+        assert!((s.x()[0] - 4.0).abs() < 1e-9);
+        assert!(s.x()[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + 2y ; x + y = 1 ; y <= 0.6 → x=0.4, y=0.6, obj 1.6
+        let mut p = Problem::maximize(vec![1.0, 2.0]);
+        p.add_eq(vec![1.0, 1.0], 1.0).unwrap();
+        p.add_le(vec![0.0, 1.0], 0.6).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 1.6).abs() < 1e-9);
+        assert!((s.x()[0] - 0.4).abs() < 1e-9);
+        assert!((s.x()[1] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimize_works() {
+        // min 2x + 3y ; x + y >= 2 ; x,y >= 0 → x=2,y=0, obj 4
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.add_ge(vec![1.0, 1.0], 2.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-9);
+        assert!((s.x()[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_le(vec![1.0], 1.0).unwrap();
+        p.add_ge(vec![1.0], 2.0).unwrap();
+        match p.solve(&opts()) {
+            Err(SolveError::Infeasible { residual }) => assert!(residual > 0.0),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.add_le(vec![0.0, 1.0], 1.0).unwrap();
+        assert!(matches!(p.solve(&opts()), Err(SolveError::Unbounded)));
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // Beale's classic cycling example (cycles under pure Dantzig without
+        // safeguards). The adaptive rule must terminate with the optimum.
+        let mut p = Problem::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        p.add_le(vec![0.25, -60.0, -1.0 / 25.0, 9.0], 0.0).unwrap();
+        p.add_le(vec![0.5, -90.0, -1.0 / 50.0, 3.0], 0.0).unwrap();
+        p.add_le(vec![0.0, 0.0, 1.0, 0.0], 1.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bland_rule_terminates_on_beale() {
+        let mut p = Problem::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        p.add_le(vec![0.25, -60.0, -1.0 / 25.0, 9.0], 0.0).unwrap();
+        p.add_le(vec![0.5, -90.0, -1.0 / 50.0, 3.0], 0.0).unwrap();
+        p.add_le(vec![0.0, 0.0, 1.0, 0.0], 1.0).unwrap();
+        let mut o = opts();
+        o.pivot_rule = PivotRule::Bland;
+        let s = p.solve(&o).unwrap();
+        assert!((s.objective() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_handled() {
+        // Same equality twice: rank-deficient.
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.add_eq(vec![1.0, 1.0], 1.0).unwrap();
+        p.add_eq(vec![2.0, 2.0], 2.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duals_match_known_shadow_prices() {
+        // max 3x + 5y ; x <= 4 ; 2y <= 12 ; 3x + 2y <= 18
+        // classic: optimum (2,6) obj 36, duals (0, 1.5, 1).
+        let mut p = Problem::maximize(vec![3.0, 5.0]);
+        p.add_le(vec![1.0, 0.0], 4.0).unwrap();
+        p.add_le(vec![0.0, 2.0], 12.0).unwrap();
+        p.add_le(vec![3.0, 2.0], 18.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-9);
+        let d = s.duals();
+        assert!(d[0].abs() < 1e-9, "dual0 {}", d[0]);
+        assert!((d[1] - 1.5).abs() < 1e-9, "dual1 {}", d[1]);
+        assert!((d[2] - 1.0).abs() < 1e-9, "dual2 {}", d[2]);
+    }
+
+    #[test]
+    fn badly_scaled_rows_are_equilibrated() {
+        // Same geometry as simple_maximize but scaled by 1e8 (bits/sec).
+        let mut p = Problem::maximize(vec![3.0, 2.0]);
+        p.add_le(vec![1e8, 1e8], 4e8).unwrap();
+        p.add_le(vec![1e8, 3e8], 6e8).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 12.0).abs() < 1e-6);
+        assert!((s.x()[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_le_becomes_feasible_via_artificials() {
+        // x0 - x1 <= -1  (i.e. x1 >= x0 + 1), maximize x0 with x1 <= 3.
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.add_le(vec![1.0, -1.0], -1.0).unwrap();
+        p.add_le(vec![0.0, 1.0], 3.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+        assert!((s.x()[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // Σx = 0 with x ≥ 0 forces x = 0.
+        let mut p = Problem::maximize(vec![5.0, 7.0]);
+        p.add_eq(vec![1.0, 1.0], 0.0).unwrap();
+        let s = p.solve(&opts()).unwrap();
+        assert!(s.objective().abs() < 1e-9);
+    }
+}

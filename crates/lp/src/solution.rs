@@ -1,0 +1,56 @@
+//! Optimal solution returned by the solver.
+
+/// An optimal vertex of the linear program.
+///
+/// Produced by [`crate::Problem::solve`]; infeasible/unbounded outcomes are
+/// reported as [`crate::SolveError`] instead, so a `Solution` is always
+/// optimal within the solver tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    x: Vec<f64>,
+    objective: f64,
+    duals: Vec<f64>,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(x: Vec<f64>, objective: f64, duals: Vec<f64>, iterations: usize) -> Self {
+        Solution {
+            x,
+            objective,
+            duals,
+            iterations,
+        }
+    }
+
+    /// Optimal values of the structural variables.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Optimal objective value, in the caller's sense (minimization
+    /// problems report the minimized value, not its negation).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Dual value (shadow price) per constraint row, in insertion order.
+    ///
+    /// For a `≤` row of a maximization problem this is the marginal
+    /// objective gain per unit of extra right-hand side — e.g. extra
+    /// communication quality per extra bit/s of bandwidth (paper §IX-C).
+    /// Redundant rows dropped during presolve report `0`.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Number of simplex pivots performed across both phases.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Consumes the solution and returns the variable vector.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}

@@ -1,0 +1,38 @@
+//! A deadline-aware multipath transport protocol.
+//!
+//! The paper's evaluation (§VII) runs a UDP client/server pair whose
+//! sender assigns each packet to a *path combination* from the solved LP
+//! (Algorithm 1), retransmits on timeout along the combination's next
+//! path, and discards data older than its lifetime. This crate is that
+//! protocol as composable state machines over the [`dmc_sim`] simulator:
+//!
+//! * [`DmcSender`] — constant-rate generation, Algorithm-1 combination
+//!   assignment, per-stage retransmission timers ([`TimeoutPlan`]), ack
+//!   processing with Karn-safe RTT sampling, optional fast retransmit
+//!   (§VIII-D);
+//! * [`DmcReceiver`] — deadline verification against the embedded
+//!   creation timestamp, deduplication, and the §VIII-C acknowledgment
+//!   scheme (echo + expected range + received bitmap) on the lowest-delay
+//!   path;
+//! * [`AdaptiveSender`] — the closed loop of §VIII-A/B: online estimators
+//!   (EWMA RTT, windowed loss) feed periodic re-solving and retargeting;
+//! * [`wire`] — the on-the-wire header/ack formats (1024-byte messages,
+//!   ~40-byte acks, as in the paper's setup).
+//!
+//! The state machines are I/O-free: they interact with the world only
+//! through [`dmc_sim::SimApi`], so they can be unit-tested directly and
+//! rehosted on a real datagram socket by implementing the same calls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod estimator;
+mod receiver;
+mod sender;
+pub mod wire;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveSender};
+pub use estimator::{LossEstimator, PathEstimator, RateEstimator, RttEstimator};
+pub use receiver::{DmcReceiver, ReceiverConfig, ReceiverStats};
+pub use sender::{DmcSender, SenderConfig, SenderStats, TimeoutPlan, MAX_STAGES};

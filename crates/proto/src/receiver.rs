@@ -1,0 +1,341 @@
+//! The receiving endpoint: deadline verification, deduplication, and
+//! acknowledgment generation (paper §VII-A server + §VIII-C ack scheme).
+
+use crate::wire::{Ack, DataHeader};
+use dmc_sim::{Agent, Packet, SimApi, SimDuration};
+use dmc_stats::OnlineMoments;
+use std::collections::HashSet;
+
+/// Receiver configuration.
+#[derive(Debug, Clone)]
+pub struct ReceiverConfig {
+    /// Data lifetime `δ`: a message arriving later than `created + δ` is
+    /// late (counted but useless, §IV).
+    pub lifetime: SimDuration,
+    /// Path (0-based) to send acknowledgments on — the lowest-delay path
+    /// (Eq. 25 / §VIII-C).
+    pub ack_path: usize,
+    /// On-wire ack size in bytes; defaults to the encoded size, may be
+    /// padded up to model link-layer overhead.
+    pub ack_wire_bytes: usize,
+}
+
+impl ReceiverConfig {
+    /// Creates a config with the paper's defaults (ack ≈ 40 B).
+    pub fn new(lifetime: SimDuration, ack_path: usize) -> Self {
+        ReceiverConfig {
+            lifetime,
+            ack_path,
+            ack_wire_bytes: Ack::WIRE_BYTES.max(40),
+        }
+    }
+}
+
+/// Receiver-side counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiverStats {
+    /// Transmissions that reached the receiver (including duplicates).
+    pub transmissions_received: u64,
+    /// Unique messages whose *first* copy arrived within the lifetime —
+    /// the numerator of the paper's quality metric.
+    pub unique_in_time: u64,
+    /// Unique messages whose first copy arrived late.
+    pub unique_late: u64,
+    /// Duplicate copies discarded.
+    pub duplicates: u64,
+    /// Packets that failed to parse.
+    pub malformed: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Acks dropped at the NIC (reverse-path queue full).
+    pub acks_nic_dropped: u64,
+}
+
+/// The receiving endpoint ("server" in the paper's simulation).
+///
+/// On every data packet it verifies the deadline with the enclosed
+/// creation timestamp, deduplicates by sequence number, and responds with
+/// an acknowledgment along the configured lowest-delay path carrying the
+/// §VIII-C triple (echo, expected range, received bitmap).
+#[derive(Debug)]
+pub struct DmcReceiver {
+    config: ReceiverConfig,
+    seen: HashSet<u64>,
+    highest_seq: u64,
+    stats: ReceiverStats,
+    /// One-way delay samples (creation → arrival) per inbound path,
+    /// over *all* transmissions on that path — validates the delay
+    /// distribution the links were configured with.
+    delay_by_path: Vec<OnlineMoments>,
+}
+
+impl DmcReceiver {
+    /// Creates a receiver.
+    pub fn new(config: ReceiverConfig) -> Self {
+        DmcReceiver {
+            config,
+            seen: HashSet::new(),
+            highest_seq: 0,
+            stats: ReceiverStats::default(),
+            delay_by_path: Vec::new(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Observed send→arrival delay moments for transmissions received on
+    /// `path` (`sent_ns` → arrival; includes serialization and queueing).
+    pub fn delay_moments(&self, path: usize) -> OnlineMoments {
+        self.delay_by_path
+            .get(path)
+            .copied()
+            .unwrap_or_else(OnlineMoments::new)
+    }
+
+    /// Fraction of `generated` messages that arrived in time — the
+    /// paper's quality `Q` when `generated` is the sender's count.
+    pub fn quality(&self, generated: u64) -> f64 {
+        if generated == 0 {
+            0.0
+        } else {
+            self.stats.unique_in_time as f64 / generated as f64
+        }
+    }
+
+    fn build_ack(&self, header: &DataHeader) -> Ack {
+        let window_start = self
+            .highest_seq
+            .saturating_sub(crate::wire::ACK_BITMAP_BITS as u64 - 1);
+        let mut ack = Ack::new(header.seq, header.sent_ns, header.path, window_start);
+        for seq in window_start..=self.highest_seq {
+            if self.seen.contains(&seq) {
+                ack.set_received(seq);
+            }
+        }
+        ack
+    }
+}
+
+impl Agent for DmcReceiver {
+    fn on_start(&mut self, _api: &mut SimApi<'_>) {}
+
+    fn on_packet(&mut self, _path: usize, packet: Packet, api: &mut SimApi<'_>) {
+        let Some(header) = DataHeader::decode(packet.payload()) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        self.stats.transmissions_received += 1;
+        let now_ns = api.now().as_nanos();
+        let path_idx = header.path as usize;
+        if path_idx >= self.delay_by_path.len() && path_idx < 64 {
+            self.delay_by_path
+                .resize_with(path_idx + 1, OnlineMoments::new);
+        }
+        if let Some(m) = self.delay_by_path.get_mut(path_idx) {
+            m.push(now_ns.saturating_sub(header.sent_ns) as f64 / 1e9);
+        }
+        if self.seen.insert(header.seq) {
+            let deadline = header.created_ns + self.config.lifetime.as_nanos();
+            if now_ns <= deadline {
+                self.stats.unique_in_time += 1;
+            } else {
+                self.stats.unique_late += 1;
+            }
+        } else {
+            self.stats.duplicates += 1;
+        }
+        self.highest_seq = self.highest_seq.max(header.seq);
+        // Acknowledge every transmission (even duplicates/late ones: the
+        // ack suppresses pointless retransmissions).
+        let ack = self.build_ack(&header);
+        let wire = ack.encode();
+        let size = self.config.ack_wire_bytes.max(wire.len());
+        let sent = api.send(self.config.ack_path, Packet::new(size, wire));
+        if sent {
+            self.stats.acks_sent += 1;
+        } else {
+            self.stats.acks_nic_dropped += 1;
+        }
+    }
+
+    fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dmc_sim::{LinkConfig, SimTime, TwoHostSim};
+    use dmc_stats::ConstantDelay;
+    use std::sync::Arc;
+
+    fn link(delay: f64) -> LinkConfig {
+        LinkConfig {
+            bandwidth_bps: 1e8,
+            propagation: Arc::new(ConstantDelay::new(delay)),
+            loss: 0.0,
+            queue_capacity_bytes: 1 << 20,
+        }
+    }
+
+    /// Test client: sends crafted data packets, collects acks.
+    struct Probe {
+        to_send: Vec<(u64, u64, SimTime)>, // (seq, created_ns, send at)
+        acks: Vec<Ack>,
+    }
+    impl Agent for Probe {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            for (i, &(_, _, at)) in self.to_send.iter().enumerate() {
+                api.set_timer(at, i as u64);
+            }
+        }
+        fn on_packet(&mut self, _path: usize, p: Packet, _api: &mut SimApi<'_>) {
+            self.acks.push(Ack::decode(p.payload()).expect("valid ack"));
+        }
+        fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+            let (seq, created_ns, _) = self.to_send[key as usize];
+            let h = DataHeader {
+                seq,
+                created_ns,
+                sent_ns: api.now().as_nanos(),
+                path: 0,
+                stage: 0,
+            };
+            api.send(0, Packet::new(1024, h.encode()));
+        }
+    }
+
+    fn run(to_send: Vec<(u64, u64, SimTime)>, lifetime_ms: u64) -> (Probe, ReceiverStats) {
+        let recv = DmcReceiver::new(ReceiverConfig::new(
+            SimDuration::from_millis(lifetime_ms),
+            0,
+        ));
+        let mut sim = TwoHostSim::new(
+            vec![link(0.010)],
+            vec![link(0.010)],
+            Probe {
+                to_send,
+                acks: vec![],
+            },
+            recv,
+            7,
+        )
+        .unwrap();
+        sim.run_to_completion();
+        let stats = sim.server().stats();
+        let client_stats = sim.client().acks.clone();
+        (
+            Probe {
+                to_send: vec![],
+                acks: client_stats,
+            },
+            stats,
+        )
+    }
+
+    #[test]
+    fn in_time_vs_late() {
+        // Packet created at t=0, sent at t=0 → arrives ~10 ms: in time for
+        // δ=50 ms. Packet created at 0 but sent at 100 ms → late.
+        let (probe, stats) = run(
+            vec![
+                (1, 0, SimTime::ZERO),
+                (2, 0, SimTime::from_secs_f64(0.100)),
+            ],
+            50,
+        );
+        assert_eq!(stats.unique_in_time, 1);
+        assert_eq!(stats.unique_late, 1);
+        assert_eq!(stats.acks_sent, 2);
+        assert_eq!(probe.acks.len(), 2);
+        assert_eq!(probe.acks[0].just_received, 1);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let (_, stats) = run(
+            vec![
+                (5, 0, SimTime::ZERO),
+                (5, 0, SimTime::from_secs_f64(0.001)),
+                (5, 0, SimTime::from_secs_f64(0.002)),
+            ],
+            1_000,
+        );
+        assert_eq!(stats.unique_in_time, 1);
+        assert_eq!(stats.duplicates, 2);
+        assert_eq!(stats.transmissions_received, 3);
+    }
+
+    #[test]
+    fn ack_bitmap_reports_received_set() {
+        let (probe, _) = run(
+            vec![
+                (10, 0, SimTime::ZERO),
+                (12, 0, SimTime::from_secs_f64(0.001)),
+                (11, 0, SimTime::from_secs_f64(0.002)),
+            ],
+            1_000,
+        );
+        let last = probe.acks.last().unwrap();
+        assert!(last.is_received(10));
+        assert!(last.is_received(11));
+        assert!(last.is_received(12));
+        assert!(!last.is_received(13));
+    }
+
+    #[test]
+    fn quality_metric() {
+        let (_, stats) = run(vec![(1, 0, SimTime::ZERO)], 1_000);
+        let mut r = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_millis(1), 0));
+        r.stats = stats;
+        assert!((r.quality(2) - 0.5).abs() < 1e-12);
+        assert_eq!(r.quality(0), 0.0);
+    }
+
+    #[test]
+    fn delay_moments_track_path_latency() {
+        // Packet sent over a 10 ms link arrives with ~10 ms + serialization
+        // observed delay on its path's accumulator.
+        let (_, _) = run(vec![(1, 0, SimTime::ZERO)], 1_000);
+        let recv = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_millis(100), 0));
+        let mut sim = TwoHostSim::new(
+            vec![link(0.010)],
+            vec![link(0.010)],
+            Probe {
+                to_send: vec![(7, 0, SimTime::ZERO)],
+                acks: vec![],
+            },
+            recv,
+            5,
+        )
+        .unwrap();
+        sim.run_to_completion();
+        let m = sim.server().delay_moments(0);
+        assert_eq!(m.count(), 1);
+        // 10 ms propagation + 1024 B at 100 Mbps ≈ 0.082 ms serialization.
+        assert!((m.mean() - 0.010082).abs() < 1e-4, "mean {}", m.mean());
+        // Unused path reports an empty accumulator.
+        assert_eq!(sim.server().delay_moments(3).count(), 0);
+    }
+
+    #[test]
+    fn malformed_packets_ignored() {
+        struct Garbage;
+        impl Agent for Garbage {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                api.send(0, Packet::new(64, Bytes::from_static(&[0xFF; 64])));
+            }
+            fn on_packet(&mut self, _p: usize, _pk: Packet, _a: &mut SimApi<'_>) {}
+            fn on_timer(&mut self, _k: u64, _a: &mut SimApi<'_>) {}
+        }
+        let recv = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_millis(10), 0));
+        let mut sim =
+            TwoHostSim::new(vec![link(0.01)], vec![link(0.01)], Garbage, recv, 3).unwrap();
+        sim.run_to_completion();
+        assert_eq!(sim.server().stats().malformed, 1);
+        assert_eq!(sim.server().stats().acks_sent, 0);
+    }
+}

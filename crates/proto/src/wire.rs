@@ -1,0 +1,261 @@
+//! Wire formats: the data header and the acknowledgment encoding of
+//! §VIII-C.
+//!
+//! The paper's messages are 1024 bytes "including the application-level
+//! header … composed of a timestamp and a sequence number" (§VII-A); acks
+//! carry (a) the range of packet numbers the receiver is expecting, (b) a
+//! bit vector of what was received in a window of consecutive packets,
+//! and (c) the packet that was just received, for RTT estimation
+//! (§VIII-C's three components).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic byte tagging data packets.
+const DATA_MAGIC: u8 = 0xD7;
+/// Magic byte tagging acknowledgments.
+const ACK_MAGIC: u8 = 0xA3;
+
+/// Size of the serialized [`DataHeader`] in bytes.
+pub const DATA_HEADER_BYTES: usize = 32;
+
+/// Number of sequence numbers covered by the ack bitmap.
+pub const ACK_BITMAP_BITS: usize = 128;
+
+/// Application-level header of a data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Global message sequence number.
+    pub seq: u64,
+    /// Message creation time (deadline = created + lifetime), ns.
+    pub created_ns: u64,
+    /// Time this *transmission* left the sender (distinguishes
+    /// retransmissions for unambiguous RTT sampling, avoiding Karn's
+    /// problem), ns.
+    pub sent_ns: u64,
+    /// Path index (0-based) this transmission used.
+    pub path: u8,
+    /// Stage within the path combination (0 = initial transmission).
+    pub stage: u8,
+}
+
+impl DataHeader {
+    /// Serializes to exactly [`DATA_HEADER_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(DATA_HEADER_BYTES);
+        b.put_u8(DATA_MAGIC);
+        b.put_u8(self.path);
+        b.put_u8(self.stage);
+        b.put_u8(0); // reserved
+        b.put_u32_le(0); // reserved
+        b.put_u64_le(self.seq);
+        b.put_u64_le(self.created_ns);
+        b.put_u64_le(self.sent_ns);
+        debug_assert_eq!(b.len(), DATA_HEADER_BYTES);
+        b.freeze()
+    }
+
+    /// Parses a header; `None` on wrong magic or truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < DATA_HEADER_BYTES || buf[0] != DATA_MAGIC {
+            return None;
+        }
+        buf.advance(1);
+        let path = buf.get_u8();
+        let stage = buf.get_u8();
+        buf.advance(1);
+        buf.advance(4);
+        let seq = buf.get_u64_le();
+        let created_ns = buf.get_u64_le();
+        let sent_ns = buf.get_u64_le();
+        Some(DataHeader {
+            seq,
+            created_ns,
+            sent_ns,
+            path,
+            stage,
+        })
+    }
+}
+
+/// An acknowledgment (§VIII-C): echo of the packet just received plus a
+/// windowed bitmap of recently received sequence numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// (c) The packet that was just received — for RTT estimation.
+    pub just_received: u64,
+    /// Echo of the acked transmission's `sent_ns`.
+    pub echo_sent_ns: u64,
+    /// Echo of the path the acked transmission used.
+    pub echo_path: u8,
+    /// (a)/(b) Start of the bitmap window (lowest covered seq).
+    pub window_start: u64,
+    /// (b) Bit `i` set ⇔ `window_start + i` was received. Covers
+    /// [`ACK_BITMAP_BITS`] sequence numbers.
+    pub bitmap: [u8; ACK_BITMAP_BITS / 8],
+}
+
+impl Ack {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 2 + 8 + 8 + 8 + ACK_BITMAP_BITS / 8;
+
+    /// Creates an ack with an empty bitmap.
+    pub fn new(just_received: u64, echo_sent_ns: u64, echo_path: u8, window_start: u64) -> Self {
+        Ack {
+            just_received,
+            echo_sent_ns,
+            echo_path,
+            window_start,
+            bitmap: [0; ACK_BITMAP_BITS / 8],
+        }
+    }
+
+    /// Marks `seq` as received if it falls inside the window.
+    pub fn set_received(&mut self, seq: u64) {
+        if seq < self.window_start {
+            return;
+        }
+        let off = (seq - self.window_start) as usize;
+        if off >= ACK_BITMAP_BITS {
+            return;
+        }
+        self.bitmap[off / 8] |= 1 << (off % 8);
+    }
+
+    /// Whether the bitmap marks `seq` as received.
+    pub fn is_received(&self, seq: u64) -> bool {
+        if seq < self.window_start {
+            return false;
+        }
+        let off = (seq - self.window_start) as usize;
+        if off >= ACK_BITMAP_BITS {
+            return false;
+        }
+        self.bitmap[off / 8] & (1 << (off % 8)) != 0
+    }
+
+    /// Iterates over every seq the bitmap marks as received.
+    pub fn received_seqs(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..ACK_BITMAP_BITS as u64).filter_map(move |off| {
+            let seq = self.window_start + off;
+            self.is_received(seq).then_some(seq)
+        })
+    }
+
+    /// Serializes to exactly [`Ack::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(ACK_MAGIC);
+        b.put_u8(self.echo_path);
+        b.put_u16_le(0); // reserved
+        b.put_u64_le(self.just_received);
+        b.put_u64_le(self.echo_sent_ns);
+        b.put_u64_le(self.window_start);
+        b.put_slice(&self.bitmap);
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        b.freeze()
+    }
+
+    /// Parses an ack; `None` on wrong magic or truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != ACK_MAGIC {
+            return None;
+        }
+        buf.advance(1);
+        let echo_path = buf.get_u8();
+        buf.advance(2);
+        let just_received = buf.get_u64_le();
+        let echo_sent_ns = buf.get_u64_le();
+        let window_start = buf.get_u64_le();
+        let mut bitmap = [0u8; ACK_BITMAP_BITS / 8];
+        buf.copy_to_slice(&mut bitmap);
+        Some(Ack {
+            just_received,
+            echo_sent_ns,
+            echo_path,
+            window_start,
+            bitmap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_header_round_trip() {
+        let h = DataHeader {
+            seq: 123_456,
+            created_ns: 987_654_321,
+            sent_ns: 1_000_000_007,
+            path: 3,
+            stage: 1,
+        };
+        let wire = h.encode();
+        assert_eq!(wire.len(), DATA_HEADER_BYTES);
+        assert_eq!(DataHeader::decode(&wire), Some(h));
+    }
+
+    #[test]
+    fn data_header_rejects_garbage() {
+        assert_eq!(DataHeader::decode(&[]), None);
+        assert_eq!(DataHeader::decode(&[0xFF; 32]), None);
+        let h = DataHeader {
+            seq: 1,
+            created_ns: 2,
+            sent_ns: 3,
+            path: 0,
+            stage: 0,
+        };
+        let wire = h.encode();
+        assert_eq!(DataHeader::decode(&wire[..31]), None); // truncated
+    }
+
+    #[test]
+    fn ack_round_trip_with_bitmap() {
+        let mut a = Ack::new(500, 42_000, 1, 400);
+        for seq in [400, 401, 405, 500, 527] {
+            a.set_received(seq);
+        }
+        let wire = a.encode();
+        assert_eq!(wire.len(), Ack::WIRE_BYTES);
+        let back = Ack::decode(&wire).unwrap();
+        assert_eq!(back, a);
+        assert!(back.is_received(400));
+        assert!(back.is_received(527));
+        assert!(!back.is_received(402));
+        assert_eq!(
+            back.received_seqs().collect::<Vec<_>>(),
+            vec![400, 401, 405, 500, 527]
+        );
+    }
+
+    #[test]
+    fn ack_window_bounds() {
+        let mut a = Ack::new(10, 0, 0, 100);
+        a.set_received(99); // below window: ignored
+        a.set_received(100 + ACK_BITMAP_BITS as u64); // beyond: ignored
+        assert_eq!(a.received_seqs().count(), 0);
+        assert!(!a.is_received(99));
+        a.set_received(100);
+        a.set_received(100 + ACK_BITMAP_BITS as u64 - 1);
+        assert_eq!(a.received_seqs().count(), 2);
+    }
+
+    #[test]
+    fn ack_stays_small() {
+        // §VIII-C: acks must be cheap; ~40 B covers 128 packets.
+        assert!(Ack::WIRE_BYTES <= 48, "ack is {} bytes", Ack::WIRE_BYTES);
+    }
+
+    #[test]
+    fn ack_rejects_garbage() {
+        assert_eq!(Ack::decode(&[0u8; 4]), None);
+        let a = Ack::new(1, 2, 0, 0);
+        let wire = a.encode();
+        assert_eq!(Ack::decode(&wire[..Ack::WIRE_BYTES - 1]), None);
+        let mut bad = wire.to_vec();
+        bad[0] = DATA_MAGIC;
+        assert_eq!(Ack::decode(&bad), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the wire formats and estimators.
+
+use dmc_proto::wire::{Ack, DataHeader, ACK_BITMAP_BITS};
+use dmc_proto::{LossEstimator, RttEstimator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Header encode/decode is the identity.
+    #[test]
+    fn data_header_round_trips(
+        seq in any::<u64>(),
+        created in any::<u64>(),
+        sent in any::<u64>(),
+        path in any::<u8>(),
+        stage in any::<u8>(),
+    ) {
+        let h = DataHeader { seq, created_ns: created, sent_ns: sent, path, stage };
+        prop_assert_eq!(DataHeader::decode(&h.encode()), Some(h));
+    }
+
+    /// Ack encode/decode preserves the full received-set semantics.
+    #[test]
+    fn ack_round_trips(
+        just in any::<u64>(),
+        echo in any::<u64>(),
+        path in any::<u8>(),
+        start in 0u64..u64::MAX / 2,
+        offsets in proptest::collection::vec(0u64..ACK_BITMAP_BITS as u64, 0..40),
+    ) {
+        let mut a = Ack::new(just, echo, path, start);
+        for &off in &offsets {
+            a.set_received(start + off);
+        }
+        let b = Ack::decode(&a.encode()).expect("decodes");
+        prop_assert_eq!(&b, &a);
+        for &off in &offsets {
+            prop_assert!(b.is_received(start + off));
+        }
+        let claimed: Vec<u64> = b.received_seqs().collect();
+        let mut expected: Vec<u64> = offsets.iter().map(|&o| start + o).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(claimed, expected);
+    }
+
+    /// Garbage never decodes into a packet (prefix-safe).
+    #[test]
+    fn garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Only inputs that happen to start with the right magic AND are
+        // long enough may decode; anything shorter must be None.
+        if bytes.len() < 32 {
+            prop_assert_eq!(DataHeader::decode(&bytes), None);
+        }
+        if bytes.len() < Ack::WIRE_BYTES {
+            prop_assert_eq!(Ack::decode(&bytes), None);
+        }
+    }
+
+    /// SRTT stays inside the observed sample range (convexity of EWMA).
+    #[test]
+    fn srtt_bounded_by_samples(samples in proptest::collection::vec(0.001f64..2.0, 1..200)) {
+        let mut e = RttEstimator::new();
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for &s in &samples {
+            e.record(s);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let srtt = e.srtt().expect("samples fed");
+        prop_assert!(srtt >= lo - 1e-12 && srtt <= hi + 1e-12,
+            "srtt {srtt} outside [{lo}, {hi}]");
+        prop_assert!(e.rto(0.0).expect("defined") >= srtt);
+    }
+
+    /// Windowed loss rate equals the exact rate over the last W samples.
+    #[test]
+    fn loss_window_is_exact(outcomes in proptest::collection::vec(any::<bool>(), 1..300),
+                            window in 1usize..64) {
+        let mut e = LossEstimator::new(window);
+        for &lost in &outcomes {
+            e.record(lost);
+        }
+        let tail: Vec<bool> = outcomes.iter().rev().take(window).copied().collect();
+        let want = tail.iter().filter(|&&l| l).count() as f64 / tail.len() as f64;
+        prop_assert!((e.rate() - want).abs() < 1e-12);
+        let lifetime = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        prop_assert!((e.lifetime_rate() - lifetime).abs() < 1e-12);
+    }
+}

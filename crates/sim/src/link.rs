@@ -1,0 +1,400 @@
+//! Unidirectional point-to-point links.
+//!
+//! A link reproduces the three knobs the paper's ns-3 setup exposes per
+//! path — bandwidth, propagation delay, loss — plus the drop-tail queue
+//! whose side effects (§VII Exp. 1 measured up to 50 ms queueing delay,
+//! §IX-A discusses overflow loss) the evaluation depends on:
+//!
+//! * **Serialization**: a packet of `s` bits occupies the transmitter for
+//!   `s / bandwidth` seconds; packets queue FIFO behind it.
+//! * **Queue**: bounded in bytes; arrivals that would overflow are
+//!   dropped (this is how over-driving a path manifests, Fig. 3 top).
+//! * **Loss**: independent Bernoulli erasure per packet (the paper's
+//!   binary erasure channel at transport granularity).
+//! * **Propagation**: constant or random ([`Delay`]), sampled per packet.
+//!   Per-path FIFO ordering is enforced (`§VIII-D`: per-path reordering is
+//!   "relatively unlikely"; a point-to-point wire cannot reorder), so a
+//!   sampled arrival never precedes the previous packet's arrival.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use dmc_stats::Delay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Static configuration of one unidirectional link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Transmission rate in bits/second.
+    pub bandwidth_bps: f64,
+    /// Propagation-delay distribution (constant for the base model).
+    pub propagation: Arc<dyn Delay>,
+    /// Bernoulli erasure probability per packet.
+    pub loss: f64,
+    /// Drop-tail queue capacity in bytes (not counting the packet in
+    /// service). The paper's buffers are finite; 256 KiB is the default.
+    pub queue_capacity_bytes: usize,
+}
+
+impl LinkConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when bandwidth, loss, or capacity are out of
+    /// range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.bandwidth_bps > 0.0) || !self.bandwidth_bps.is_finite() {
+            return Err(format!(
+                "bandwidth must be finite and > 0, got {}",
+                self.bandwidth_bps
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.loss) || self.loss.is_nan() {
+            return Err(format!("loss must be in [0, 1], got {}", self.loss));
+        }
+        if self.queue_capacity_bytes == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters exposed per link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub sent: u64,
+    /// Packets dropped on arrival because the queue was full.
+    pub dropped_overflow: u64,
+    /// Packets erased in flight (Bernoulli loss).
+    pub lost: u64,
+    /// Packets that will be delivered.
+    pub delivered: u64,
+    /// Bytes accepted for transmission.
+    pub bytes_sent: u64,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendOutcome {
+    /// The queue was full; the packet is gone.
+    DroppedQueueFull,
+    /// The packet was serialized.
+    Transmitted {
+        /// When the last bit leaves the transmitter (queue slot freed).
+        departure: SimTime,
+        /// Arrival at the far end, or `None` if erased in flight.
+        arrival: Option<SimTime>,
+    },
+}
+
+/// One unidirectional link with its dynamic state.
+#[derive(Debug)]
+pub struct Link {
+    config: LinkConfig,
+    /// When the transmitter becomes idle.
+    busy_until: SimTime,
+    /// Bytes waiting or in service.
+    queued_bytes: usize,
+    /// Arrival time of the previously delivered packet (FIFO floor).
+    last_arrival: SimTime,
+    rng: StdRng,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link; the RNG is seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`LinkConfig::validate`]).
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        config.validate().expect("invalid link configuration");
+        Link {
+            config,
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            last_arrival: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Bytes currently queued or in service.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Offers `packet` to the link at time `now`.
+    ///
+    /// On `Transmitted`, the caller must credit the queue again at
+    /// `departure` via [`Link::on_departure`], and deliver the packet at
+    /// `arrival` if it is `Some`.
+    pub fn send(&mut self, now: SimTime, packet: &mut Packet) -> SendOutcome {
+        let size = packet.size_bytes();
+        if self.queued_bytes + size > self.config.queue_capacity_bytes {
+            self.stats.dropped_overflow += 1;
+            return SendOutcome::DroppedQueueFull;
+        }
+        self.queued_bytes += size;
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        packet.stamp_sent(now);
+
+        let tx_seconds = packet.size_bits() as f64 / self.config.bandwidth_bps;
+        let start = self.busy_until.max(now);
+        let departure = start + SimDuration::from_secs_f64(tx_seconds);
+        self.busy_until = departure;
+
+        if self.rng.random::<f64>() < self.config.loss {
+            self.stats.lost += 1;
+            return SendOutcome::Transmitted {
+                departure,
+                arrival: None,
+            };
+        }
+        let prop = self.config.propagation.sample(&mut self.rng);
+        let arrival = departure + SimDuration::from_secs_f64(prop.max(0.0));
+        // Constant-delay wires are FIFO by construction. Randomly-delayed
+        // paths model the paper's Eq. 24 — *i.i.d.* per-packet end-to-end
+        // delays — so later packets may overtake earlier ones (UDP does
+        // not care). Clamping to FIFO here would turn dense traffic's
+        // delay distribution into a running maximum of the samples,
+        // inflating it far beyond the configured distribution.
+        self.last_arrival = self.last_arrival.max(arrival);
+        self.stats.delivered += 1;
+        SendOutcome::Transmitted {
+            departure,
+            arrival: Some(arrival),
+        }
+    }
+
+    /// Frees the queue space of a packet whose serialization finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if more bytes are credited than queued.
+    pub fn on_departure(&mut self, size_bytes: usize) {
+        debug_assert!(self.queued_bytes >= size_bytes, "queue underflow");
+        self.queued_bytes = self.queued_bytes.saturating_sub(size_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dmc_stats::{ConstantDelay, ShiftedGamma};
+
+    fn mk(bw: f64, delay: f64, loss: f64) -> Link {
+        Link::new(
+            LinkConfig {
+                bandwidth_bps: bw,
+                propagation: Arc::new(ConstantDelay::new(delay)),
+                loss,
+                queue_capacity_bytes: 1 << 18,
+            },
+            42,
+        )
+    }
+
+    fn pkt(bytes: usize) -> Packet {
+        Packet::new(bytes, Bytes::new())
+    }
+
+    #[test]
+    fn serialization_plus_propagation() {
+        // 1024 B at 1 Mbps = 8.192 ms serialization, +100 ms propagation.
+        let mut link = mk(1e6, 0.100, 0.0);
+        let mut p = pkt(1024);
+        match link.send(SimTime::ZERO, &mut p) {
+            SendOutcome::Transmitted {
+                departure,
+                arrival: Some(arrival),
+            } => {
+                assert_eq!(departure.as_nanos(), 8_192_000);
+                assert_eq!(arrival.as_nanos(), 108_192_000);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut link = mk(1e6, 0.0, 0.0);
+        let mut p1 = pkt(1024);
+        let mut p2 = pkt(1024);
+        let d1 = match link.send(SimTime::ZERO, &mut p1) {
+            SendOutcome::Transmitted { departure, .. } => departure,
+            _ => panic!(),
+        };
+        // Second packet sent at t=0 too: serialized after the first.
+        let d2 = match link.send(SimTime::ZERO, &mut p2) {
+            SendOutcome::Transmitted { departure, .. } => departure,
+            _ => panic!(),
+        };
+        assert_eq!(d2.as_nanos(), 2 * d1.as_nanos());
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut link = Link::new(
+            LinkConfig {
+                bandwidth_bps: 1e6,
+                propagation: Arc::new(ConstantDelay::new(0.0)),
+                loss: 0.0,
+                queue_capacity_bytes: 2048,
+            },
+            1,
+        );
+        assert!(matches!(
+            link.send(SimTime::ZERO, &mut pkt(1024)),
+            SendOutcome::Transmitted { .. }
+        ));
+        assert!(matches!(
+            link.send(SimTime::ZERO, &mut pkt(1024)),
+            SendOutcome::Transmitted { .. }
+        ));
+        assert_eq!(
+            link.send(SimTime::ZERO, &mut pkt(1024)),
+            SendOutcome::DroppedQueueFull
+        );
+        assert_eq!(link.stats().dropped_overflow, 1);
+        // Departure frees space.
+        link.on_departure(1024);
+        assert!(matches!(
+            link.send(SimTime::from_secs_f64(0.01), &mut pkt(1024)),
+            SendOutcome::Transmitted { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_rate_is_statistical() {
+        let mut link = mk(1e9, 0.0, 0.2);
+        let n = 50_000;
+        let mut lost = 0;
+        for _ in 0..n {
+            match link.send(link.busy_until, &mut pkt(100)) {
+                SendOutcome::Transmitted { arrival: None, .. } => lost += 1,
+                SendOutcome::Transmitted { .. } => {}
+                SendOutcome::DroppedQueueFull => panic!("queue overflow"),
+            }
+            link.on_departure(100);
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "loss rate {rate}");
+        assert_eq!(link.stats().lost, lost);
+    }
+
+    #[test]
+    fn random_propagation_is_iid_not_running_max() {
+        // Eq. 24 models per-packet delays as i.i.d.; dense traffic on a
+        // jittery path must therefore (a) reorder sometimes and (b) keep
+        // the *mean* delay at the distribution's mean, not at a running
+        // maximum.
+        let jitter = ShiftedGamma::new(2.0, 0.010, 0.050).unwrap();
+        let mean = jitter.mean();
+        let mut link = Link::new(
+            LinkConfig {
+                bandwidth_bps: 1e9,
+                propagation: Arc::new(jitter),
+                loss: 0.0,
+                queue_capacity_bytes: 1 << 20,
+            },
+            7,
+        );
+        let mut prev = SimTime::ZERO;
+        let mut reordered = 0u32;
+        let mut total_delay = 0.0;
+        let n = 10_000u64;
+        for i in 0..n {
+            let now = SimTime::from_nanos(i * 1000);
+            match link.send(now, &mut pkt(100)) {
+                SendOutcome::Transmitted {
+                    departure,
+                    arrival: Some(a),
+                } => {
+                    if a < prev {
+                        reordered += 1;
+                    }
+                    prev = prev.max(a);
+                    total_delay += a.since(departure).as_secs_f64();
+                }
+                _ => panic!(),
+            }
+            link.on_departure(100);
+        }
+        assert!(reordered > 100, "i.i.d. jitter must reorder: {reordered}");
+        let observed_mean = total_delay / n as f64;
+        assert!(
+            (observed_mean - mean).abs() < 1e-3,
+            "mean {observed_mean} vs spec {mean}"
+        );
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let run = |seed: u64| {
+            let mut link = Link::new(
+                LinkConfig {
+                    bandwidth_bps: 1e7,
+                    propagation: Arc::new(ShiftedGamma::new(5.0, 0.002, 0.1).unwrap()),
+                    loss: 0.1,
+                    queue_capacity_bytes: 1 << 20,
+                },
+                seed,
+            );
+            let mut arrivals = Vec::new();
+            for i in 0..1000u64 {
+                if let SendOutcome::Transmitted {
+                    arrival: Some(a), ..
+                } = link.send(SimTime::from_nanos(i * 100_000), &mut pkt(512))
+                {
+                    arrivals.push(a.as_nanos());
+                }
+                link.on_departure(512);
+            }
+            arrivals
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let cfg = LinkConfig {
+            bandwidth_bps: 0.0,
+            propagation: Arc::new(ConstantDelay::new(0.0)),
+            loss: 0.0,
+            queue_capacity_bytes: 1,
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LinkConfig {
+            bandwidth_bps: 1e6,
+            propagation: Arc::new(ConstantDelay::new(0.0)),
+            loss: 1.5,
+            queue_capacity_bytes: 1,
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LinkConfig {
+            bandwidth_bps: 1e6,
+            propagation: Arc::new(ConstantDelay::new(0.0)),
+            loss: 0.5,
+            queue_capacity_bytes: 0,
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

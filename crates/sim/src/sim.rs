@@ -1,0 +1,494 @@
+//! Two-host simulation: a client and a server joined by `n` bidirectional
+//! path pairs — the paper's ns-3 topology (§VII-A: "multiple UDP sockets
+//! between two network nodes … each socket corresponds to a different
+//! path").
+
+use crate::event::EventQueue;
+use crate::link::{Link, LinkConfig, LinkStats, SendOutcome};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Which endpoint an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostId {
+    /// The sender application (generates data).
+    Client,
+    /// The receiver application (checks deadlines, acknowledges).
+    Server,
+}
+
+/// Link direction: `Forward` carries client→server traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Client → server.
+    Forward,
+    /// Server → client.
+    Backward,
+}
+
+/// Events the simulation dispatches.
+#[derive(Debug)]
+enum NetEvent {
+    /// A packet finished serializing; free its queue space.
+    Departure { dir: Dir, path: usize, size: usize },
+    /// A packet reached the far end of a link.
+    Arrival {
+        dir: Dir,
+        path: usize,
+        packet: Packet,
+    },
+    /// A protocol timer fired.
+    Timer { host: HostId, key: u64 },
+}
+
+/// What an endpoint implementation can do during a callback.
+///
+/// Handed to [`Agent`] methods; sending consumes bandwidth on this host's
+/// outgoing links and timers come back via [`Agent::on_timer`].
+#[derive(Debug)]
+pub struct SimApi<'a> {
+    now: SimTime,
+    host: HostId,
+    outgoing: &'a mut [Link],
+    queue: &'a mut EventQueue<NetEvent>,
+}
+
+impl SimApi<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of paths available.
+    pub fn num_paths(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Sends `packet` on path `path`. Returns `false` if the link queue
+    /// was full and the packet was dropped at the NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn send(&mut self, path: usize, mut packet: Packet) -> bool {
+        let dir = match self.host {
+            HostId::Client => Dir::Forward,
+            HostId::Server => Dir::Backward,
+        };
+        let size = packet.size_bytes();
+        match self.outgoing[path].send(self.now, &mut packet) {
+            SendOutcome::DroppedQueueFull => false,
+            SendOutcome::Transmitted { departure, arrival } => {
+                self.queue
+                    .schedule(departure, NetEvent::Departure { dir, path, size });
+                if let Some(at) = arrival {
+                    self.queue
+                        .schedule(at, NetEvent::Arrival { dir, path, packet });
+                }
+                true
+            }
+        }
+    }
+
+    /// Arms a timer that fires at absolute time `at` with `key`
+    /// (delivered to this host's [`Agent::on_timer`]). Timers cannot be
+    /// cancelled — implement lazy cancellation by ignoring stale keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_timer(&mut self, at: SimTime, key: u64) {
+        self.queue.schedule(
+            at,
+            NetEvent::Timer {
+                host: self.host,
+                key,
+            },
+        );
+    }
+}
+
+/// An endpoint implementation (protocol + application logic).
+pub trait Agent {
+    /// Called once before the first event; schedule initial work here.
+    fn on_start(&mut self, api: &mut SimApi<'_>);
+
+    /// A packet arrived on `path`.
+    fn on_packet(&mut self, path: usize, packet: Packet, api: &mut SimApi<'_>);
+
+    /// A timer armed via [`SimApi::set_timer`] fired.
+    fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>);
+}
+
+/// The assembled two-host simulation.
+#[derive(Debug)]
+pub struct TwoHostSim<C, S> {
+    queue: EventQueue<NetEvent>,
+    forward: Vec<Link>,
+    backward: Vec<Link>,
+    client: C,
+    server: S,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<C: Agent, S: Agent> TwoHostSim<C, S> {
+    /// Builds the topology: `forward[i]`/`backward[i]` are the two
+    /// directions of path `i`. Links are seeded deterministically from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the direction vectors have different lengths,
+    /// are empty, or a link config is invalid.
+    pub fn new(
+        forward: Vec<LinkConfig>,
+        backward: Vec<LinkConfig>,
+        client: C,
+        server: S,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if forward.is_empty() {
+            return Err("need at least one path".into());
+        }
+        if forward.len() != backward.len() {
+            return Err(format!(
+                "direction mismatch: {} forward vs {} backward links",
+                forward.len(),
+                backward.len()
+            ));
+        }
+        for cfg in forward.iter().chain(&backward) {
+            cfg.validate()?;
+        }
+        let mk = |configs: Vec<LinkConfig>, salt: u64| -> Vec<Link> {
+            configs
+                .into_iter()
+                .enumerate()
+                .map(|(i, cfg)| Link::new(cfg, mix_seed(seed, salt, i as u64)))
+                .collect()
+        };
+        Ok(TwoHostSim {
+            queue: EventQueue::new(),
+            forward: mk(forward, 1),
+            backward: mk(backward, 2),
+            client,
+            server,
+            started: false,
+            events_processed: 0,
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The client endpoint (for extracting results).
+    pub fn client(&self) -> &C {
+        &self.client
+    }
+
+    /// The server endpoint (for extracting results).
+    pub fn server(&self) -> &S {
+        &self.server
+    }
+
+    /// Stats of one link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn link_stats(&self, dir: Dir, path: usize) -> LinkStats {
+        match dir {
+            Dir::Forward => self.forward[path].stats(),
+            Dir::Backward => self.backward[path].stats(),
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut api = SimApi {
+            now: self.queue.now(),
+            host: HostId::Client,
+            outgoing: &mut self.forward,
+            queue: &mut self.queue,
+        };
+        self.client.on_start(&mut api);
+        let mut api = SimApi {
+            now: self.queue.now(),
+            host: HostId::Server,
+            outgoing: &mut self.backward,
+            queue: &mut self.queue,
+        };
+        self.server.on_start(&mut api);
+    }
+
+    /// Runs until the event queue drains or `end` is reached (events at
+    /// exactly `end` still run). Returns the number of events processed
+    /// by this call.
+    pub fn run_until(&mut self, end: SimTime) -> u64 {
+        self.start_if_needed();
+        let before = self.events_processed;
+        while let Some(next) = self.queue.peek_time() {
+            if next > end {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            match event {
+                NetEvent::Departure { dir, path, size } => {
+                    let link = match dir {
+                        Dir::Forward => &mut self.forward[path],
+                        Dir::Backward => &mut self.backward[path],
+                    };
+                    link.on_departure(size);
+                }
+                NetEvent::Arrival { dir, path, packet } => match dir {
+                    // Forward traffic arrives at the server.
+                    Dir::Forward => {
+                        let mut api = SimApi {
+                            now,
+                            host: HostId::Server,
+                            outgoing: &mut self.backward,
+                            queue: &mut self.queue,
+                        };
+                        self.server.on_packet(path, packet, &mut api);
+                    }
+                    Dir::Backward => {
+                        let mut api = SimApi {
+                            now,
+                            host: HostId::Client,
+                            outgoing: &mut self.forward,
+                            queue: &mut self.queue,
+                        };
+                        self.client.on_packet(path, packet, &mut api);
+                    }
+                },
+                NetEvent::Timer { host, key } => match host {
+                    HostId::Client => {
+                        let mut api = SimApi {
+                            now,
+                            host: HostId::Client,
+                            outgoing: &mut self.forward,
+                            queue: &mut self.queue,
+                        };
+                        self.client.on_timer(key, &mut api);
+                    }
+                    HostId::Server => {
+                        let mut api = SimApi {
+                            now,
+                            host: HostId::Server,
+                            outgoing: &mut self.backward,
+                            queue: &mut self.queue,
+                        };
+                        self.server.on_timer(key, &mut api);
+                    }
+                },
+            }
+        }
+        self.events_processed - before
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+}
+
+/// SplitMix64-style seed derivation so each link gets an independent,
+/// reproducible stream.
+fn mix_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dmc_stats::ConstantDelay;
+    use std::sync::Arc;
+
+    fn link(bw: f64, delay: f64, loss: f64) -> LinkConfig {
+        LinkConfig {
+            bandwidth_bps: bw,
+            propagation: Arc::new(ConstantDelay::new(delay)),
+            loss,
+            queue_capacity_bytes: 1 << 20,
+        }
+    }
+
+    /// Client: sends one packet at start, records the echo's arrival.
+    #[derive(Default)]
+    struct PingClient {
+        echo_at: Option<SimTime>,
+    }
+    impl Agent for PingClient {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            assert!(api.send(0, Packet::new(1000, Bytes::new())));
+        }
+        fn on_packet(&mut self, _path: usize, _p: Packet, api: &mut SimApi<'_>) {
+            self.echo_at = Some(api.now());
+        }
+        fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    }
+
+    /// Server: echoes everything back on the same path.
+    struct EchoServer;
+    impl Agent for EchoServer {
+        fn on_start(&mut self, _api: &mut SimApi<'_>) {}
+        fn on_packet(&mut self, path: usize, p: Packet, api: &mut SimApi<'_>) {
+            api.send(path, p);
+        }
+        fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    }
+
+    #[test]
+    fn ping_pong_rtt_is_exact() {
+        // 1000 B at 1 Mbps = 8 ms serialization each way, 100 ms
+        // propagation each way → echo at 216 ms.
+        let mut sim = TwoHostSim::new(
+            vec![link(1e6, 0.1, 0.0)],
+            vec![link(1e6, 0.1, 0.0)],
+            PingClient::default(),
+            EchoServer,
+            0,
+        )
+        .unwrap();
+        sim.run_to_completion();
+        let echo = sim.client().echo_at.expect("echo received");
+        assert_eq!(echo.as_nanos(), 216_000_000);
+        assert_eq!(sim.link_stats(Dir::Forward, 0).delivered, 1);
+        assert_eq!(sim.link_stats(Dir::Backward, 0).delivered, 1);
+    }
+
+    /// Client that uses a periodic timer to send packets.
+    struct TickerClient {
+        sent: u64,
+        limit: u64,
+    }
+    impl Agent for TickerClient {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            api.set_timer(SimTime::from_millis_helper(10), 1);
+        }
+        fn on_packet(&mut self, _path: usize, _p: Packet, _api: &mut SimApi<'_>) {}
+        fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+            assert_eq!(key, 1);
+            self.sent += 1;
+            api.send(0, Packet::new(100, Bytes::new()));
+            if self.sent < self.limit {
+                api.set_timer(
+                    api.now() + crate::time::SimDuration::from_millis(10),
+                    1,
+                );
+            }
+        }
+    }
+    impl SimTime {
+        fn from_millis_helper(ms: u64) -> SimTime {
+            SimTime::from_nanos(ms * 1_000_000)
+        }
+    }
+
+    /// Server that counts arrivals.
+    #[derive(Default)]
+    struct CountingServer {
+        received: u64,
+    }
+    impl Agent for CountingServer {
+        fn on_start(&mut self, _api: &mut SimApi<'_>) {}
+        fn on_packet(&mut self, _path: usize, _p: Packet, _api: &mut SimApi<'_>) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    }
+
+    #[test]
+    fn timers_drive_periodic_sending() {
+        let mut sim = TwoHostSim::new(
+            vec![link(1e7, 0.01, 0.0)],
+            vec![link(1e7, 0.01, 0.0)],
+            TickerClient { sent: 0, limit: 50 },
+            CountingServer::default(),
+            0,
+        )
+        .unwrap();
+        sim.run_to_completion();
+        assert_eq!(sim.client().sent, 50);
+        assert_eq!(sim.server().received, 50);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = TwoHostSim::new(
+            vec![link(1e7, 0.01, 0.0)],
+            vec![link(1e7, 0.01, 0.0)],
+            TickerClient {
+                sent: 0,
+                limit: 1000,
+            },
+            CountingServer::default(),
+            0,
+        )
+        .unwrap();
+        // Ticks at 10, 20, …; horizon 105 ms → 10 ticks.
+        sim.run_until(SimTime::from_secs_f64(0.105));
+        assert_eq!(sim.client().sent, 10);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TwoHostSim::new(
+            vec![],
+            vec![],
+            PingClient::default(),
+            EchoServer,
+            0
+        )
+        .is_err());
+        assert!(TwoHostSim::new(
+            vec![link(1e6, 0.1, 0.0)],
+            vec![],
+            PingClient::default(),
+            EchoServer,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lossy_path_loses_packets_deterministically() {
+        let run = |seed| {
+            let mut sim = TwoHostSim::new(
+                vec![link(1e7, 0.01, 0.5)],
+                vec![link(1e7, 0.01, 0.0)],
+                TickerClient {
+                    sent: 0,
+                    limit: 200,
+                },
+                CountingServer::default(),
+                seed,
+            )
+            .unwrap();
+            sim.run_to_completion();
+            sim.server().received
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "same seed, same outcome");
+        // Roughly half arrive.
+        assert!(a > 60 && a < 140, "received {a} of 200 at 50% loss");
+    }
+}

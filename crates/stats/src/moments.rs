@@ -1,0 +1,175 @@
+//! Numerically stable online mean/variance (Welford), used by the
+//! protocol's delay and loss estimators (§VIII-A).
+
+/// Welford online accumulator for mean, variance, min and max.
+///
+/// ```
+/// use dmc_stats::OnlineMoments;
+///
+/// let mut m = OnlineMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `Σ(x−μ)²/n` (0 if fewer than 2 samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance `Σ(x−μ)²/(n−1)` (0 if fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Smallest observation (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_neutral() {
+        let m = OnlineMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut m = OnlineMoments::new();
+        m.push(3.5);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.min(), 3.5);
+        assert_eq!(m.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineMoments::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineMoments::new();
+        let mut b = OnlineMoments::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineMoments::new();
+        a.push(1.0);
+        let b = OnlineMoments::new();
+        let mut c = a;
+        c.merge(&b);
+        assert_eq!(c, a);
+        let mut d = OnlineMoments::new();
+        d.merge(&a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_resistance() {
+        // Large offset, small variance: naive two-pass Σx² would lose all
+        // precision here.
+        let mut m = OnlineMoments::new();
+        for i in 0..1000 {
+            m.push(1e9 + (i % 2) as f64);
+        }
+        assert!((m.population_variance() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cost-aware scheduling (§VI-A): a drone video uplink over a free but
+//! weak mesh link, a metered LTE link, and an expensive satellite link.
+//!
+//! Shows both directions of the optimization:
+//! * quality maximization under a spend budget `µ` (Eq. 7), sweeping the
+//!   budget to trace the quality/cost frontier;
+//! * cost minimization under a quality floor (Eq. 20–23).
+//!
+//! Run: `cargo run --example cost_budget --release`
+
+use deadline_multipath::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Cost unit: $ per gigabit ≈ 1e-9 $/bit.
+    let per_gbit = 1e-9;
+    let mesh = PathSpec::with_cost(3e6, 0.080, 0.15, 0.0)?; // free, lossy
+    let lte = PathSpec::with_cost(10e6, 0.050, 0.02, 8.0 * per_gbit)?;
+    let sat = PathSpec::with_cost(20e6, 0.550, 0.01, 40.0 * per_gbit)?;
+
+    let base = NetworkSpec::builder()
+        .paths([mesh, lte, sat])
+        .data_rate(12e6)
+        .lifetime(0.9)
+        .build()?;
+    let cfg = ModelConfig::default();
+
+    println!("budget ($/s) | quality | spend ($/s) | mesh/LTE/sat send rates (Mbps)");
+    for budget in [0.02, 0.05, 0.10, 0.20, 0.40, 0.80] {
+        let net = NetworkSpec::builder()
+            .paths(base.paths().iter().copied())
+            .data_rate(base.data_rate())
+            .lifetime(base.lifetime())
+            .cost_budget(budget)
+            .build()?;
+        let s = optimal_strategy(&net, &cfg)?;
+        let r = s.send_rates();
+        println!(
+            "   {budget:>7.2}   |  {:>5.1}% |    {:>6.4}   | {:.1} / {:.1} / {:.1}",
+            s.quality() * 100.0,
+            s.cost_rate(),
+            r[0] / 1e6,
+            r[1] / 1e6,
+            r[2] / 1e6
+        );
+    }
+
+    println!("\nCheapest way to guarantee 95% quality:");
+    match min_cost_strategy(&base, 0.95, &cfg) {
+        Ok(s) => {
+            println!(
+                "  spend {:.4} $/s at quality {:.1}%",
+                s.cost_rate(),
+                s.quality() * 100.0
+            );
+            print!("{s}");
+        }
+        Err(e) => println!("  not achievable: {e}"),
+    }
+
+    println!("\nCheapest way to guarantee 99.5% quality:");
+    match min_cost_strategy(&base, 0.995, &cfg) {
+        Ok(s) => println!(
+            "  spend {:.4} $/s at quality {:.1}%",
+            s.cost_rate(),
+            s.quality() * 100.0
+        ),
+        Err(e) => println!("  not achievable: {e}"),
+    }
+    Ok(())
+}

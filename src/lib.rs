@@ -1,0 +1,74 @@
+//! # deadline-multipath
+//!
+//! A complete Rust implementation of **"Deadline-Aware Multipath
+//! Communication: An Optimization Problem"** (Chuat, Perrig & Hu,
+//! DSN 2017): partially-reliable multipath communication that maximizes
+//! the fraction of data delivered *before a deadline* by solving a linear
+//! program over *path combinations* (initial-transmission path +
+//! retransmission path(s)).
+//!
+//! The workspace layers, bottom up:
+//!
+//! | Crate | Re-exported as | What it is |
+//! |---|---|---|
+//! | `dmc-lp` | [`lp`] | dense two-phase simplex LP solver |
+//! | `dmc-stats` | [`stats`] | gamma special functions, shifted-gamma delays, convolution |
+//! | `dmc-core` | [`model`] | **the paper's model**: combinations, LPs, timeouts, Algorithm 1 |
+//! | `dmc-sim` | [`sim`] | deterministic discrete-event network simulator (the ns-3 stand-in) |
+//! | `dmc-proto` | [`proto`] | sender/receiver protocol state machines, acks, estimators |
+//! | `dmc-experiments` | [`experiments`] | regenerators for every table & figure of the paper |
+//!
+//! # Quick start
+//!
+//! ```
+//! use deadline_multipath::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Figure 1: a fat slow lossy path + a thin fast clean one.
+//! let net = NetworkSpec::builder()
+//!     .path(PathSpec::new(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
+//!     .path(PathSpec::new(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
+//!     .data_rate(10e6)                          // λ
+//!     .lifetime(1.0)                            // δ
+//!     .build()?;
+//!
+//! let strategy = optimal_strategy(&net, &ModelConfig::default())?;
+//! assert!((strategy.quality() - 1.0).abs() < 1e-9); // 100 % in time
+//!
+//! // Discretize per packet with Algorithm 1:
+//! let mut scheduler = ComboScheduler::new(strategy.x().to_vec())?;
+//! let combo = scheduler.next_combo();
+//! let slots = strategy.table().slots_of(combo);
+//! assert!(!slots.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (simulation
+//! included) and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dmc_core as model;
+pub use dmc_experiments as experiments;
+pub use dmc_lp as lp;
+pub use dmc_proto as proto;
+pub use dmc_sim as sim;
+pub use dmc_stats as stats;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dmc_core::{
+        min_cost_strategy, optimal_strategy, single_path_quality, ComboScheduler, ComboTable,
+        DeterministicModel, ModelConfig, ModelError, NetworkSpec, PathSpec, PlateauRule,
+        RandomDelayConfig, RandomDelayModel, RandomNetworkSpec, RandomPath, Slot, SolverOptions,
+        Strategy,
+    };
+    pub use dmc_proto::{
+        AdaptiveConfig, AdaptiveSender, DmcReceiver, DmcSender, ReceiverConfig, SenderConfig,
+        TimeoutPlan,
+    };
+    pub use dmc_sim::{LinkConfig, SimDuration, SimTime, TwoHostSim};
+    pub use dmc_stats::{ConstantDelay, Delay, ShiftedGamma};
+}

@@ -1,0 +1,88 @@
+//! The paper's §I claim: complementary paths beat identical ones of the
+//! same aggregate capacity in deadline-bound settings.
+
+use deadline_multipath::prelude::*;
+
+fn q(paths: [PathSpec; 2], lambda: f64, delta: f64) -> f64 {
+    let net = NetworkSpec::builder()
+        .paths(paths)
+        .data_rate(lambda)
+        .lifetime(delta)
+        .build()
+        .unwrap();
+    optimal_strategy(&net, &ModelConfig::default())
+        .unwrap()
+        .quality()
+}
+
+#[test]
+fn diverse_pair_dominates_uniform_pair_at_tight_deadlines() {
+    let diverse = [
+        PathSpec::new(80e6, 0.450, 0.2).unwrap(),
+        PathSpec::new(20e6, 0.150, 0.0).unwrap(),
+    ];
+    // Same total bandwidth, bandwidth-weighted delay/loss.
+    let uniform = [
+        PathSpec::new(50e6, 0.390, 0.16).unwrap(),
+        PathSpec::new(50e6, 0.390, 0.16).unwrap(),
+    ];
+    let mut diverse_wins = 0;
+    for delta_ms in [300.0, 450.0, 600.0, 750.0, 900.0, 1050.0] {
+        let qd = q(diverse, 90e6, delta_ms / 1e3);
+        let qu = q(uniform, 90e6, delta_ms / 1e3);
+        if qd > qu + 1e-9 {
+            diverse_wins += 1;
+        }
+        assert!(
+            qd >= qu - 1e-9 || delta_ms >= 1000.0,
+            "uniform beat diverse at δ={delta_ms}: {qu} vs {qd}"
+        );
+    }
+    assert!(diverse_wins >= 4, "diversity won only {diverse_wins}/6 points");
+}
+
+#[test]
+fn low_latency_path_specializes_in_retransmissions() {
+    // In the diverse optimum at δ=800 ms, retransmissions ride the clean
+    // fast path: the x[1→2] style combinations carry weight, while
+    // x[2→1] (fast first, slow rescue) is pointless.
+    let net = NetworkSpec::builder()
+        .path(PathSpec::new(80e6, 0.450, 0.2).unwrap())
+        .path(PathSpec::new(20e6, 0.150, 0.0).unwrap())
+        .data_rate(90e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    let s = optimal_strategy(&net, &ModelConfig::default()).unwrap();
+    // All path-1-first traffic that plans a retransmission plans it on
+    // path 2 (never back on the 450 ms path: it cannot return in time).
+    let retrans_on_slow = s.fraction(&[Slot::Path(0), Slot::Path(0)]);
+    assert!(retrans_on_slow < 1e-9, "x[1,1] = {retrans_on_slow}");
+    // Path-2 capacity is exactly filled (fresh data + rescue copies).
+    assert!((s.send_rates()[1] - 20e6).abs() < 1.0);
+}
+
+#[test]
+fn three_diverse_paths_beat_two() {
+    // Extension: adding a third, complementary mid-latency path can only
+    // help, and strictly helps when capacity binds.
+    let two = NetworkSpec::builder()
+        .path(PathSpec::new(80e6, 0.450, 0.2).unwrap())
+        .path(PathSpec::new(20e6, 0.150, 0.0).unwrap())
+        .data_rate(130e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    let three = NetworkSpec::builder()
+        .path(PathSpec::new(80e6, 0.450, 0.2).unwrap())
+        .path(PathSpec::new(20e6, 0.150, 0.0).unwrap())
+        .path(PathSpec::new(30e6, 0.250, 0.05).unwrap())
+        .data_rate(130e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    let cfg = ModelConfig::default();
+    let q2 = optimal_strategy(&two, &cfg).unwrap().quality();
+    let q3 = optimal_strategy(&three, &cfg).unwrap().quality();
+    assert!(q3 > q2 + 0.05, "q2={q2} q3={q3}");
+}

@@ -1,0 +1,55 @@
+//! Figure 2 end-to-end: the simulation tracks the theoretical bound and
+//! multipath dominates both single-path baselines.
+
+use deadline_multipath::experiments::figure2;
+use deadline_multipath::experiments::runner::RunConfig;
+
+fn quick() -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.messages = 4_000;
+    cfg
+}
+
+#[test]
+fn rate_sweep_tracks_theory() {
+    // A subsample of the paper's λ axis (full sweep in the figure2 bin).
+    for p in figure2::rate_sweep(&[20.0, 60.0, 100.0, 140.0], &quick()) {
+        assert!(
+            (p.simulation - p.theory).abs() < 0.03,
+            "λ={:.0} Mbps: sim {:.4} vs theory {:.4}",
+            p.param / 1e6,
+            p.simulation,
+            p.theory
+        );
+        assert!(p.theory >= p.path1_theory - 1e-9);
+        assert!(p.theory >= p.path2_theory - 1e-9);
+    }
+}
+
+#[test]
+fn lifetime_sweep_tracks_theory() {
+    for p in figure2::lifetime_sweep(&[200.0, 500.0, 800.0, 1100.0], &quick()) {
+        assert!(
+            (p.simulation - p.theory).abs() < 0.03,
+            "δ={:.0} ms: sim {:.4} vs theory {:.4}",
+            p.param * 1e3,
+            p.simulation,
+            p.theory
+        );
+    }
+}
+
+#[test]
+fn multipath_gain_region_exists() {
+    // The paper's headline: a region where multipath strictly beats the
+    // best single path. At λ=90/δ=800: multi 93.3% vs 71.1%/22.2%.
+    let p = &figure2::lifetime_sweep(&[800.0], &quick())[0];
+    let best_single = p.path1_theory.max(p.path2_theory);
+    assert!(
+        p.theory > best_single + 0.2,
+        "multi {:.3} vs best single {:.3}",
+        p.theory,
+        best_single
+    );
+    assert!(p.simulation > best_single + 0.15);
+}

@@ -1,0 +1,70 @@
+//! Figure 3 end-to-end: the qualitative sensitivity shapes the paper
+//! reports, measured through the full simulator.
+
+use deadline_multipath::experiments::figure3::{curve, Metric};
+use deadline_multipath::experiments::runner::RunConfig;
+
+fn cfg(messages: u64) -> RunConfig {
+    let mut c = RunConfig::default();
+    c.messages = messages;
+    c
+}
+
+#[test]
+fn bandwidth_panel_is_asymmetric() {
+    // Left of zero: quality degrades (capacity wasted via the blackhole).
+    // Right of zero: roughly flat (overflow loss substitutes for drops).
+    let pts = curve(Metric::Bandwidth, 0, &[-0.5, -0.25, 0.0, 0.25, 0.5], &cfg(8_000));
+    let q = |i: usize| pts[i].quality;
+    assert!(q(0) < q(1) && q(1) < q(2), "left side must rise: {:?} {:?} {:?}", q(0), q(1), q(2));
+    assert!((q(3) - q(2)).abs() < 0.07, "right side flat: {} vs {}", q(3), q(2));
+    assert!((q(4) - q(2)).abs() < 0.07, "right side flat: {} vs {}", q(4), q(2));
+}
+
+#[test]
+fn delay_panel_has_central_plateau() {
+    let pts = curve(Metric::Delay, 0, &[-0.1, -0.05, 0.0, 0.05, 0.1], &cfg(5_000));
+    let exact = pts[2].quality;
+    for p in &pts {
+        assert!(
+            (p.quality - exact).abs() < 0.03,
+            "delay error {:+.2} moved quality to {} (exact {exact})",
+            p.error,
+            p.quality
+        );
+    }
+}
+
+#[test]
+fn loss_panel_degrades_gently_then_collapses() {
+    // Fig. 3 (bottom): "reasonable" loss errors cost a few points — but
+    // as the error drives the believed τ₁ toward 1 the path is written
+    // off entirely and quality falls to the path-2-only floor (2/9); the
+    // paper's y-axis bottoms out at exactly that 20 % for the same
+    // reason.
+    let pts = curve(Metric::Loss, 0, &[0.0, 0.4, 0.8], &cfg(5_000));
+    let exact = pts[0].quality;
+    let moderate = pts[1].quality;
+    let extreme = pts[2].quality;
+    assert!(
+        exact - moderate < 0.2,
+        "moderate (+0.4) error: {moderate} from {exact}"
+    );
+    assert!(moderate > extreme - 1e-9, "monotone degradation");
+    assert!(
+        extreme >= 2.0 / 9.0 - 0.02,
+        "even τ̂=1 keeps the path-2 floor: {extreme}"
+    );
+}
+
+#[test]
+fn path2_perturbations_are_mild() {
+    // Path 2 is small (20 of 100 Mbps): mis-estimating it moves quality
+    // much less than mis-estimating path 1.
+    let big = curve(Metric::Bandwidth, 0, &[-0.5], &cfg(5_000))[0].quality;
+    let small = curve(Metric::Bandwidth, 1, &[-0.5], &cfg(5_000))[0].quality;
+    assert!(
+        small > big,
+        "perturbing the small path ({small}) should hurt less than the big one ({big})"
+    );
+}
