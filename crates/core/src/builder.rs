@@ -74,6 +74,42 @@ pub(crate) fn combo_coeffs(
     ComboCoeffs { p, usage, cost }
 }
 
+/// Writes the per-combination deterministic coefficients (Eq. 12/15/16)
+/// into caller-owned buffers, so the [`Planner`](crate::Planner) can
+/// reuse its allocations across solves.
+///
+/// `usage` must arrive with one inner vector per path (cleared and
+/// refilled here); `p`/`cost` are cleared and refilled.
+pub(crate) fn fill_deterministic_coeffs(
+    paths: &[PathSpec],
+    dmin: f64,
+    lifetime: f64,
+    table: &ComboTable,
+    p: &mut Vec<f64>,
+    usage: &mut [Vec<f64>],
+    cost: &mut Vec<f64>,
+) {
+    let n = paths.len();
+    debug_assert_eq!(usage.len(), n);
+    let ncombos = table.num_combos();
+    p.clear();
+    p.reserve(ncombos);
+    cost.clear();
+    cost.reserve(ncombos);
+    for row in usage.iter_mut() {
+        row.clear();
+        row.resize(ncombos, 0.0);
+    }
+    for (l, slots) in table.iter() {
+        let c = combo_coeffs(paths, dmin, lifetime, &slots);
+        p.push(c.p);
+        for (row, &u) in usage.iter_mut().zip(&c.usage) {
+            row[l] = u;
+        }
+        cost.push(c.cost);
+    }
+}
+
 /// The deterministic model of §V: precomputed coefficients for every
 /// combination, ready to be assembled into quality-maximization
 /// (Eq. 10) or cost-minimization (Eq. 20) linear programs.
@@ -93,20 +129,19 @@ impl DeterministicModel {
     /// LP feasible when `λ` exceeds network capacity.
     pub fn new(net: &NetworkSpec, transmissions: usize, blackhole: bool) -> Self {
         let table = ComboTable::new(net.num_paths(), transmissions, blackhole);
-        let dmin = net.min_delay();
         let n = net.num_paths();
-        let ncombos = table.num_combos();
-        let mut p = Vec::with_capacity(ncombos);
-        let mut usage = vec![vec![0.0; ncombos]; n];
-        let mut cost = Vec::with_capacity(ncombos);
-        for (l, slots) in table.iter() {
-            let c = combo_coeffs(net.paths(), dmin, net.lifetime(), &slots);
-            p.push(c.p);
-            for k in 0..n {
-                usage[k][l] = c.usage[k];
-            }
-            cost.push(c.cost);
-        }
+        let mut p = Vec::new();
+        let mut usage = vec![Vec::new(); n];
+        let mut cost = Vec::new();
+        fill_deterministic_coeffs(
+            net.paths(),
+            net.min_delay(),
+            net.lifetime(),
+            &table,
+            &mut p,
+            &mut usage,
+            &mut cost,
+        );
         DeterministicModel {
             net: net.clone(),
             table,
@@ -174,8 +209,11 @@ impl DeterministicModel {
         self.push_capacity_rows_no_budget(lp);
         // Cost row (Eq. 7): only when the budget binds anything.
         if self.net.cost_budget().is_finite() {
-            lp.add_le(self.cost.clone(), self.net.cost_budget() / self.net.data_rate())
-                .expect("dimensions match");
+            lp.add_le(
+                self.cost.clone(),
+                self.net.cost_budget() / self.net.data_rate(),
+            )
+            .expect("dimensions match");
         }
     }
 
@@ -233,7 +271,14 @@ impl DeterministicModel {
             })
             .collect();
         let cost_rate = lambda * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
-        Strategy::new(self.table.clone(), x, lambda, quality, cost_rate, send_rates)
+        Strategy::new(
+            self.table.clone(),
+            x,
+            lambda,
+            quality,
+            cost_rate,
+            send_rates,
+        )
     }
 }
 
@@ -434,13 +479,17 @@ mod tests {
             .build()
             .unwrap();
         let model = DeterministicModel::new(&net, 2, true);
-        let s = model.solve_min_cost(0.9, &SolverOptions::default()).unwrap();
+        let s = model
+            .solve_min_cost(0.9, &SolverOptions::default())
+            .unwrap();
         assert!(s.quality() >= 0.9 - 1e-9, "Q = {}", s.quality());
         // Cheaper than the quality-optimal strategy's cost or equal quality
         // at lower cost: sanity only — cost must be positive and finite.
         assert!(s.cost_rate() > 0.0 && s.cost_rate().is_finite());
         // Infeasible floor is reported.
-        assert!(model.solve_min_cost(0.99, &SolverOptions::default()).is_err());
+        assert!(model
+            .solve_min_cost(0.99, &SolverOptions::default())
+            .is_err());
     }
 
     #[test]

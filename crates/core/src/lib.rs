@@ -11,20 +11,27 @@
 //! program whose optimum upper-bounds what any protocol can achieve, and
 //! shows a practical sender (Algorithm 1) tracks the bound closely.
 //!
-//! This crate is the model:
+//! # The pipeline
 //!
-//! * [`PathSpec`] / [`NetworkSpec`] — scenario description (paper Table I);
-//! * [`ComboTable`] / [`Slot`] — path-combination index algebra (Eq. 13),
-//!   generalized from 2 to any number of transmissions `m`;
-//! * [`DeterministicModel`] — the LP of Eq. 10–18, plus the
-//!   cost-minimization variant of Eq. 20–23;
-//! * [`RandomDelayModel`] — the §VI-B extension where delays are random
-//!   variables (shifted gamma), including optimal retransmission timeouts
-//!   (Eq. 26/34);
-//! * [`Strategy`] — a solved assignment with its predicted metrics
-//!   (Table II) and cross-evaluation under a *different* true network
-//!   (the sensitivity analysis of Fig. 3);
-//! * [`ComboScheduler`] — Algorithm 1, the per-packet discretization.
+//! The front door is one typed pipeline, covering both of the paper's
+//! delay regimes (§V deterministic, §VI-B random) and all three solve
+//! modes:
+//!
+//! ```text
+//! Scenario  ──(Objective)──▶  Planner  ──▶  Plan
+//! ```
+//!
+//! * [`Scenario`] — paths carry a *delay distribution* (constant delay =
+//!   deterministic case) plus cost, cost budget `µ`, rate `λ`, lifetime
+//!   `δ` and `m` transmissions, in one validated builder;
+//! * [`Objective`] — [`MaxQuality`](Objective::MaxQuality) (Eq. 10),
+//!   [`MinCost`](Objective::MinCost) (Eq. 20–23) or
+//!   [`MaxQualityUnderBudget`](Objective::MaxQualityUnderBudget);
+//! * [`Planner`] — owns a reusable LP workspace and coefficient buffers,
+//!   so sweeps and re-solves don't re-allocate;
+//! * [`Plan`] — the solved [`Strategy`], a per-stage [`TimeoutSchedule`]
+//!   (Eq. 4 / Eq. 34), the ack path, and a ready [`Scheduler`]
+//!   (Algorithm 1).
 //!
 //! # Quick start
 //!
@@ -32,23 +39,56 @@
 //! paired with a thin low-latency lossless one:
 //!
 //! ```
-//! use dmc_core::{optimal_strategy, ModelConfig, NetworkSpec, PathSpec};
+//! use dmc_core::{Objective, Planner, Scenario, ScenarioPath};
 //!
-//! # fn main() -> Result<(), dmc_core::ModelError> {
-//! let net = NetworkSpec::builder()
-//!     .path(PathSpec::new(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
-//!     .path(PathSpec::new(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::builder()
+//!     .path(ScenarioPath::constant(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
+//!     .path(ScenarioPath::constant(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
 //!     .data_rate(10e6)
 //!     .lifetime(1.0)
 //!     .build()?;
-//! let strategy = optimal_strategy(&net, &ModelConfig::default())?;
+//!
+//! let mut planner = Planner::new();
+//! let plan = planner.plan(&scenario, Objective::MaxQuality)?;
 //! // Send everything on the fat path, retransmit losses on the thin one:
 //! // 100 % of the data makes the deadline — impossible on either path
 //! // alone.
-//! assert!((strategy.quality() - 1.0).abs() < 1e-9);
+//! assert!((plan.quality() - 1.0).abs() < 1e-9);
+//!
+//! // Discretize per packet with Algorithm 1:
+//! let mut scheduler = plan.scheduler();
+//! let combo = scheduler.next_combo();
+//! let slots = plan.strategy().table().slots_of(combo);
+//! assert!(!slots.is_empty());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A random-delay path (§VI-B) drops into the *same* pipeline — give the
+//! path a [`ShiftedGamma`](dmc_stats::ShiftedGamma) distribution instead
+//! of a constant and the planner optimizes the Eq. 34 retransmission
+//! timeouts automatically.
+//!
+//! # MIGRATION (old split API → unified pipeline)
+//!
+//! The historical names remain available as thin shims so existing code
+//! keeps compiling, but new code should use the pipeline:
+//!
+//! | Legacy | Unified |
+//! |---|---|
+//! | `NetworkSpec` + `PathSpec` | [`Scenario`] + [`ScenarioPath::constant`] |
+//! | `RandomNetworkSpec` + `RandomPath` | [`Scenario`] + [`ScenarioPath::new`] |
+//! | `optimal_strategy(&net, &cfg)` | `planner.plan(&scenario, Objective::MaxQuality)` |
+//! | `min_cost_strategy(&net, q, &cfg)` | `planner.plan(&scenario, Objective::MinCost { min_quality: q })` |
+//! | `RandomDelayModel::solve_quality` | `planner.plan(&scenario, Objective::MaxQuality)` |
+//! | `ModelConfig { transmissions, .. }` | `Scenario::builder().transmissions(m)` + [`PlannerConfig`] |
+//! | `RandomDelayModel::timeout(i, j)` | [`Plan::timeout`] |
+//! | `ComboScheduler` / `RandomScheduler` | [`Scheduler`] (via [`Plan::scheduler`]) |
+//! | hand-built `TimeoutPlan` (dmc-proto) | [`Plan::schedule`] → `TimeoutPlan::from_plan` |
+//!
+//! `Scenario::from_network` / `Scenario::from_random` convert the legacy
+//! spec types in one call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,7 +97,10 @@ mod builder;
 mod combo;
 mod network;
 mod path;
+mod plan;
+mod planner;
 mod random_delay;
+mod scenario;
 mod scheduler;
 mod solve;
 mod strategy;
@@ -66,14 +109,17 @@ pub use builder::DeterministicModel;
 pub use combo::{ComboTable, Slot};
 pub use network::{NetworkSpec, NetworkSpecBuilder};
 pub use path::{PathSpec, SpecError};
+pub use plan::{Plan, StageTimeoutSpec, TimeoutSchedule};
+pub use planner::{Objective, PlanError, Planner, PlannerConfig};
 pub use random_delay::{
     PlateauRule, RandomDelayConfig, RandomDelayModel, RandomNetworkSpec, RandomPath,
 };
-pub use scheduler::{ComboScheduler, RandomScheduler};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioPath};
+pub use scheduler::{ComboScheduler, RandomScheduler, SchedulePolicy, Scheduler};
 pub use solve::{
     min_cost_strategy, optimal_strategy, single_path_quality, ModelConfig, ModelError,
 };
 pub use strategy::{approx_fraction, CrossEvaluation, Strategy};
 
 // Re-export the solver option types callers need to tune solving.
-pub use dmc_lp::{PivotRule, SolveError, SolverOptions};
+pub use dmc_lp::{PivotRule, SolveError, SolverOptions, Workspace};

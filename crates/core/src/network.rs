@@ -260,9 +260,21 @@ mod tests {
     #[test]
     fn builder_requires_fields() {
         let (p1, _) = two_paths();
-        assert!(NetworkSpec::builder().data_rate(1e6).lifetime(1.0).build().is_err());
-        assert!(NetworkSpec::builder().path(p1).lifetime(1.0).build().is_err());
-        assert!(NetworkSpec::builder().path(p1).data_rate(1e6).build().is_err());
+        assert!(NetworkSpec::builder()
+            .data_rate(1e6)
+            .lifetime(1.0)
+            .build()
+            .is_err());
+        assert!(NetworkSpec::builder()
+            .path(p1)
+            .lifetime(1.0)
+            .build()
+            .is_err());
+        assert!(NetworkSpec::builder()
+            .path(p1)
+            .data_rate(1e6)
+            .build()
+            .is_err());
         assert!(NetworkSpec::builder()
             .path(p1)
             .data_rate(-1.0)

@@ -1,0 +1,663 @@
+//! The unified front door: [`Scenario`] + [`Objective`] → [`Planner`] →
+//! [`Plan`].
+//!
+//! One `Planner` replaces the historical split between
+//! `optimal_strategy`/`min_cost_strategy` (deterministic, §V/§VI-A) and
+//! `RandomDelayModel::solve_quality` (random delays, §VI-B): it inspects
+//! the scenario's delay distributions and routes constant delays through
+//! the exact Eq. 12 coefficients, anything else through the discretized
+//! Eq. 28/34 machinery — same optimum either way, one API.
+//!
+//! The planner **owns its scratch memory**: the LP tableau/basis
+//! ([`dmc_lp::Workspace`]) and the model coefficient buffers are reused
+//! across [`Planner::plan`] calls, so parameter sweeps (λ/δ curves, the
+//! experiments crate) and periodic re-solves (`AdaptiveSender`) stop
+//! paying a fresh allocation per solve — see the `planner_reuse`
+//! benchmark.
+
+use crate::builder::fill_deterministic_coeffs;
+use crate::combo::ComboTable;
+use crate::path::{PathSpec, SpecError};
+use crate::plan::{Plan, TimeoutSchedule};
+use crate::random_delay::{fill_random_coeffs, PlateauRule};
+use crate::scenario::{Scenario, ScenarioPath};
+use crate::strategy::Strategy;
+use dmc_lp::{Problem, SolveError, SolverOptions, Workspace};
+use std::fmt;
+
+/// What the LP optimizes (the paper's three solve modes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Maximize communication quality (Eq. 10). A finite scenario budget
+    /// `µ` is honored as the Eq. 7 cost row.
+    MaxQuality,
+    /// Minimize spend subject to a quality floor (§VI-A, Eq. 20–23).
+    MinCost {
+        /// Required quality `Q ≥ min_quality` (fraction in `[0, 1]`).
+        min_quality: f64,
+    },
+    /// Maximize quality, *requiring* the scenario to carry a finite cost
+    /// budget — use this when the budget is the point, so a forgotten
+    /// `cost_budget` is an error instead of a silently unconstrained
+    /// solve.
+    MaxQualityUnderBudget,
+}
+
+/// Errors from the planning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The scenario itself is invalid.
+    Spec(SpecError),
+    /// The LP could not be solved (e.g. an unreachable quality floor, or
+    /// infeasibility with the blackhole disabled).
+    Solve(SolveError),
+    /// The objective does not fit the scenario (e.g.
+    /// [`Objective::MaxQualityUnderBudget`] without a finite budget).
+    Unsupported(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Spec(e) => write!(f, "{e}"),
+            PlanError::Solve(e) => write!(f, "{e}"),
+            PlanError::Unsupported(msg) => write!(f, "unsupported objective: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Spec(e) => Some(e),
+            PlanError::Solve(e) => Some(e),
+            PlanError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<SpecError> for PlanError {
+    fn from(e: SpecError) -> Self {
+        PlanError::Spec(e)
+    }
+}
+
+impl From<SolveError> for PlanError {
+    fn from(e: SolveError) -> Self {
+        PlanError::Solve(e)
+    }
+}
+
+/// Planner configuration (model-level knobs shared by every solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Include the blackhole path (default true; keeps the LP feasible
+    /// under overload, Eq. 19).
+    pub blackhole: bool,
+    /// Discretization grid step in seconds for random-delay scenarios
+    /// (default 1 ms, the paper's reporting granularity).
+    pub grid_step: f64,
+    /// Plateau tie-break for Eq. 34 (default midpoint).
+    pub plateau: PlateauRule,
+    /// LP solver options.
+    pub solver: SolverOptions,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            blackhole: true,
+            grid_step: 1e-3,
+            plateau: PlateauRule::Midpoint,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// The planning engine: turns ([`Scenario`], [`Objective`]) into a
+/// [`Plan`], reusing its LP workspace and coefficient buffers across
+/// calls.
+///
+/// ```
+/// use dmc_core::{Objective, Planner, Scenario, ScenarioPath};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = Scenario::builder()
+///     .path(ScenarioPath::constant(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
+///     .path(ScenarioPath::constant(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
+///     .data_rate(10e6)
+///     .lifetime(1.0)
+///     .build()?;
+/// let mut planner = Planner::new();
+/// let plan = planner.plan(&scenario, Objective::MaxQuality)?;
+/// assert!((plan.quality() - 1.0).abs() < 1e-9); // Figure 1: 100 % in time
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+    workspace: Workspace,
+    // Reused coefficient buffers (cleared and refilled per plan).
+    p: Vec<f64>,
+    cost: Vec<f64>,
+    usage: Vec<Vec<f64>>,
+    stage_timeouts: Vec<Vec<Option<f64>>>,
+    det_paths: Vec<PathSpec>,
+}
+
+impl Planner {
+    /// A planner with the default configuration.
+    pub fn new() -> Self {
+        Planner::default()
+    }
+
+    /// A planner with an explicit configuration.
+    pub fn with_config(config: PlannerConfig) -> Self {
+        Planner {
+            config,
+            ..Planner::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (applies to subsequent plans).
+    pub fn config_mut(&mut self) -> &mut PlannerConfig {
+        &mut self.config
+    }
+
+    /// Solves `scenario` for `objective` and packages the result.
+    ///
+    /// Deterministic scenarios (every delay constant) use the exact
+    /// closed-form coefficients of Eq. 12 and the Eq. 4 timeout rule;
+    /// anything else uses the discretized Eq. 28 coefficients and Eq. 34
+    /// optimal timeouts. Either way the output is one [`Plan`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::Unsupported`] when the objective does not fit the
+    ///   scenario (budget objective without a budget, quality floor
+    ///   outside `[0, 1]`);
+    /// * [`PlanError::Solve`] on LP failure (an unreachable
+    ///   [`Objective::MinCost`] floor reports
+    ///   [`SolveError::Infeasible`]).
+    pub fn plan(&mut self, scenario: &Scenario, objective: Objective) -> Result<Plan, PlanError> {
+        self.validate(scenario, objective)?;
+        let n = scenario.num_paths();
+        let table = ComboTable::new(n, scenario.transmissions(), self.config.blackhole);
+        if self.usage.len() != n {
+            self.usage.resize_with(n, Vec::new);
+        }
+        let ack_path = scenario.ack_path();
+
+        let schedule = if scenario.is_deterministic() {
+            let dmin = self.load_det_paths(scenario);
+            fill_deterministic_coeffs(
+                &self.det_paths,
+                dmin,
+                scenario.lifetime(),
+                &table,
+                &mut self.p,
+                &mut self.usage,
+                &mut self.cost,
+            );
+            TimeoutSchedule::deterministic(&self.det_paths, dmin, &table)
+        } else {
+            fill_random_coeffs(
+                scenario.paths(),
+                scenario.lifetime(),
+                self.config.grid_step,
+                self.config.plateau,
+                &table,
+                ack_path,
+                &mut self.p,
+                &mut self.usage,
+                &mut self.cost,
+                &mut self.stage_timeouts,
+            );
+            TimeoutSchedule::from_stage_timeouts(&self.stage_timeouts, &table, scenario.lifetime())
+        };
+
+        let problem = self.assemble_lp(scenario, objective, &table);
+        let solution = problem.solve_with(&self.config.solver, &mut self.workspace)?;
+        let strategy = self.package_strategy(scenario, &table, solution.into_x());
+
+        Ok(Plan {
+            scenario: scenario.clone(),
+            objective,
+            strategy,
+            schedule,
+            ack_path,
+        })
+    }
+
+    /// The paper's Experiment-1 procedure (§VII-A) as a first-class plan:
+    /// the **LP** is solved with conservatively inflated delays
+    /// (`measured + margin`, absorbing queueing noise at deadline
+    /// boundaries), while the **timeout schedule** keeps the measured
+    /// delays — inflating those too would push retransmissions past the
+    /// deadline.
+    ///
+    /// Deterministic scenarios only (the random-delay model absorbs
+    /// margins into the distributions themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Unsupported`] for random-delay scenarios or a
+    /// non-finite/negative margin; otherwise as [`Planner::plan`].
+    pub fn plan_with_margin(
+        &mut self,
+        measured: &Scenario,
+        margin_s: f64,
+        objective: Objective,
+    ) -> Result<Plan, PlanError> {
+        if !measured.is_deterministic() {
+            return Err(PlanError::Unsupported(
+                "delay margins only apply to deterministic scenarios".into(),
+            ));
+        }
+        if !(margin_s >= 0.0) || !margin_s.is_finite() {
+            return Err(PlanError::Unsupported(format!(
+                "margin must be finite and ≥ 0, got {margin_s}"
+            )));
+        }
+        let mut inflated = measured.clone();
+        for (k, p) in measured.paths().iter().enumerate() {
+            let spec = p.as_spec().expect("deterministic scenario");
+            let slow = ScenarioPath::constant_with_cost(
+                spec.bandwidth(),
+                spec.delay() + margin_s,
+                spec.loss(),
+                spec.cost(),
+            )?;
+            inflated = inflated.with_path_replaced(k, slow);
+        }
+        let mut plan = self.plan(&inflated, objective)?;
+        // Swap the timeout schedule back to the measured delays.
+        let dmin = self.load_det_paths(measured);
+        plan.schedule =
+            TimeoutSchedule::deterministic(&self.det_paths, dmin, plan.strategy.table());
+        plan.scenario = measured.clone();
+        Ok(plan)
+    }
+
+    /// Loads a deterministic scenario's paths into the reusable
+    /// `det_paths` buffer and returns `d_min` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is not deterministic (callers check).
+    fn load_det_paths(&mut self, scenario: &Scenario) -> f64 {
+        self.det_paths.clear();
+        for p in scenario.paths() {
+            self.det_paths
+                .push(p.as_spec().expect("deterministic scenario"));
+        }
+        self.det_paths
+            .iter()
+            .map(PathSpec::delay)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn validate(&self, scenario: &Scenario, objective: Objective) -> Result<(), PlanError> {
+        match objective {
+            Objective::MaxQuality => Ok(()),
+            Objective::MaxQualityUnderBudget => {
+                if scenario.cost_budget().is_finite() {
+                    Ok(())
+                } else {
+                    Err(PlanError::Unsupported(
+                        "MaxQualityUnderBudget requires a finite scenario cost_budget".into(),
+                    ))
+                }
+            }
+            Objective::MinCost { min_quality } => {
+                if (0.0..=1.0).contains(&min_quality) {
+                    Ok(())
+                } else {
+                    Err(PlanError::Unsupported(format!(
+                        "MinCost quality floor must be in [0, 1], got {min_quality}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Assembles the LP for the requested objective from the filled
+    /// coefficient buffers.
+    fn assemble_lp(
+        &self,
+        scenario: &Scenario,
+        objective: Objective,
+        table: &ComboTable,
+    ) -> Problem {
+        let lambda = scenario.data_rate();
+        match objective {
+            Objective::MaxQuality | Objective::MaxQualityUnderBudget => {
+                let mut lp = Problem::maximize(self.p.clone());
+                for (k, usage) in self.usage.iter().enumerate() {
+                    lp.add_le(usage.clone(), scenario.paths()[k].bandwidth() / lambda)
+                        .expect("dimensions match");
+                }
+                if scenario.cost_budget().is_finite() {
+                    lp.add_le(self.cost.clone(), scenario.cost_budget() / lambda)
+                        .expect("dimensions match");
+                }
+                lp.add_eq(vec![1.0; table.num_combos()], 1.0)
+                    .expect("dimensions match");
+                lp
+            }
+            Objective::MinCost { min_quality } => {
+                let mut lp = Problem::minimize(self.cost.clone());
+                for (k, usage) in self.usage.iter().enumerate() {
+                    lp.add_le(usage.clone(), scenario.paths()[k].bandwidth() / lambda)
+                        .expect("dimensions match");
+                }
+                lp.add_ge(self.p.clone(), min_quality).expect("dimensions");
+                lp.add_eq(vec![1.0; table.num_combos()], 1.0)
+                    .expect("dimensions match");
+                lp
+            }
+        }
+    }
+
+    /// Packages an assignment into a [`Strategy`] with predicted metrics
+    /// (Eq. 2, 6, 7).
+    fn package_strategy(&self, scenario: &Scenario, table: &ComboTable, x: Vec<f64>) -> Strategy {
+        let lambda = scenario.data_rate();
+        let quality: f64 = self.p.iter().zip(&x).map(|(p, v)| p * v).sum();
+        let send_rates: Vec<f64> = self
+            .usage
+            .iter()
+            .map(|usage| lambda * usage.iter().zip(&x).map(|(u, v)| u * v).sum::<f64>())
+            .collect();
+        let cost_rate = lambda * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        Strategy::new(table.clone(), x, lambda, quality, cost_rate, send_rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{min_cost_strategy, optimal_strategy, ModelConfig};
+    use crate::{NetworkSpec, RandomDelayConfig, RandomDelayModel, RandomNetworkSpec};
+    use dmc_stats::ShiftedGamma;
+    use std::sync::Arc;
+
+    fn table3_scenario(lambda: f64, delta: f64) -> Scenario {
+        Scenario::builder()
+            .path(ScenarioPath::constant(80e6, 0.450, 0.2).unwrap())
+            .path(ScenarioPath::constant(20e6, 0.150, 0.0).unwrap())
+            .data_rate(lambda)
+            .lifetime(delta)
+            .build()
+            .unwrap()
+    }
+
+    fn table3_network(lambda: f64, delta: f64) -> NetworkSpec {
+        NetworkSpec::builder()
+            .path(crate::PathSpec::new(80e6, 0.450, 0.2).unwrap())
+            .path(crate::PathSpec::new(20e6, 0.150, 0.0).unwrap())
+            .data_rate(lambda)
+            .lifetime(delta)
+            .build()
+            .unwrap()
+    }
+
+    fn table5_scenario() -> Scenario {
+        Scenario::builder()
+            .path(
+                ScenarioPath::new(
+                    80e6,
+                    Arc::new(ShiftedGamma::new(10.0, 0.004, 0.400).unwrap()),
+                    0.2,
+                    0.0,
+                )
+                .unwrap(),
+            )
+            .path(
+                ScenarioPath::new(
+                    20e6,
+                    Arc::new(ShiftedGamma::new(5.0, 0.002, 0.100).unwrap()),
+                    0.0,
+                    0.0,
+                )
+                .unwrap(),
+            )
+            .data_rate(90e6)
+            .lifetime(0.750)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_plan_matches_legacy_exactly() {
+        let mut planner = Planner::new();
+        for (lambda, delta) in [(10e6, 0.8), (90e6, 0.8), (120e6, 0.8), (90e6, 0.45)] {
+            let plan = planner
+                .plan(&table3_scenario(lambda, delta), Objective::MaxQuality)
+                .unwrap();
+            let legacy =
+                optimal_strategy(&table3_network(lambda, delta), &ModelConfig::default()).unwrap();
+            assert_eq!(plan.strategy().x(), legacy.x(), "λ={lambda} δ={delta}");
+            assert_eq!(plan.quality(), legacy.quality());
+            assert_eq!(plan.send_rates(), legacy.send_rates());
+        }
+    }
+
+    #[test]
+    fn random_plan_matches_legacy_model() {
+        let scenario = table5_scenario();
+        let mut planner = Planner::new();
+        let plan = planner.plan(&scenario, Objective::MaxQuality).unwrap();
+        let legacy_net = RandomNetworkSpec::new(scenario.paths().to_vec(), 90e6, 0.750).unwrap();
+        let model = RandomDelayModel::new(&legacy_net, &RandomDelayConfig::default());
+        let legacy = model.solve_quality(&SolverOptions::default()).unwrap();
+        assert_eq!(plan.strategy().x(), legacy.x());
+        assert_eq!(plan.quality(), legacy.quality());
+        assert_eq!(plan.ack_path(), model.ack_path());
+        // Pairwise timeouts agree too.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(plan.timeout(i, j), model.timeout(i, j), "t({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_schedule_is_eq4() {
+        let mut planner = Planner::new();
+        let plan = planner
+            .plan(&table3_scenario(90e6, 0.8), Objective::MaxQuality)
+            .unwrap();
+        // t(1,2) = d_1 + d_min = 450 + 150 ms.
+        let t = plan.timeout(0, 1).expect("defined");
+        assert!((t - 0.600).abs() < 1e-12, "t = {t}");
+        // Stage timers exist for real-path stages.
+        let table = plan.strategy().table();
+        let l = table
+            .index_of(&[crate::Slot::Path(0), crate::Slot::Path(1)])
+            .unwrap();
+        let s0 = plan.schedule().stage(l, 0).expect("stage 0 armed");
+        assert!(s0.retransmit);
+        let s1 = plan.schedule().stage(l, 1).expect("stage 1 detect-only");
+        assert!(!s1.retransmit);
+    }
+
+    #[test]
+    fn min_cost_objective_matches_legacy() {
+        let scenario = Scenario::builder()
+            .path(ScenarioPath::constant_with_cost(80e6, 0.450, 0.2, 3e-9).unwrap())
+            .path(ScenarioPath::constant_with_cost(20e6, 0.150, 0.0, 1e-9).unwrap())
+            .data_rate(90e6)
+            .lifetime(0.8)
+            .build()
+            .unwrap();
+        let net = scenario.to_network_spec().unwrap();
+        let mut planner = Planner::new();
+        let plan = planner
+            .plan(&scenario, Objective::MinCost { min_quality: 0.9 })
+            .unwrap();
+        let legacy = min_cost_strategy(&net, 0.9, &ModelConfig::default()).unwrap();
+        assert_eq!(plan.strategy().x(), legacy.x());
+        assert_eq!(plan.cost_rate(), legacy.cost_rate());
+        // Unreachable floor is an LP infeasibility.
+        assert!(matches!(
+            planner.plan(&scenario, Objective::MinCost { min_quality: 0.99 }),
+            Err(PlanError::Solve(_))
+        ));
+        // Out-of-range floor is rejected before solving.
+        assert!(matches!(
+            planner.plan(&scenario, Objective::MinCost { min_quality: 1.5 }),
+            Err(PlanError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn min_cost_works_for_random_scenarios_too() {
+        // New capability: the legacy API had no random-delay min-cost
+        // entry point; the planner solves it with the same coefficients.
+        let base = table5_scenario();
+        let costed = base
+            .with_path_replaced(
+                0,
+                ScenarioPath::new(
+                    80e6,
+                    Arc::new(ShiftedGamma::new(10.0, 0.004, 0.400).unwrap()),
+                    0.2,
+                    3e-9,
+                )
+                .unwrap(),
+            )
+            .with_path_replaced(
+                1,
+                ScenarioPath::new(
+                    20e6,
+                    Arc::new(ShiftedGamma::new(5.0, 0.002, 0.100).unwrap()),
+                    0.0,
+                    1e-9,
+                )
+                .unwrap(),
+            );
+        let mut planner = Planner::new();
+        let qmax = planner.plan(&costed, Objective::MaxQuality).unwrap();
+        let floor = qmax.quality() - 1e-9;
+        let cheap = planner
+            .plan(&costed, Objective::MinCost { min_quality: floor })
+            .unwrap();
+        assert!(cheap.quality() >= floor - 1e-6);
+        assert!(cheap.cost_rate() <= qmax.cost_rate() + 1e-6);
+    }
+
+    #[test]
+    fn budget_objective_requires_budget() {
+        let mut planner = Planner::new();
+        assert!(matches!(
+            planner.plan(
+                &table3_scenario(90e6, 0.8),
+                Objective::MaxQualityUnderBudget
+            ),
+            Err(PlanError::Unsupported(_))
+        ));
+        let budgeted = Scenario::builder()
+            .path(ScenarioPath::constant_with_cost(80e6, 0.450, 0.2, 1.0).unwrap())
+            .path(ScenarioPath::constant_with_cost(20e6, 0.150, 0.0, 0.0).unwrap())
+            .data_rate(90e6)
+            .lifetime(0.8)
+            .cost_budget(1.0)
+            .build()
+            .unwrap();
+        let plan = planner
+            .plan(&budgeted, Objective::MaxQualityUnderBudget)
+            .unwrap();
+        // Path 0 unaffordable → path-1-only quality 2/9 (cf. the legacy
+        // cost_budget_binds test).
+        assert!(
+            (plan.quality() - 2.0 / 9.0).abs() < 1e-6,
+            "{}",
+            plan.quality()
+        );
+        assert!(plan.cost_rate() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn plan_with_margin_splits_lp_from_timeouts() {
+        // Measured 400/100 ms, margin 50 ms: the LP sees 450/150 (Table IV
+        // numbers) while timeouts keep 400/100 (t = d_i + d_min = 500 ms).
+        let measured = Scenario::builder()
+            .path(ScenarioPath::constant(80e6, 0.400, 0.2).unwrap())
+            .path(ScenarioPath::constant(20e6, 0.100, 0.0).unwrap())
+            .data_rate(90e6)
+            .lifetime(0.8)
+            .build()
+            .unwrap();
+        let mut planner = Planner::new();
+        let plan = planner
+            .plan_with_margin(&measured, 0.050, Objective::MaxQuality)
+            .unwrap();
+        assert!(
+            (plan.quality() - 42.0 / 45.0).abs() < 1e-9,
+            "{}",
+            plan.quality()
+        );
+        let t = plan.timeout(0, 1).expect("defined");
+        assert!((t - 0.500).abs() < 1e-12, "t = {t}");
+        // The plan reports the *measured* scenario.
+        assert_eq!(plan.scenario().paths()[0].constant_delay(), Some(0.400));
+        // Margins don't apply to random scenarios.
+        assert!(matches!(
+            planner.plan_with_margin(&table5_scenario(), 0.05, Objective::MaxQuality),
+            Err(PlanError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn planner_reuse_across_shapes_and_sweeps() {
+        // One planner across different path counts, transmission counts
+        // and regimes must keep producing correct answers.
+        let mut planner = Planner::new();
+        for m in 1..=3 {
+            let s = table3_scenario(90e6, 1.5).with_transmissions(m);
+            let plan = planner.plan(&s, Objective::MaxQuality).unwrap();
+            let legacy = optimal_strategy(
+                &table3_network(90e6, 1.5),
+                &ModelConfig::with_transmissions(m),
+            )
+            .unwrap();
+            assert_eq!(plan.strategy().x(), legacy.x(), "m={m}");
+        }
+        let random = planner
+            .plan(&table5_scenario(), Objective::MaxQuality)
+            .unwrap();
+        assert!((random.quality() - 0.9333).abs() < 0.005);
+        let three_path = Scenario::builder()
+            .path(ScenarioPath::constant(80e6, 0.450, 0.2).unwrap())
+            .path(ScenarioPath::constant(20e6, 0.150, 0.0).unwrap())
+            .path(ScenarioPath::constant(30e6, 0.250, 0.05).unwrap())
+            .data_rate(130e6)
+            .lifetime(0.8)
+            .build()
+            .unwrap();
+        let plan = planner.plan(&three_path, Objective::MaxQuality).unwrap();
+        assert!(plan.strategy().is_well_formed(1e-9));
+        assert!(plan.quality() > 0.0 && plan.quality() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn blackhole_disabled_reports_infeasible() {
+        let mut planner = Planner::with_config(PlannerConfig {
+            blackhole: false,
+            ..PlannerConfig::default()
+        });
+        let err = planner
+            .plan(&table3_scenario(200e6, 0.8), Objective::MaxQuality)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Solve(_)));
+        assert!(!format!("{err}").is_empty());
+    }
+}

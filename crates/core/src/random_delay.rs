@@ -22,84 +22,32 @@
 //! `m > 2` transmissions: stage `s` delivers in time with probability
 //! `P(T_s + d_{i_s} ≤ δ)` and is reached with probability
 //! `Π_{u<s} P(retrans_u)` (Eq. 27).
+//!
+//! The preferred entry point is the unified
+//! [`Planner`](crate::Planner) pipeline, which routes any
+//! [`Scenario`](crate::Scenario) with non-constant delays through the
+//! same coefficient computation implemented here.
 
 use crate::combo::{ComboTable, Slot};
 use crate::path::SpecError;
+use crate::scenario::ScenarioPath;
 use crate::strategy::Strategy;
 use dmc_lp::{Problem, SolveError, SolverOptions};
 use dmc_stats::{Delay, DiscreteDist};
 use std::sync::Arc;
 
 /// A path whose one-way delay is a random variable (Eq. 24).
-#[derive(Debug, Clone)]
-pub struct RandomPath {
-    bandwidth: f64,
-    delay: Arc<dyn Delay>,
-    loss: f64,
-    cost: f64,
-}
-
-impl RandomPath {
-    /// Creates a random-delay path.
-    ///
-    /// # Errors
-    ///
-    /// Rejects non-positive/non-finite bandwidth, loss outside `[0, 1]`,
-    /// negative cost, or a delay distribution with non-finite mean.
-    pub fn new(
-        bandwidth_bps: f64,
-        delay: Arc<dyn Delay>,
-        loss: f64,
-        cost_per_bit: f64,
-    ) -> Result<Self, SpecError> {
-        if !(bandwidth_bps > 0.0) || !bandwidth_bps.is_finite() {
-            return Err(SpecError(format!(
-                "bandwidth must be finite and > 0, got {bandwidth_bps}"
-            )));
-        }
-        if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
-            return Err(SpecError(format!("loss must be in [0, 1], got {loss}")));
-        }
-        if !(cost_per_bit >= 0.0) || !cost_per_bit.is_finite() {
-            return Err(SpecError(format!(
-                "cost must be finite and ≥ 0, got {cost_per_bit}"
-            )));
-        }
-        if !delay.mean().is_finite() || delay.mean() < 0.0 {
-            return Err(SpecError(
-                "delay distribution must have a finite non-negative mean".into(),
-            ));
-        }
-        Ok(RandomPath {
-            bandwidth: bandwidth_bps,
-            delay,
-            loss,
-            cost: cost_per_bit,
-        })
-    }
-
-    /// Bandwidth in bits/second.
-    pub fn bandwidth(&self) -> f64 {
-        self.bandwidth
-    }
-
-    /// The delay distribution.
-    pub fn delay(&self) -> &Arc<dyn Delay> {
-        &self.delay
-    }
-
-    /// Loss probability `τ_i`.
-    pub fn loss(&self) -> f64 {
-        self.loss
-    }
-
-    /// Cost per bit `c_i`.
-    pub fn cost(&self) -> f64 {
-        self.cost
-    }
-}
+///
+/// Legacy alias: the unified [`ScenarioPath`] carries a delay
+/// distribution for *both* regimes (a constant distribution is the
+/// deterministic case), so the split type is no longer needed.
+pub type RandomPath = ScenarioPath;
 
 /// A scenario with random path delays.
+///
+/// Legacy type: prefer [`Scenario`](crate::Scenario), which subsumes this
+/// and [`NetworkSpec`](crate::NetworkSpec); `Scenario::from_random`
+/// converts.
 #[derive(Debug, Clone)]
 pub struct RandomNetworkSpec {
     paths: Vec<RandomPath>,
@@ -172,14 +120,19 @@ impl RandomNetworkSpec {
 
     /// The acknowledgment path (Eq. 25): smallest *expected* delay.
     pub fn ack_path(&self) -> usize {
-        let mut best = 0;
-        for (i, p) in self.paths.iter().enumerate() {
-            if p.delay.mean() < self.paths[best].delay.mean() {
-                best = i;
-            }
-        }
-        best
+        ack_path_of(&self.paths)
     }
+}
+
+/// Index of the path with the smallest expected delay (Eq. 25).
+pub(crate) fn ack_path_of(paths: &[ScenarioPath]) -> usize {
+    let mut best = 0;
+    for (i, p) in paths.iter().enumerate() {
+        if p.delay().mean() < paths[best].delay().mean() {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Tie-break used when Eq. 34's product is maximal over a plateau.
@@ -220,6 +173,130 @@ impl Default for RandomDelayConfig {
     }
 }
 
+/// The per-combination coefficients of the random-delay LP, written into
+/// caller-owned buffers so a [`Planner`](crate::Planner) can reuse its
+/// allocations across solves.
+///
+/// `usage` must arrive with one inner vector per path (cleared/overwritten
+/// here); the other buffers are cleared and refilled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_random_coeffs(
+    paths: &[ScenarioPath],
+    lifetime: f64,
+    grid_step: f64,
+    plateau: PlateauRule,
+    table: &ComboTable,
+    ack_path: usize,
+    p: &mut Vec<f64>,
+    usage: &mut [Vec<f64>],
+    cost: &mut Vec<f64>,
+    stage_timeouts: &mut Vec<Vec<Option<f64>>>,
+) {
+    assert!(
+        grid_step > 0.0 && grid_step.is_finite(),
+        "grid step must be positive"
+    );
+    let n = paths.len();
+    debug_assert_eq!(usage.len(), n);
+    let step = grid_step;
+
+    // F_{d_i + d_min}: convolution of each path's delay with an
+    // independent copy of the ack path's delay (Eq. 34's
+    // `F_Xi ∗ f_Xmin`).
+    let ack_delay = Arc::clone(paths[ack_path].delay());
+    let delay_dists: Vec<DiscreteDist> = paths
+        .iter()
+        .map(|p| DiscreteDist::from_delay(p.delay().as_ref(), step))
+        .collect();
+    let ack_disc = DiscreteDist::from_delay(ack_delay.as_ref(), step);
+    let rtt_dists: Vec<DiscreteDist> = delay_dists.iter().map(|d| d.convolve(&ack_disc)).collect();
+
+    let delta = lifetime;
+    let ncombos = table.num_combos();
+    p.clear();
+    p.reserve(ncombos);
+    cost.clear();
+    cost.reserve(ncombos);
+    stage_timeouts.clear();
+    stage_timeouts.reserve(ncombos);
+    for row in usage.iter_mut() {
+        row.clear();
+        row.resize(ncombos, 0.0);
+    }
+
+    for (l, slots) in table.iter() {
+        let mut reach = 1.0; // Π P(retrans) over earlier stages
+        let mut send_time = 0.0; // deterministic send time T_s
+        let mut pl = 0.0;
+        let mut costl = 0.0;
+        let mut timeouts = vec![None; slots.len()];
+        for (s, &slot) in slots.iter().enumerate() {
+            let Slot::Path(i) = slot else {
+                break; // blackhole absorbs
+            };
+            let path = &paths[i];
+            usage[i][l] += reach;
+            costl += reach * path.cost();
+            // P(T_s + d_i ≤ δ) · (1 − τ_i), Eq. 28 generalized.
+            let in_time = path.delay().cdf(delta - send_time);
+            pl += reach * in_time * (1.0 - path.loss());
+
+            // Arm the next stage's timeout if there is a real next path.
+            let Some(&next) = slots.get(s + 1) else {
+                break;
+            };
+            let Slot::Path(j) = next else {
+                break; // retransmitting into the blackhole = dropping
+            };
+            let remaining = delta - send_time;
+            let opt = optimize_timeout(
+                &rtt_dists[i],
+                paths[j].delay().as_ref(),
+                remaining,
+                step,
+                plateau,
+            );
+            let Some(theta) = opt else {
+                break; // no timeout can meet the deadline (t₁,₁ case)
+            };
+            timeouts[s] = Some(theta);
+
+            // Duplicate-delivery correction (beyond the paper; see
+            // DESIGN.md): Eq. 28 adds the retransmission's delivery
+            // probability unconditionally, double-counting the event
+            // "the stage-s copy arrived in time AND its ack missed
+            // the timeout, so the s+1 copy also arrived in time".
+            // The receiver deduplicates, so that mass must be
+            // subtracted — without it, tight deadlines (frequent
+            // spurious retransmissions) yield p > 1.
+            let next_in_time = paths[j].delay().cdf(delta - send_time - theta);
+            let spurious_and_first_ok = joint_in_time_no_ack(
+                &delay_dists[i],
+                ack_delay.as_ref(),
+                delta - send_time,
+                theta,
+            );
+            pl -= reach
+                * (1.0 - path.loss())
+                * spurious_and_first_ok
+                * (1.0 - paths[j].loss())
+                * next_in_time;
+
+            // Eq. 27: retransmit unless the ack beat the timeout.
+            let ack_in_time = lookup_cdf(&rtt_dists[i], theta);
+            reach *= 1.0 - ack_in_time * (1.0 - path.loss());
+            send_time += theta;
+            if reach <= 1e-15 {
+                break;
+            }
+        }
+        p.push(pl.clamp(0.0, 1.0));
+        cost.push(costl);
+        stage_timeouts.push(timeouts);
+        let _ = l;
+    }
+}
+
 /// The assembled random-delay model: per-combination delivery
 /// probabilities, bandwidth/cost usage, and per-stage optimal timeouts.
 #[derive(Debug, Clone)]
@@ -248,108 +325,25 @@ impl RandomDelayModel {
     ///
     /// Panics if `config.grid_step ≤ 0` or `config.transmissions == 0`.
     pub fn new(net: &RandomNetworkSpec, config: &RandomDelayConfig) -> Self {
-        assert!(
-            config.grid_step > 0.0 && config.grid_step.is_finite(),
-            "grid step must be positive"
-        );
         let n = net.paths.len();
         let table = ComboTable::new(n, config.transmissions, config.blackhole);
         let ack_path = net.ack_path();
-        let step = config.grid_step;
-
-        // F_{d_i + d_min}: convolution of each path's delay with an
-        // independent copy of the ack path's delay (Eq. 34's
-        // `F_Xi ∗ f_Xmin`).
-        let ack_delay = Arc::clone(&net.paths[ack_path].delay);
-        let delay_dists: Vec<DiscreteDist> = net
-            .paths
-            .iter()
-            .map(|p| DiscreteDist::from_delay(p.delay.as_ref(), step))
-            .collect();
-        let ack_disc = DiscreteDist::from_delay(ack_delay.as_ref(), step);
-        let rtt_dists: Vec<DiscreteDist> = delay_dists
-            .iter()
-            .map(|d| d.convolve(&ack_disc))
-            .collect();
-
-        let delta = net.lifetime;
-        let ncombos = table.num_combos();
-        let mut p = Vec::with_capacity(ncombos);
-        let mut usage = vec![vec![0.0; ncombos]; n];
-        let mut cost = Vec::with_capacity(ncombos);
-        let mut stage_timeouts = Vec::with_capacity(ncombos);
-
-        for (l, slots) in table.iter() {
-            let mut reach = 1.0; // Π P(retrans) over earlier stages
-            let mut send_time = 0.0; // deterministic send time T_s
-            let mut pl = 0.0;
-            let mut costl = 0.0;
-            let mut timeouts = vec![None; slots.len()];
-            for (s, &slot) in slots.iter().enumerate() {
-                let Slot::Path(i) = slot else {
-                    break; // blackhole absorbs
-                };
-                let path = &net.paths[i];
-                usage[i][l] += reach;
-                costl += reach * path.cost();
-                // P(T_s + d_i ≤ δ) · (1 − τ_i), Eq. 28 generalized.
-                let in_time = path.delay.cdf(delta - send_time);
-                pl += reach * in_time * (1.0 - path.loss);
-
-                // Arm the next stage's timeout if there is a real next path.
-                let Some(&next) = slots.get(s + 1) else {
-                    break;
-                };
-                let Slot::Path(j) = next else {
-                    break; // retransmitting into the blackhole = dropping
-                };
-                let remaining = delta - send_time;
-                let opt = optimize_timeout(
-                    &rtt_dists[i],
-                    net.paths[j].delay.as_ref(),
-                    remaining,
-                    step,
-                    config.plateau,
-                );
-                let Some(theta) = opt else {
-                    break; // no timeout can meet the deadline (t₁,₁ case)
-                };
-                timeouts[s] = Some(theta);
-
-                // Duplicate-delivery correction (beyond the paper; see
-                // DESIGN.md): Eq. 28 adds the retransmission's delivery
-                // probability unconditionally, double-counting the event
-                // "the stage-s copy arrived in time AND its ack missed
-                // the timeout, so the s+1 copy also arrived in time".
-                // The receiver deduplicates, so that mass must be
-                // subtracted — without it, tight deadlines (frequent
-                // spurious retransmissions) yield p > 1.
-                let next_in_time = net.paths[j].delay.cdf(delta - send_time - theta);
-                let spurious_and_first_ok = joint_in_time_no_ack(
-                    &delay_dists[i],
-                    ack_delay.as_ref(),
-                    delta - send_time,
-                    theta,
-                );
-                pl -= reach
-                    * (1.0 - path.loss)
-                    * spurious_and_first_ok
-                    * (1.0 - net.paths[j].loss)
-                    * next_in_time;
-
-                // Eq. 27: retransmit unless the ack beat the timeout.
-                let ack_in_time = lookup_cdf(&rtt_dists[i], theta);
-                reach *= 1.0 - ack_in_time * (1.0 - path.loss);
-                send_time += theta;
-                if reach <= 1e-15 {
-                    break;
-                }
-            }
-            p.push(pl.clamp(0.0, 1.0));
-            cost.push(costl);
-            stage_timeouts.push(timeouts);
-            let _ = l;
-        }
+        let mut p = Vec::new();
+        let mut usage = vec![Vec::new(); n];
+        let mut cost = Vec::new();
+        let mut stage_timeouts = Vec::new();
+        fill_random_coeffs(
+            &net.paths,
+            net.lifetime,
+            config.grid_step,
+            config.plateau,
+            &table,
+            ack_path,
+            &mut p,
+            &mut usage,
+            &mut cost,
+            &mut stage_timeouts,
+        );
 
         RandomDelayModel {
             table,
@@ -357,7 +351,7 @@ impl RandomDelayModel {
             data_rate: net.data_rate,
             lifetime: net.lifetime,
             cost_budget: net.cost_budget,
-            bandwidths: net.paths.iter().map(|p| p.bandwidth).collect(),
+            bandwidths: net.paths.iter().map(ScenarioPath::bandwidth).collect(),
             p,
             usage,
             cost,
@@ -396,15 +390,7 @@ impl RandomDelayModel {
     ///
     /// Only meaningful for `transmissions ≥ 2`.
     pub fn timeout(&self, i: usize, j: usize) -> Option<f64> {
-        let mut slots = vec![Slot::Blackhole; self.table.transmissions()];
-        if !self.table.has_blackhole() {
-            slots = vec![Slot::Path(j); self.table.transmissions()];
-        }
-        slots[0] = Slot::Path(i);
-        if self.table.transmissions() >= 2 {
-            slots[1] = Slot::Path(j);
-        }
-        let l = self.table.index_of(&slots)?;
+        let l = pairwise_combo_index(&self.table, i, j)?;
         self.stage_timeouts[l].first().copied().flatten()
     }
 
@@ -445,8 +431,7 @@ impl RandomDelayModel {
                         .sum::<f64>()
             })
             .collect();
-        let cost_rate =
-            self.data_rate * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        let cost_rate = self.data_rate * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
         Ok(Strategy::new(
             self.table.clone(),
             x,
@@ -471,6 +456,22 @@ impl RandomDelayModel {
     pub fn lifetime(&self) -> f64 {
         self.lifetime
     }
+}
+
+/// The combination index encoding the paper's `t_{i,j}` lookup: first
+/// transmission on path `i`, retransmission on path `j`, remaining
+/// stages absorbed (shared by [`RandomDelayModel::timeout`] and
+/// [`Plan::timeout`](crate::Plan::timeout)).
+pub(crate) fn pairwise_combo_index(table: &ComboTable, i: usize, j: usize) -> Option<usize> {
+    let mut slots = vec![Slot::Blackhole; table.transmissions()];
+    if !table.has_blackhole() {
+        slots = vec![Slot::Path(j); table.transmissions()];
+    }
+    slots[0] = Slot::Path(i);
+    if table.transmissions() >= 2 {
+        slots[1] = Slot::Path(j);
+    }
+    table.index_of(&slots)
 }
 
 /// CDF lookup on a discretized distribution (0 below support, 1 above).
@@ -672,6 +673,10 @@ mod tests {
         let model = RandomDelayModel::new(&net, &RandomDelayConfig::default());
         let s = model.solve_quality(&SolverOptions::default()).unwrap();
         // Path 0 unaffordable → only path 1's 20 Mbps of 90 → Q ≈ 2/9.
-        assert!((s.quality() - 2.0 / 9.0).abs() < 1e-6, "Q = {}", s.quality());
+        assert!(
+            (s.quality() - 2.0 / 9.0).abs() < 1e-6,
+            "Q = {}",
+            s.quality()
+        );
     }
 }

@@ -145,6 +145,183 @@ impl ComboScheduler {
     }
 }
 
+/// How a [`Scheduler`] maps the solved fractions to whole packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulePolicy {
+    /// Algorithm 1's deficit rule: always pick the combination lagging
+    /// most behind its target share. `O(1/N)` convergence; the default.
+    #[default]
+    Deficit,
+    /// I.i.d. weighted random sampling — the paper's ablation baseline
+    /// (`O(1/√N)` convergence). Deterministic for a given seed.
+    WeightedRandom {
+        /// RNG seed for the sampler.
+        seed: u64,
+    },
+}
+
+/// The unified per-packet combination selector, merging the historical
+/// [`ComboScheduler`] (Algorithm 1) and [`RandomScheduler`] (weighted
+/// random) behind one type — pick the behavior with [`SchedulePolicy`].
+///
+/// Obtain one from [`Plan::scheduler`](crate::Plan::scheduler), or build
+/// it directly from an assignment vector:
+///
+/// ```
+/// use dmc_core::{SchedulePolicy, Scheduler};
+///
+/// let mut sched = Scheduler::new(vec![0.75, 0.25], SchedulePolicy::Deficit).unwrap();
+/// let picks: Vec<usize> = (0..4).map(|_| sched.next_combo()).collect();
+/// assert_eq!(picks.iter().filter(|&&c| c == 0).count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    imp: SchedulerImpl,
+}
+
+#[derive(Debug, Clone)]
+enum SchedulerImpl {
+    Deficit(ComboScheduler),
+    Weighted {
+        x: Vec<f64>,
+        sampler: RandomScheduler,
+        rng: rand::rngs::StdRng,
+        assigned: Vec<u64>,
+        total: u64,
+    },
+}
+
+impl Scheduler {
+    /// Creates a scheduler for target distribution `x` (non-negative,
+    /// summing to 1 within `1e-6`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for empty, negative or
+    /// non-normalized input.
+    pub fn new(x: Vec<f64>, policy: SchedulePolicy) -> Result<Self, String> {
+        let imp = match policy {
+            SchedulePolicy::Deficit => SchedulerImpl::Deficit(ComboScheduler::new(x)?),
+            SchedulePolicy::WeightedRandom { seed } => {
+                use rand::SeedableRng;
+                let sampler = RandomScheduler::new(x.clone())?;
+                let len = x.len();
+                SchedulerImpl::Weighted {
+                    x,
+                    sampler,
+                    rng: rand::rngs::StdRng::seed_from_u64(seed),
+                    assigned: vec![0; len],
+                    total: 0,
+                }
+            }
+        };
+        Ok(Scheduler { imp })
+    }
+
+    /// Selects the combination for the next packet.
+    pub fn next_combo(&mut self) -> usize {
+        match &mut self.imp {
+            SchedulerImpl::Deficit(s) => s.next_combo(),
+            SchedulerImpl::Weighted {
+                sampler,
+                rng,
+                assigned,
+                total,
+                ..
+            } => {
+                let combo = sampler.next_combo(rng);
+                assigned[combo] += 1;
+                *total += 1;
+                combo
+            }
+        }
+    }
+
+    /// Target distribution.
+    pub fn target(&self) -> &[f64] {
+        match &self.imp {
+            SchedulerImpl::Deficit(s) => s.target(),
+            SchedulerImpl::Weighted { x, .. } => x,
+        }
+    }
+
+    /// Packets assigned per combination so far.
+    pub fn assigned(&self) -> &[u64] {
+        match &self.imp {
+            SchedulerImpl::Deficit(s) => s.assigned(),
+            SchedulerImpl::Weighted { assigned, .. } => assigned,
+        }
+    }
+
+    /// Total packets assigned so far.
+    pub fn total(&self) -> u64 {
+        match &self.imp {
+            SchedulerImpl::Deficit(s) => s.total(),
+            SchedulerImpl::Weighted { total, .. } => *total,
+        }
+    }
+
+    /// Largest deviation of the empirical distribution from the target
+    /// (0 when nothing assigned yet).
+    pub fn max_deviation(&self) -> f64 {
+        match &self.imp {
+            SchedulerImpl::Deficit(s) => s.max_deviation(),
+            SchedulerImpl::Weighted {
+                x, assigned, total, ..
+            } => {
+                if *total == 0 {
+                    return 0.0;
+                }
+                let total = *total as f64;
+                assigned
+                    .iter()
+                    .zip(x)
+                    .map(|(&a, &xi)| (a as f64 / total - xi).abs())
+                    .fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Replaces the target distribution (same length) while keeping
+    /// history — the adaptive re-solve hook.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Scheduler::new`], plus a length check.
+    pub fn retarget(&mut self, x: Vec<f64>) -> Result<(), String> {
+        match &mut self.imp {
+            SchedulerImpl::Deficit(s) => s.retarget(x),
+            SchedulerImpl::Weighted {
+                x: target, sampler, ..
+            } => {
+                if x.len() != target.len() {
+                    return Err(format!(
+                        "new distribution has {} entries, expected {}",
+                        x.len(),
+                        target.len()
+                    ));
+                }
+                *sampler = RandomScheduler::new(x.clone())?;
+                *target = x;
+                Ok(())
+            }
+        }
+    }
+
+    /// Forgets assignment history.
+    pub fn reset_history(&mut self) {
+        match &mut self.imp {
+            SchedulerImpl::Deficit(s) => s.reset_history(),
+            SchedulerImpl::Weighted {
+                assigned, total, ..
+            } => {
+                assigned.iter_mut().for_each(|a| *a = 0);
+                *total = 0;
+            }
+        }
+    }
+}
+
 fn argmax(xs: &[f64]) -> usize {
     let mut best = 0;
     for (i, &v) in xs.iter().enumerate() {
@@ -277,6 +454,43 @@ mod tests {
     }
 
     #[test]
+    fn unified_scheduler_deficit_matches_combo_scheduler() {
+        let x = vec![0.25, 0.75];
+        let mut unified = Scheduler::new(x.clone(), SchedulePolicy::Deficit).unwrap();
+        let mut legacy = ComboScheduler::new(x).unwrap();
+        for _ in 0..200 {
+            assert_eq!(unified.next_combo(), legacy.next_combo());
+        }
+        assert_eq!(unified.assigned(), legacy.assigned());
+        assert_eq!(unified.total(), 200);
+        assert!(unified.max_deviation() <= legacy.max_deviation() + 1e-15);
+        unified.retarget(vec![0.5, 0.5]).unwrap();
+        unified.reset_history();
+        assert_eq!(unified.total(), 0);
+        assert_eq!(unified.target(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn unified_scheduler_weighted_is_seeded_and_tracked() {
+        let x = vec![0.6, 0.3, 0.1];
+        let mk = || Scheduler::new(x.clone(), SchedulePolicy::WeightedRandom { seed: 9 }).unwrap();
+        let (mut a, mut b) = (mk(), mk());
+        let picks_a: Vec<usize> = (0..500).map(|_| a.next_combo()).collect();
+        let picks_b: Vec<usize> = (0..500).map(|_| b.next_combo()).collect();
+        assert_eq!(picks_a, picks_b, "same seed ⇒ same stream");
+        assert_eq!(a.total(), 500);
+        assert_eq!(a.assigned().iter().sum::<u64>(), 500);
+        // Roughly follows the target.
+        assert!(a.max_deviation() < 0.1, "dev {}", a.max_deviation());
+        assert!(a.retarget(vec![1.0]).is_err());
+        a.retarget(vec![0.0, 0.0, 1.0]).unwrap();
+        a.reset_history();
+        for _ in 0..50 {
+            assert_eq!(a.next_combo(), 2);
+        }
+    }
+
+    #[test]
     fn random_baseline_is_looser_than_algorithm1() {
         let x = vec![0.6, 0.3, 0.1];
         let n = 2_000;
@@ -295,8 +509,11 @@ mod tests {
             .zip(&x)
             .map(|(&c, &xi)| (c as f64 / n as f64 - xi).abs())
             .fold(0.0, f64::max);
-        assert!(det.max_deviation() < rand_dev,
-            "algorithm 1 {} should beat random {rand_dev}", det.max_deviation());
+        assert!(
+            det.max_deviation() < rand_dev,
+            "algorithm 1 {} should beat random {rand_dev}",
+            det.max_deviation()
+        );
         assert!(det.max_deviation() <= 3.0 / n as f64);
     }
 }

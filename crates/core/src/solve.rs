@@ -170,8 +170,10 @@ mod tests {
             let multi = optimal_strategy(&net, &cfg).unwrap().quality();
             let p1 = single_path_quality(&net, 0, &cfg).unwrap();
             let p2 = single_path_quality(&net, 1, &cfg).unwrap();
-            assert!(multi >= p1 - 1e-9 && multi >= p2 - 1e-9,
-                "λ={lambda}: multi {multi} vs single {p1}/{p2}");
+            assert!(
+                multi >= p1 - 1e-9 && multi >= p2 - 1e-9,
+                "λ={lambda}: multi {multi} vs single {p1}/{p2}"
+            );
         }
     }
 
@@ -194,13 +196,17 @@ mod tests {
         let cfg = ModelConfig::default();
         let mut prev = 0.0;
         for delta in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
-            let q = optimal_strategy(&table3(90e6, delta), &cfg).unwrap().quality();
+            let q = optimal_strategy(&table3(90e6, delta), &cfg)
+                .unwrap()
+                .quality();
             assert!(q >= prev - 1e-9, "δ={delta}: {q} < {prev}");
             prev = q;
         }
         let mut prev = 1.0;
         for lambda in [20e6, 60e6, 100e6, 140e6] {
-            let q = optimal_strategy(&table3(lambda, 0.8), &cfg).unwrap().quality();
+            let q = optimal_strategy(&table3(lambda, 0.8), &cfg)
+                .unwrap()
+                .quality();
             assert!(q <= prev + 1e-9, "λ={lambda}: {q} > {prev}");
             prev = q;
         }

@@ -132,8 +132,8 @@ impl Strategy {
                 }
                 let c = combo_coeffs(&eff_paths, dmin, true_net.lifetime(), &slots);
                 quality += xl * c.p;
-                for k in 0..n {
-                    send_rates[k] += lambda * xl * c.usage[k];
+                for (rate, &u) in send_rates.iter_mut().zip(&c.usage) {
+                    *rate += lambda * xl * u;
                 }
                 cost_rate += lambda * xl * c.cost;
             }
@@ -277,14 +277,25 @@ mod tests {
         let s = solve(90e6, 0.8);
         assert!((s.quality() - 42.0 / 45.0).abs() < 1e-9);
         assert!(s.is_well_formed(1e-9));
-        assert!((s.send_rates()[0] - 80e6).abs() < 1.0, "S1 = {}", s.send_rates()[0]);
-        assert!((s.send_rates()[1] - 20e6).abs() < 1.0, "S2 = {}", s.send_rates()[1]);
+        assert!(
+            (s.send_rates()[0] - 80e6).abs() < 1.0,
+            "S1 = {}",
+            s.send_rates()[0]
+        );
+        assert!(
+            (s.send_rates()[1] - 20e6).abs() < 1.0,
+            "S2 = {}",
+            s.send_rates()[1]
+        );
         // Both real paths carry initial transmissions: diversity is used.
         let path0_initial: f64 = (0..s.table().num_combos())
             .filter(|&l| matches!(s.table().slots_of(l)[0], Slot::Path(0)))
             .map(|l| s.x()[l])
             .sum();
-        assert!((path0_initial - 8.0 / 9.0).abs() < 1e-9, "path-0 share {path0_initial}");
+        assert!(
+            (path0_initial - 8.0 / 9.0).abs() < 1e-9,
+            "path-0 share {path0_initial}"
+        );
     }
 
     #[test]
@@ -312,10 +323,8 @@ mod tests {
         // Strategy solved believing path 0 has 2× its true bandwidth: the
         // true network drops the overflow, so quality drops below the
         // prediction but stays above the single-path floor.
-        let believed = net(90e6, 0.8).with_path_replaced(
-            0,
-            PathSpec::new(160e6, 0.450, 0.2).unwrap(),
-        );
+        let believed =
+            net(90e6, 0.8).with_path_replaced(0, PathSpec::new(160e6, 0.450, 0.2).unwrap());
         let s = DeterministicModel::new(&believed, 2, true)
             .solve_quality(&SolverOptions::default())
             .unwrap();
@@ -329,10 +338,8 @@ mod tests {
         // Believing path 0 has half its true bandwidth forces drops via the
         // blackhole: quality below the oracle's 42/45 but the prediction
         // itself is honest (evaluation equals prediction).
-        let believed = net(90e6, 0.8).with_path_replaced(
-            0,
-            PathSpec::new(40e6, 0.450, 0.2).unwrap(),
-        );
+        let believed =
+            net(90e6, 0.8).with_path_replaced(0, PathSpec::new(40e6, 0.450, 0.2).unwrap());
         let s = DeterministicModel::new(&believed, 2, true)
             .solve_quality(&SolverOptions::default())
             .unwrap();

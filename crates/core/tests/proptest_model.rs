@@ -9,10 +9,10 @@ use proptest::prelude::*;
 /// Strategy for a random but valid path.
 fn arb_path() -> impl Strategy<Value = PathSpec> {
     (
-        1.0f64..200.0,  // bandwidth Mbps
-        0.005f64..0.8,  // delay s
-        0.0f64..0.9,    // loss
-        0.0f64..5e-9,   // cost per bit
+        1.0f64..200.0, // bandwidth Mbps
+        0.005f64..0.8, // delay s
+        0.0f64..0.9,   // loss
+        0.0f64..5e-9,  // cost per bit
     )
         .prop_map(|(bw, d, l, c)| PathSpec::with_cost(bw * 1e6, d, l, c).expect("valid"))
 }

@@ -6,7 +6,10 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let mut cfg = RunConfig::default();
     cfg.messages = dmc_experiments::messages_from_env(100_000);
-    eprintln!("simulating {} messages (set MESSAGES to change)…", cfg.messages);
+    eprintln!(
+        "simulating {} messages (set MESSAGES to change)…",
+        cfg.messages
+    );
     match experiment2::run(&cfg) {
         Ok(result) => print!("{}", experiment2::render(&result)),
         Err(e) => {

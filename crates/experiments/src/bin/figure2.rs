@@ -6,7 +6,10 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let mut cfg = RunConfig::default();
     cfg.messages = dmc_experiments::messages_from_env(100_000);
-    eprintln!("simulating {} messages per point (set MESSAGES to change)…", cfg.messages);
+    eprintln!(
+        "simulating {} messages per point (set MESSAGES to change)…",
+        cfg.messages
+    );
 
     println!("# Figure 2 (top): quality vs. data rate, δ = 800 ms\n");
     let pts = figure2::rate_sweep(&figure2::paper_lambdas(), &cfg);

@@ -6,7 +6,10 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let mut cfg = RunConfig::default();
     cfg.messages = dmc_experiments::messages_from_env(100_000);
-    eprintln!("simulating {} messages per point (set MESSAGES to change)…", cfg.messages);
+    eprintln!(
+        "simulating {} messages per point (set MESSAGES to change)…",
+        cfg.messages
+    );
 
     let rel = figure3::relative_errors();
     let loss = figure3::loss_errors();

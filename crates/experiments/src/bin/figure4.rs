@@ -11,5 +11,7 @@ fn main() {
     println!("# Figure 4 — model build + solve time (paper: log-scale ms, 2.8 GHz i5)\n");
     let pts = figure4::sweep(runs);
     println!("{}", figure4::render(&pts));
-    println!("\n§VIII-B reference point: 2 paths (+blackhole), 2 transmissions ≈ 458 µs with CGAL.");
+    println!(
+        "\n§VIII-B reference point: 2 paths (+blackhole), 2 transmissions ≈ 458 µs with CGAL."
+    );
 }

@@ -2,9 +2,9 @@
 //! expected quality, and the gamma-delay simulation (paper: 93,332 of
 //! 100,000 messages in time; expected 93.3 %).
 
-use crate::runner::{run_random_delay, RunConfig, RunOutcome};
+use crate::runner::{run_plan, RunConfig, RunOutcome, TrueNetwork};
 use crate::scenarios;
-use dmc_core::{RandomDelayConfig, RandomDelayModel, SolverOptions};
+use dmc_core::{Objective, Planner};
 
 /// Everything Experiment 2 reports.
 #[derive(Debug, Clone)]
@@ -31,19 +31,18 @@ pub struct Experiment2Result {
 ///
 /// Forwards solver/simulation failures as strings.
 pub fn run(cfg: &RunConfig) -> Result<Experiment2Result, String> {
-    let net = scenarios::table5(90e6, 0.750);
-    let rd_cfg = RandomDelayConfig::default();
-    let model = RandomDelayModel::new(&net, &rd_cfg);
-    let strategy = model
-        .solve_quality(&SolverOptions::default())
+    let scenario = scenarios::table5_scenario(90e6, 0.750);
+    let plan = Planner::new()
+        .plan(&scenario, Objective::MaxQuality)
         .map_err(|e| e.to_string())?;
-    let outcome = run_random_delay(&net, &rd_cfg, 1.5, cfg)?;
+    let true_net = TrueNetwork::from_random(&scenarios::table5(90e6, 0.750)).over_provisioned(1.5);
+    let outcome = run_plan(&plan, &true_net, cfg)?;
     Ok(Experiment2Result {
-        t12: model.timeout(0, 1),
-        t21: model.timeout(1, 0),
-        t22: model.timeout(1, 1),
-        t11: model.timeout(0, 0),
-        expected_quality: strategy.quality(),
+        t12: plan.timeout(0, 1),
+        t21: plan.timeout(1, 0),
+        t22: plan.timeout(1, 1),
+        t11: plan.timeout(0, 0),
+        expected_quality: plan.quality(),
         outcome,
     })
 }

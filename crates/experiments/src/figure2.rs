@@ -4,7 +4,7 @@
 
 use crate::runner::{run_measured, RunConfig, TrueNetwork};
 use crate::scenarios;
-use dmc_core::{optimal_strategy, single_path_quality, ModelConfig};
+use dmc_core::{ModelConfig, Objective, Planner};
 
 /// One point of a Figure 2 sweep.
 #[derive(Debug, Clone)]
@@ -22,19 +22,31 @@ pub struct Figure2Point {
     pub path2_theory: f64,
 }
 
-fn point(lambda: f64, delta: f64, cfg: &RunConfig) -> Figure2Point {
-    let model_cfg = ModelConfig::default();
-    let model = scenarios::table3_model(lambda, delta);
-    let theory = optimal_strategy(&model, &model_cfg)
+fn point(planner: &mut Planner, lambda: f64, delta: f64, cfg: &RunConfig) -> Figure2Point {
+    let model = scenarios::table3_model_scenario(lambda, delta);
+    let theory = planner
+        .plan(&model, Objective::MaxQuality)
         .expect("feasible")
         .quality();
-    let path1_theory = single_path_quality(&model, 0, &model_cfg).expect("feasible");
-    let path2_theory = single_path_quality(&model, 1, &model_cfg).expect("feasible");
+    let path1_theory = planner
+        .plan(&model.restricted_to_path(0), Objective::MaxQuality)
+        .expect("feasible")
+        .quality();
+    let path2_theory = planner
+        .plan(&model.restricted_to_path(1), Objective::MaxQuality)
+        .expect("feasible")
+        .quality();
     let measured = scenarios::table3_true(lambda, delta);
     let truth = TrueNetwork::deterministic(&measured);
-    let simulation = run_measured(&measured, scenarios::QUEUE_MARGIN_S, &truth, &model_cfg, cfg)
-        .expect("run")
-        .quality;
+    let simulation = run_measured(
+        &measured,
+        scenarios::QUEUE_MARGIN_S,
+        &truth,
+        &ModelConfig::default(),
+        cfg,
+    )
+    .expect("run")
+    .quality;
     Figure2Point {
         param: 0.0,
         theory,
@@ -44,24 +56,28 @@ fn point(lambda: f64, delta: f64, cfg: &RunConfig) -> Figure2Point {
     }
 }
 
-/// Top panel: δ = 800 ms, λ swept in Mbps.
+/// Top panel: δ = 800 ms, λ swept in Mbps. One planner (and one LP
+/// workspace) serves the whole sweep.
 pub fn rate_sweep(lambdas_mbps: &[f64], cfg: &RunConfig) -> Vec<Figure2Point> {
+    let mut planner = Planner::new();
     lambdas_mbps
         .iter()
         .map(|&l| {
-            let mut p = point(l * 1e6, 0.800, cfg);
+            let mut p = point(&mut planner, l * 1e6, 0.800, cfg);
             p.param = l * 1e6;
             p
         })
         .collect()
 }
 
-/// Bottom panel: λ = 90 Mbps, δ swept in ms.
+/// Bottom panel: λ = 90 Mbps, δ swept in ms. One planner serves the
+/// whole sweep.
 pub fn lifetime_sweep(deltas_ms: &[f64], cfg: &RunConfig) -> Vec<Figure2Point> {
+    let mut planner = Planner::new();
     deltas_ms
         .iter()
         .map(|&d| {
-            let mut p = point(90e6, d / 1e3, cfg);
+            let mut p = point(&mut planner, 90e6, d / 1e3, cfg);
             p.param = d / 1e3;
             p
         })

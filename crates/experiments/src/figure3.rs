@@ -46,7 +46,12 @@ pub fn perturb(net: &NetworkSpec, metric: Metric, path: usize, error: f64) -> Ne
 
 /// Runs one sensitivity curve: λ = 90 Mbps, δ = 800 ms (the paper's
 /// operating point), sweeping `errors` on `metric` of `path`.
-pub fn curve(metric: Metric, path: usize, errors: &[f64], cfg: &RunConfig) -> Vec<SensitivityPoint> {
+pub fn curve(
+    metric: Metric,
+    path: usize,
+    errors: &[f64],
+    cfg: &RunConfig,
+) -> Vec<SensitivityPoint> {
     let model_cfg = ModelConfig::default();
     let truth = TrueNetwork::deterministic(&scenarios::table3_true(90e6, 0.800));
     errors
@@ -135,10 +140,7 @@ mod tests {
         let pts = curve(Metric::Bandwidth, 0, &[-0.4, 0.0, 0.4], &cfg);
         let (under, exact, over) = (pts[0].quality, pts[1].quality, pts[2].quality);
         assert!(under < exact - 0.05, "under {under} vs exact {exact}");
-        assert!(
-            (over - exact).abs() < 0.06,
-            "over {over} vs exact {exact}"
-        );
+        assert!((over - exact).abs() < 0.06, "over {over} vs exact {exact}");
     }
 
     #[test]

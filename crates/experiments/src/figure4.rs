@@ -117,10 +117,6 @@ mod tests {
         assert!(large.seconds > small.seconds);
         assert_eq!(small.variables, 9);
         assert_eq!(large.variables, 729);
-        assert!(
-            small.seconds < 0.5,
-            "2-path solve took {}s",
-            small.seconds
-        );
+        assert!(small.seconds < 0.5, "2-path solve took {}s", small.seconds);
     }
 }

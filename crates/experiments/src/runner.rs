@@ -1,11 +1,18 @@
 //! Wires the protocol into the simulator and measures communication
 //! quality — the paper's experimental loop (§VII-A).
+//!
+//! Every entry point routes through the `Scenario` → [`Planner`] →
+//! [`Plan`] pipeline and builds its sender from the plan; the legacy
+//! [`run_strategy`] remains for callers that assembled the pieces by
+//! hand.
 
 use dmc_core::{
-    optimal_strategy, ModelConfig, NetworkSpec, RandomDelayConfig, RandomDelayModel,
-    RandomNetworkSpec, Strategy,
+    ModelConfig, NetworkSpec, Objective, Plan, Planner, PlannerConfig, RandomDelayConfig,
+    RandomNetworkSpec, Scenario, Strategy,
 };
-use dmc_proto::{DmcReceiver, DmcSender, ReceiverConfig, ReceiverStats, SenderConfig, SenderStats, TimeoutPlan};
+use dmc_proto::{
+    DmcReceiver, DmcSender, ReceiverConfig, ReceiverStats, SenderConfig, SenderStats, TimeoutPlan,
+};
 use dmc_sim::{LinkConfig, SimDuration, TwoHostSim};
 use dmc_stats::{ConstantDelay, Delay};
 use std::sync::Arc;
@@ -38,6 +45,22 @@ impl TrueNetwork {
                 .map(|p| TrueLink {
                     bandwidth: p.bandwidth(),
                     delay: Arc::new(ConstantDelay::new(p.delay())),
+                    loss: p.loss(),
+                })
+                .collect(),
+        }
+    }
+
+    /// True links from a unified [`Scenario`] (either regime: the delay
+    /// distributions are shared with the simulator links).
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        TrueNetwork {
+            links: scenario
+                .paths()
+                .iter()
+                .map(|p| TrueLink {
+                    bandwidth: p.bandwidth(),
+                    delay: Arc::clone(p.delay()),
                     loss: p.loss(),
                 })
                 .collect(),
@@ -136,10 +159,55 @@ pub struct RunOutcome {
     pub receiver: ReceiverStats,
 }
 
+/// Runs a solved [`Plan`] on a true network: the sender, its timeouts,
+/// the data rate, the receiver deadline and the ack path all come from
+/// the plan — nothing is hand-wired.
+///
+/// Timeout slack follows the paper's practice: deterministic plans add
+/// `cfg.rto_extra` (Exp. 1's 100 ms jitter margin); random-delay plans
+/// add none, because Eq. 34 already accounts for the delay distribution.
+///
+/// # Errors
+///
+/// Returns a message when the plan's path count does not match the true
+/// network or topology construction fails.
+pub fn run_plan(
+    plan: &Plan,
+    true_net: &TrueNetwork,
+    cfg: &RunConfig,
+) -> Result<RunOutcome, String> {
+    let extra = if plan.scenario().is_deterministic() {
+        cfg.rto_extra
+    } else {
+        SimDuration::ZERO
+    };
+    run_strategy(
+        plan.strategy().clone(),
+        TimeoutPlan::from_plan(plan, extra),
+        true_net,
+        plan.scenario().data_rate(),
+        plan.scenario().lifetime(),
+        plan.ack_path(),
+        cfg,
+    )
+}
+
+/// Maps the legacy [`ModelConfig`] solver knobs onto a [`Planner`].
+fn planner_from_model_config(model_cfg: &ModelConfig) -> Planner {
+    Planner::with_config(PlannerConfig {
+        blackhole: model_cfg.blackhole,
+        solver: model_cfg.solver.clone(),
+        ..PlannerConfig::default()
+    })
+}
+
 /// Runs an already-solved strategy on a true network.
 ///
 /// `lambda` is the generation rate, `lifetime` the receiver's deadline,
 /// `ack_path` the reverse path acknowledgments use.
+///
+/// Legacy shim: prefer [`run_plan`], which extracts all of these from a
+/// [`Plan`].
 ///
 /// # Errors
 ///
@@ -213,17 +281,11 @@ pub fn run_deterministic(
     model_cfg: &ModelConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, String> {
-    let strategy = optimal_strategy(model_net, model_cfg).map_err(|e| e.to_string())?;
-    let timeouts = TimeoutPlan::deterministic(model_net, strategy.table(), cfg.rto_extra);
-    run_strategy(
-        strategy,
-        timeouts,
-        true_net,
-        model_net.data_rate(),
-        model_net.lifetime(),
-        model_net.min_delay_path(),
-        cfg,
-    )
+    let scenario = Scenario::from_network(model_net).with_transmissions(model_cfg.transmissions);
+    let plan = planner_from_model_config(model_cfg)
+        .plan(&scenario, Objective::MaxQuality)
+        .map_err(|e| e.to_string())?;
+    run_plan(&plan, true_net, cfg)
 }
 
 /// The paper's Experiment 1/3 procedure, which splits the sender's
@@ -250,29 +312,11 @@ pub fn run_measured(
     model_cfg: &ModelConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, String> {
-    let mut model_net = measured.clone();
-    for k in 0..measured.num_paths() {
-        let p = measured.paths()[k];
-        let inflated = dmc_core::PathSpec::with_cost(
-            p.bandwidth(),
-            p.delay() + margin_s,
-            p.loss(),
-            p.cost(),
-        )
+    let scenario = Scenario::from_network(measured).with_transmissions(model_cfg.transmissions);
+    let plan = planner_from_model_config(model_cfg)
+        .plan_with_margin(&scenario, margin_s, Objective::MaxQuality)
         .map_err(|e| e.to_string())?;
-        model_net = model_net.with_path_replaced(k, inflated);
-    }
-    let strategy = optimal_strategy(&model_net, model_cfg).map_err(|e| e.to_string())?;
-    let timeouts = TimeoutPlan::deterministic(measured, strategy.table(), cfg.rto_extra);
-    run_strategy(
-        strategy,
-        timeouts,
-        true_net,
-        measured.data_rate(),
-        measured.lifetime(),
-        measured.min_delay_path(),
-        cfg,
-    )
+    run_plan(&plan, true_net, cfg)
 }
 
 /// Solves the random-delay model and runs it on the matching gamma-delay
@@ -288,27 +332,60 @@ pub fn run_random_delay(
     over_provision: f64,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, String> {
-    let model = RandomDelayModel::new(net, rd_cfg);
-    let strategy = model
-        .solve_quality(&dmc_core::SolverOptions::default())
+    let scenario = Scenario::from_random(net).with_transmissions(rd_cfg.transmissions);
+    let mut planner = Planner::with_config(PlannerConfig {
+        blackhole: rd_cfg.blackhole,
+        grid_step: rd_cfg.grid_step,
+        plateau: rd_cfg.plateau,
+        ..PlannerConfig::default()
+    });
+    let plan = planner
+        .plan(&scenario, Objective::MaxQuality)
         .map_err(|e| e.to_string())?;
-    let timeouts = TimeoutPlan::from_random_model(&model, SimDuration::ZERO);
     let true_net = TrueNetwork::from_random(net).over_provisioned(over_provision);
-    run_strategy(
-        strategy,
-        timeouts,
-        &true_net,
-        net.data_rate(),
-        net.lifetime(),
-        model.ack_path(),
-        cfg,
-    )
+    run_plan(&plan, &true_net, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenarios;
+    use dmc_core::optimal_strategy;
+
+    #[test]
+    fn plan_pipeline_matches_legacy_strategy_wiring() {
+        // run_plan and the legacy run_strategy hand-wiring must produce
+        // identical simulations (same strategy, timeouts, seed).
+        let model = scenarios::table3_model(60e6, 0.8);
+        let truth = TrueNetwork::deterministic(&model);
+        let mut cfg = RunConfig::default();
+        cfg.messages = 2_000;
+
+        let legacy = {
+            let strategy = optimal_strategy(&model, &ModelConfig::default()).unwrap();
+            let timeouts = TimeoutPlan::deterministic(&model, strategy.table(), cfg.rto_extra);
+            run_strategy(
+                strategy,
+                timeouts,
+                &truth,
+                model.data_rate(),
+                model.lifetime(),
+                model.min_delay_path(),
+                &cfg,
+            )
+            .unwrap()
+        };
+        let planned = {
+            let plan = Planner::new()
+                .plan(&Scenario::from_network(&model), Objective::MaxQuality)
+                .unwrap();
+            run_plan(&plan, &truth, &cfg).unwrap()
+        };
+        assert_eq!(planned.sender, legacy.sender);
+        assert_eq!(planned.receiver, legacy.receiver);
+        assert_eq!(planned.quality, legacy.quality);
+        assert_eq!(planned.predicted_quality, legacy.predicted_quality);
+    }
 
     #[test]
     fn experiment1_point_tracks_theory() {

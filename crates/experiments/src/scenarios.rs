@@ -1,6 +1,8 @@
-//! The paper's evaluation scenarios (Tables III and V, Figure 1).
+//! The paper's evaluation scenarios (Tables III and V, Figure 1), in
+//! both the unified [`Scenario`] form (preferred) and the legacy
+//! spec types.
 
-use dmc_core::{NetworkSpec, PathSpec, RandomNetworkSpec, RandomPath};
+use dmc_core::{NetworkSpec, PathSpec, RandomNetworkSpec, RandomPath, Scenario};
 use dmc_stats::ShiftedGamma;
 use std::sync::Arc;
 
@@ -81,9 +83,63 @@ pub fn figure1() -> NetworkSpec {
         .expect("valid scenario")
 }
 
+/// Table III as a unified [`Scenario`] with the *true* (raw) delays —
+/// feed to [`Planner::plan_with_margin`](dmc_core::Planner::plan_with_margin)
+/// with [`QUEUE_MARGIN_S`] to reproduce the paper's Experiment-1 split.
+///
+/// # Panics
+///
+/// Panics only if the hard-coded constants were edited into invalidity.
+pub fn table3_scenario(lambda_bps: f64, lifetime_s: f64) -> Scenario {
+    Scenario::from_network(&table3_true(lambda_bps, lifetime_s))
+}
+
+/// Table III as a unified [`Scenario`] with the +50 ms model margin
+/// already applied (what Table IV is solved from).
+///
+/// # Panics
+///
+/// Panics only if the hard-coded constants were edited into invalidity.
+pub fn table3_model_scenario(lambda_bps: f64, lifetime_s: f64) -> Scenario {
+    Scenario::from_network(&table3_model(lambda_bps, lifetime_s))
+}
+
+/// Table V as a unified [`Scenario`] (shifted-gamma delays): the same
+/// planner pipeline solves it, no separate random-delay API needed.
+///
+/// # Panics
+///
+/// Panics only if the hard-coded constants were edited into invalidity.
+pub fn table5_scenario(lambda_bps: f64, lifetime_s: f64) -> Scenario {
+    Scenario::from_random(&table5(lambda_bps, lifetime_s))
+}
+
+/// Figure 1's motivating scenario as a unified [`Scenario`].
+///
+/// # Panics
+///
+/// Panics only if the hard-coded constants were edited into invalidity.
+pub fn figure1_scenario() -> Scenario {
+    Scenario::from_network(&figure1())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unified_scenarios_mirror_legacy_specs() {
+        let s = table3_scenario(90e6, 0.8);
+        assert!(s.is_deterministic());
+        assert_eq!(s.paths()[0].bandwidth(), 80e6);
+        assert_eq!(s.paths()[0].constant_delay(), Some(0.400));
+        let m = table3_model_scenario(90e6, 0.8);
+        assert_eq!(m.paths()[0].constant_delay(), Some(0.450));
+        let five = table5_scenario(90e6, 0.75);
+        assert!(!five.is_deterministic());
+        assert_eq!(five.ack_path(), 1);
+        assert!(figure1_scenario().is_deterministic());
+    }
 
     #[test]
     fn scenarios_match_paper_tables() {

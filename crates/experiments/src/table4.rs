@@ -1,8 +1,12 @@
 //! Table IV: optimal LP solutions for the Table III network.
+//!
+//! Both halves run their sweep through **one** [`Planner`], so the LP
+//! workspace is reused across every row instead of re-allocating per
+//! solve.
 
 use crate::report;
 use crate::scenarios;
-use dmc_core::{optimal_strategy, ModelConfig, Strategy};
+use dmc_core::{Objective, Planner, Strategy};
 
 /// One row of Table IV.
 #[derive(Debug, Clone)]
@@ -50,14 +54,16 @@ pub const PAPER_BOTTOM: &[(f64, f64)] = &[
 ///
 /// Panics if the LP solver fails on these (always-feasible) scenarios.
 pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
+    let mut planner = Planner::new();
+    let base = scenarios::table3_model_scenario(90e6, 0.800);
     lambdas_mbps
         .iter()
-        .map(|&l| {
-            let net = scenarios::table3_model(l * 1e6, 0.800);
-            Table4Row {
-                param: l * 1e6,
-                strategy: optimal_strategy(&net, &ModelConfig::default()).expect("feasible"),
-            }
+        .map(|&l| Table4Row {
+            param: l * 1e6,
+            strategy: planner
+                .plan(&base.with_data_rate(l * 1e6), Objective::MaxQuality)
+                .expect("feasible")
+                .into_strategy(),
         })
         .collect()
 }
@@ -68,14 +74,16 @@ pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
 ///
 /// Panics if the LP solver fails on these (always-feasible) scenarios.
 pub fn bottom(deltas_ms: &[f64]) -> Vec<Table4Row> {
+    let mut planner = Planner::new();
+    let base = scenarios::table3_model_scenario(90e6, 0.800);
     deltas_ms
         .iter()
-        .map(|&d| {
-            let net = scenarios::table3_model(90e6, d / 1e3);
-            Table4Row {
-                param: d / 1e3,
-                strategy: optimal_strategy(&net, &ModelConfig::default()).expect("feasible"),
-            }
+        .map(|&d| Table4Row {
+            param: d / 1e3,
+            strategy: planner
+                .plan(&base.with_lifetime(d / 1e3), Objective::MaxQuality)
+                .expect("feasible")
+                .into_strategy(),
         })
         .collect()
 }

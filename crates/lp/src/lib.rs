@@ -60,5 +60,5 @@ mod solution;
 
 pub use error::{ProblemError, SolveError};
 pub use problem::{Constraint, ConstraintKind, Problem};
-pub use simplex::{PivotRule, SolverOptions};
+pub use simplex::{PivotRule, SolverOptions, Workspace};
 pub use solution::Solution;

@@ -1,7 +1,7 @@
 //! Problem representation: dense objective plus inequality/equality rows.
 
 use crate::error::{ProblemError, SolveError};
-use crate::simplex::{self, SolverOptions};
+use crate::simplex::{self, SolverOptions, Workspace};
 use crate::solution::Solution;
 
 /// Whether a [`Constraint`] is `≤` or `=`.
@@ -182,13 +182,32 @@ impl Problem {
     /// * [`SolveError::IterationLimit`] on hostile numerics (see
     ///   [`SolverOptions::max_iterations`]).
     pub fn solve(&self, options: &SolverOptions) -> Result<Solution, SolveError> {
+        self.solve_with(options, &mut Workspace::new())
+    }
+
+    /// Solves the problem reusing the caller's [`Workspace`] buffers.
+    ///
+    /// Identical result to [`Problem::solve`]; repeated solves through one
+    /// workspace skip the per-call tableau allocation, which is what makes
+    /// parameter sweeps and adaptive re-solves cheap (see the
+    /// `planner_reuse` benchmark).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`]. The workspace stays valid
+    /// and reusable after an error.
+    pub fn solve_with(
+        &self,
+        options: &SolverOptions,
+        workspace: &mut Workspace,
+    ) -> Result<Solution, SolveError> {
         if self.objective.is_empty() {
             return Err(ProblemError::Empty.into());
         }
         if self.objective.iter().any(|c| !c.is_finite()) {
             return Err(ProblemError::NonFiniteCoefficient.into());
         }
-        simplex::solve(self, options)
+        simplex::solve(self, options, workspace)
     }
 
     /// Checks a candidate point against every constraint and the

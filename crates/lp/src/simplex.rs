@@ -5,6 +5,11 @@
 //! discovered at the end of phase 1 are dropped. Anti-cycling is handled by
 //! switching from Dantzig to Bland pivoting after a run of degenerate
 //! pivots (see [`PivotRule`]).
+//!
+//! All scratch memory (the tableau, basis, objective rows and row
+//! metadata) lives in a [`Workspace`] so repeated solves — λ/δ sweeps, an
+//! adaptive sender's periodic re-solves — reuse one allocation instead of
+//! reallocating per call ([`crate::Problem::solve_with`]).
 
 use crate::error::SolveError;
 use crate::problem::{ConstraintKind, Problem};
@@ -53,18 +58,66 @@ impl Default for SolverOptions {
     }
 }
 
-/// Dense tableau: `rows` constraint rows plus one objective row, each of
-/// width `cols + 1` (last column is the RHS).
-struct Tableau {
-    /// Row-major storage, `(rows + 1) * (cols + 1)` entries.
+/// Reusable solver scratch memory.
+///
+/// A `Workspace` owns the dense tableau and every auxiliary buffer one
+/// solve needs. Creating one per call (what [`Problem::solve`] does) is
+/// correct but pays an allocation + zeroing cost proportional to
+/// `(rows + 1) × (cols + 1)`; callers that solve many similarly-shaped
+/// problems — sweeps, re-solves, the planner in `dmc-core` — should hold
+/// one `Workspace` and call [`Problem::solve_with`].
+///
+/// ```
+/// use dmc_lp::{Problem, SolverOptions, Workspace};
+///
+/// # fn main() -> Result<(), dmc_lp::SolveError> {
+/// let mut ws = Workspace::new();
+/// let opts = SolverOptions::default();
+/// for rhs in [1.0, 2.0, 3.0] {
+///     let mut p = Problem::maximize(vec![1.0, 2.0]);
+///     p.add_le(vec![1.0, 1.0], rhs)?;
+///     let s = p.solve_with(&opts, &mut ws)?;
+///     assert!((s.objective() - 2.0 * rhs).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Row-major tableau storage, `(rows + 1) * (cols + 1)` entries.
     data: Vec<f64>,
-    rows: usize,
-    cols: usize,
-    /// Basic variable (column index) for each constraint row.
+    /// Basic variable (column index) per constraint row.
     basis: Vec<usize>,
+    /// Objective buffer shared by phase 1 and phase 2.
+    cost: Vec<f64>,
+    /// Per-original-row normalization metadata.
+    row_info: Vec<RowInfo>,
 }
 
-impl Tableau {
+impl Workspace {
+    /// Creates an empty workspace; buffers grow to fit the first solve and
+    /// are retained afterwards.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Current tableau capacity in `f64` slots (diagnostic; useful to
+    /// verify reuse in benchmarks).
+    pub fn tableau_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+/// Dense tableau view over workspace buffers: `rows` constraint rows plus
+/// one objective row, each of width `cols + 1` (last column is the RHS).
+struct Tableau<'a> {
+    data: &'a mut Vec<f64>,
+    rows: usize,
+    cols: usize,
+    basis: &'a mut Vec<usize>,
+}
+
+impl Tableau<'_> {
     fn width(&self) -> usize {
         self.cols + 1
     }
@@ -86,6 +139,10 @@ impl Tableau {
     /// The objective row is stored at index `rows`.
     fn obj(&self, c: usize) -> f64 {
         self.at(self.rows, c)
+    }
+
+    fn rhs_obj(&self) -> f64 {
+        self.at(self.rows, self.cols)
     }
 
     /// Gauss-Jordan pivot on `(pr, pc)`, including the objective row.
@@ -128,8 +185,9 @@ impl Tableau {
         for j in 0..w {
             self.set(self.rows, j, 0.0);
         }
-        for j in 0..self.cols {
-            self.set(self.rows, j, -cost[j]);
+        let obj_start = self.rows * w;
+        for (j, &c) in cost.iter().enumerate().take(self.cols) {
+            self.data[obj_start + j] = -c;
         }
         for r in 0..self.rows {
             let cb = cost[self.basis[r]];
@@ -165,12 +223,10 @@ struct Layout {
     n_struct: usize,
     /// First artificial column (slacks live in `n_struct..art_start`).
     art_start: usize,
-    /// For each original constraint row: the column of its slack
-    /// (inequalities) and whether the row was negated during normalization.
-    row_info: Vec<RowInfo>,
 }
 
-#[derive(Clone, Copy)]
+/// Per-original-row bookkeeping recorded during normalization.
+#[derive(Debug, Clone, Copy, Default)]
 struct RowInfo {
     /// Column holding this row's slack variable, if it is an inequality.
     slack_col: Option<usize>,
@@ -182,81 +238,90 @@ struct RowInfo {
     scale: f64,
 }
 
-/// Entry point used by [`Problem::solve`].
-pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, SolveError> {
+/// Entry point used by [`Problem::solve`] / [`Problem::solve_with`].
+pub(crate) fn solve(
+    problem: &Problem,
+    options: &SolverOptions,
+    ws: &mut Workspace,
+) -> Result<Solution, SolveError> {
     let tol = options.tolerance;
     let m = problem.num_constraints();
     let n = problem.num_vars();
 
-    // ---- Assemble normalized rows -------------------------------------
-    // Equilibrate each row by its max |coeff| so tolerances are scale-free.
-    let mut norm_rows: Vec<(Vec<f64>, f64, ConstraintKind, bool, f64)> = Vec::with_capacity(m);
+    // ---- Row normalization metadata ------------------------------------
+    // Equilibrate each row by its max |coeff| so tolerances are scale-free;
+    // negate rows with negative RHS. Only metadata is computed here — the
+    // normalized coefficients are written straight into the tableau below,
+    // avoiding a per-row temporary allocation.
+    ws.row_info.clear();
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
     for c in problem.constraints() {
         let scale = c
             .coeffs()
             .iter()
             .fold(c.rhs().abs(), |acc, v| acc.max(v.abs()))
             .max(1e-300);
-        let mut coeffs: Vec<f64> = c.coeffs().iter().map(|v| v / scale).collect();
-        let mut rhs = c.rhs() / scale;
-        let mut negated = false;
-        if rhs < 0.0 {
-            for v in &mut coeffs {
-                *v = -*v;
-            }
-            rhs = -rhs;
-            negated = true;
+        let negated = c.rhs() / scale < 0.0;
+        if c.kind() == ConstraintKind::LessEq {
+            n_slack += 1;
         }
-        norm_rows.push((coeffs, rhs, c.kind(), negated, scale));
+        if c.kind() == ConstraintKind::Eq || negated {
+            n_art += 1;
+        }
+        ws.row_info.push(RowInfo {
+            slack_col: None,
+            art_col: None,
+            negated,
+            scale,
+        });
     }
 
     // ---- Column layout -------------------------------------------------
     // structural | slacks (one per inequality) | artificials
-    let n_slack = norm_rows
-        .iter()
-        .filter(|r| r.2 == ConstraintKind::LessEq)
-        .count();
     let art_start = n + n_slack;
-    // An inequality that was NOT negated starts with its slack basic and
-    // needs no artificial. Negated inequalities (originally `≥` after
-    // normalization) and equalities need an artificial.
-    let n_art = norm_rows
-        .iter()
-        .filter(|r| r.2 == ConstraintKind::Eq || r.3)
-        .count();
     let cols = art_start + n_art;
 
+    ws.data.clear();
+    ws.data.resize((m + 1) * (cols + 1), 0.0);
+    ws.basis.clear();
+    ws.basis.resize(m, usize::MAX);
     let mut tab = Tableau {
-        data: vec![0.0; (m + 1) * (cols + 1)],
+        data: &mut ws.data,
         rows: m,
         cols,
-        basis: vec![usize::MAX; m],
+        basis: &mut ws.basis,
     };
-    let mut row_info = Vec::with_capacity(m);
+
     let mut next_slack = n;
     let mut next_art = art_start;
-    for (r, (coeffs, rhs, kind, negated, scale)) in norm_rows.iter().enumerate() {
-        for (j, &v) in coeffs.iter().enumerate() {
-            tab.set(r, j, v);
+    for (r, c) in problem.constraints().iter().enumerate() {
+        let info = &mut ws.row_info[r];
+        let sign = if info.negated { -1.0 } else { 1.0 };
+        // Identical arithmetic to the pre-workspace solver (divide, then
+        // negate): keeps results bit-for-bit stable across the refactor.
+        for (j, &v) in c.coeffs().iter().enumerate() {
+            let mut val = v / info.scale;
+            if info.negated {
+                val = -val;
+            }
+            tab.data[r * (cols + 1) + j] = val;
         }
-        tab.set(r, cols, *rhs);
-        let mut info = RowInfo {
-            slack_col: None,
-            art_col: None,
-            negated: *negated,
-            scale: *scale,
-        };
-        if *kind == ConstraintKind::LessEq {
+        let mut rhs = c.rhs() / info.scale;
+        if info.negated {
+            rhs = -rhs;
+        }
+        tab.data[r * (cols + 1) + cols] = rhs;
+        if c.kind() == ConstraintKind::LessEq {
             // Slack carries the sign of the (possibly negated) row: for a
             // normalized row `−a·x ≤ −b` → `−a·x + s = −b` becomes, after
             // negation, `a·x − s = b`.
-            let sign = if *negated { -1.0 } else { 1.0 };
-            tab.set(r, next_slack, sign);
+            tab.data[r * (cols + 1) + next_slack] = sign;
             info.slack_col = Some(next_slack);
             next_slack += 1;
         }
-        if *kind == ConstraintKind::Eq || *negated {
-            tab.set(r, next_art, 1.0);
+        if c.kind() == ConstraintKind::Eq || info.negated {
+            tab.data[r * (cols + 1) + next_art] = 1.0;
             info.art_col = Some(next_art);
             tab.basis[r] = next_art;
             next_art += 1;
@@ -264,24 +329,23 @@ pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Soluti
             // Plain `≤` row with non-negative RHS: slack is basic.
             tab.basis[r] = info.slack_col.expect("LessEq row has a slack");
         }
-        row_info.push(info);
     }
     debug_assert_eq!(next_art, cols);
     let layout = Layout {
         n_struct: n,
         art_start,
-        row_info,
     };
 
     let mut iterations = 0usize;
 
     // ---- Phase 1: drive artificials to zero ----------------------------
     if n_art > 0 {
-        let mut phase1_cost = vec![0.0; cols];
-        for c in art_start..cols {
-            phase1_cost[c] = -1.0; // maximize −Σ artificials
+        ws.cost.clear();
+        ws.cost.resize(cols, 0.0);
+        for c in &mut ws.cost[art_start..cols] {
+            *c = -1.0; // maximize −Σ artificials
         }
-        tab.install_objective(&phase1_cost);
+        tab.install_objective(&ws.cost);
         iterate(&mut tab, options, cols, &mut iterations)?;
         let residual = -tab.rhs_obj();
         if residual > tol.max(1e-7) {
@@ -291,12 +355,13 @@ pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Soluti
     }
 
     // ---- Phase 2: user objective ---------------------------------------
-    let mut phase2_cost = vec![0.0; cols];
+    ws.cost.clear();
+    ws.cost.resize(cols, 0.0);
     // Internal objective is always maximization (Problem negates for min).
     // Structural costs are scaled like the rows were NOT: structural
     // variables are untouched by row equilibration, so plain copy works.
-    phase2_cost[..n].copy_from_slice(&problem.objective);
-    tab.install_objective(&phase2_cost);
+    ws.cost[..n].copy_from_slice(&problem.objective);
+    tab.install_objective(&ws.cost);
     // Artificials must never re-enter.
     iterate(&mut tab, options, art_start, &mut iterations)?;
 
@@ -322,11 +387,7 @@ pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Soluti
     // role. Negated rows flip the dual's sign; equilibration divides it by
     // the row scale.
     let mut duals = vec![0.0; m];
-    // Map surviving tableau rows back to original rows: removed rows were
-    // redundant and keep dual 0. We track via the basis-independent
-    // row_info: recompute by matching slack/artificial columns is not
-    // possible after removal, so `drive_out_artificials` records removals.
-    for (orig, info) in layout.row_info.iter().enumerate() {
+    for (orig, info) in ws.row_info.iter().enumerate() {
         // For inequality rows the slack column's sign (−1 on negated rows)
         // already encodes the normalization flip, so `y = obj[slack]/scale`
         // holds in both cases. Equality rows read the dual off their
@@ -352,18 +413,12 @@ pub(crate) fn solve(problem: &Problem, options: &SolverOptions) -> Result<Soluti
     Ok(Solution::new(x, objective, duals, iterations))
 }
 
-impl Tableau {
-    fn rhs_obj(&self) -> f64 {
-        self.at(self.rows, self.cols)
-    }
-}
-
 /// Runs simplex iterations until optimality on the current objective row.
 ///
 /// `enter_limit` caps which columns may enter the basis (used to lock out
 /// artificial columns during phase 2).
 fn iterate(
-    tab: &mut Tableau,
+    tab: &mut Tableau<'_>,
     options: &SolverOptions,
     enter_limit: usize,
     iterations: &mut usize,
@@ -437,7 +492,7 @@ fn iterate(
 
 /// After phase 1, pivots basic artificials out of the basis (degenerate
 /// pivots) or removes their rows when linearly dependent.
-fn drive_out_artificials(tab: &mut Tableau, layout: &Layout, tol: f64) {
+fn drive_out_artificials(tab: &mut Tableau<'_>, layout: &Layout, tol: f64) {
     let mut r = 0;
     while r < tab.rows {
         if tab.basis[r] >= layout.art_start {
@@ -609,5 +664,51 @@ mod tests {
         p.add_eq(vec![1.0, 1.0], 0.0).unwrap();
         let s = p.solve(&opts()).unwrap();
         assert!(s.objective().abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_solves() {
+        // The same problem solved through one reused workspace and through
+        // fresh per-call workspaces must agree bit-for-bit, including after
+        // shape changes (growing/shrinking the tableau between calls).
+        let mut ws = Workspace::new();
+        let shapes: &[(usize, usize)] = &[(3, 2), (8, 5), (2, 1), (6, 9)];
+        for &(n, m) in shapes {
+            let mut p = Problem::maximize((0..n).map(|j| 1.0 + j as f64).collect());
+            for i in 0..m {
+                let row: Vec<f64> = (0..n).map(|j| ((i + j) % 3) as f64 + 0.5).collect();
+                p.add_le(row, 2.0 + i as f64).unwrap();
+            }
+            p.add_eq(vec![1.0; n], 1.0).unwrap();
+            let fresh = p.solve(&opts()).unwrap();
+            let reused = p.solve_with(&opts(), &mut ws).unwrap();
+            assert_eq!(fresh.x(), reused.x(), "n={n} m={m}");
+            assert_eq!(fresh.objective(), reused.objective());
+            assert_eq!(fresh.duals(), reused.duals());
+        }
+        assert!(ws.tableau_capacity() > 0);
+    }
+
+    #[test]
+    fn workspace_survives_error_outcomes() {
+        // Infeasible and unbounded solves must leave the workspace usable.
+        let mut ws = Workspace::new();
+        let mut bad = Problem::maximize(vec![1.0]);
+        bad.add_le(vec![1.0], 1.0).unwrap();
+        bad.add_ge(vec![1.0], 2.0).unwrap();
+        assert!(matches!(
+            bad.solve_with(&opts(), &mut ws),
+            Err(SolveError::Infeasible { .. })
+        ));
+        let mut unbounded = Problem::maximize(vec![1.0, 0.0]);
+        unbounded.add_le(vec![0.0, 1.0], 1.0).unwrap();
+        assert!(matches!(
+            unbounded.solve_with(&opts(), &mut ws),
+            Err(SolveError::Unbounded)
+        ));
+        let mut good = Problem::maximize(vec![3.0, 2.0]);
+        good.add_le(vec![1.0, 1.0], 4.0).unwrap();
+        let s = good.solve_with(&opts(), &mut ws).unwrap();
+        assert!((s.objective() - 12.0).abs() < 1e-9);
     }
 }

@@ -31,7 +31,11 @@ fn transportation_problem() {
     assert!(p.max_violation(s.x()) < 1e-9);
     // Optimal: s1 ships d2 (20 @6); s2 ships d1 (10 @9), d2 (5 @12),
     // d3 (15 @13) → 120+90+60+195 = 465.
-    assert!((s.objective() - 465.0).abs() < 1e-7, "obj {}", s.objective());
+    assert!(
+        (s.objective() - 465.0).abs() < 1e-7,
+        "obj {}",
+        s.objective()
+    );
 }
 
 #[test]
@@ -127,7 +131,8 @@ fn blending_with_many_redundant_rows() {
     for scale in [1.0, 10.0, 1e3, 1e6] {
         p.add_le(vec![scale, 0.0], 4.0 * scale).unwrap();
         p.add_le(vec![0.0, 2.0 * scale], 12.0 * scale).unwrap();
-        p.add_le(vec![3.0 * scale, 2.0 * scale], 18.0 * scale).unwrap();
+        p.add_le(vec![3.0 * scale, 2.0 * scale], 18.0 * scale)
+            .unwrap();
     }
     let s = p.solve(&opts()).unwrap();
     assert!((s.objective() - 36.0).abs() < 1e-6);

@@ -3,7 +3,9 @@
 //! characteristics vary significantly").
 
 use crate::sender::{DmcSender, SenderConfig, TimeoutPlan, RESERVED_KEY_BASE};
-use dmc_core::{optimal_strategy, ModelConfig, NetworkSpec, PathSpec};
+use dmc_core::{
+    ModelConfig, NetworkSpec, Objective, PathSpec, Plan, Planner, PlannerConfig, Scenario,
+};
 use dmc_sim::{Agent, Packet, SimApi, SimDuration};
 
 /// Timer key reserved for the periodic re-solve.
@@ -18,7 +20,8 @@ pub struct AdaptiveConfig {
     pub prior: NetworkSpec,
     /// How often to re-estimate and re-solve.
     pub interval: SimDuration,
-    /// Model options for re-solving.
+    /// Model options for re-solving (mapped onto the internal
+    /// [`Planner`]'s configuration).
     pub model: ModelConfig,
     /// Slack added to re-derived retransmission timeouts.
     pub rto_extra: SimDuration,
@@ -28,23 +31,45 @@ pub struct AdaptiveConfig {
 }
 
 /// A [`DmcSender`] that periodically refits path characteristics from its
-/// own estimators, re-solves the LP, and retargets Algorithm 1 — the
-/// paper's complete practical loop.
+/// own estimators, re-plans through an owned [`Planner`], and retargets
+/// Algorithm 1 from the fresh [`Plan`] — the paper's complete practical
+/// loop.
+///
+/// The planner's LP workspace is reused across every re-solve, so the
+/// periodic re-planning allocates nothing once warm.
 #[derive(Debug)]
 pub struct AdaptiveSender {
     inner: DmcSender,
     config: AdaptiveConfig,
+    planner: Planner,
     resolves: u64,
 }
 
 impl AdaptiveSender {
     /// Wraps a sender configuration with the adaptive loop.
     pub fn new(sender: SenderConfig, config: AdaptiveConfig) -> Self {
+        let planner = Planner::with_config(PlannerConfig {
+            blackhole: config.model.blackhole,
+            solver: config.model.solver.clone(),
+            ..PlannerConfig::default()
+        });
         AdaptiveSender {
             inner: DmcSender::new(sender),
             config,
+            planner,
             resolves: 0,
         }
+    }
+
+    /// Builds the initial sender from a solved [`Plan`] and wraps it with
+    /// the adaptive loop.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DmcSender::new`].
+    pub fn from_plan(plan: &Plan, config: AdaptiveConfig, total_messages: u64) -> Self {
+        let sender = SenderConfig::from_plan(plan, config.rto_extra, total_messages);
+        AdaptiveSender::new(sender, config)
     }
 
     /// The wrapped sender (stats, estimators).
@@ -70,8 +95,7 @@ impl AdaptiveSender {
         let mut net = self.config.prior.clone();
         for k in 0..net.num_paths() {
             let prior = net.paths()[k];
-            let delay = if rtts[k].samples() >= self.config.min_samples && min_srtt.is_finite()
-            {
+            let delay = if rtts[k].samples() >= self.config.min_samples && min_srtt.is_finite() {
                 rtts[k]
                     .srtt()
                     .map(|s| (s - min_srtt / 2.0).max(0.0))
@@ -94,10 +118,11 @@ impl AdaptiveSender {
 
     fn resolve(&mut self) {
         let est = self.estimated_network();
-        if let Ok(strategy) = optimal_strategy(&est, &self.config.model) {
-            let timeouts =
-                TimeoutPlan::deterministic(&est, strategy.table(), self.config.rto_extra);
-            self.inner.retarget(strategy, timeouts);
+        let scenario =
+            Scenario::from_network(&est).with_transmissions(self.config.model.transmissions);
+        if let Ok(plan) = self.planner.plan(&scenario, Objective::MaxQuality) {
+            let timeouts = TimeoutPlan::from_plan(&plan, self.config.rto_extra);
+            self.inner.retarget(plan.into_strategy(), timeouts);
             self.resolves += 1;
         }
     }
@@ -165,13 +190,10 @@ mod tests {
         let bwd = vec![link(12e6, 0.100, 0.0), link(5e6, 0.050, 0.0)];
 
         let run = |adaptive: bool| -> f64 {
-            let strategy = optimal_strategy(&prior, &ModelConfig::default()).unwrap();
-            let timeouts = TimeoutPlan::deterministic(
-                &prior,
-                strategy.table(),
-                SimDuration::from_millis(50),
-            );
-            let base = SenderConfig::new(strategy, timeouts, 12e6, messages);
+            let plan = Planner::new()
+                .plan(&Scenario::from_network(&prior), Objective::MaxQuality)
+                .unwrap();
+            let base = SenderConfig::from_plan(&plan, SimDuration::from_millis(50), messages);
             let receiver =
                 DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(0.4), 1));
             if adaptive {

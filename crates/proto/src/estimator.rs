@@ -98,10 +98,8 @@ impl LossEstimator {
 
     /// Records the outcome of one transmission.
     pub fn record(&mut self, lost: bool) {
-        if self.window.len() == self.capacity {
-            if self.window.pop_front() == Some(true) {
-                self.losses_in_window -= 1;
-            }
+        if self.window.len() == self.capacity && self.window.pop_front() == Some(true) {
+            self.losses_in_window -= 1;
         }
         self.window.push_back(lost);
         if lost {

@@ -241,10 +241,7 @@ mod tests {
         // Packet created at t=0, sent at t=0 → arrives ~10 ms: in time for
         // δ=50 ms. Packet created at 0 but sent at 100 ms → late.
         let (probe, stats) = run(
-            vec![
-                (1, 0, SimTime::ZERO),
-                (2, 0, SimTime::from_secs_f64(0.100)),
-            ],
+            vec![(1, 0, SimTime::ZERO), (2, 0, SimTime::from_secs_f64(0.100))],
             50,
         );
         assert_eq!(stats.unique_in_time, 1);

@@ -4,7 +4,7 @@
 
 use crate::estimator::{LossEstimator, RttEstimator};
 use crate::wire::{Ack, DataHeader};
-use dmc_core::{ComboTable, NetworkSpec, RandomDelayModel, Slot, Strategy};
+use dmc_core::{ComboTable, NetworkSpec, Plan, RandomDelayModel, SchedulePolicy, Slot, Strategy};
 use dmc_sim::{Agent, Packet, SimApi, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 
@@ -53,6 +53,9 @@ impl TimeoutPlan {
     /// path `i` arms `t = d_i + d_min + extra`, where `extra` absorbs
     /// queueing jitter (the paper uses 100 ms). Stages not followed by a
     /// real path get a detect-only timer with the same delay.
+    ///
+    /// Legacy shim: prefer [`TimeoutPlan::from_plan`], whose schedule the
+    /// planner derives with the same rule.
     pub fn deterministic(net: &NetworkSpec, table: &ComboTable, extra: SimDuration) -> Self {
         let dmin = net.min_delay();
         let per_combo = table
@@ -76,10 +79,36 @@ impl TimeoutPlan {
         TimeoutPlan { per_combo }
     }
 
+    /// Timeouts from a solved [`Plan`]'s unified schedule plus `extra`
+    /// slack — the pipeline entry point covering both delay regimes
+    /// (deterministic plans carry Eq. 4 timers, random-delay plans carry
+    /// Eq. 34 optima with detect-only timers where no retransmission can
+    /// meet the deadline).
+    pub fn from_plan(plan: &Plan, extra: SimDuration) -> Self {
+        let schedule = plan.schedule();
+        let per_combo = (0..schedule.num_combos())
+            .map(|l| {
+                schedule
+                    .stages(l)
+                    .iter()
+                    .map(|spec| {
+                        spec.map(|spec| StageTimeout {
+                            delay: SimDuration::from_secs_f64(spec.delay) + extra,
+                            retransmit: spec.retransmit,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        TimeoutPlan { per_combo }
+    }
+
     /// Timeouts from the random-delay model (Eq. 34 optima) plus `extra`
     /// slack. Stages whose timeout is undefined in the model (no
     /// retransmission can meet the deadline) get a detect-only timer of
     /// `lifetime + extra`.
+    ///
+    /// Legacy shim: prefer [`TimeoutPlan::from_plan`].
     pub fn from_random_model(model: &RandomDelayModel, extra: SimDuration) -> Self {
         let detect = SimDuration::from_secs_f64(model.lifetime()) + extra;
         let table = model.table();
@@ -95,12 +124,12 @@ impl TimeoutPlan {
                             delay: SimDuration::from_secs_f64(*secs) + extra,
                             retransmit: true,
                         }),
-                        None => matches!(slots.get(s), Some(Slot::Path(_))).then_some(
-                            StageTimeout {
+                        None => {
+                            matches!(slots.get(s), Some(Slot::Path(_))).then_some(StageTimeout {
                                 delay: detect,
                                 retransmit: false,
-                            },
-                        ),
+                            })
+                        }
                     })
                     .collect()
             })
@@ -144,11 +173,14 @@ pub struct SenderConfig {
     pub fast_retransmit: Option<u32>,
     /// Sliding window for the per-path loss estimators.
     pub loss_window: usize,
+    /// Packet-discretization policy (Algorithm 1 deficit by default).
+    pub schedule: SchedulePolicy,
 }
 
 impl SenderConfig {
     /// Creates a config with the paper's defaults (1024-byte messages, no
-    /// fast retransmit, 512-transmission loss window).
+    /// fast retransmit, 512-transmission loss window, Algorithm-1
+    /// scheduling).
     pub fn new(
         strategy: Strategy,
         timeouts: TimeoutPlan,
@@ -163,7 +195,20 @@ impl SenderConfig {
             total_messages,
             fast_retransmit: None,
             loss_window: 512,
+            schedule: SchedulePolicy::Deficit,
         }
+    }
+
+    /// Builds a ready sender configuration from a solved [`Plan`] — the
+    /// strategy, timeout schedule (plus `rto_extra` jitter slack) and
+    /// data rate all come from the plan; nothing is hand-wired.
+    pub fn from_plan(plan: &Plan, rto_extra: SimDuration, total_messages: u64) -> Self {
+        SenderConfig::new(
+            plan.strategy().clone(),
+            TimeoutPlan::from_plan(plan, rto_extra),
+            plan.scenario().data_rate(),
+            total_messages,
+        )
     }
 }
 
@@ -203,7 +248,7 @@ struct InFlight {
 #[derive(Debug)]
 pub struct DmcSender {
     config: SenderConfig,
-    scheduler: dmc_core::ComboScheduler,
+    scheduler: dmc_core::Scheduler,
     in_flight: HashMap<u64, InFlight>,
     /// Per path: send counter and outstanding transmissions by send index
     /// (for fast retransmit).
@@ -231,8 +276,8 @@ impl DmcSender {
             "at most {MAX_STAGES} transmissions supported"
         );
         let num_paths = table.num_paths();
-        let scheduler =
-            dmc_core::ComboScheduler::new(config.strategy.x().to_vec()).expect("valid strategy");
+        let scheduler = dmc_core::Scheduler::new(config.strategy.x().to_vec(), config.schedule)
+            .expect("valid strategy");
         DmcSender {
             scheduler,
             in_flight: HashMap::new(),
@@ -246,6 +291,16 @@ impl DmcSender {
             num_paths,
             config,
         }
+    }
+
+    /// Builds a sender straight from a solved [`Plan`] (see
+    /// [`SenderConfig::from_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DmcSender::new`].
+    pub fn from_plan(plan: &Plan, rto_extra: SimDuration, total_messages: u64) -> Self {
+        DmcSender::new(SenderConfig::from_plan(plan, rto_extra, total_messages))
     }
 
     /// Counters so far.
@@ -328,7 +383,6 @@ impl DmcSender {
                     self.stats.expired += 1;
                 }
                 self.in_flight.remove(&seq);
-                return;
             }
             Some(Slot::Path(i)) => {
                 let path = *i;
@@ -411,8 +465,7 @@ impl DmcSender {
         // track (Karn-safe: retransmitted-and-reacked packets mismatch on
         // sent_ns and are skipped).
         if let Some(state) = self.in_flight.get(&ack.just_received) {
-            if state.sent_at.as_nanos() == ack.echo_sent_ns
-                && state.path == ack.echo_path as usize
+            if state.sent_at.as_nanos() == ack.echo_sent_ns && state.path == ack.echo_path as usize
             {
                 let rtt = now.since(state.sent_at).as_secs_f64();
                 self.rtt[state.path].record(rtt);
@@ -547,11 +600,8 @@ mod tests {
             .build()
             .unwrap();
         let strategy = optimal_strategy(&model_net, &ModelConfig::default()).unwrap();
-        let timeouts = TimeoutPlan::deterministic(
-            &model_net,
-            strategy.table(),
-            SimDuration::from_millis(100),
-        );
+        let timeouts =
+            TimeoutPlan::deterministic(&model_net, strategy.table(), SimDuration::from_millis(100));
         let sender = DmcSender::new(SenderConfig::new(strategy, timeouts, 8e6, messages));
         let receiver = DmcReceiver::new(ReceiverConfig::new(
             SimDuration::from_secs_f64(1.5),
@@ -601,14 +651,10 @@ mod tests {
         let (_, _) = run_figure1(100, 1); // warm-up unused; below re-runs
         let model_net = figure1_net();
         let strategy = optimal_strategy(&model_net, &ModelConfig::default()).unwrap();
-        let timeouts = TimeoutPlan::deterministic(
-            &model_net,
-            strategy.table(),
-            SimDuration::from_millis(100),
-        );
+        let timeouts =
+            TimeoutPlan::deterministic(&model_net, strategy.table(), SimDuration::from_millis(100));
         let sender = DmcSender::new(SenderConfig::new(strategy, timeouts, 8e6, 500));
-        let receiver =
-            DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(1.5), 1));
+        let receiver = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(1.5), 1));
         let mut sim = TwoHostSim::new(
             vec![link(10e6, 0.600, 0.0), link(1e6, 0.200, 0.0)],
             vec![link(10e6, 0.600, 0.0), link(1e6, 0.200, 0.0)],
@@ -636,14 +682,10 @@ mod tests {
         // Re-run with direct access.
         let model_net = figure1_net();
         let strategy = optimal_strategy(&model_net, &ModelConfig::default()).unwrap();
-        let timeouts = TimeoutPlan::deterministic(
-            &model_net,
-            strategy.table(),
-            SimDuration::from_millis(100),
-        );
+        let timeouts =
+            TimeoutPlan::deterministic(&model_net, strategy.table(), SimDuration::from_millis(100));
         let sender = DmcSender::new(SenderConfig::new(strategy, timeouts, 8e6, 2_000));
-        let receiver =
-            DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(1.5), 1));
+        let receiver = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(1.5), 1));
         let mut sim = TwoHostSim::new(
             vec![link(10e6, 0.600, 0.10), link(1e6, 0.200, 0.0)],
             vec![link(10e6, 0.600, 0.0), link(1e6, 0.200, 0.0)],
@@ -697,8 +739,11 @@ mod tests {
         let (slow_stats, q_slow) = run(None);
         let (fast_stats, q_fast) = run(Some(3));
         assert_eq!(slow_stats.fast_retransmits, 0);
-        assert!(fast_stats.fast_retransmits > 50,
-            "fast retransmits {}", fast_stats.fast_retransmits);
+        assert!(
+            fast_stats.fast_retransmits > 50,
+            "fast retransmits {}",
+            fast_stats.fast_retransmits
+        );
         assert!(
             q_fast > q_slow + 0.03,
             "fast {q_fast} should beat slow {q_slow}"

@@ -29,8 +29,7 @@ fn run(ack_loss: f64, messages: u64) -> (f64, u64, u64) {
         .build()
         .unwrap();
     let strategy = optimal_strategy(&net, &ModelConfig::default()).unwrap();
-    let timeouts =
-        TimeoutPlan::deterministic(&net, strategy.table(), SimDuration::from_millis(50));
+    let timeouts = TimeoutPlan::deterministic(&net, strategy.table(), SimDuration::from_millis(50));
     let sender = DmcSender::new(SenderConfig::new(strategy, timeouts, 18e6, messages));
     let receiver = DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(0.8), 1));
     // Forward links as specified; the *reverse* ack path loses `ack_loss`.
@@ -45,10 +44,16 @@ fn run(ack_loss: f64, messages: u64) -> (f64, u64, u64) {
     sim.run_to_completion();
     let r = sim.server().stats();
     let s = sim.client().stats();
-    assert!(s.retransmissions > 0, "scenario must exercise retransmission");
+    assert!(
+        s.retransmissions > 0,
+        "scenario must exercise retransmission"
+    );
     let quality = r.unique_in_time as f64 / s.generated as f64;
     let rev = sim.link_stats(Dir::Backward, 1);
-    assert!(ack_loss == 0.0 || rev.lost > 0, "ack path must actually lose");
+    assert!(
+        ack_loss == 0.0 || rev.lost > 0,
+        "ack path must actually lose"
+    );
     (quality, r.duplicates, s.retransmissions)
 }
 

@@ -390,10 +390,7 @@ mod tests {
             self.sent += 1;
             api.send(0, Packet::new(100, Bytes::new()));
             if self.sent < self.limit {
-                api.set_timer(
-                    api.now() + crate::time::SimDuration::from_millis(10),
-                    1,
-                );
+                api.set_timer(api.now() + crate::time::SimDuration::from_millis(10), 1);
             }
         }
     }
@@ -451,14 +448,7 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert!(TwoHostSim::new(
-            vec![],
-            vec![],
-            PingClient::default(),
-            EchoServer,
-            0
-        )
-        .is_err());
+        assert!(TwoHostSim::new(vec![], vec![], PingClient::default(), EchoServer, 0).is_err());
         assert!(TwoHostSim::new(
             vec![link(1e6, 0.1, 0.0)],
             vec![],

@@ -148,8 +148,7 @@ impl ShiftedGamma {
         if x <= 0.0 {
             return 0.0;
         }
-        let log_pdf =
-            (self.shape - 1.0) * x.ln() - x - ln_gamma(self.shape) - self.scale.ln();
+        let log_pdf = (self.shape - 1.0) * x.ln() - x - ln_gamma(self.shape) - self.scale.ln();
         log_pdf.exp()
     }
 
@@ -402,7 +401,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - d.mean()).abs() < 3e-4, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 3e-4,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

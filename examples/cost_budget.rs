@@ -1,10 +1,12 @@
 //! Cost-aware scheduling (§VI-A): a drone video uplink over a free but
 //! weak mesh link, a metered LTE link, and an expensive satellite link.
 //!
-//! Shows both directions of the optimization:
+//! Shows both directions of the optimization through one `Planner`:
 //! * quality maximization under a spend budget `µ` (Eq. 7), sweeping the
-//!   budget to trace the quality/cost frontier;
-//! * cost minimization under a quality floor (Eq. 20–23).
+//!   budget with `Objective::MaxQualityUnderBudget` to trace the
+//!   quality/cost frontier;
+//! * cost minimization under a quality floor (`Objective::MinCost`,
+//!   Eq. 20–23).
 //!
 //! Run: `cargo run --example cost_budget --release`
 
@@ -13,31 +15,28 @@ use deadline_multipath::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cost unit: $ per gigabit ≈ 1e-9 $/bit.
     let per_gbit = 1e-9;
-    let mesh = PathSpec::with_cost(3e6, 0.080, 0.15, 0.0)?; // free, lossy
-    let lte = PathSpec::with_cost(10e6, 0.050, 0.02, 8.0 * per_gbit)?;
-    let sat = PathSpec::with_cost(20e6, 0.550, 0.01, 40.0 * per_gbit)?;
+    let mesh = ScenarioPath::constant_with_cost(3e6, 0.080, 0.15, 0.0)?; // free, lossy
+    let lte = ScenarioPath::constant_with_cost(10e6, 0.050, 0.02, 8.0 * per_gbit)?;
+    let sat = ScenarioPath::constant_with_cost(20e6, 0.550, 0.01, 40.0 * per_gbit)?;
 
-    let base = NetworkSpec::builder()
+    let base = Scenario::builder()
         .paths([mesh, lte, sat])
         .data_rate(12e6)
         .lifetime(0.9)
         .build()?;
-    let cfg = ModelConfig::default();
+    let mut planner = Planner::new();
 
     println!("budget ($/s) | quality | spend ($/s) | mesh/LTE/sat send rates (Mbps)");
     for budget in [0.02, 0.05, 0.10, 0.20, 0.40, 0.80] {
-        let net = NetworkSpec::builder()
-            .paths(base.paths().iter().copied())
-            .data_rate(base.data_rate())
-            .lifetime(base.lifetime())
-            .cost_budget(budget)
-            .build()?;
-        let s = optimal_strategy(&net, &cfg)?;
-        let r = s.send_rates();
+        let plan = planner.plan(
+            &base.with_cost_budget(budget),
+            Objective::MaxQualityUnderBudget,
+        )?;
+        let r = plan.send_rates();
         println!(
             "   {budget:>7.2}   |  {:>5.1}% |    {:>6.4}   | {:.1} / {:.1} / {:.1}",
-            s.quality() * 100.0,
-            s.cost_rate(),
+            plan.quality() * 100.0,
+            plan.cost_rate(),
             r[0] / 1e6,
             r[1] / 1e6,
             r[2] / 1e6
@@ -45,24 +44,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nCheapest way to guarantee 95% quality:");
-    match min_cost_strategy(&base, 0.95, &cfg) {
-        Ok(s) => {
+    match planner.plan(&base, Objective::MinCost { min_quality: 0.95 }) {
+        Ok(plan) => {
             println!(
                 "  spend {:.4} $/s at quality {:.1}%",
-                s.cost_rate(),
-                s.quality() * 100.0
+                plan.cost_rate(),
+                plan.quality() * 100.0
             );
-            print!("{s}");
+            print!("{}", plan.strategy());
         }
         Err(e) => println!("  not achievable: {e}"),
     }
 
     println!("\nCheapest way to guarantee 99.5% quality:");
-    match min_cost_strategy(&base, 0.995, &cfg) {
-        Ok(s) => println!(
+    match planner.plan(&base, Objective::MinCost { min_quality: 0.995 }) {
+        Ok(plan) => println!(
             "  spend {:.4} $/s at quality {:.1}%",
-            s.cost_rate(),
-            s.quality() * 100.0
+            plan.cost_rate(),
+            plan.quality() * 100.0
         ),
         Err(e) => println!("  not achievable: {e}"),
     }

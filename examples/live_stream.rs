@@ -1,9 +1,11 @@
 //! A live stream with *online estimation* (§VIII-A): the sender starts
 //! with an optimistic prior, discovers the real loss rate from acks and
-//! timeouts, re-solves the LP periodically, and retargets Algorithm 1.
+//! timeouts, re-plans through its owned `Planner`, and retargets
+//! Algorithm 1 from each fresh `Plan`.
 //!
 //! Compares the static (mis-informed) sender against the adaptive one on
-//! the same network.
+//! the same network. Both are constructed from the same initial `Plan` —
+//! no hand-wired strategy/timeout/config assembly.
 //!
 //! Run: `cargo run --example live_stream --release`
 
@@ -23,6 +25,8 @@ fn link(bw: f64, delay: f64, loss: f64) -> LinkConfig {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The sender believes: primary 10 Mbps / 100 ms / 2 % loss,
     //                      backup   4 Mbps /  50 ms / clean.
+    // (The adaptive loop refines a NetworkSpec prior, so build that and
+    // derive the unified Scenario from it.)
     let prior = NetworkSpec::builder()
         .path(PathSpec::new(10e6, 0.100, 0.02)?)
         .path(PathSpec::new(4e6, 0.050, 0.0)?)
@@ -35,19 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bwd = vec![link(12e6, 0.100, 0.0), link(5e6, 0.050, 0.0)];
     let messages = 40_000;
 
-    let make_base = || -> Result<SenderConfig, Box<dyn std::error::Error>> {
-        let strategy = optimal_strategy(&prior, &ModelConfig::default())?;
-        let timeouts =
-            TimeoutPlan::deterministic(&prior, strategy.table(), SimDuration::from_millis(50));
-        Ok(SenderConfig::new(strategy, timeouts, 12e6, messages))
-    };
+    let mut planner = Planner::new();
+    let plan = planner.plan(&Scenario::from_network(&prior), Objective::MaxQuality)?;
+    let rto_extra = SimDuration::from_millis(50);
     let receiver = || DmcReceiver::new(ReceiverConfig::new(SimDuration::from_secs_f64(0.4), 1));
 
     // --- static sender ---------------------------------------------------
     let mut sim = TwoHostSim::new(
         fwd.clone(),
         bwd.clone(),
-        DmcSender::new(make_base()?),
+        DmcSender::from_plan(&plan, rto_extra, messages),
         receiver(),
         1,
     )?;
@@ -56,15 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("static sender (wrong prior): Q = {:.1}%", q_static * 100.0);
 
     // --- adaptive sender ---------------------------------------------------
-    let adaptive = AdaptiveSender::new(
-        make_base()?,
+    let adaptive = AdaptiveSender::from_plan(
+        &plan,
         AdaptiveConfig {
             prior: prior.clone(),
             interval: SimDuration::from_millis(250),
             model: ModelConfig::default(),
-            rto_extra: SimDuration::from_millis(50),
+            rto_extra,
             min_samples: 30,
         },
+        messages,
     );
     let mut sim = TwoHostSim::new(fwd, bwd, adaptive, receiver(), 1)?;
     sim.run_until(SimTime::from_secs_f64(60.0));

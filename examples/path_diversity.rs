@@ -8,18 +8,21 @@
 //! fast one — and wins across the deadline range where the slow path's
 //! retransmissions can't return in time.
 //!
+//! The whole sweep runs through one `Planner`, reusing its LP workspace.
+//!
 //! Run: `cargo run --example path_diversity --release`
 
 use deadline_multipath::prelude::*;
 
-fn quality(paths: [PathSpec; 2], lambda: f64, delta: f64) -> f64 {
-    let net = NetworkSpec::builder()
+fn quality(planner: &mut Planner, paths: [ScenarioPath; 2], lambda: f64, delta: f64) -> f64 {
+    let scenario = Scenario::builder()
         .paths(paths)
         .data_rate(lambda)
         .lifetime(delta)
         .build()
         .expect("valid scenario");
-    optimal_strategy(&net, &ModelConfig::default())
+    planner
+        .plan(&scenario, Objective::MaxQuality)
         .expect("feasible")
         .quality()
 }
@@ -28,21 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambda = 90e6;
     // Diverse pair (Table III with the paper's model delays):
     let diverse = [
-        PathSpec::new(80e6, 0.450, 0.2)?,
-        PathSpec::new(20e6, 0.150, 0.0)?,
+        ScenarioPath::constant(80e6, 0.450, 0.2)?,
+        ScenarioPath::constant(20e6, 0.150, 0.0)?,
     ];
     // Identical pair with the same totals: 2 × 50 Mbps, averaged delay and
     // loss (weighted by bandwidth: 0.8·450+0.2·150 = 390 ms; 0.8·0.2 = 16%).
     let uniform = [
-        PathSpec::new(50e6, 0.390, 0.16)?,
-        PathSpec::new(50e6, 0.390, 0.16)?,
+        ScenarioPath::constant(50e6, 0.390, 0.16)?,
+        ScenarioPath::constant(50e6, 0.390, 0.16)?,
     ];
 
+    let mut planner = Planner::new();
     println!("lifetime δ (ms) | diverse pair Q | identical pair Q");
     for delta_ms in [300, 450, 600, 750, 900, 1050, 1200, 1500] {
         let delta = delta_ms as f64 / 1e3;
-        let qd = quality(diverse, lambda, delta);
-        let qu = quality(uniform, lambda, delta);
+        let qd = quality(&mut planner, diverse.clone(), lambda, delta);
+        let qu = quality(&mut planner, uniform.clone(), lambda, delta);
         let marker = if qd > qu + 1e-9 {
             "← diversity wins"
         } else if qu > qd + 1e-9 {

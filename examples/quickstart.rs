@@ -1,4 +1,5 @@
-//! Quickstart: the paper's Figure 1 scenario, end to end.
+//! Quickstart: the paper's Figure 1 scenario, end to end, through the
+//! unified `Scenario` → `Planner` → `Plan` pipeline.
 //!
 //! Two paths with opposite strengths — a fat, slow, lossy one and a thin,
 //! fast, clean one — carry a 10 Mbps flow whose packets expire after one
@@ -8,25 +9,27 @@
 //!
 //! Run: `cargo run --example quickstart --release`
 
-use deadline_multipath::experiments::runner::{run_strategy, RunConfig, TrueNetwork};
+use deadline_multipath::experiments::runner::{run_plan, RunConfig, TrueNetwork};
 use deadline_multipath::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Describe the scenario (paper Figure 1) -------------------------
-    let net = NetworkSpec::builder()
-        .path(PathSpec::new(10e6, 0.600, 0.10)?) // path 1: 10 Mbps, 600 ms, 10 %
-        .path(PathSpec::new(1e6, 0.200, 0.0)?) //   path 2:  1 Mbps, 200 ms,  0 %
+    let scenario = Scenario::builder()
+        .path(ScenarioPath::constant(10e6, 0.600, 0.10)?) // path 1: 10 Mbps, 600 ms, 10 %
+        .path(ScenarioPath::constant(1e6, 0.200, 0.0)?) //   path 2:  1 Mbps, 200 ms,  0 %
         .data_rate(10e6) // the application generates 10 Mbps
         .lifetime(1.0) // data is useless after 1 s
         .build()?;
 
-    // --- Solve the LP ----------------------------------------------------
-    let cfg = ModelConfig::default();
-    let strategy = optimal_strategy(&net, &cfg)?;
-    println!("Optimal multipath strategy:\n{strategy}");
+    // --- Plan ------------------------------------------------------------
+    let mut planner = Planner::new();
+    let plan = planner.plan(&scenario, Objective::MaxQuality)?;
+    println!("Optimal multipath strategy:\n{}", plan.strategy());
 
     for (k, label) in [(0usize, "path 1"), (1, "path 2")] {
-        let q = single_path_quality(&net, k, &cfg)?;
+        let q = planner
+            .plan(&scenario.restricted_to_path(k), Objective::MaxQuality)?
+            .quality();
         println!("best possible using {label} alone: {:.1}%", q * 100.0);
     }
 
@@ -37,34 +40,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // margin and queueing, so the practical variant runs at 80 % load
     // with a 1.2 s lifetime; the optimal structure (bulk on path 1,
     // retransmissions on path 2) is identical.
-    let practical = net.with_data_rate(8e6).with_lifetime(1.2);
-    // Conservative model: +50 ms on delays and 15 % bandwidth headroom
-    // (a path planned at 100 % of its true capacity builds an unbounded
-    // queue — the paper's §IX-C suggests adjusting the bounds in q
-    // exactly like this).
-    let mut model_net = practical.clone();
-    for k in 0..practical.num_paths() {
-        let p = practical.paths()[k];
-        model_net = model_net.with_path_replaced(
+    let practical = scenario.with_data_rate(8e6).with_lifetime(1.2);
+    // Conservative model: 15 % bandwidth headroom (a path planned at
+    // 100 % of its true capacity builds an unbounded queue), and
+    // `plan_with_margin` adds the paper's +50 ms delay margin to the LP
+    // while keeping retransmission timeouts on the measured delays.
+    let mut conservative = practical.clone();
+    for (k, p) in practical.paths().iter().enumerate() {
+        let spec = p.as_spec().expect("constant-delay path");
+        conservative = conservative.with_path_replaced(
             k,
-            PathSpec::new(p.bandwidth() * 0.85, p.delay() + 0.05, p.loss())?,
+            ScenarioPath::constant(spec.bandwidth() * 0.85, spec.delay(), spec.loss())?,
         );
     }
-    let strategy = optimal_strategy(&model_net, &cfg)?;
-    println!("practical strategy for the simulation run:\n{strategy}");
-    let timeouts =
-        TimeoutPlan::deterministic(&practical, strategy.table(), SimDuration::from_millis(50));
+    let plan = planner.plan_with_margin(&conservative, 0.050, Objective::MaxQuality)?;
+    println!(
+        "practical strategy for the simulation run:\n{}",
+        plan.strategy()
+    );
+
     let mut run_cfg = RunConfig::default();
     run_cfg.messages = 20_000;
-    let outcome = run_strategy(
-        strategy,
-        timeouts,
-        &TrueNetwork::deterministic(&practical),
-        practical.data_rate(),
-        practical.lifetime(),
-        practical.min_delay_path(),
-        &run_cfg,
-    )?;
+    run_cfg.rto_extra = SimDuration::from_millis(50);
+    let outcome = run_plan(&plan, &TrueNetwork::from_scenario(&practical), &run_cfg)?;
     println!(
         "simulation: {} of {} messages in time → Q = {:.2}% (theory: {:.2}%)",
         outcome.receiver.unique_in_time,

@@ -1,68 +1,72 @@
 //! A videoconference over WiFi + LTE + wired, with realistic *random*
 //! delays (shifted gamma, §VI-B) and a tight 150 ms lifetime.
 //!
-//! Demonstrates the random-delay model: per-combination retransmission
-//! timeouts (Eq. 34), expected quality, and a gamma-delay simulation.
+//! Demonstrates that random delays ride the exact same pipeline as
+//! constant ones: build a `Scenario` whose paths carry `ShiftedGamma`
+//! distributions, plan it, and read the Eq. 34 retransmission timeouts
+//! straight off the `Plan`.
 //!
 //! Run: `cargo run --example videoconference --release`
 
-use deadline_multipath::experiments::runner::{run_random_delay, RunConfig};
+use deadline_multipath::experiments::runner::{run_plan, RunConfig, TrueNetwork};
 use deadline_multipath::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 Mbps of video+audio, 150 ms budget (interactive threshold).
-    let lambda = 4e6;
-    let lifetime = 0.150;
-
     // WiFi: decent rate, jittery, occasionally lossy.
-    let wifi = RandomPath::new(
+    let wifi = ScenarioPath::new(
         8e6,
         Arc::new(ShiftedGamma::new(4.0, 0.004, 0.015)?), // mean 31 ms
         0.05,
         0.0,
     )?;
     // LTE: lower rate, higher floor, cleaner.
-    let lte = RandomPath::new(
+    let lte = ScenarioPath::new(
         4e6,
         Arc::new(ShiftedGamma::new(6.0, 0.005, 0.040)?), // mean 70 ms
         0.01,
         0.0,
     )?;
     // Wired: thin but fast and clean (e.g. tethered DSL).
-    let wired = RandomPath::new(
+    let wired = ScenarioPath::new(
         2e6,
         Arc::new(ShiftedGamma::new(3.0, 0.002, 0.010)?), // mean 16 ms
         0.0,
         0.0,
     )?;
 
-    let net = RandomNetworkSpec::new(vec![wifi, lte, wired], lambda, lifetime)?;
-    let rd_cfg = RandomDelayConfig::default();
-    let model = RandomDelayModel::new(&net, &rd_cfg);
+    let scenario = Scenario::builder()
+        .paths([wifi, lte, wired])
+        .data_rate(4e6)
+        .lifetime(0.150)
+        .build()?;
+
+    let mut planner = Planner::new();
+    let plan = planner.plan(&scenario, Objective::MaxQuality)?;
     println!(
         "ack path: {} (lowest expected delay, Eq. 25)",
-        model.ack_path() + 1
+        plan.ack_path() + 1
     );
     for (i, j, name) in [
         (0usize, 2usize, "WiFi → wired"),
         (0, 1, "WiFi → LTE"),
         (1, 2, "LTE → wired"),
     ] {
-        match model.timeout(i, j) {
+        match plan.timeout(i, j) {
             Some(t) => println!("timeout {name}: {:.0} ms (Eq. 34)", t * 1e3),
             None => println!("timeout {name}: no retransmission can meet the deadline"),
         }
     }
 
-    let strategy = model.solve_quality(&SolverOptions::default())?;
-    println!("\nOptimal strategy:\n{strategy}");
+    println!("\nOptimal strategy:\n{}", plan.strategy());
 
     let mut cfg = RunConfig::default();
     cfg.messages = 50_000;
     cfg.message_bytes = 512; // small media packets
-    let outcome = run_random_delay(&net, &rd_cfg, 1.5, &cfg)
-        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    let truth = TrueNetwork::from_scenario(&scenario).over_provisioned(1.5);
+    let outcome =
+        run_plan(&plan, &truth, &cfg).map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     println!(
         "simulated: {:.2}% in time (model expected {:.2}%)",
         outcome.quality * 100.0,

@@ -11,41 +11,71 @@
 //!
 //! | Crate | Re-exported as | What it is |
 //! |---|---|---|
-//! | `dmc-lp` | [`lp`] | dense two-phase simplex LP solver |
+//! | `dmc-lp` | [`lp`] | dense two-phase simplex LP solver with reusable workspaces |
 //! | `dmc-stats` | [`stats`] | gamma special functions, shifted-gamma delays, convolution |
-//! | `dmc-core` | [`model`] | **the paper's model**: combinations, LPs, timeouts, Algorithm 1 |
+//! | `dmc-core` | [`model`] | **the paper's model** behind the `Scenario` → `Planner` → `Plan` pipeline |
 //! | `dmc-sim` | [`sim`] | deterministic discrete-event network simulator (the ns-3 stand-in) |
 //! | `dmc-proto` | [`proto`] | sender/receiver protocol state machines, acks, estimators |
 //! | `dmc-experiments` | [`experiments`] | regenerators for every table & figure of the paper |
 //!
 //! # Quick start
 //!
+//! One pipeline covers both delay regimes and all three solve modes:
+//! describe a [`Scenario`](model::Scenario), pick an
+//! [`Objective`](model::Objective), and ask a
+//! [`Planner`](model::Planner) for a [`Plan`](model::Plan).
+//!
 //! ```
 //! use deadline_multipath::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The paper's Figure 1: a fat slow lossy path + a thin fast clean one.
-//! let net = NetworkSpec::builder()
-//!     .path(PathSpec::new(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
-//!     .path(PathSpec::new(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
-//!     .data_rate(10e6)                          // λ
-//!     .lifetime(1.0)                            // δ
+//! let scenario = Scenario::builder()
+//!     .path(ScenarioPath::constant(10e6, 0.600, 0.10)?) // 10 Mbps, 600 ms, 10 %
+//!     .path(ScenarioPath::constant(1e6, 0.200, 0.0)?)   //  1 Mbps, 200 ms,  0 %
+//!     .data_rate(10e6)                                  // λ
+//!     .lifetime(1.0)                                    // δ
 //!     .build()?;
 //!
-//! let strategy = optimal_strategy(&net, &ModelConfig::default())?;
-//! assert!((strategy.quality() - 1.0).abs() < 1e-9); // 100 % in time
+//! let mut planner = Planner::new();
+//! let plan = planner.plan(&scenario, Objective::MaxQuality)?;
+//! assert!((plan.quality() - 1.0).abs() < 1e-9); // 100 % in time
 //!
-//! // Discretize per packet with Algorithm 1:
-//! let mut scheduler = ComboScheduler::new(strategy.x().to_vec())?;
+//! // The plan carries everything a sender needs:
+//! let mut scheduler = plan.scheduler();            // Algorithm 1
 //! let combo = scheduler.next_combo();
-//! let slots = strategy.table().slots_of(combo);
+//! let slots = plan.strategy().table().slots_of(combo);
 //! assert!(!slots.is_empty());
+//! let t12 = plan.timeout(0, 1).expect("retransmission timeout, Eq. 4");
+//! assert!((t12 - 0.800).abs() < 1e-9);             // d_1 + d_min
+//! // ...and dmc-proto turns it into a runnable sender in one call:
+//! // DmcSender::from_plan(&plan, rto_extra, total_messages).
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios (simulation
-//! included) and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! Random delays use the *same* pipeline — construct the path with
+//! [`ScenarioPath::new`](model::ScenarioPath::new) and a
+//! [`ShiftedGamma`](stats::ShiftedGamma) distribution and the planner
+//! optimizes the Eq. 34 retransmission timeouts automatically.
+//!
+//! # MIGRATION
+//!
+//! The pre-pipeline names remain available as thin shims. Mapping:
+//!
+//! | Legacy | Unified |
+//! |---|---|
+//! | `NetworkSpec`/`PathSpec` + `optimal_strategy` | `Scenario`/`ScenarioPath::constant` + `Planner::plan(_, Objective::MaxQuality)` |
+//! | `min_cost_strategy(&net, q, &cfg)` | `Objective::MinCost { min_quality: q }` |
+//! | `RandomNetworkSpec`/`RandomPath` + `RandomDelayModel` | `Scenario`/`ScenarioPath::new` through the same `Planner` |
+//! | `single_path_quality(&net, k, &cfg)` | `planner.plan(&scenario.restricted_to_path(k), _)` |
+//! | `ComboScheduler::new(x)` / `RandomScheduler` | `plan.scheduler()` / `Scheduler::new(x, SchedulePolicy::…)` |
+//! | `TimeoutPlan::deterministic` / `from_random_model` | `TimeoutPlan::from_plan(&plan, extra)` |
+//! | hand-built `SenderConfig::new(strategy, timeouts, λ, n)` | `SenderConfig::from_plan(&plan, extra, n)` |
+//! | `experiments::runner::run_strategy(…6 args…)` | `experiments::runner::run_plan(&plan, &truth, &cfg)` |
+//!
+//! See `crates/core/src/lib.rs` for the model-level table and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +89,12 @@ pub use dmc_stats as stats;
 
 /// The most common imports in one place.
 pub mod prelude {
+    // The unified pipeline (preferred).
+    pub use dmc_core::{
+        Objective, Plan, PlanError, Planner, PlannerConfig, Scenario, ScenarioBuilder,
+        ScenarioPath, SchedulePolicy, Scheduler, StageTimeoutSpec, TimeoutSchedule,
+    };
+    // Legacy model names (kept for migration; see the crate docs).
     pub use dmc_core::{
         min_cost_strategy, optimal_strategy, single_path_quality, ComboScheduler, ComboTable,
         DeterministicModel, ModelConfig, ModelError, NetworkSpec, PathSpec, PlateauRule,

@@ -21,7 +21,11 @@ fn min_cost_respects_floor_and_is_cheapest() {
     let mut last_cost = 0.0;
     for floor in [0.3, 0.5, 0.7, 0.9, 42.0 / 45.0] {
         let s = min_cost_strategy(&net, floor, &cfg).unwrap();
-        assert!(s.quality() >= floor - 1e-9, "floor {floor}: Q={}", s.quality());
+        assert!(
+            s.quality() >= floor - 1e-9,
+            "floor {floor}: Q={}",
+            s.quality()
+        );
         assert!(
             s.cost_rate() >= last_cost - 1e-9,
             "cost must be monotone in the floor"

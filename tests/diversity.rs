@@ -38,7 +38,10 @@ fn diverse_pair_dominates_uniform_pair_at_tight_deadlines() {
             "uniform beat diverse at δ={delta_ms}: {qu} vs {qd}"
         );
     }
-    assert!(diverse_wins >= 4, "diversity won only {diverse_wins}/6 points");
+    assert!(
+        diverse_wins >= 4,
+        "diversity won only {diverse_wins}/6 points"
+    );
 }
 
 #[test]

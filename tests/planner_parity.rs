@@ -1,0 +1,272 @@
+//! The unified `Scenario` → `Planner` → `Plan` pipeline must agree with
+//! the legacy split entry points on the paper's scenarios — to 1e-9 —
+//! and must never panic on any valid scenario.
+
+use deadline_multipath::experiments::scenarios;
+use deadline_multipath::prelude::*;
+use proptest::prelude::*;
+// Explicit import wins over both globs: `Strategy` here is proptest's
+// trait (dmc-core's `Strategy` struct is only used through `Plan`).
+use proptest::Strategy;
+use std::sync::Arc;
+
+const TOL: f64 = 1e-9;
+
+/// Planner vs. `optimal_strategy` on the paper's Table III scenarios
+/// (the full Table IV sweep, both halves).
+#[test]
+fn deterministic_parity_on_table3() {
+    let mut planner = Planner::new();
+    let cfg = ModelConfig::default();
+    let lambdas = [10e6, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6, 120e6, 140e6];
+    let deltas = [
+        0.150, 0.400, 0.450, 0.700, 0.750, 0.800, 1.000, 1.050, 1.500,
+    ];
+    for &lambda in &lambdas {
+        for &delta in &deltas {
+            let net = scenarios::table3_model(lambda, delta);
+            let legacy = optimal_strategy(&net, &cfg).expect("feasible");
+            let plan = planner
+                .plan(&Scenario::from_network(&net), Objective::MaxQuality)
+                .expect("feasible");
+            assert!(
+                (plan.quality() - legacy.quality()).abs() < TOL,
+                "λ={lambda} δ={delta}: plan {} vs legacy {}",
+                plan.quality(),
+                legacy.quality()
+            );
+            assert!(
+                (plan.cost_rate() - legacy.cost_rate()).abs() < TOL,
+                "λ={lambda} δ={delta}: cost mismatch"
+            );
+            for (a, b) in plan.send_rates().iter().zip(legacy.send_rates()) {
+                assert!((a - b).abs() < TOL * lambda, "λ={lambda} δ={delta}: rates");
+            }
+            for (a, b) in plan.strategy().x().iter().zip(legacy.x()) {
+                assert!((a - b).abs() < TOL, "λ={lambda} δ={delta}: x mismatch");
+            }
+        }
+    }
+}
+
+/// Planner vs. `min_cost_strategy` on a costed Table III network.
+#[test]
+fn min_cost_parity() {
+    let net = NetworkSpec::builder()
+        .path(PathSpec::with_cost(80e6, 0.450, 0.2, 3e-9).unwrap())
+        .path(PathSpec::with_cost(20e6, 0.150, 0.0, 1e-9).unwrap())
+        .data_rate(90e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    let mut planner = Planner::new();
+    let cfg = ModelConfig::default();
+    for floor in [0.3, 0.5, 0.7, 0.9, 42.0 / 45.0] {
+        let legacy = min_cost_strategy(&net, floor, &cfg).expect("achievable");
+        let plan = planner
+            .plan(
+                &Scenario::from_network(&net),
+                Objective::MinCost { min_quality: floor },
+            )
+            .expect("achievable");
+        assert!(
+            (plan.cost_rate() - legacy.cost_rate()).abs() < TOL,
+            "floor {floor}: plan cost {} vs legacy {}",
+            plan.cost_rate(),
+            legacy.cost_rate()
+        );
+        assert!(
+            (plan.quality() - legacy.quality()).abs() < TOL,
+            "floor {floor}"
+        );
+    }
+}
+
+/// Planner vs. `RandomDelayModel` on the paper's Table V scenario
+/// (Experiment 2), including the Eq. 34 pairwise timeouts.
+#[test]
+fn random_delay_parity_on_table5() {
+    let mut planner = Planner::new();
+    for (lambda, delta) in [(90e6, 0.750), (90e6, 0.620), (60e6, 0.900)] {
+        let net = scenarios::table5(lambda, delta);
+        let model = RandomDelayModel::new(&net, &RandomDelayConfig::default());
+        let legacy = model.solve_quality(&SolverOptions::default()).expect("ok");
+        let plan = planner
+            .plan(&Scenario::from_random(&net), Objective::MaxQuality)
+            .expect("ok");
+        assert!(
+            (plan.quality() - legacy.quality()).abs() < TOL,
+            "λ={lambda} δ={delta}: plan {} vs legacy {}",
+            plan.quality(),
+            legacy.quality()
+        );
+        for (a, b) in plan.strategy().x().iter().zip(legacy.x()) {
+            assert!((a - b).abs() < TOL, "λ={lambda} δ={delta}: x mismatch");
+        }
+        assert_eq!(plan.ack_path(), model.ack_path());
+        for i in 0..2 {
+            for j in 0..2 {
+                match (plan.timeout(i, j), model.timeout(i, j)) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < TOL, "t({i},{j}): {a} vs {b}")
+                    }
+                    (a, b) => assert_eq!(a, b, "t({i},{j}) definedness"),
+                }
+            }
+        }
+    }
+}
+
+/// A constant-delay scenario routed through the *random* model (wrapping
+/// every delay in a distribution) and through the deterministic branch
+/// must agree — the regimes are one model.
+#[test]
+fn constant_distributions_match_deterministic_branch() {
+    let mut planner = Planner::new();
+    let det = Scenario::builder()
+        .path(ScenarioPath::constant(80e6, 0.450, 0.2).unwrap())
+        .path(ScenarioPath::constant(20e6, 0.150, 0.0).unwrap())
+        .data_rate(90e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    assert!(det.is_deterministic());
+    let plan = planner.plan(&det, Objective::MaxQuality).unwrap();
+    // Same network through the legacy random-delay API.
+    let p1 = RandomPath::new(80e6, Arc::new(ConstantDelay::new(0.450)), 0.2, 0.0).unwrap();
+    let p2 = RandomPath::new(20e6, Arc::new(ConstantDelay::new(0.150)), 0.0, 0.0).unwrap();
+    let net = RandomNetworkSpec::new(vec![p1, p2], 90e6, 0.8).unwrap();
+    let legacy = RandomDelayModel::new(&net, &RandomDelayConfig::default())
+        .solve_quality(&SolverOptions::default())
+        .unwrap();
+    // The random branch discretizes, so agreement is to the grid's
+    // accuracy rather than 1e-9.
+    assert!(
+        (plan.quality() - legacy.quality()).abs() < 1e-6,
+        "det {} vs random-branch {}",
+        plan.quality(),
+        legacy.quality()
+    );
+}
+
+fn arb_constant_path() -> impl Strategy<Value = ScenarioPath> {
+    (
+        1.0f64..200.0, // bandwidth Mbps
+        0.005f64..0.8, // delay s
+        0.0f64..0.9,   // loss
+        0.0f64..5e-9,  // cost per bit
+    )
+        .prop_map(|(bw, d, l, c)| {
+            ScenarioPath::constant_with_cost(bw * 1e6, d, l, c).expect("valid")
+        })
+}
+
+fn arb_gamma_path() -> impl Strategy<Value = ScenarioPath> {
+    (
+        1.0f64..100.0,  // bandwidth Mbps
+        1.0f64..12.0,   // gamma shape
+        0.001f64..0.01, // gamma scale s
+        0.01f64..0.4,   // shift s
+        0.0f64..0.8,    // loss
+    )
+        .prop_map(|(bw, shape, scale, shift, loss)| {
+            ScenarioPath::new(
+                bw * 1e6,
+                Arc::new(ShiftedGamma::new(shape, scale, shift).expect("valid")),
+                loss,
+                0.0,
+            )
+            .expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid deterministic scenario round-trips through the pipeline
+    /// without panicking, and the plan is internally consistent: a
+    /// well-formed strategy, in-range quality, bandwidth-respecting send
+    /// rates, a scheduler that starts, and a schedule covering every
+    /// combination.
+    #[test]
+    fn any_deterministic_scenario_plans(
+        paths in proptest::collection::vec(arb_constant_path(), 1..5),
+        lambda in 1.0f64..300.0,
+        delta in 0.05f64..2.0,
+        m in 1usize..4,
+    ) {
+        let scenario = Scenario::builder()
+            .paths(paths)
+            .data_rate(lambda * 1e6)
+            .lifetime(delta)
+            .transmissions(m)
+            .build()
+            .expect("valid");
+        let mut planner = Planner::new();
+        let plan = planner.plan(&scenario, Objective::MaxQuality).expect("feasible");
+        prop_assert!(plan.strategy().is_well_formed(1e-7));
+        prop_assert!(plan.quality() >= -1e-9 && plan.quality() <= 1.0 + 1e-9,
+            "Q = {}", plan.quality());
+        for (k, (&rate, path)) in plan.send_rates().iter().zip(scenario.paths()).enumerate() {
+            prop_assert!(rate <= path.bandwidth() * (1.0 + 1e-7),
+                "S_{k} = {rate} > b = {}", path.bandwidth());
+        }
+        prop_assert_eq!(plan.schedule().num_combos(), plan.strategy().table().num_combos());
+        let mut sched = plan.scheduler();
+        let combo = sched.next_combo();
+        prop_assert!(combo < plan.strategy().table().num_combos());
+    }
+
+    /// Same for random-delay scenarios (smaller sizes: discretized
+    /// timeout optimization is the expensive part).
+    #[test]
+    fn any_random_scenario_plans(
+        paths in proptest::collection::vec(arb_gamma_path(), 1..4),
+        lambda in 1.0f64..150.0,
+        delta in 0.1f64..1.5,
+    ) {
+        let scenario = Scenario::builder()
+            .paths(paths)
+            .data_rate(lambda * 1e6)
+            .lifetime(delta)
+            .build()
+            .expect("valid");
+        let mut planner = Planner::new();
+        let plan = planner.plan(&scenario, Objective::MaxQuality).expect("feasible");
+        prop_assert!(plan.strategy().is_well_formed(1e-7));
+        prop_assert!(plan.quality() >= -1e-9 && plan.quality() <= 1.0 + 1e-9,
+            "Q = {}", plan.quality());
+        prop_assert!(plan.ack_path() < scenario.num_paths());
+        // Every defined pairwise timeout is positive and within the
+        // lifetime.
+        for i in 0..scenario.num_paths() {
+            for j in 0..scenario.num_paths() {
+                if let Some(t) = plan.timeout(i, j) {
+                    prop_assert!(t >= 0.0 && t <= delta + 1e-12, "t({i},{j}) = {t}");
+                }
+            }
+        }
+    }
+
+    /// Mixed scenarios (one constant + one gamma path) plan fine too —
+    /// the regimes genuinely compose.
+    #[test]
+    fn mixed_scenarios_plan(
+        constant in arb_constant_path(),
+        gamma in arb_gamma_path(),
+        lambda in 1.0f64..150.0,
+        delta in 0.1f64..1.5,
+    ) {
+        let scenario = Scenario::builder()
+            .path(constant)
+            .path(gamma)
+            .data_rate(lambda * 1e6)
+            .lifetime(delta)
+            .build()
+            .expect("valid");
+        prop_assert!(!scenario.is_deterministic());
+        let mut planner = Planner::new();
+        let plan = planner.plan(&scenario, Objective::MaxQuality).expect("feasible");
+        prop_assert!(plan.strategy().is_well_formed(1e-7));
+    }
+}

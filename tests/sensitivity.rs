@@ -14,16 +14,42 @@ fn cfg(messages: u64) -> RunConfig {
 fn bandwidth_panel_is_asymmetric() {
     // Left of zero: quality degrades (capacity wasted via the blackhole).
     // Right of zero: roughly flat (overflow loss substitutes for drops).
-    let pts = curve(Metric::Bandwidth, 0, &[-0.5, -0.25, 0.0, 0.25, 0.5], &cfg(8_000));
+    let pts = curve(
+        Metric::Bandwidth,
+        0,
+        &[-0.5, -0.25, 0.0, 0.25, 0.5],
+        &cfg(8_000),
+    );
     let q = |i: usize| pts[i].quality;
-    assert!(q(0) < q(1) && q(1) < q(2), "left side must rise: {:?} {:?} {:?}", q(0), q(1), q(2));
-    assert!((q(3) - q(2)).abs() < 0.07, "right side flat: {} vs {}", q(3), q(2));
-    assert!((q(4) - q(2)).abs() < 0.07, "right side flat: {} vs {}", q(4), q(2));
+    assert!(
+        q(0) < q(1) && q(1) < q(2),
+        "left side must rise: {:?} {:?} {:?}",
+        q(0),
+        q(1),
+        q(2)
+    );
+    assert!(
+        (q(3) - q(2)).abs() < 0.07,
+        "right side flat: {} vs {}",
+        q(3),
+        q(2)
+    );
+    assert!(
+        (q(4) - q(2)).abs() < 0.07,
+        "right side flat: {} vs {}",
+        q(4),
+        q(2)
+    );
 }
 
 #[test]
 fn delay_panel_has_central_plateau() {
-    let pts = curve(Metric::Delay, 0, &[-0.1, -0.05, 0.0, 0.05, 0.1], &cfg(5_000));
+    let pts = curve(
+        Metric::Delay,
+        0,
+        &[-0.1, -0.05, 0.0, 0.05, 0.1],
+        &cfg(5_000),
+    );
     let exact = pts[2].quality;
     for p in &pts {
         assert!(
