@@ -1,0 +1,196 @@
+//! Dense tableau vs. revised simplex vs. warm-started revised simplex on
+//! the paper's LP shapes.
+//!
+//! Three benchmark subjects:
+//!
+//! * `dense` — `Backend::DenseTableau`, the original two-phase tableau;
+//! * `revised` — `Backend::Revised`, cold (two-phase) solves;
+//! * `warm_revised` — `Backend::Revised` with each solve warm-started
+//!   from the previous solve's optimal basis (`Problem::solve_warm_with`),
+//!   the pattern the `Planner` and `AdaptiveSender` use.
+//!
+//! Two instances:
+//!
+//! * the 20-point Table III λ sweep (9 variables × 3 rows each — small;
+//!   the dense tableau is competitive here), and
+//! * the `synthetic_8path_m3` instance (8 paths + blackhole, m = 3 → 729
+//!   variables × 9 rows — the few-rows/many-columns regime the revised
+//!   method targets; `warm_revised` re-solves it from its own optimal
+//!   basis, the adaptive-sender pattern).
+//!
+//! Measured numbers are recorded in `BENCH_lp.json` (regenerate with
+//! `CRITERION_OUTPUT_JSON=1 cargo bench -p dmc-bench --bench lp_backends`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmc_core::{DeterministicModel, Objective, Planner, PlannerConfig};
+use dmc_experiments::figure4::synthetic_network;
+use dmc_experiments::scenarios;
+use dmc_lp::{Backend, Basis, Problem, SolverOptions, Workspace};
+use std::hint::black_box;
+
+fn dense_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::DenseTableau,
+        ..SolverOptions::default()
+    }
+}
+
+fn revised_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::Revised,
+        ..SolverOptions::default()
+    }
+}
+
+/// The quality LPs of the 20-point Table III λ sweep.
+fn table3_sweep_problems() -> Vec<Problem> {
+    (1..=20)
+        .map(|i| {
+            let net = scenarios::table3_model(i as f64 * 7.5 * 1e6, 0.800);
+            DeterministicModel::new(&net, 2, true).quality_lp()
+        })
+        .collect()
+}
+
+/// The 729-variable quality LP of the synthetic 8-path, m = 3 scenario.
+fn synthetic_729_problem() -> Problem {
+    DeterministicModel::new(&synthetic_network(8), 3, true).quality_lp()
+}
+
+fn solve_all(problems: &[Problem], opts: &SolverOptions, ws: &mut Workspace) -> f64 {
+    let mut total = 0.0;
+    for p in problems {
+        total += p.solve_with(opts, ws).expect("feasible").objective();
+    }
+    total
+}
+
+fn solve_all_warm(problems: &[Problem], opts: &SolverOptions, ws: &mut Workspace) -> f64 {
+    let mut total = 0.0;
+    let mut basis: Option<Basis> = None;
+    for p in problems {
+        let s = match &basis {
+            Some(b) => p.solve_warm_with(opts, ws, b).expect("feasible"),
+            None => p.solve_with(opts, ws).expect("feasible"),
+        };
+        total += s.objective();
+        basis = s.basis().cloned();
+    }
+    total
+}
+
+fn table3_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_backends/table3_20pt_lambda_sweep");
+    let problems = table3_sweep_problems();
+
+    group.bench_function("dense", |b| {
+        let opts = dense_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| black_box(solve_all(&problems, &opts, &mut ws)));
+    });
+    group.bench_function("revised", |b| {
+        let opts = revised_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| black_box(solve_all(&problems, &opts, &mut ws)));
+    });
+    group.bench_function("warm_revised", |b| {
+        let opts = revised_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| black_box(solve_all_warm(&problems, &opts, &mut ws)));
+    });
+    group.finish();
+}
+
+fn synthetic_729(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_backends/synthetic_8path_m3");
+    let problem = synthetic_729_problem();
+
+    group.bench_with_input(BenchmarkId::new("dense", 729), &(), |b, ()| {
+        let opts = dense_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            black_box(
+                problem
+                    .solve_with(&opts, &mut ws)
+                    .expect("feasible")
+                    .objective(),
+            )
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("revised", 729), &(), |b, ()| {
+        let opts = revised_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            black_box(
+                problem
+                    .solve_with(&opts, &mut ws)
+                    .expect("feasible")
+                    .objective(),
+            )
+        });
+    });
+    // The adaptive-sender pattern: re-solve from the last optimal basis
+    // (here its own — re-entering phase 2 verifies optimality in one
+    // pricing pass instead of re-pivoting from scratch).
+    group.bench_with_input(BenchmarkId::new("warm_revised", 729), &(), |b, ()| {
+        let opts = revised_opts();
+        let mut ws = Workspace::new();
+        let basis = problem
+            .solve_with(&opts, &mut ws)
+            .expect("feasible")
+            .basis()
+            .expect("exportable")
+            .clone();
+        b.iter(|| {
+            black_box(
+                problem
+                    .solve_warm_with(&opts, &mut ws, &basis)
+                    .expect("feasible")
+                    .objective(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn planner_warm_sweep(c: &mut Criterion) {
+    // End-to-end check that the Planner-level cache pays: the same 20-pt
+    // sweep through Planner::plan with the warm cache on and off.
+    let mut group = c.benchmark_group("lp_backends/planner_table3_sweep");
+    let base = scenarios::table3_model_scenario(90e6, 0.800);
+    let points: Vec<f64> = (1..=20).map(|i| i as f64 * 7.5e6).collect();
+
+    group.bench_function("warm_cache_on", |b| {
+        let mut planner = Planner::new();
+        b.iter(|| {
+            let mut total = 0.0;
+            for &l in &points {
+                total += planner
+                    .plan(&base.with_data_rate(l), Objective::MaxQuality)
+                    .expect("feasible")
+                    .quality();
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("warm_cache_off", |b| {
+        let mut planner = Planner::with_config(PlannerConfig {
+            warm_start: false,
+            ..PlannerConfig::default()
+        });
+        b.iter(|| {
+            let mut total = 0.0;
+            for &l in &points {
+                total += planner
+                    .plan(&base.with_data_rate(l), Objective::MaxQuality)
+                    .expect("feasible")
+                    .quality();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3_sweep, synthetic_729, planner_warm_sweep);
+criterion_main!(benches);

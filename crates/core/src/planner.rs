@@ -8,12 +8,21 @@
 //! the exact Eq. 12 coefficients, anything else through the discretized
 //! Eq. 28/34 machinery — same optimum either way, one API.
 //!
-//! The planner **owns its scratch memory**: the LP tableau/basis
+//! The planner **owns its scratch memory**: the LP workspace
 //! ([`dmc_lp::Workspace`]) and the model coefficient buffers are reused
 //! across [`Planner::plan`] calls, so parameter sweeps (λ/δ curves, the
 //! experiments crate) and periodic re-solves (`AdaptiveSender`) stop
 //! paying a fresh allocation per solve — see the `planner_reuse`
 //! benchmark.
+//!
+//! It also **warm-starts the LP**: the optimal basis of every solve is
+//! cached per problem shape and fed to
+//! [`dmc_lp::Problem::solve_warm_with`] on the next same-shaped solve, so
+//! a sweep or re-solve that only moves objective/RHS coefficients re-enters
+//! phase 2 directly instead of re-deriving feasibility from scratch (see
+//! the `lp_backends` benchmark and `BENCH_lp.json`). A shape change or a
+//! basis made infeasible by the new coefficients falls back to a cold
+//! solve automatically; results are bit-identical either way.
 
 use crate::builder::fill_deterministic_coeffs;
 use crate::combo::ComboTable;
@@ -22,7 +31,8 @@ use crate::plan::{Plan, TimeoutSchedule};
 use crate::random_delay::{fill_random_coeffs, PlateauRule};
 use crate::scenario::{Scenario, ScenarioPath};
 use crate::strategy::Strategy;
-use dmc_lp::{Problem, SolveError, SolverOptions, Workspace};
+use dmc_lp::{Basis, ConstraintKind, Problem, Solution, SolveError, SolverOptions, Workspace};
+use std::collections::HashMap;
 use std::fmt;
 
 /// What the LP optimizes (the paper's three solve modes).
@@ -102,6 +112,14 @@ pub struct PlannerConfig {
     pub plateau: PlateauRule,
     /// LP solver options.
     pub solver: SolverOptions,
+    /// Cache the optimal basis of each solved problem shape and
+    /// warm-start subsequent solves of the same shape from it (default
+    /// true). λ/δ sweeps and an adaptive sender's periodic re-solves move
+    /// only objective/RHS coefficients, so the cached basis usually lets
+    /// the LP skip phase 1 and most pivots; a stale basis falls back to a
+    /// cold solve inside the solver, so results are identical either way.
+    /// Only effective with [`dmc_lp::Backend::Revised`].
+    pub warm_start: bool,
 }
 
 impl Default for PlannerConfig {
@@ -111,9 +129,48 @@ impl Default for PlannerConfig {
             grid_step: 1e-3,
             plateau: PlateauRule::Midpoint,
             solver: SolverOptions::default(),
+            warm_start: true,
         }
     }
 }
+
+/// Cache key for warm-start bases: the *shape* of an assembled LP.
+///
+/// Two problems of equal shape (same variable count, same row count, same
+/// row-kind pattern) can exchange bases: feasibility of a basis depends
+/// only on the RHS, which the solver re-checks on every warm start.
+/// Shapes with more than 128 rows are not cached (the paper's LPs have a
+/// handful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ShapeKey {
+    n_vars: usize,
+    n_rows: usize,
+    eq_mask: u128,
+}
+
+impl ShapeKey {
+    fn of(problem: &Problem) -> Option<Self> {
+        let n_rows = problem.num_constraints();
+        if n_rows > 128 {
+            return None;
+        }
+        let mut eq_mask = 0u128;
+        for (i, c) in problem.constraints().iter().enumerate() {
+            if c.kind() == ConstraintKind::Eq {
+                eq_mask |= 1 << i;
+            }
+        }
+        Some(ShapeKey {
+            n_vars: problem.num_vars(),
+            n_rows,
+            eq_mask,
+        })
+    }
+}
+
+/// Bound on cached shapes; a planner cycling through more shapes than
+/// this simply restarts its cache (sweeps touch one or two shapes).
+const MAX_CACHED_SHAPES: usize = 32;
 
 /// The planning engine: turns ([`Scenario`], [`Objective`]) into a
 /// [`Plan`], reusing its LP workspace and coefficient buffers across
@@ -145,6 +202,11 @@ pub struct Planner {
     usage: Vec<Vec<f64>>,
     stage_timeouts: Vec<Vec<Option<f64>>>,
     det_paths: Vec<PathSpec>,
+    // Warm-start state: last optimal basis per problem shape, plus
+    // counters for observability (benchmarks, tests).
+    warm_bases: HashMap<ShapeKey, Basis>,
+    warm_attempts: u64,
+    warm_hits: u64,
 }
 
 impl Planner {
@@ -224,7 +286,7 @@ impl Planner {
         };
 
         let problem = self.assemble_lp(scenario, objective, &table);
-        let solution = problem.solve_with(&self.config.solver, &mut self.workspace)?;
+        let solution = self.solve_lp(&problem)?;
         let strategy = self.package_strategy(scenario, &table, solution.into_x());
 
         Ok(Plan {
@@ -284,6 +346,56 @@ impl Planner {
             TimeoutSchedule::deterministic(&self.det_paths, dmin, plan.strategy.table());
         plan.scenario = measured.clone();
         Ok(plan)
+    }
+
+    /// Solves an assembled LP, warm-starting from the cached basis of the
+    /// same problem shape when enabled, and refreshing the cache with the
+    /// new optimal basis.
+    ///
+    /// Warm and cold solves of the same problem produce identical
+    /// results (the revised backend canonicalizes its reported vertex),
+    /// so this is purely a performance device.
+    fn solve_lp(&mut self, problem: &Problem) -> Result<Solution, SolveError> {
+        let key = if self.config.warm_start {
+            ShapeKey::of(problem)
+        } else {
+            None
+        };
+        let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
+            Some(basis) => {
+                self.warm_attempts += 1;
+                let s = problem.solve_warm_with(&self.config.solver, &mut self.workspace, basis)?;
+                if s.used_warm_start() {
+                    self.warm_hits += 1;
+                }
+                s
+            }
+            None => problem.solve_with(&self.config.solver, &mut self.workspace)?,
+        };
+        if let (Some(k), Some(basis)) = (key, solution.basis()) {
+            if self.warm_bases.len() >= MAX_CACHED_SHAPES && !self.warm_bases.contains_key(&k) {
+                self.warm_bases.clear();
+            }
+            self.warm_bases.insert(k, basis.clone());
+        }
+        Ok(solution)
+    }
+
+    /// How many solves were attempted from a cached warm basis, and how
+    /// many of those actually skipped phase 1 (the basis was still
+    /// feasible). Diagnostic counters for benches and tests.
+    pub fn warm_stats(&self) -> (u64, u64) {
+        (self.warm_attempts, self.warm_hits)
+    }
+
+    /// Number of problem shapes with a cached warm-start basis.
+    pub fn cached_bases(&self) -> usize {
+        self.warm_bases.len()
+    }
+
+    /// Drops all cached warm-start bases (subsequent solves start cold).
+    pub fn clear_warm_cache(&mut self) {
+        self.warm_bases.clear();
     }
 
     /// Loads a deterministic scenario's paths into the reusable

@@ -2,7 +2,7 @@
 //! multipath theory, multipath simulation, and the two single-path
 //! theoretical baselines.
 
-use crate::runner::{run_measured, RunConfig, TrueNetwork};
+use crate::runner::{run_measured_with, RunConfig, TrueNetwork};
 use crate::scenarios;
 use dmc_core::{ModelConfig, Objective, Planner};
 
@@ -38,11 +38,12 @@ fn point(planner: &mut Planner, lambda: f64, delta: f64, cfg: &RunConfig) -> Fig
         .quality();
     let measured = scenarios::table3_true(lambda, delta);
     let truth = TrueNetwork::deterministic(&measured);
-    let simulation = run_measured(
+    let simulation = run_measured_with(
+        planner,
         &measured,
         scenarios::QUEUE_MARGIN_S,
+        ModelConfig::default().transmissions,
         &truth,
-        &ModelConfig::default(),
         cfg,
     )
     .expect("run")

@@ -6,9 +6,9 @@
 //! delay error (relative), loss error (absolute), each with one curve per
 //! perturbed path.
 
-use crate::runner::{run_measured, RunConfig, TrueNetwork};
+use crate::runner::{run_measured_with, RunConfig, TrueNetwork};
 use crate::scenarios;
-use dmc_core::{ModelConfig, NetworkSpec};
+use dmc_core::{ModelConfig, NetworkSpec, Planner};
 
 /// Which metric Figure 3 perturbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +52,10 @@ pub fn curve(
     errors: &[f64],
     cfg: &RunConfig,
 ) -> Vec<SensitivityPoint> {
-    let model_cfg = ModelConfig::default();
+    // One planner across the curve: every point solves the same LP shape
+    // with slightly perturbed coefficients, so each warm-starts from the
+    // previous point's optimal basis.
+    let mut planner = Planner::new();
     let truth = TrueNetwork::deterministic(&scenarios::table3_true(90e6, 0.800));
     errors
         .iter()
@@ -60,11 +63,12 @@ pub fn curve(
             // The error contaminates the sender's *measurement*; the LP's
             // conservative margin is applied on top, as in Experiment 1.
             let believed = perturb(&scenarios::table3_true(90e6, 0.800), metric, path, error);
-            let quality = run_measured(
+            let quality = run_measured_with(
+                &mut planner,
                 &believed,
                 scenarios::QUEUE_MARGIN_S,
+                ModelConfig::default().transmissions,
                 &truth,
-                &model_cfg,
                 cfg,
             )
             .map(|o| o.quality)

@@ -281,8 +281,35 @@ pub fn run_deterministic(
     model_cfg: &ModelConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, String> {
-    let scenario = Scenario::from_network(model_net).with_transmissions(model_cfg.transmissions);
-    let plan = planner_from_model_config(model_cfg)
+    let mut planner = planner_from_model_config(model_cfg);
+    run_deterministic_with(
+        &mut planner,
+        model_net,
+        model_cfg.transmissions,
+        true_net,
+        cfg,
+    )
+}
+
+/// [`run_deterministic`] through a caller-owned [`Planner`].
+///
+/// Sweeps that solve many same-shaped models (Figure 2/3 curves, Table IV
+/// rows with simulation) should hold one planner across all points: its
+/// LP workspace is reused and each point warm-starts from the previous
+/// point's optimal basis.
+///
+/// # Errors
+///
+/// Forwards model/solver and topology errors as strings.
+pub fn run_deterministic_with(
+    planner: &mut Planner,
+    model_net: &NetworkSpec,
+    transmissions: usize,
+    true_net: &TrueNetwork,
+    cfg: &RunConfig,
+) -> Result<RunOutcome, String> {
+    let scenario = Scenario::from_network(model_net).with_transmissions(transmissions);
+    let plan = planner
         .plan(&scenario, Objective::MaxQuality)
         .map_err(|e| e.to_string())?;
     run_plan(&plan, true_net, cfg)
@@ -312,8 +339,34 @@ pub fn run_measured(
     model_cfg: &ModelConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, String> {
-    let scenario = Scenario::from_network(measured).with_transmissions(model_cfg.transmissions);
-    let plan = planner_from_model_config(model_cfg)
+    let mut planner = planner_from_model_config(model_cfg);
+    run_measured_with(
+        &mut planner,
+        measured,
+        margin_s,
+        model_cfg.transmissions,
+        true_net,
+        cfg,
+    )
+}
+
+/// [`run_measured`] through a caller-owned [`Planner`] (see
+/// [`run_deterministic_with`] for why sweeps want this: workspace reuse
+/// plus warm-started LP solves across the sweep points).
+///
+/// # Errors
+///
+/// Forwards model/solver and topology errors as strings.
+pub fn run_measured_with(
+    planner: &mut Planner,
+    measured: &NetworkSpec,
+    margin_s: f64,
+    transmissions: usize,
+    true_net: &TrueNetwork,
+    cfg: &RunConfig,
+) -> Result<RunOutcome, String> {
+    let scenario = Scenario::from_network(measured).with_transmissions(transmissions);
+    let plan = planner
         .plan_with_margin(&scenario, margin_s, Objective::MaxQuality)
         .map_err(|e| e.to_string())?;
     run_plan(&plan, true_net, cfg)

@@ -60,6 +60,10 @@ pub enum SolveError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The basis matrix became numerically singular (a factorization
+    /// failed); indicates numerically hostile input. Only the revised
+    /// backend reports this.
+    Singular,
     /// The problem itself is malformed.
     Problem(ProblemError),
 }
@@ -73,6 +77,9 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::IterationLimit { limit } => {
                 write!(f, "simplex exceeded {limit} pivot iterations")
+            }
+            SolveError::Singular => {
+                write!(f, "basis matrix is numerically singular")
             }
             SolveError::Problem(e) => write!(f, "malformed problem: {e}"),
         }

@@ -1,13 +1,37 @@
-//! Dense linear-programming solver for deadline-aware multipath scheduling.
+//! Linear-programming solvers for deadline-aware multipath scheduling.
 //!
 //! The DSN 2017 paper ("Deadline-Aware Multipath Communication: An
 //! Optimization Problem") solves its packet-to-path-combination assignment
 //! with an off-the-shelf LP library (CGAL). The Rust optimization-solver
-//! ecosystem is thin, and the paper's problems are *small and dense*
-//! (at most a few thousand variables and a dozen rows), so this crate
-//! implements a robust two-phase primal simplex with anti-cycling, which
-//! finds exact optimal vertices for problems of this size in microseconds
-//! to milliseconds.
+//! ecosystem is thin, and the paper's problems have a very particular
+//! shape — one variable per path×retransmission combination (`(n+1)^m`,
+//! hundreds to thousands) but only a handful of rows (bandwidth, cost,
+//! quality, `Σx = 1`) — so this crate implements two exact primal simplex
+//! backends tuned for exactly that shape:
+//!
+//! * [`Backend::Revised`] (the default): revised simplex with a
+//!   product-form (eta-file) basis inverse refactorized every ~64 pivots
+//!   and **partial candidate-list pricing**. The constraint matrix is
+//!   used in place (normalization absorbed into per-row multipliers);
+//!   bulk pricing runs as vectorized row passes and per-column accesses
+//!   gather `m` strided elements. A pivot costs `O(m²)` plus the columns
+//!   actually priced instead of the dense tableau's `O(m·n)` rewrite (see
+//!   `BENCH_lp.json`). This is also the only backend that honors **warm
+//!   starts**: [`Solution::basis`] exposes the optimal basis and
+//!   [`Problem::solve_warm`] re-enters phase 2 from it, which is what
+//!   makes λ/δ parameter sweeps and an adaptive sender's periodic
+//!   re-solves cheap.
+//! * [`Backend::DenseTableau`]: the original two-phase dense-tableau
+//!   simplex. Simpler and hard to beat below ~50 variables; kept as the
+//!   reference oracle the revised backend is differentially tested
+//!   against (`tests/proptest_backends.rs`).
+//!
+//! Both backends share the anti-cycling scheme (automatic switch to
+//! Bland's rule after a run of degenerate pivots) and produce identical
+//! objectives, primal points and duals to 1e-9. The revised backend
+//! additionally canonicalizes its answer across alternate optima, so its
+//! result is a pure function of the problem — warm and cold solves of the
+//! same problem report bit-identical vertices.
 //!
 //! # Problem form
 //!
@@ -42,6 +66,33 @@
 //! # }
 //! ```
 //!
+//! # Warm starts
+//!
+//! Re-solving after a small parameter change (a sweep point, an adaptive
+//! sender's refreshed estimates) usually leaves the optimal basis valid
+//! or nearly so; restarting phase 2 from it skips most pivots:
+//!
+//! ```
+//! use dmc_lp::{Problem, SolverOptions, Workspace};
+//!
+//! # fn main() -> Result<(), dmc_lp::SolveError> {
+//! let mut ws = Workspace::new();
+//! let opts = SolverOptions::default();
+//! let mut basis = None;
+//! for rhs in [3.0, 3.5, 4.0] {
+//!     let mut p = Problem::maximize(vec![1.0, 2.0]);
+//!     p.add_le(vec![1.0, 1.0], rhs)?;
+//!     let s = match &basis {
+//!         Some(b) => p.solve_warm_with(&opts, &mut ws, b)?,
+//!         None => p.solve_with(&opts, &mut ws)?,
+//!     };
+//!     assert!((s.objective() - 2.0 * rhs).abs() < 1e-9);
+//!     basis = s.basis().cloned();
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Guarantees
 //!
 //! * Terminates: Bland's rule is engaged automatically after a run of
@@ -49,16 +100,19 @@
 //! * Detects and reports infeasible and unbounded problems as typed errors.
 //! * Returns dual values (shadow prices) for every constraint row, enabling
 //!   sensitivity analysis on bandwidth/cost bounds (paper §IX-C).
+//! * A stale warm basis can never corrupt a result: it is validated and,
+//!   if unusable, the solver falls back to the cold path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod problem;
+mod revised;
 mod simplex;
 mod solution;
 
 pub use error::{ProblemError, SolveError};
 pub use problem::{Constraint, ConstraintKind, Problem};
-pub use simplex::{PivotRule, SolverOptions, Workspace};
-pub use solution::Solution;
+pub use simplex::{Backend, PivotRule, SolverOptions, Workspace};
+pub use solution::{Basis, BasisVar, Solution};

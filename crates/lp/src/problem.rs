@@ -1,8 +1,9 @@
 //! Problem representation: dense objective plus inequality/equality rows.
 
 use crate::error::{ProblemError, SolveError};
-use crate::simplex::{self, SolverOptions, Workspace};
-use crate::solution::Solution;
+use crate::revised;
+use crate::simplex::{self, Backend, SolverOptions, Workspace};
+use crate::solution::{Basis, Solution};
 
 /// Whether a [`Constraint`] is `≤` or `=`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -201,13 +202,66 @@ impl Problem {
         options: &SolverOptions,
         workspace: &mut Workspace,
     ) -> Result<Solution, SolveError> {
+        self.dispatch(options, workspace, None)
+    }
+
+    /// Solves the problem warm-started from a prior optimal [`Basis`]
+    /// (obtained via [`Solution::basis`] on a related problem — same
+    /// variable and row counts, typically a parameter sweep or an
+    /// adaptive re-solve where only objective/RHS coefficients moved).
+    ///
+    /// When the basis is still primal feasible the solver skips phase 1
+    /// and re-enters phase 2 directly
+    /// ([`Solution::used_warm_start`] reports `true`); a stale basis —
+    /// wrong shape, singular, or infeasible under the new RHS — silently
+    /// falls back to the cold two-phase path, so `solve_warm` never
+    /// returns a worse outcome than [`Problem::solve`].
+    ///
+    /// Only [`Backend::Revised`] honors the hint; the dense oracle
+    /// ignores it and solves cold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn solve_warm(
+        &self,
+        options: &SolverOptions,
+        basis: &Basis,
+    ) -> Result<Solution, SolveError> {
+        self.solve_warm_with(options, &mut Workspace::new(), basis)
+    }
+
+    /// [`Problem::solve_warm`] reusing the caller's [`Workspace`] buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn solve_warm_with(
+        &self,
+        options: &SolverOptions,
+        workspace: &mut Workspace,
+        basis: &Basis,
+    ) -> Result<Solution, SolveError> {
+        self.dispatch(options, workspace, Some(basis))
+    }
+
+    /// Validates and routes to the configured [`Backend`].
+    fn dispatch(
+        &self,
+        options: &SolverOptions,
+        workspace: &mut Workspace,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, SolveError> {
         if self.objective.is_empty() {
             return Err(ProblemError::Empty.into());
         }
         if self.objective.iter().any(|c| !c.is_finite()) {
             return Err(ProblemError::NonFiniteCoefficient.into());
         }
-        simplex::solve(self, options, workspace)
+        match options.backend {
+            Backend::DenseTableau => simplex::solve(self, options, workspace),
+            Backend::Revised => revised::solve(self, options, workspace, warm),
+        }
     }
 
     /// Checks a candidate point against every constraint and the

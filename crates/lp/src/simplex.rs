@@ -13,9 +13,15 @@
 
 use crate::error::SolveError;
 use crate::problem::{ConstraintKind, Problem};
-use crate::solution::Solution;
+use crate::solution::{Basis, BasisVar, Solution};
 
 /// Pivot-column selection rule.
+///
+/// For the [`Backend::Revised`] backend the rules map onto pricing
+/// strategies: `Dantzig` prices every column each iteration, `Bland`
+/// takes the first improving column, and `Adaptive` uses partial
+/// (sectioned candidate-list) pricing with the same automatic Bland
+/// fallback on degeneracy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PivotRule {
     /// Most-negative reduced cost. Fast in practice; can cycle on
@@ -28,6 +34,23 @@ pub enum PivotRule {
     /// This is the default and combines speed with guaranteed termination.
     #[default]
     Adaptive,
+}
+
+/// Which simplex implementation [`Problem::solve`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Two-phase primal simplex on a dense row-major tableau. Every pivot
+    /// rewrites the whole tableau (`O(m·n)`), which is robust and simple —
+    /// kept as the reference oracle the revised backend is differentially
+    /// tested against.
+    DenseTableau,
+    /// Revised simplex on a column-major sparse matrix with a product-form
+    /// (eta-file) basis inverse and partial pricing. A pivot costs
+    /// `O(m²)` plus the columns actually priced, which wins decisively on
+    /// the paper's few-rows/many-columns LPs; also the only backend that
+    /// honors warm starts ([`Problem::solve_warm`]). The default.
+    #[default]
+    Revised,
 }
 
 /// Tuning knobs for [`Problem::solve`].
@@ -45,6 +68,8 @@ pub struct SolverOptions {
     /// Number of consecutive degenerate pivots before [`PivotRule::Adaptive`]
     /// falls back to Bland's rule (default `64`).
     pub degenerate_switch: usize,
+    /// Simplex implementation (default [`Backend::Revised`]).
+    pub backend: Backend,
 }
 
 impl Default for SolverOptions {
@@ -54,6 +79,7 @@ impl Default for SolverOptions {
             max_iterations: 50_000,
             pivot_rule: PivotRule::Adaptive,
             degenerate_switch: 64,
+            backend: Backend::default(),
         }
     }
 }
@@ -92,6 +118,8 @@ pub struct Workspace {
     cost: Vec<f64>,
     /// Per-original-row normalization metadata.
     row_info: Vec<RowInfo>,
+    /// Buffers of the revised backend ([`Backend::Revised`]).
+    pub(crate) revised: crate::revised::RevisedWorkspace,
 }
 
 impl Workspace {
@@ -217,14 +245,6 @@ impl Tableau<'_> {
     }
 }
 
-/// Column classification for the assembled tableau.
-struct Layout {
-    /// Number of structural variables.
-    n_struct: usize,
-    /// First artificial column (slacks live in `n_struct..art_start`).
-    art_start: usize,
-}
-
 /// Per-original-row bookkeeping recorded during normalization.
 #[derive(Debug, Clone, Copy, Default)]
 struct RowInfo {
@@ -331,10 +351,6 @@ pub(crate) fn solve(
         }
     }
     debug_assert_eq!(next_art, cols);
-    let layout = Layout {
-        n_struct: n,
-        art_start,
-    };
 
     let mut iterations = 0usize;
 
@@ -351,7 +367,7 @@ pub(crate) fn solve(
         if residual > tol.max(1e-7) {
             return Err(SolveError::Infeasible { residual });
         }
-        drive_out_artificials(&mut tab, &layout, tol);
+        drive_out_artificials(&mut tab, art_start, tol);
     }
 
     // ---- Phase 2: user objective ---------------------------------------
@@ -410,7 +426,32 @@ pub(crate) fn solve(
         duals[orig] = y;
     }
 
-    Ok(Solution::new(x, objective, duals, iterations))
+    // ---- Extract the final basis (for warm-start callers) ---------------
+    // Only expressible when no redundant row was dropped (a shorter basis
+    // cannot restart an m-row problem) and no artificial stayed basic.
+    let basis = if tab.rows == m {
+        let mut slots = Vec::with_capacity(m);
+        for &b in tab.basis.iter() {
+            if b < n {
+                slots.push(BasisVar::Structural(b));
+            } else if b < art_start {
+                let row = ws
+                    .row_info
+                    .iter()
+                    .position(|info| info.slack_col == Some(b))
+                    .expect("slack column maps to a row");
+                slots.push(BasisVar::Slack(row));
+            } else {
+                slots.clear();
+                break;
+            }
+        }
+        (slots.len() == m).then(|| Basis::new(slots))
+    } else {
+        None
+    };
+
+    Ok(Solution::new(x, objective, duals, iterations, basis, false))
 }
 
 /// Runs simplex iterations until optimality on the current objective row.
@@ -433,24 +474,23 @@ fn iterate(
         };
 
         // --- entering column ---
-        let mut enter: Option<usize> = None;
-        if use_bland {
-            for j in 0..enter_limit {
-                if tab.obj(j) < -tol {
-                    enter = Some(j);
-                    break;
-                }
-            }
+        // Price off a contiguous slice of the objective row: one bounds
+        // check instead of a `tab.obj(j)` index computation per column.
+        let obj_start = tab.rows * tab.width();
+        let obj_row = &tab.data[obj_start..obj_start + enter_limit];
+        let enter: Option<usize> = if use_bland {
+            obj_row.iter().position(|&rc| rc < -tol)
         } else {
             let mut best = -tol;
-            for j in 0..enter_limit {
-                let rc = tab.obj(j);
+            let mut enter = None;
+            for (j, &rc) in obj_row.iter().enumerate() {
                 if rc < best {
                     best = rc;
                     enter = Some(j);
                 }
             }
-        }
+            enter
+        };
         let Some(pc) = enter else {
             return Ok(()); // optimal
         };
@@ -492,15 +532,18 @@ fn iterate(
 
 /// After phase 1, pivots basic artificials out of the basis (degenerate
 /// pivots) or removes their rows when linearly dependent.
-fn drive_out_artificials(tab: &mut Tableau<'_>, layout: &Layout, tol: f64) {
+///
+/// `art_start` is the first artificial column; slacks and structural
+/// variables live below it.
+fn drive_out_artificials(tab: &mut Tableau<'_>, art_start: usize, tol: f64) {
     let mut r = 0;
     while r < tab.rows {
-        if tab.basis[r] >= layout.art_start {
+        if tab.basis[r] >= art_start {
             // Try to pivot in any non-artificial column with a nonzero
             // entry in this row (the RHS is ~0, so the pivot is degenerate
             // and preserves feasibility regardless of sign).
             let mut pivot_col = None;
-            for j in 0..layout.art_start {
+            for j in 0..art_start {
                 if tab.at(r, j).abs() > tol.max(1e-10) {
                     pivot_col = Some(j);
                     break;
@@ -520,7 +563,6 @@ fn drive_out_artificials(tab: &mut Tableau<'_>, layout: &Layout, tol: f64) {
             r += 1;
         }
     }
-    let _ = layout.n_struct;
 }
 
 #[cfg(test)]
@@ -529,7 +571,11 @@ mod tests {
     use crate::Problem;
 
     fn opts() -> SolverOptions {
-        SolverOptions::default()
+        // These tests exercise the dense oracle specifically.
+        SolverOptions {
+            backend: Backend::DenseTableau,
+            ..SolverOptions::default()
+        }
     }
 
     #[test]

@@ -1,4 +1,66 @@
-//! Optimal solution returned by the solver.
+//! Optimal solution returned by the solver, plus the [`Basis`] type that
+//! lets one solve warm-start the next.
+
+use std::fmt;
+
+/// One basic variable of a simplex [`Basis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasisVar {
+    /// A structural (user) variable, by column index.
+    Structural(usize),
+    /// The slack of an inequality row, by *original row* index.
+    Slack(usize),
+}
+
+/// The basis of an optimal vertex: which variable is basic in each
+/// constraint row, in row order.
+///
+/// Obtained from [`crate::Solution::basis`] and fed to
+/// [`crate::Problem::solve_warm`] to re-enter phase 2 directly on a
+/// related problem (same variable and row counts, e.g. a parameter sweep
+/// or an adaptive re-solve where only objective/RHS coefficients moved).
+/// Artificial variables are never part of an exposed basis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Basis {
+    slots: Vec<BasisVar>,
+}
+
+impl Basis {
+    pub(crate) fn new(slots: Vec<BasisVar>) -> Self {
+        Basis { slots }
+    }
+
+    /// The basic variable of each constraint row, in row order.
+    pub fn slots(&self) -> &[BasisVar] {
+        &self.slots
+    }
+
+    /// Number of rows the basis spans.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the basis spans zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl fmt::Display for Basis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match s {
+                BasisVar::Structural(j) => write!(f, "x{j}")?,
+                BasisVar::Slack(r) => write!(f, "s{r}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
 
 /// An optimal vertex of the linear program.
 ///
@@ -11,15 +73,26 @@ pub struct Solution {
     objective: f64,
     duals: Vec<f64>,
     iterations: usize,
+    basis: Option<Basis>,
+    warm: bool,
 }
 
 impl Solution {
-    pub(crate) fn new(x: Vec<f64>, objective: f64, duals: Vec<f64>, iterations: usize) -> Self {
+    pub(crate) fn new(
+        x: Vec<f64>,
+        objective: f64,
+        duals: Vec<f64>,
+        iterations: usize,
+        basis: Option<Basis>,
+        warm: bool,
+    ) -> Self {
         Solution {
             x,
             objective,
             duals,
             iterations,
+            basis,
+            warm,
         }
     }
 
@@ -47,6 +120,22 @@ impl Solution {
     /// Number of simplex pivots performed across both phases.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// The optimal basis, suitable for [`crate::Problem::solve_warm`] on a
+    /// related problem.
+    ///
+    /// `None` when the basis is not re-usable: a redundant row was dropped
+    /// during presolve, or an artificial variable remained basic.
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
+    }
+
+    /// Whether this solve actually re-entered phase 2 from a caller-
+    /// provided warm basis (`false` for cold solves and for warm attempts
+    /// that fell back to phase 1).
+    pub fn used_warm_start(&self) -> bool {
+        self.warm
     }
 
     /// Consumes the solution and returns the variable vector.

@@ -1,0 +1,192 @@
+//! Differential testing: the revised backend against the dense oracle.
+//!
+//! Random LPs — feasible by construction, infeasible by construction,
+//! unbounded by construction, and unconstrained-outcome mixes — must
+//! produce the same outcome class from [`Backend::Revised`] and
+//! [`Backend::DenseTableau`], and on success agree on objective, primal
+//! point and duals to 1e-9. Coefficients are drawn from continuous
+//! distributions, so optima (and duals) are unique almost surely and the
+//! pointwise comparison is meaningful.
+
+use dmc_lp::{Backend, Problem, SolveError, SolverOptions};
+use proptest::prelude::*;
+
+fn dense_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::DenseTableau,
+        ..SolverOptions::default()
+    }
+}
+
+fn revised_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::Revised,
+        ..SolverOptions::default()
+    }
+}
+
+/// Deterministic pseudo-random f64 in [0, 1) from a seed counter
+/// (SplitMix64, same scheme as `proptest_simplex.rs`).
+fn mix(seed: &mut u64) -> f64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A bounded-feasible LP with a known interior point: `≤` rows through
+/// the point plus box bounds, optionally one equality row through it.
+fn build_feasible_lp(n: usize, m: usize, with_eq: bool, seed0: u64) -> Problem {
+    let mut seed = seed0;
+    let x0: Vec<f64> = (0..n).map(|_| mix(&mut seed) * 5.0).collect();
+    let c: Vec<f64> = (0..n).map(|_| mix(&mut seed) * 4.0 - 2.0).collect();
+    let mut p = Problem::maximize(c);
+    for _ in 0..m {
+        let a: Vec<f64> = (0..n).map(|_| mix(&mut seed) * 2.0 - 0.5).collect();
+        let lhs: f64 = a.iter().zip(&x0).map(|(ai, xi)| ai * xi).sum();
+        let slack = mix(&mut seed) * 3.0;
+        p.add_le(a, lhs + slack).unwrap();
+    }
+    if with_eq {
+        let a: Vec<f64> = (0..n).map(|_| mix(&mut seed) + 0.1).collect();
+        let lhs: f64 = a.iter().zip(&x0).map(|(ai, xi)| ai * xi).sum();
+        p.add_eq(a, lhs).unwrap();
+    }
+    for j in 0..n {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        p.add_le(row, 10.0 + mix(&mut seed)).unwrap();
+    }
+    p
+}
+
+fn assert_backends_agree(p: &Problem) -> Result<(), TestCaseError> {
+    let dense = p.solve(&dense_opts());
+    let revised = p.solve(&revised_opts());
+    match (dense, revised) {
+        (Ok(d), Ok(r)) => {
+            prop_assert!(
+                (d.objective() - r.objective()).abs() < 1e-9,
+                "objective: dense {} vs revised {}",
+                d.objective(),
+                r.objective()
+            );
+            for (j, (a, b)) in d.x().iter().zip(r.x()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-9, "x[{j}]: dense {a} vs revised {b}");
+            }
+            for (i, (a, b)) in d.duals().iter().zip(r.duals()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-9, "dual[{i}]: dense {a} vs revised {b}");
+            }
+            // Both must actually be feasible for the original problem.
+            prop_assert!(p.max_violation(d.x()) < 1e-6);
+            prop_assert!(p.max_violation(r.x()) < 1e-6);
+        }
+        (Err(SolveError::Infeasible { .. }), Err(SolveError::Infeasible { .. })) => {}
+        (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
+        (d, r) => {
+            return Err(TestCaseError(format!(
+                "outcome mismatch: dense {d:?} vs revised {r:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Feasible bounded LPs (with and without an equality row): identical
+    /// optima from both backends.
+    #[test]
+    fn feasible_lps_agree(
+        n in 1usize..8,
+        m in 1usize..9,
+        with_eq in proptest::prelude::any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let p = build_feasible_lp(n, m, with_eq, seed);
+        assert_backends_agree(&p)?;
+    }
+
+    /// Infeasible-by-construction LPs (`a·x ≤ t` and `a·x ≥ t + gap`):
+    /// both backends must report infeasibility.
+    #[test]
+    fn infeasible_lps_agree(n in 1usize..6, seed in any::<u64>(), gap in 0.5f64..5.0) {
+        let mut seed = seed;
+        let a: Vec<f64> = (0..n).map(|_| mix(&mut seed) + 0.1).collect();
+        let t = mix(&mut seed) * 4.0;
+        let mut p = Problem::maximize((0..n).map(|_| mix(&mut seed)).collect());
+        p.add_le(a.clone(), t).unwrap();
+        p.add_ge(a, t + gap).unwrap();
+        assert_backends_agree(&p)?;
+    }
+
+    /// Unbounded-by-construction LPs (one variable unconstrained above
+    /// with positive objective): both backends must report unboundedness.
+    #[test]
+    fn unbounded_lps_agree(n in 2usize..6, seed in any::<u64>()) {
+        let mut seed = seed;
+        let mut c: Vec<f64> = (0..n).map(|_| mix(&mut seed)).collect();
+        c[0] = 1.0 + mix(&mut seed); // strictly improving direction
+        let mut p = Problem::maximize(c);
+        // Constrain every variable except x0.
+        for j in 1..n {
+            let mut row = vec![0.0; n];
+            row[j] = 1.0;
+            p.add_le(row, 1.0 + mix(&mut seed)).unwrap();
+        }
+        assert_backends_agree(&p)?;
+    }
+
+    /// Paper-shaped LPs (`Σx = 1` distribution rows plus capacity rows):
+    /// the exact structure the planner emits.
+    #[test]
+    fn paper_shaped_lps_agree(n in 2usize..40, rows in 1usize..6, seed in any::<u64>()) {
+        let mut seed = seed;
+        let pvec: Vec<f64> = (0..n).map(|_| mix(&mut seed)).collect();
+        let mut p = Problem::maximize(pvec);
+        for _ in 0..rows {
+            let usage: Vec<f64> = (0..n).map(|_| mix(&mut seed) * 2.0).collect();
+            p.add_le(usage, 0.5 + mix(&mut seed) * 2.0).unwrap();
+        }
+        p.add_eq(vec![1.0; n], 1.0).unwrap();
+        assert_backends_agree(&p)?;
+    }
+
+    /// Warm-starting from the previous point of a RHS sweep must agree
+    /// with the dense oracle at every point (warm results are still
+    /// exact optima, not approximations).
+    #[test]
+    fn warm_sweep_agrees_with_dense(n in 2usize..20, seed in any::<u64>()) {
+        let mut seed = seed;
+        let pvec: Vec<f64> = (0..n).map(|_| mix(&mut seed)).collect();
+        let usage: Vec<f64> = (0..n).map(|_| 0.2 + mix(&mut seed)).collect();
+        // Start just above the minimum feasible capacity (all mass on the
+        // cheapest column), so every sweep point is feasible.
+        let min_usage = usage.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut basis = None;
+        for step in 0..6 {
+            let rhs = min_usage + 0.05 + 0.25 * step as f64;
+            let mut p = Problem::maximize(pvec.clone());
+            p.add_le(usage.clone(), rhs).unwrap();
+            p.add_eq(vec![1.0; n], 1.0).unwrap();
+            let revised = match &basis {
+                Some(b) => p.solve_warm(&revised_opts(), b).unwrap(),
+                None => p.solve(&revised_opts()).unwrap(),
+            };
+            let dense = p.solve(&dense_opts()).unwrap();
+            prop_assert!(
+                (revised.objective() - dense.objective()).abs() < 1e-9,
+                "step {step}: warm {} vs dense {}",
+                revised.objective(),
+                dense.objective()
+            );
+            for (j, (a, b)) in revised.x().iter().zip(dense.x()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-9, "step {step} x[{j}]: {a} vs {b}");
+            }
+            basis = revised.basis().cloned();
+        }
+    }
+}

@@ -36,7 +36,11 @@ pub struct AdaptiveConfig {
 /// loop.
 ///
 /// The planner's LP workspace is reused across every re-solve, so the
-/// periodic re-planning allocates nothing once warm.
+/// periodic re-planning allocates nothing once warm — and because
+/// successive estimates share the LP's shape, every re-solve after the
+/// first warm-starts from the previous optimal basis and typically
+/// re-enters phase 2 with a handful of pivots (see
+/// `dmc_core::PlannerConfig::warm_start`).
 #[derive(Debug)]
 pub struct AdaptiveSender {
     inner: DmcSender,
@@ -80,6 +84,12 @@ impl AdaptiveSender {
     /// How many times the LP was re-solved.
     pub fn resolves(&self) -> u64 {
         self.resolves
+    }
+
+    /// The owned planner (inspect warm-start statistics:
+    /// `planner().warm_stats()`).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// Current best estimate of the network (prior refined by
@@ -211,6 +221,12 @@ mod tests {
                     TwoHostSim::new(fwd.clone(), bwd.clone(), sender, receiver, 21).unwrap();
                 sim.run_until(horizon);
                 assert!(sim.client().resolves() > 10);
+                // Re-solves share the LP shape, so all but the first must
+                // have consulted the warm cache and most should have
+                // skipped phase 1 outright.
+                let (attempts, hits) = sim.client().planner().warm_stats();
+                assert_eq!(attempts, sim.client().resolves() - 1);
+                assert!(hits > 0, "periodic re-solves never warm-started");
                 let learned_loss = sim.client().estimated_network().paths()[0].loss();
                 assert!(
                     (0.28..=0.52).contains(&learned_loss),

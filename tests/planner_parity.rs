@@ -149,6 +149,130 @@ fn constant_distributions_match_deterministic_branch() {
     );
 }
 
+/// A warm-swept planner (one planner, basis cached across points) must
+/// match cold solves (fresh planner per point) **bit-for-bit** on the
+/// Table III λ- and δ-sweeps: warm starting is purely a performance
+/// device, never an accuracy trade.
+#[test]
+fn warm_sweep_matches_cold_bit_for_bit_on_table3() {
+    let mut warm = Planner::new();
+    let lambdas = [10e6, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6, 120e6, 140e6];
+    let deltas = [0.150, 0.450, 0.750, 0.800, 1.050, 1.500];
+    for &lambda in &lambdas {
+        for &delta in &deltas {
+            let scenario = Scenario::from_network(&scenarios::table3_model(lambda, delta));
+            let swept = warm
+                .plan(&scenario, Objective::MaxQuality)
+                .expect("feasible");
+            let cold = Planner::new()
+                .plan(&scenario, Objective::MaxQuality)
+                .expect("feasible");
+            assert_eq!(
+                swept.strategy().x(),
+                cold.strategy().x(),
+                "λ={lambda} δ={delta}: warm and cold vertices differ"
+            );
+            assert_eq!(swept.quality(), cold.quality(), "λ={lambda} δ={delta}");
+            assert_eq!(swept.cost_rate(), cold.cost_rate(), "λ={lambda} δ={delta}");
+            assert_eq!(
+                swept.send_rates(),
+                cold.send_rates(),
+                "λ={lambda} δ={delta}"
+            );
+        }
+    }
+    let (attempts, hits) = warm.warm_stats();
+    assert!(attempts > 0, "sweep never consulted the warm cache");
+    assert!(hits > 0, "no sweep point actually warm-started");
+}
+
+/// Same bit-for-bit property on the random-delay Table V scenario
+/// (Experiment 2) across a λ sweep.
+#[test]
+fn warm_sweep_matches_cold_bit_for_bit_on_table5() {
+    let mut warm = Planner::new();
+    for lambda in [60e6, 75e6, 90e6, 100e6] {
+        let scenario = Scenario::from_random(&scenarios::table5(lambda, 0.750));
+        let swept = warm.plan(&scenario, Objective::MaxQuality).expect("ok");
+        let cold = Planner::new()
+            .plan(&scenario, Objective::MaxQuality)
+            .expect("ok");
+        assert_eq!(swept.strategy().x(), cold.strategy().x(), "λ={lambda}");
+        assert_eq!(swept.quality(), cold.quality(), "λ={lambda}");
+    }
+    let (_, hits) = warm.warm_stats();
+    assert!(hits > 0, "no warm start on the Table V sweep");
+}
+
+/// A shape change (different path count / transmissions) must not reuse
+/// the previous shape's basis — each shape gets its own cache slot and
+/// correct answers throughout.
+#[test]
+fn shape_change_invalidates_cached_basis() {
+    let mut planner = Planner::new();
+    let two = scenarios::table3_model_scenario(90e6, 0.800);
+    let three = Scenario::builder()
+        .path(ScenarioPath::constant(80e6, 0.450, 0.2).unwrap())
+        .path(ScenarioPath::constant(20e6, 0.150, 0.0).unwrap())
+        .path(ScenarioPath::constant(30e6, 0.250, 0.05).unwrap())
+        .data_rate(130e6)
+        .lifetime(0.8)
+        .build()
+        .unwrap();
+    let a = planner.plan(&two, Objective::MaxQuality).unwrap();
+    assert_eq!(planner.cached_bases(), 1);
+    // Different shape (9 → 16 LP variables): a new cache entry, and the
+    // answer matches a cold planner exactly.
+    let b = planner.plan(&three, Objective::MaxQuality).unwrap();
+    assert_eq!(planner.cached_bases(), 2);
+    let b_cold = Planner::new().plan(&three, Objective::MaxQuality).unwrap();
+    assert_eq!(b.strategy().x(), b_cold.strategy().x());
+    // Returning to the first shape warm-starts from its own basis.
+    let a2 = planner.plan(&two, Objective::MaxQuality).unwrap();
+    assert_eq!(a.strategy().x(), a2.strategy().x());
+    let (attempts, hits) = planner.warm_stats();
+    assert!(attempts >= 1 && hits >= 1);
+    // m=3 changes the variable count → yet another shape, still correct.
+    let m3 = planner
+        .plan(&two.with_transmissions(3), Objective::MaxQuality)
+        .unwrap();
+    let m3_cold = Planner::new()
+        .plan(&two.with_transmissions(3), Objective::MaxQuality)
+        .unwrap();
+    assert_eq!(m3.strategy().x(), m3_cold.strategy().x());
+    assert_eq!(planner.cached_bases(), 3);
+}
+
+/// A cached basis made infeasible by a drastic parameter change must fall
+/// back to a cold solve inside the LP (no error, identical results), and
+/// disabling `warm_start` must bypass the cache entirely.
+#[test]
+fn infeasible_warm_basis_falls_back_and_can_be_disabled() {
+    // Plenty of capacity → basis with real-path combos basic.
+    let mut planner = Planner::new();
+    let roomy = scenarios::table3_model_scenario(20e6, 0.800);
+    planner.plan(&roomy, Objective::MaxQuality).unwrap();
+    // Starved capacity: the old basis is primal infeasible for the new
+    // RHS, so the solver must re-run phase 1 — and still agree with cold.
+    let starved = scenarios::table3_model_scenario(500e6, 0.800);
+    let warm = planner.plan(&starved, Objective::MaxQuality).unwrap();
+    let cold = Planner::new()
+        .plan(&starved, Objective::MaxQuality)
+        .unwrap();
+    assert_eq!(warm.strategy().x(), cold.strategy().x());
+    assert_eq!(warm.quality(), cold.quality());
+
+    // warm_start = false: the cache never fills and never gets consulted.
+    let mut off = Planner::with_config(PlannerConfig {
+        warm_start: false,
+        ..PlannerConfig::default()
+    });
+    off.plan(&roomy, Objective::MaxQuality).unwrap();
+    off.plan(&starved, Objective::MaxQuality).unwrap();
+    assert_eq!(off.cached_bases(), 0);
+    assert_eq!(off.warm_stats(), (0, 0));
+}
+
 fn arb_constant_path() -> impl Strategy<Value = ScenarioPath> {
     (
         1.0f64..200.0, // bandwidth Mbps
