@@ -1,16 +1,24 @@
 //! Regenerates Experiment 2: random delays, Eq.-34 timeouts, simulation.
+//!
+//! Runs through the parallel Monte-Carlo engine; see `--help` for the
+//! shared `--messages/--trials/--threads/--seed` flags.
 
 use dmc_experiments::experiment2;
 use dmc_experiments::runner::RunConfig;
 
 fn main() {
+    let args = dmc_experiments::parse_args(100_000);
+    let mc = args.montecarlo();
     let mut cfg = RunConfig::default();
-    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    cfg.messages = args.messages;
     eprintln!(
-        "simulating {} messages (set MESSAGES to change)…",
-        cfg.messages
+        "simulating {} messages × {} trial(s) on {} thread(s), seed {:#x}…",
+        cfg.messages,
+        mc.trials,
+        mc.resolved_threads(),
+        mc.base_seed
     );
-    match experiment2::run(&cfg) {
+    match experiment2::run_mc(&cfg, &mc) {
         Ok(result) => print!("{}", experiment2::render(&result)),
         Err(e) => {
             eprintln!("experiment failed: {e}");

@@ -1,21 +1,29 @@
 //! Regenerates Figure 2: quality vs. data rate and vs. lifetime.
+//!
+//! Runs through the parallel Monte-Carlo engine; see `--help` for the
+//! shared `--messages/--trials/--threads/--seed` flags.
 
 use dmc_experiments::figure2;
 use dmc_experiments::runner::RunConfig;
 
 fn main() {
+    let args = dmc_experiments::parse_args(100_000);
+    let mc = args.montecarlo();
     let mut cfg = RunConfig::default();
-    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    cfg.messages = args.messages;
     eprintln!(
-        "simulating {} messages per point (set MESSAGES to change)…",
-        cfg.messages
+        "simulating {} messages × {} trial(s) per point on {} thread(s), seed {:#x}…",
+        cfg.messages,
+        mc.trials,
+        mc.resolved_threads(),
+        mc.base_seed
     );
 
     println!("# Figure 2 (top): quality vs. data rate, δ = 800 ms\n");
-    let pts = figure2::rate_sweep(&figure2::paper_lambdas(), &cfg);
+    let pts = figure2::rate_sweep_mc(&figure2::paper_lambdas(), &cfg, &mc);
     println!("{}", figure2::render(&pts, "λ (Mbps)", 1e-6));
 
     println!("\n# Figure 2 (bottom): quality vs. lifetime, λ = 90 Mbps\n");
-    let pts = figure2::lifetime_sweep(&figure2::paper_deltas(), &cfg);
+    let pts = figure2::lifetime_sweep_mc(&figure2::paper_deltas(), &cfg, &mc);
     println!("{}", figure2::render(&pts, "δ (ms)", 1e3));
 }

@@ -1,14 +1,22 @@
 //! Regenerates Figure 3: sensitivity to estimation errors.
+//!
+//! Runs through the parallel Monte-Carlo engine; see `--help` for the
+//! shared `--messages/--trials/--threads/--seed` flags.
 
 use dmc_experiments::figure3::{self, Metric};
 use dmc_experiments::runner::RunConfig;
 
 fn main() {
+    let args = dmc_experiments::parse_args(100_000);
+    let mc = args.montecarlo();
     let mut cfg = RunConfig::default();
-    cfg.messages = dmc_experiments::messages_from_env(100_000);
+    cfg.messages = args.messages;
     eprintln!(
-        "simulating {} messages per point (set MESSAGES to change)…",
-        cfg.messages
+        "simulating {} messages × {} trial(s) per point on {} thread(s), seed {:#x}…",
+        cfg.messages,
+        mc.trials,
+        mc.resolved_threads(),
+        mc.base_seed
     );
 
     let rel = figure3::relative_errors();
@@ -21,8 +29,8 @@ fn main() {
         (Metric::Loss, &loss, "bottom: loss error (absolute)"),
     ] {
         println!("## {title}\n");
-        let c1 = figure3::curve(metric, 0, errors, &cfg);
-        let c2 = figure3::curve(metric, 1, errors, &cfg);
+        let c1 = figure3::curve_mc(metric, 0, errors, &cfg, &mc);
+        let c2 = figure3::curve_mc(metric, 1, errors, &cfg, &mc);
         println!("{}", figure3::render(metric, &c1, &c2));
         println!();
     }

@@ -1,13 +1,14 @@
 //! Regenerates Figure 4: LP solve times vs. problem size.
+//!
+//! Accepts the shared flag vocabulary (`--runs N` / env `RUNS` selects
+//! the timing repetitions; see `--help`).
 
 use dmc_experiments::figure4;
 
 fn main() {
-    let runs = std::env::var("RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100usize);
-    eprintln!("averaging over {runs} runs per point (set RUNS to change)…");
+    let args = dmc_experiments::parse_args(100_000);
+    let runs = args.runs as usize;
+    eprintln!("averaging over {runs} runs per point (set --runs/RUNS to change)…");
     println!("# Figure 4 — model build + solve time (paper: log-scale ms, 2.8 GHz i5)\n");
     let pts = figure4::sweep(runs);
     println!("{}", figure4::render(&pts));

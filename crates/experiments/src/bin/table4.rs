@@ -1,8 +1,12 @@
 //! Regenerates Table IV of the paper.
+//!
+//! Exact LP only — no simulation, so of the shared flag vocabulary only
+//! `--help` is meaningful; the rest are accepted and ignored.
 
 use dmc_experiments::table4;
 
 fn main() {
+    let _ = dmc_experiments::parse_args(100_000);
     println!("# Table IV — optimal solutions for the Table III network\n");
     println!("## Top: δ = 800 ms, data rate λ swept\n");
     let lambdas: Vec<f64> = table4::PAPER_TOP.iter().map(|(l, _)| *l).collect();

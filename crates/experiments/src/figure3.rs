@@ -6,9 +6,11 @@
 //! delay error (relative), loss error (absolute), each with one curve per
 //! perturbed path.
 
-use crate::runner::{run_measured_with, RunConfig, TrueNetwork};
+use crate::montecarlo::{run_plan_trials, MonteCarloConfig};
+use crate::runner::{RunConfig, TrueNetwork};
 use crate::scenarios;
-use dmc_core::{ModelConfig, NetworkSpec, Planner};
+use dmc_core::{ModelConfig, NetworkSpec, Objective, Planner, Scenario};
+use dmc_stats::TrialStats;
 
 /// Which metric Figure 3 perturbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +31,10 @@ pub struct SensitivityPoint {
     pub error: f64,
     /// Which path (0-based) was mis-estimated.
     pub path: usize,
-    /// Measured quality on the true network.
+    /// Measured quality on the true network (mean across trials).
     pub quality: f64,
+    /// Per-trial quality statistics (CI support).
+    pub trials: TrialStats,
 }
 
 /// Applies an estimation error to one path of the model network.
@@ -44,13 +48,16 @@ pub fn perturb(net: &NetworkSpec, metric: Metric, path: usize, error: f64) -> Ne
     net.with_path_replaced(path, perturbed)
 }
 
-/// Runs one sensitivity curve: λ = 90 Mbps, δ = 800 ms (the paper's
-/// operating point), sweeping `errors` on `metric` of `path`.
-pub fn curve(
+/// Runs one sensitivity curve through the Monte-Carlo engine:
+/// λ = 90 Mbps, δ = 800 ms (the paper's operating point), sweeping
+/// `errors` on `metric` of `path`, `mc.trials` seeded simulations per
+/// point.
+pub fn curve_mc(
     metric: Metric,
     path: usize,
     errors: &[f64],
     cfg: &RunConfig,
+    mc: &MonteCarloConfig,
 ) -> Vec<SensitivityPoint> {
     // One planner across the curve: every point solves the same LP shape
     // with slightly perturbed coefficients, so each warm-starts from the
@@ -63,23 +70,39 @@ pub fn curve(
             // The error contaminates the sender's *measurement*; the LP's
             // conservative margin is applied on top, as in Experiment 1.
             let believed = perturb(&scenarios::table3_true(90e6, 0.800), metric, path, error);
-            let quality = run_measured_with(
-                &mut planner,
-                &believed,
-                scenarios::QUEUE_MARGIN_S,
-                ModelConfig::default().transmissions,
-                &truth,
-                cfg,
-            )
-            .map(|o| o.quality)
-            .unwrap_or(0.0);
+            let scenario = Scenario::from_network(&believed)
+                .with_transmissions(ModelConfig::default().transmissions);
+            let trials = planner
+                .plan_with_margin(&scenario, scenarios::QUEUE_MARGIN_S, Objective::MaxQuality)
+                .map_err(|e| e.to_string())
+                .and_then(|plan| run_plan_trials(&plan, &truth, cfg, mc))
+                .map(|r| r.quality)
+                .unwrap_or_default();
             SensitivityPoint {
                 error,
                 path,
-                quality,
+                quality: trials.mean(),
+                trials,
             }
         })
         .collect()
+}
+
+/// [`curve_mc`] with one trial seeded from `cfg.seed` (the paper's
+/// single-run protocol).
+pub fn curve(
+    metric: Metric,
+    path: usize,
+    errors: &[f64],
+    cfg: &RunConfig,
+) -> Vec<SensitivityPoint> {
+    curve_mc(
+        metric,
+        path,
+        errors,
+        cfg,
+        &MonteCarloConfig::single(cfg.seed),
+    )
 }
 
 /// The paper's x-axis for the relative-error panels (−50 % … +50 %).
@@ -92,17 +115,24 @@ pub fn loss_errors() -> Vec<f64> {
     (-2..=10).map(|i| i as f64 * 0.1).collect()
 }
 
-/// Renders both curves of one panel side by side.
+/// Renders both curves of one panel side by side; with multiple trials
+/// per point, ±95 % CI columns (percentage points) follow each curve.
 pub fn render(metric: Metric, path1: &[SensitivityPoint], path2: &[SensitivityPoint]) -> String {
+    let with_ci = path1.iter().chain(path2).any(|p| p.trials.count() > 1);
+    let ci = |p: &SensitivityPoint| format!("±{:.2}", p.trials.half_width(0.95) * 100.0);
     let rows: Vec<Vec<String>> = path1
         .iter()
         .zip(path2)
         .map(|(a, b)| {
-            vec![
-                format!("{:+.1}", a.error),
-                crate::report::pct(a.quality),
-                crate::report::pct(b.quality),
-            ]
+            let mut row = vec![format!("{:+.1}", a.error), crate::report::pct(a.quality)];
+            if with_ci {
+                row.push(ci(a));
+            }
+            row.push(crate::report::pct(b.quality));
+            if with_ci {
+                row.push(ci(b));
+            }
+            row
         })
         .collect();
     let name = match metric {
@@ -110,7 +140,18 @@ pub fn render(metric: Metric, path1: &[SensitivityPoint], path2: &[SensitivityPo
         Metric::Delay => "delay error",
         Metric::Loss => "loss error (abs)",
     };
-    crate::report::markdown_table(&[name, "perturb path 1", "perturb path 2"], &rows)
+    let header: Vec<&str> = if with_ci {
+        vec![
+            name,
+            "perturb path 1",
+            "±95% CI",
+            "perturb path 2",
+            "±95% CI",
+        ]
+    } else {
+        vec![name, "perturb path 1", "perturb path 2"]
+    };
+    crate::report::markdown_table(&header, &rows)
 }
 
 #[cfg(test)]

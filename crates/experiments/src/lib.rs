@@ -9,8 +9,19 @@
 //! | Figure 3 (sensitivity to estimation errors) | [`figure3`] | `… --bin figure3` |
 //! | Figure 4 (LP solve times) | [`figure4`] | `… --bin figure4` (and `cargo bench -p dmc-bench`) |
 //!
-//! The binaries honor a `MESSAGES` environment variable to trade accuracy
-//! for speed (default: the paper's 100,000 messages per simulation).
+//! Simulation binaries run through the parallel Monte-Carlo engine
+//! ([`montecarlo`]) and share one flag vocabulary:
+//!
+//! * `--messages N` (or env `MESSAGES`) — messages per simulation
+//!   (default: the paper's 100,000);
+//! * `--trials N` (or env `TRIALS`) — independent trials per point,
+//!   reported as mean ± 95 % Student-t CI (default 1: the paper's
+//!   single-run protocol);
+//! * `--threads N` (or env `DMC_THREADS`) — worker threads; `1` is the
+//!   sequential oracle, `0`/unset uses all cores. Results are
+//!   bit-identical at any thread count;
+//! * `--seed S` (or env `SEED`) — base of the per-trial seed stream;
+//! * `--runs N` (or env `RUNS`) — timing repetitions (`figure4` only).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,15 +30,99 @@ pub mod experiment2;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
+pub mod montecarlo;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod table4;
 
-/// Reads the `MESSAGES` environment override for simulation length.
+/// Reads the `MESSAGES` environment override for simulation length
+/// (legacy shim: [`parse_args`] subsumes it and adds the CLI flags).
 pub fn messages_from_env(default: u64) -> u64 {
-    std::env::var("MESSAGES")
+    env_parse("MESSAGES", default)
+}
+
+/// Shared command-line/environment knobs of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Messages per simulation (`--messages`/`MESSAGES`).
+    pub messages: u64,
+    /// Independent trials per point (`--trials`/`TRIALS`).
+    pub trials: u64,
+    /// Worker threads, 0 = all cores (`--threads`/`DMC_THREADS`).
+    pub threads: usize,
+    /// Base seed of the trial seed stream (`--seed`/`SEED`).
+    pub seed: u64,
+    /// Timing repetitions for the solve-time binary (`--runs`/`RUNS`).
+    pub runs: u64,
+}
+
+impl RunArgs {
+    /// The Monte-Carlo configuration these arguments describe.
+    pub fn montecarlo(&self) -> montecarlo::MonteCarloConfig {
+        montecarlo::MonteCarloConfig {
+            trials: self.trials,
+            threads: self.threads,
+            base_seed: self.seed,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses the shared `--messages/--trials/--threads/--seed/--runs` flags
+/// (each falling back to its environment variable, then to the given
+/// message default). Unknown flags abort with a usage message; `--help`
+/// prints it and exits.
+pub fn parse_args(default_messages: u64) -> RunArgs {
+    let mut args = RunArgs {
+        messages: env_parse("MESSAGES", default_messages),
+        trials: env_parse("TRIALS", 1),
+        threads: env_parse("DMC_THREADS", 0),
+        seed: env_parse("SEED", 0xDEAD_BEEF),
+        runs: env_parse("RUNS", 100),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            eprintln!(
+                "flags: --messages N  --trials N  --threads N (1 = sequential oracle, \
+                 0 = all cores)  --seed S  --runs N\n\
+                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS"
+            );
+            std::process::exit(0);
+        }
+        let Some(value) = argv.get(i + 1) else {
+            eprintln!("missing value for {flag} (see --help)");
+            std::process::exit(2);
+        };
+        let parsed = match flag {
+            "--messages" => value.parse().map(|v| args.messages = v).is_ok(),
+            "--trials" => value.parse().map(|v| args.trials = v).is_ok(),
+            "--threads" => value.parse().map(|v| args.threads = v).is_ok(),
+            "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
+            "--runs" => value.parse().map(|v| args.runs = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag} (see --help)");
+                std::process::exit(2);
+            }
+        };
+        if !parsed {
+            eprintln!("invalid value {value:?} for {flag}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    if args.trials == 0 {
+        eprintln!("--trials must be ≥ 1");
+        std::process::exit(2);
+    }
+    args
 }

@@ -13,7 +13,7 @@ use dmc_core::{
 use dmc_proto::{
     DmcReceiver, DmcSender, ReceiverConfig, ReceiverStats, SenderConfig, SenderStats, TimeoutPlan,
 };
-use dmc_sim::{LinkConfig, SimDuration, TwoHostSim};
+use dmc_sim::{Dynamics, LinkConfig, LossModel, SimDuration, TwoHostSim};
 use dmc_stats::{ConstantDelay, Delay};
 use std::sync::Arc;
 
@@ -31,8 +31,8 @@ pub struct TrueLink {
     pub bandwidth: f64,
     /// Propagation-delay distribution.
     pub delay: Arc<dyn Delay>,
-    /// Packet erasure probability.
-    pub loss: f64,
+    /// Packet erasure process (Bernoulli or Gilbert–Elliott).
+    pub loss: LossModel,
 }
 
 impl TrueNetwork {
@@ -45,7 +45,7 @@ impl TrueNetwork {
                 .map(|p| TrueLink {
                     bandwidth: p.bandwidth(),
                     delay: Arc::new(ConstantDelay::new(p.delay())),
-                    loss: p.loss(),
+                    loss: p.loss().into(),
                 })
                 .collect(),
         }
@@ -61,7 +61,7 @@ impl TrueNetwork {
                 .map(|p| TrueLink {
                     bandwidth: p.bandwidth(),
                     delay: Arc::clone(p.delay()),
-                    loss: p.loss(),
+                    loss: p.loss().into(),
                 })
                 .collect(),
         }
@@ -76,7 +76,7 @@ impl TrueNetwork {
                 .map(|p| TrueLink {
                     bandwidth: p.bandwidth(),
                     delay: Arc::clone(p.delay()),
-                    loss: p.loss(),
+                    loss: p.loss().into(),
                 })
                 .collect(),
         }
@@ -97,6 +97,20 @@ impl TrueNetwork {
         for l in &mut self.links {
             l.bandwidth *= factor;
         }
+        self
+    }
+
+    /// Replaces one path's erasure process — e.g. swap a Bernoulli
+    /// truth for a Gilbert–Elliott chain with the same stationary rate
+    /// while the model keeps planning against `τ_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range or the model is invalid.
+    #[must_use]
+    pub fn with_loss_model(mut self, path: usize, model: LossModel) -> Self {
+        model.validate().expect("invalid loss model");
+        self.links[path].loss = model;
         self
     }
 
@@ -126,6 +140,9 @@ pub struct RunConfig {
     pub queue_capacity: usize,
     /// Fast-retransmit dup threshold (§VIII-D), `None` = off.
     pub fast_retransmit: Option<u32>,
+    /// Scheduled link dynamics (path failures, bandwidth steps, loss
+    /// changes); empty = the paper's static links.
+    pub dynamics: Dynamics,
 }
 
 impl Default for RunConfig {
@@ -142,6 +159,7 @@ impl Default for RunConfig {
             // overflow-loss behaviour Fig. 3 (top, right half) relies on.
             queue_capacity: 100 * 1024,
             fast_retransmit: None,
+            dynamics: Dynamics::new(),
         }
     }
 }
@@ -238,7 +256,7 @@ pub fn run_strategy(
             .map(|l| LinkConfig {
                 bandwidth_bps: l.bandwidth,
                 propagation: Arc::clone(&l.delay),
-                loss: l.loss,
+                loss: l.loss.clone(),
                 queue_capacity_bytes: cfg.queue_capacity,
             })
             .collect()
@@ -252,6 +270,7 @@ pub fn run_strategy(
         ack_path,
     ));
     let mut sim = TwoHostSim::new(mk_links(), mk_links(), sender, receiver, cfg.seed)?;
+    sim.apply_dynamics(&cfg.dynamics)?;
     sim.run_to_completion();
     let sender = sim.client().stats();
     let receiver = sim.server().stats();
@@ -482,6 +501,42 @@ mod tests {
             out.quality
         );
         assert!(out.sender.blackholed > 0);
+    }
+
+    #[test]
+    fn gilbert_elliott_truth_under_bernoulli_model() {
+        // Same stationary loss rate (20 %) on path 0, but bursty: mean
+        // burst length 5. The plan (solved against Bernoulli τ = 0.2)
+        // still runs; the paper's quality only needs the *rate*, so the
+        // measured quality stays in the same regime — but bursts overrun
+        // the per-message retransmit budget more often, so it must not
+        // exceed the i.i.d. result by more than noise.
+        use dmc_sim::GilbertElliott;
+        let measured = scenarios::table3_true(60e6, 0.8);
+        let truth = TrueNetwork::deterministic(&measured);
+        let ge = GilbertElliott::classic(0.05, 0.2).unwrap();
+        assert!((ge.stationary_loss() - 0.2).abs() < 1e-12);
+        let bursty_truth = truth.clone().with_loss_model(0, ge.into());
+        let mut cfg = RunConfig::default();
+        cfg.messages = 8_000;
+        let run = |truth: &TrueNetwork| {
+            run_measured(
+                &measured,
+                scenarios::QUEUE_MARGIN_S,
+                truth,
+                &ModelConfig::default(),
+                &cfg,
+            )
+            .unwrap()
+            .quality
+        };
+        let q_iid = run(&truth);
+        let q_bursty = run(&bursty_truth);
+        assert!(q_iid > 0.99, "i.i.d. baseline {q_iid}");
+        assert!(
+            q_bursty > 0.9 && q_bursty <= q_iid + 0.005,
+            "bursty {q_bursty} vs i.i.d. {q_iid}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! characteristics vary significantly").
 
 use crate::sender::{DmcSender, SenderConfig, TimeoutPlan, RESERVED_KEY_BASE};
+use crate::wire::{NoticeKind, PathNotice};
 use dmc_core::{
     ModelConfig, NetworkSpec, Objective, PathSpec, Plan, Planner, PlannerConfig, Scenario,
 };
@@ -33,7 +34,9 @@ pub struct AdaptiveConfig {
 /// A [`DmcSender`] that periodically refits path characteristics from its
 /// own estimators, re-plans through an owned [`Planner`], and retargets
 /// Algorithm 1 from the fresh [`Plan`] — the paper's complete practical
-/// loop.
+/// loop. Receiver-issued [`PathNotice`]s short-circuit the periodic
+/// cadence: a failure notice re-plans immediately with the dead path's
+/// loss pinned to 1, and a recovery notice re-admits it.
 ///
 /// The planner's LP workspace is reused across every re-solve, so the
 /// periodic re-planning allocates nothing once warm — and because
@@ -47,6 +50,14 @@ pub struct AdaptiveSender {
     config: AdaptiveConfig,
     planner: Planner,
     resolves: u64,
+    /// Paths reported down by the receiver ([`PathNotice`]); while set,
+    /// the re-solved model pins the path's loss to 1 so the LP routes
+    /// around it.
+    failed: Vec<bool>,
+    /// Immediate re-solves triggered by failure/recovery notices.
+    notice_replans: u64,
+    /// Recovery probes sent on failed paths.
+    probes: u64,
 }
 
 impl AdaptiveSender {
@@ -57,11 +68,15 @@ impl AdaptiveSender {
             solver: config.model.solver.clone(),
             ..PlannerConfig::default()
         });
+        let num_paths = config.prior.num_paths();
         AdaptiveSender {
             inner: DmcSender::new(sender),
             config,
             planner,
             resolves: 0,
+            failed: vec![false; num_paths],
+            notice_replans: 0,
+            probes: 0,
         }
     }
 
@@ -84,6 +99,45 @@ impl AdaptiveSender {
     /// How many times the LP was re-solved.
     pub fn resolves(&self) -> u64 {
         self.resolves
+    }
+
+    /// Immediate re-solves triggered by path-failure/recovery notices.
+    pub fn notice_replans(&self) -> u64 {
+        self.notice_replans
+    }
+
+    /// Paths currently believed failed (set by receiver notices).
+    pub fn failed_paths(&self) -> Vec<usize> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect()
+    }
+
+    /// Recovery probes sent on failed paths.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes
+    }
+
+    /// Sends one [`PathNotice`]-framed probe on each failed path. The
+    /// re-planned strategy carries no data on those paths, so without
+    /// probing a recovery could never be observed; a probe that gets
+    /// through makes the receiver's detector report the path up.
+    fn probe_failed_paths(&mut self, api: &mut SimApi<'_>) {
+        for path in 0..self.failed.len() {
+            if !self.failed[path] {
+                continue;
+            }
+            let probe = PathNotice {
+                path: path as u8,
+                kind: NoticeKind::Down,
+                at_ns: api.now().as_nanos(),
+            };
+            if api.send(path, Packet::new(64, probe.encode())) {
+                self.probes += 1;
+            }
+        }
     }
 
     /// The owned planner (inspect warm-start statistics:
@@ -113,10 +167,21 @@ impl AdaptiveSender {
             } else {
                 prior.delay()
             };
-            let loss = if losses[k].samples() >= self.config.min_samples {
+            // Gate on *window* occupancy: the recovery path resets the
+            // window (outage timeouts are not evidence about the
+            // recovered link), and an emptied window must fall back to
+            // the prior rather than read as 0 % loss.
+            let loss = if losses[k].window_samples() as u64 >= self.config.min_samples {
                 losses[k].rate()
             } else {
                 prior.loss()
+            };
+            // A failure notice overrides everything the estimators say:
+            // the path delivers nothing until the receiver reports it up.
+            let loss = if self.failed.get(k).copied().unwrap_or(false) {
+                1.0
+            } else {
+                loss
             };
             let refined =
                 PathSpec::with_cost(prior.bandwidth(), delay, loss.clamp(0.0, 1.0), prior.cost())
@@ -124,6 +189,31 @@ impl AdaptiveSender {
             net = net.with_path_replaced(k, refined);
         }
         net
+    }
+
+    /// Reacts to a receiver [`PathNotice`]: record the path state and
+    /// re-plan *now* — timeouts on the failed path keep firing, but the
+    /// fresh plan's combinations route new data (and the retransmit
+    /// stages of anything still in flight at its next stage) onto live
+    /// paths.
+    fn on_notice(&mut self, notice: &PathNotice) {
+        let path = notice.path as usize;
+        if path >= self.failed.len() {
+            return;
+        }
+        let failed = matches!(notice.kind, NoticeKind::Down);
+        if self.failed[path] != failed {
+            self.failed[path] = failed;
+            if !failed {
+                // The outage's timeout losses are not evidence about the
+                // recovered path; without discarding them the re-plan
+                // would keep avoiding it and the receiver would re-declare
+                // it down (flapping).
+                self.inner.reset_loss_window(path);
+            }
+            self.resolve();
+            self.notice_replans += 1;
+        }
     }
 
     fn resolve(&mut self) {
@@ -145,12 +235,17 @@ impl Agent for AdaptiveSender {
     }
 
     fn on_packet(&mut self, path: usize, packet: Packet, api: &mut SimApi<'_>) {
+        if let Some(notice) = PathNotice::decode(packet.payload()) {
+            self.on_notice(&notice);
+            return;
+        }
         self.inner.on_packet(path, packet, api);
     }
 
     fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
         if key == ADAPT_KEY {
             self.resolve();
+            self.probe_failed_paths(api);
             api.set_timer(api.now() + self.config.interval, ADAPT_KEY);
         } else {
             self.inner.on_timer(key, api);
@@ -170,7 +265,7 @@ mod tests {
         LinkConfig {
             bandwidth_bps: bw,
             propagation: Arc::new(ConstantDelay::new(delay)),
-            loss,
+            loss: loss.into(),
             queue_capacity_bytes: 1 << 22,
         }
     }
@@ -251,5 +346,75 @@ mod tests {
         // The oracle optimum for the true network is ≈ 0.875; the learner
         // should get most of the way there despite the warm-up.
         assert!(q_adaptive > 0.7, "adaptive quality {q_adaptive}");
+    }
+
+    /// Mid-transfer the wide path dies for a stretch. The failure-aware
+    /// loop (receiver notices → immediate re-plan with loss=1) must beat
+    /// the plain periodic estimator loop *and* clear its failure state
+    /// after the recovery notice.
+    #[test]
+    fn failure_notice_replans_within_one_round() {
+        use crate::receiver::FailureDetection;
+        use dmc_sim::Dynamics;
+
+        let prior = NetworkSpec::builder()
+            .path(PathSpec::new(10e6, 0.100, 0.02).unwrap())
+            .path(PathSpec::new(4e6, 0.050, 0.0).unwrap())
+            .data_rate(10e6)
+            .lifetime(0.4)
+            .build()
+            .unwrap();
+        let messages = 30_000;
+        let horizon = SimTime::from_secs_f64(40.0);
+        let fwd = vec![link(12e6, 0.100, 0.02), link(5e6, 0.050, 0.0)];
+        let bwd = vec![link(12e6, 0.100, 0.0), link(5e6, 0.050, 0.0)];
+        // Path 0 (carrying most of the traffic) is down 8 s → 16 s.
+        let dynamics = Dynamics::new().path_failure(0, 8.0, 16.0).unwrap();
+
+        let run = |detect: bool| {
+            let plan = Planner::new()
+                .plan(&Scenario::from_network(&prior), Objective::MaxQuality)
+                .unwrap();
+            let sender = AdaptiveSender::from_plan(
+                &plan,
+                AdaptiveConfig {
+                    prior: prior.clone(),
+                    interval: SimDuration::from_millis(500),
+                    model: ModelConfig::default(),
+                    rto_extra: SimDuration::from_millis(50),
+                    min_samples: 30,
+                },
+                messages,
+            );
+            let mut cfg = ReceiverConfig::new(SimDuration::from_secs_f64(0.4), 1);
+            if detect {
+                cfg = cfg
+                    .with_failure_detection(FailureDetection::new(SimDuration::from_millis(100)));
+            }
+            let receiver = DmcReceiver::new(cfg);
+            let mut sim = TwoHostSim::new(fwd.clone(), bwd.clone(), sender, receiver, 33).unwrap();
+            sim.apply_dynamics(&dynamics).unwrap();
+            sim.run_until(horizon);
+            let q = sim.server().stats().unique_in_time as f64 / messages as f64;
+            let replans = sim.client().notice_replans();
+            let still_failed = sim.client().failed_paths();
+            (q, replans, still_failed)
+        };
+
+        let (q_blind, replans_blind, _) = run(false);
+        let (q_aware, replans_aware, failed_after) = run(true);
+        assert_eq!(replans_blind, 0, "no notices without detection");
+        assert!(
+            replans_aware >= 2,
+            "expected a down and an up re-plan, got {replans_aware}"
+        );
+        assert!(
+            failed_after.is_empty(),
+            "recovery notice must clear failure state, got {failed_after:?}"
+        );
+        assert!(
+            q_aware > q_blind + 0.02,
+            "failure-aware {q_aware} vs blind {q_blind}"
+        );
     }
 }

@@ -96,6 +96,14 @@ impl LossEstimator {
         }
     }
 
+    /// Clears the sliding window (lifetime totals are kept). Used when a
+    /// path's state changes discontinuously — e.g. a recovery notice —
+    /// and the windowed outcomes predate the change.
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+        self.losses_in_window = 0;
+    }
+
     /// Records the outcome of one transmission.
     pub fn record(&mut self, lost: bool) {
         if self.window.len() == self.capacity && self.window.pop_front() == Some(true) {
@@ -131,6 +139,14 @@ impl LossEstimator {
     /// Number of outcomes recorded.
     pub fn samples(&self) -> u64 {
         self.total
+    }
+
+    /// Number of outcomes currently in the sliding window (≤ capacity;
+    /// zero right after [`LossEstimator::reset_window`]). Gate on this —
+    /// not on [`LossEstimator::samples`] — when deciding whether
+    /// [`LossEstimator::rate`] is trustworthy.
+    pub fn window_samples(&self) -> usize {
+        self.window.len()
     }
 }
 

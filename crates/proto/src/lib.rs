@@ -15,9 +15,17 @@
 //!   scheme (echo + expected range + received bitmap) on the lowest-delay
 //!   path;
 //! * [`AdaptiveSender`] — the closed loop of §VIII-A/B: online estimators
-//!   (EWMA RTT, windowed loss) feed periodic re-solving and retargeting;
-//! * [`wire`] — the on-the-wire header/ack formats (1024-byte messages,
-//!   ~40-byte acks, as in the paper's setup).
+//!   (EWMA RTT, windowed loss) feed periodic re-solving and retargeting,
+//!   plus immediate re-planning on path-failure notices;
+//! * [`wire`] — the on-the-wire header/ack/notice formats (1024-byte
+//!   messages, ~40-byte acks, 16-byte path notices).
+//!
+//! Failure awareness: the receiver watches per-path arrivals
+//! ([`FailureDetection`]) and reports an outage with a
+//! [`wire::PathNotice`] on a surviving path; the [`AdaptiveSender`]
+//! reacts by re-solving with the failed path's loss pinned to 1, steering
+//! traffic (and the retransmissions of in-flight data) onto live paths
+//! within one planning round instead of waiting for estimator drift.
 //!
 //! The state machines are I/O-free: they interact with the world only
 //! through [`dmc_sim::SimApi`], so they can be unit-tested directly and
@@ -34,5 +42,5 @@ pub mod wire;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSender};
 pub use estimator::{LossEstimator, PathEstimator, RateEstimator, RttEstimator};
-pub use receiver::{DmcReceiver, ReceiverConfig, ReceiverStats};
+pub use receiver::{DmcReceiver, FailureDetection, ReceiverConfig, ReceiverStats};
 pub use sender::{DmcSender, SenderConfig, SenderStats, TimeoutPlan, MAX_STAGES};

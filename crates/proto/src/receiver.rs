@@ -1,10 +1,49 @@
 //! The receiving endpoint: deadline verification, deduplication, and
 //! acknowledgment generation (paper §VII-A server + §VIII-C ack scheme).
 
-use crate::wire::{Ack, DataHeader};
-use dmc_sim::{Agent, Packet, SimApi, SimDuration};
+use crate::wire::{Ack, DataHeader, NoticeKind, PathNotice};
+use dmc_sim::{Agent, Packet, SimApi, SimDuration, SimTime};
 use dmc_stats::OnlineMoments;
 use std::collections::HashSet;
+
+/// Timer key for the periodic path-silence check (the receiver owns its
+/// whole key space; the sender's reserved range does not apply here).
+const FAILURE_CHECK_KEY: u64 = 1;
+
+/// Total transmissions of each Down declaration (initial + repeats on
+/// the following check ticks). Three sends survive double-digit reverse
+/// loss rates with overwhelming probability.
+const DOWN_NOTICE_REPEATS: u8 = 3;
+
+/// Path-failure detection knobs: a path that has delivered at least one
+/// packet and then stays silent for `silence` is declared down and
+/// reported with a [`PathNotice`]; a packet arriving on a downed path
+/// triggers an `Up` notice.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureDetection {
+    /// Silence duration after which a previously active path is declared
+    /// down. Must comfortably exceed the path's inter-arrival time at the
+    /// planned send rate.
+    pub silence: SimDuration,
+    /// How often to check for silent paths.
+    pub check_interval: SimDuration,
+    /// Stop checking after this much silence on *all* paths (the transfer
+    /// is over; without this the periodic timer would keep an otherwise
+    /// finished simulation alive forever).
+    pub idle_shutdown: SimDuration,
+}
+
+impl FailureDetection {
+    /// Creates a detector with `check_interval = silence / 4` and
+    /// `idle_shutdown = 16 · silence`.
+    pub fn new(silence: SimDuration) -> Self {
+        FailureDetection {
+            silence,
+            check_interval: SimDuration::from_nanos((silence.as_nanos() / 4).max(1)),
+            idle_shutdown: SimDuration::from_nanos(silence.as_nanos().saturating_mul(16)),
+        }
+    }
+}
 
 /// Receiver configuration.
 #[derive(Debug, Clone)]
@@ -18,16 +57,27 @@ pub struct ReceiverConfig {
     /// On-wire ack size in bytes; defaults to the encoded size, may be
     /// padded up to model link-layer overhead.
     pub ack_wire_bytes: usize,
+    /// Path-failure detection; `None` (the default) disables it.
+    pub failure_detection: Option<FailureDetection>,
 }
 
 impl ReceiverConfig {
-    /// Creates a config with the paper's defaults (ack ≈ 40 B).
+    /// Creates a config with the paper's defaults (ack ≈ 40 B, no
+    /// failure detection).
     pub fn new(lifetime: SimDuration, ack_path: usize) -> Self {
         ReceiverConfig {
             lifetime,
             ack_path,
             ack_wire_bytes: Ack::WIRE_BYTES.max(40),
+            failure_detection: None,
         }
+    }
+
+    /// Enables path-failure detection.
+    #[must_use]
+    pub fn with_failure_detection(mut self, fd: FailureDetection) -> Self {
+        self.failure_detection = Some(fd);
+        self
     }
 }
 
@@ -49,6 +99,10 @@ pub struct ReceiverStats {
     pub acks_sent: u64,
     /// Acks dropped at the NIC (reverse-path queue full).
     pub acks_nic_dropped: u64,
+    /// Path-failure (`Down`) notices sent.
+    pub failure_notices_sent: u64,
+    /// Path-recovery (`Up`) notices sent.
+    pub recovery_notices_sent: u64,
 }
 
 /// The receiving endpoint ("server" in the paper's simulation).
@@ -67,6 +121,27 @@ pub struct DmcReceiver {
     /// over *all* transmissions on that path — validates the delay
     /// distribution the links were configured with.
     delay_by_path: Vec<OnlineMoments>,
+    /// Last *data* arrival per inbound path (failure detection). Only
+    /// data defines the "transfer is active" baseline.
+    last_seen: Vec<Option<SimTime>>,
+    /// Last sender-probe arrival per inbound path: protects that path
+    /// from a down declaration without making other paths look stale.
+    last_probe: Vec<Option<SimTime>>,
+    /// Paths currently reported down.
+    reported_down: Vec<bool>,
+    /// Remaining Down-notice repeats per path: notices are fire-and-
+    /// forget on lossy reverse paths, so each declaration is sent
+    /// [`DOWN_NOTICE_REPEATS`]× across consecutive check ticks — a
+    /// single in-flight erasure must not blind the sender for the whole
+    /// outage.
+    down_resends: Vec<u8>,
+    /// When the last `Up` notice was sent per path — probation: a path
+    /// can only be re-declared down once *data* newer than this arrives,
+    /// so a lightly-used (or plan-starved) path cannot flap down/up on
+    /// probe echoes alone.
+    up_sent_at: Vec<Option<SimTime>>,
+    /// Whether the silence-check timer is armed.
+    checker_armed: bool,
 }
 
 impl DmcReceiver {
@@ -78,7 +153,22 @@ impl DmcReceiver {
             highest_seq: 0,
             stats: ReceiverStats::default(),
             delay_by_path: Vec::new(),
+            last_seen: Vec::new(),
+            last_probe: Vec::new(),
+            reported_down: Vec::new(),
+            down_resends: Vec::new(),
+            up_sent_at: Vec::new(),
+            checker_armed: false,
         }
+    }
+
+    /// Paths currently considered down by the failure detector.
+    pub fn paths_reported_down(&self) -> Vec<usize> {
+        self.reported_down
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
     }
 
     /// Counters so far.
@@ -105,6 +195,128 @@ impl DmcReceiver {
         }
     }
 
+    /// Freshest path believed alive — where notices should travel.
+    fn best_notice_path(&self) -> usize {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, t) in self.last_seen.iter().enumerate() {
+            if self.reported_down.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(t) = *t {
+                if best.is_none_or(|(bt, _)| t > bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        best.map_or(self.config.ack_path, |(_, i)| i)
+    }
+
+    fn send_notice(&mut self, path: usize, kind: NoticeKind, api: &mut SimApi<'_>) {
+        let notice = PathNotice {
+            path: path as u8,
+            kind,
+            at_ns: api.now().as_nanos(),
+        };
+        let wire = notice.encode();
+        let out = self.best_notice_path();
+        if api.send(out, Packet::new(wire.len().max(40), wire)) {
+            match kind {
+                NoticeKind::Down => self.stats.failure_notices_sent += 1,
+                NoticeKind::Up => self.stats.recovery_notices_sent += 1,
+            }
+        }
+    }
+
+    fn note_arrival(&mut self, path: usize, is_probe: bool, api: &mut SimApi<'_>) {
+        let Some(fd) = self.config.failure_detection else {
+            return;
+        };
+        if path >= api.num_paths() {
+            return; // a lying header must not grow state or crash sends
+        }
+        if path >= self.last_seen.len() {
+            self.last_seen.resize(path + 1, None);
+            self.last_probe.resize(path + 1, None);
+            self.reported_down.resize(path + 1, false);
+            self.down_resends.resize(path + 1, 0);
+            self.up_sent_at.resize(path + 1, None);
+        }
+        if is_probe {
+            self.last_probe[path] = Some(api.now());
+        } else {
+            self.last_seen[path] = Some(api.now());
+        }
+        if self.reported_down[path] {
+            self.reported_down[path] = false;
+            self.down_resends[path] = 0;
+            self.up_sent_at[path] = Some(api.now());
+            self.send_notice(path, NoticeKind::Up, api);
+        } else if is_probe {
+            // The sender only probes paths *it* believes failed; if this
+            // receiver disagrees (it never declared the path, or its Up
+            // notice was lost or reordered), answer every probe with an
+            // Up so the sender's failed flag cannot stick on a live path.
+            self.send_notice(path, NoticeKind::Up, api);
+        }
+        // Only data arrivals arm the checker: probes alone mean the
+        // transfer itself is idle and there is nothing to declare.
+        if !is_probe && !self.checker_armed {
+            self.checker_armed = true;
+            api.set_timer(api.now() + fd.check_interval, FAILURE_CHECK_KEY);
+        }
+    }
+
+    fn check_silent_paths(&mut self, api: &mut SimApi<'_>) {
+        let Some(fd) = self.config.failure_detection else {
+            return;
+        };
+        let now = api.now();
+        let newest = self.last_seen.iter().flatten().copied().max();
+        // Everything has been silent for a long time: the transfer is
+        // over. Go dormant (the next arrival re-arms the checker) so the
+        // event queue can drain.
+        if newest.is_none_or(|t| now.since(t) > fd.idle_shutdown) {
+            self.checker_armed = false;
+            return;
+        }
+        // Differential silence: a path is down only when it lags the
+        // *freshest arrival across paths* by more than the threshold.
+        // Plain `now − last_seen` would misread the end of the transfer
+        // (every path goes quiet at once) as a mass failure; lagging a
+        // still-active transfer is the actual failure signature. The
+        // flip side — all paths dying simultaneously — is undetectable
+        // and also unreportable (no live path to carry the notice).
+        let active = newest.expect("checked above");
+        let down: Vec<usize> = (0..self.last_seen.len())
+            .filter(|&i| {
+                let freshest = self.last_seen[i].max(self.last_probe[i]);
+                // Probation: after an Up, re-declaration needs data newer
+                // than the Up (a probe echo is not an expectation of
+                // data). `d ≥ u` because the Up may have been triggered
+                // by that very data arrival.
+                let data_since_up =
+                    self.last_seen[i].is_some_and(|d| self.up_sent_at[i].is_none_or(|u| d >= u));
+                !self.reported_down[i]
+                    && data_since_up
+                    && freshest.is_some_and(|t| active.since(t) > fd.silence)
+            })
+            .collect();
+        // Repeat recent Down declarations first (fire-and-forget notices
+        // can be erased on the reverse path), then declare new ones.
+        for path in 0..self.down_resends.len() {
+            if self.reported_down[path] && self.down_resends[path] > 0 {
+                self.down_resends[path] -= 1;
+                self.send_notice(path, NoticeKind::Down, api);
+            }
+        }
+        for path in down {
+            self.reported_down[path] = true;
+            self.down_resends[path] = DOWN_NOTICE_REPEATS - 1;
+            self.send_notice(path, NoticeKind::Down, api);
+        }
+        api.set_timer(now + fd.check_interval, FAILURE_CHECK_KEY);
+    }
+
     fn build_ack(&self, header: &DataHeader) -> Ack {
         let window_start = self
             .highest_seq
@@ -123,11 +335,19 @@ impl Agent for DmcReceiver {
     fn on_start(&mut self, _api: &mut SimApi<'_>) {}
 
     fn on_packet(&mut self, _path: usize, packet: Packet, api: &mut SimApi<'_>) {
+        // A sender-side probe of a suspect path: its arrival alone proves
+        // the forward direction works again, so feed the detector (which
+        // answers with an `Up` notice) without touching data accounting.
+        if let Some(probe) = PathNotice::decode(packet.payload()) {
+            self.note_arrival(probe.path as usize, true, api);
+            return;
+        }
         let Some(header) = DataHeader::decode(packet.payload()) else {
             self.stats.malformed += 1;
             return;
         };
         self.stats.transmissions_received += 1;
+        self.note_arrival(header.path as usize, false, api);
         let now_ns = api.now().as_nanos();
         let path_idx = header.path as usize;
         if path_idx >= self.delay_by_path.len() && path_idx < 64 {
@@ -161,7 +381,11 @@ impl Agent for DmcReceiver {
         }
     }
 
-    fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+        if key == FAILURE_CHECK_KEY {
+            self.check_silent_paths(api);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +400,7 @@ mod tests {
         LinkConfig {
             bandwidth_bps: 1e8,
             propagation: Arc::new(ConstantDelay::new(delay)),
-            loss: 0.0,
+            loss: 0.0.into(),
             queue_capacity_bytes: 1 << 20,
         }
     }
@@ -316,6 +540,105 @@ mod tests {
         assert!((m.mean() - 0.010082).abs() < 1e-4, "mean {}", m.mean());
         // Unused path reports an empty accumulator.
         assert_eq!(sim.server().delay_moments(3).count(), 0);
+    }
+
+    #[test]
+    fn silence_produces_down_notice_then_recovery_up_notice() {
+        // Two paths; the probe sends on path 0 every 10 ms until 200 ms,
+        // goes silent until 600 ms, then resumes — while path 1 keeps a
+        // heartbeat throughout. The receiver must report path 0 down once
+        // (on the live path) and up once when it resumes.
+        struct TwoPathProbe {
+            notices: Vec<PathNotice>,
+        }
+        impl Agent for TwoPathProbe {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                for i in 0..100u64 {
+                    api.set_timer(SimTime::from_nanos(i * 10_000_000), i);
+                }
+            }
+            fn on_packet(&mut self, _path: usize, p: Packet, _api: &mut SimApi<'_>) {
+                if let Some(n) = PathNotice::decode(p.payload()) {
+                    self.notices.push(n);
+                }
+            }
+            fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+                let t_ms = key * 10;
+                let send = |api: &mut SimApi<'_>, path: u8| {
+                    let h = DataHeader {
+                        seq: key * 2 + path as u64,
+                        created_ns: api.now().as_nanos(),
+                        sent_ns: api.now().as_nanos(),
+                        path,
+                        stage: 0,
+                    };
+                    api.send(path as usize, Packet::new(256, h.encode()));
+                };
+                send(api, 1); // heartbeat throughout
+                if t_ms <= 200 || t_ms >= 600 {
+                    send(api, 0);
+                }
+            }
+        }
+        let recv = DmcReceiver::new(
+            ReceiverConfig::new(SimDuration::from_millis(500), 1)
+                .with_failure_detection(FailureDetection::new(SimDuration::from_millis(100))),
+        );
+        let mut sim = TwoHostSim::new(
+            vec![link(0.005), link(0.005)],
+            vec![link(0.005), link(0.005)],
+            TwoPathProbe { notices: vec![] },
+            recv,
+            17,
+        )
+        .unwrap();
+        sim.run_to_completion();
+        let stats = sim.server().stats();
+        // One outage = one declaration, sent DOWN_NOTICE_REPEATS× against
+        // reverse-path loss; one recovery = one Up.
+        assert_eq!(
+            stats.failure_notices_sent,
+            u64::from(DOWN_NOTICE_REPEATS),
+            "one declaration, repeated for loss-resilience"
+        );
+        assert_eq!(stats.recovery_notices_sent, 1);
+        let notices = &sim.client().notices;
+        assert_eq!(notices.len(), DOWN_NOTICE_REPEATS as usize + 1);
+        for n in &notices[..DOWN_NOTICE_REPEATS as usize] {
+            assert_eq!(n.path, 0);
+            assert_eq!(n.kind, NoticeKind::Down);
+        }
+        assert_eq!(notices.last().unwrap().kind, NoticeKind::Up);
+        assert!(sim.server().paths_reported_down().is_empty());
+    }
+
+    #[test]
+    fn detector_goes_dormant_so_simulation_terminates() {
+        // Without the idle shutdown the periodic check would re-arm
+        // forever and run_to_completion would never return.
+        struct OneShot;
+        impl Agent for OneShot {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                let h = DataHeader {
+                    seq: 1,
+                    created_ns: 0,
+                    sent_ns: 0,
+                    path: 0,
+                    stage: 0,
+                };
+                api.send(0, Packet::new(256, h.encode()));
+            }
+            fn on_packet(&mut self, _p: usize, _pk: Packet, _a: &mut SimApi<'_>) {}
+            fn on_timer(&mut self, _k: u64, _a: &mut SimApi<'_>) {}
+        }
+        let recv = DmcReceiver::new(
+            ReceiverConfig::new(SimDuration::from_millis(100), 0)
+                .with_failure_detection(FailureDetection::new(SimDuration::from_millis(50))),
+        );
+        let mut sim =
+            TwoHostSim::new(vec![link(0.010)], vec![link(0.010)], OneShot, recv, 7).unwrap();
+        sim.run_to_completion(); // must terminate
+        assert!(sim.now() < SimTime::from_secs_f64(5.0), "queue drained");
     }
 
     #[test]

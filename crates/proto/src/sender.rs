@@ -323,6 +323,15 @@ impl DmcSender {
         self.in_flight.len()
     }
 
+    /// Clears one path's windowed loss history (see
+    /// [`LossEstimator::reset_window`]): outcomes recorded across a
+    /// discontinuous path-state change would poison the next estimate.
+    pub(crate) fn reset_loss_window(&mut self, path: usize) {
+        if let Some(e) = self.loss.get_mut(path) {
+            e.reset_window();
+        }
+    }
+
     /// Interval between message generations.
     fn tick_interval(&self) -> SimDuration {
         let bits = self.config.message_wire_bytes as f64 * 8.0;
@@ -574,7 +583,7 @@ mod tests {
         LinkConfig {
             bandwidth_bps: bw,
             propagation: Arc::new(ConstantDelay::new(delay)),
-            loss,
+            loss: loss.into(),
             queue_capacity_bytes: 1 << 22,
         }
     }

@@ -14,6 +14,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const DATA_MAGIC: u8 = 0xD7;
 /// Magic byte tagging acknowledgments.
 const ACK_MAGIC: u8 = 0xA3;
+/// Magic byte tagging path-state notifications.
+const NOTICE_MAGIC: u8 = 0x5E;
 
 /// Size of the serialized [`DataHeader`] in bytes.
 pub const DATA_HEADER_BYTES: usize = 32;
@@ -178,9 +180,106 @@ impl Ack {
     }
 }
 
+/// What a [`PathNotice`] reports about a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoticeKind {
+    /// The path has gone silent (presumed failed).
+    Down = 0,
+    /// The path is delivering again.
+    Up = 1,
+}
+
+/// A path-state notification: the receiver observes per-path arrivals
+/// directly, so it is the natural detector of a mid-transfer path
+/// failure — it reports the outage (and later the recovery) to the
+/// sender on a surviving path, letting the sender re-plan immediately
+/// instead of waiting for its loss estimators to drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathNotice {
+    /// The path (0-based) whose state changed.
+    pub path: u8,
+    /// Down or up.
+    pub kind: NoticeKind,
+    /// Receiver-side time of the determination, ns.
+    pub at_ns: u64,
+}
+
+impl PathNotice {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 1 + 1 + 4 + 8;
+
+    /// Serializes to exactly [`PathNotice::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(NOTICE_MAGIC);
+        b.put_u8(self.path);
+        b.put_u8(self.kind as u8);
+        b.put_u8(0); // reserved
+        b.put_u32_le(0); // reserved
+        b.put_u64_le(self.at_ns);
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        b.freeze()
+    }
+
+    /// Parses a notice; `None` on wrong magic, unknown kind, or
+    /// truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != NOTICE_MAGIC {
+            return None;
+        }
+        buf.advance(1);
+        let path = buf.get_u8();
+        let kind = match buf.get_u8() {
+            0 => NoticeKind::Down,
+            1 => NoticeKind::Up,
+            _ => return None,
+        };
+        buf.advance(1);
+        buf.advance(4);
+        let at_ns = buf.get_u64_le();
+        Some(PathNotice { path, kind, at_ns })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn path_notice_round_trip() {
+        for kind in [NoticeKind::Down, NoticeKind::Up] {
+            let n = PathNotice {
+                path: 3,
+                kind,
+                at_ns: 123_456_789,
+            };
+            let wire = n.encode();
+            assert_eq!(wire.len(), PathNotice::WIRE_BYTES);
+            assert_eq!(PathNotice::decode(&wire), Some(n));
+        }
+    }
+
+    #[test]
+    fn path_notice_rejects_garbage() {
+        assert_eq!(PathNotice::decode(&[]), None);
+        assert_eq!(PathNotice::decode(&[0xFF; 16]), None);
+        let n = PathNotice {
+            path: 0,
+            kind: NoticeKind::Down,
+            at_ns: 1,
+        };
+        let wire = n.encode();
+        assert_eq!(
+            PathNotice::decode(&wire[..PathNotice::WIRE_BYTES - 1]),
+            None
+        );
+        let mut bad_kind = wire.to_vec();
+        bad_kind[2] = 7;
+        assert_eq!(PathNotice::decode(&bad_kind), None);
+        // The three magics are distinct, so frames cannot be confused.
+        assert_eq!(Ack::decode(&wire), None);
+        assert_eq!(DataHeader::decode(&wire), None);
+    }
 
     #[test]
     fn data_header_round_trip() {

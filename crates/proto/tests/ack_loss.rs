@@ -13,7 +13,7 @@ fn link(bw: f64, delay: f64, loss: f64) -> LinkConfig {
     LinkConfig {
         bandwidth_bps: bw,
         propagation: Arc::new(ConstantDelay::new(delay)),
-        loss,
+        loss: loss.into(),
         queue_capacity_bytes: 100 * 1024,
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the wire formats and estimators.
 
-use dmc_proto::wire::{Ack, DataHeader, ACK_BITMAP_BITS};
+use dmc_proto::wire::{Ack, DataHeader, NoticeKind, PathNotice, ACK_BITMAP_BITS};
 use dmc_proto::{LossEstimator, RttEstimator};
 use proptest::prelude::*;
 
@@ -45,6 +45,28 @@ proptest! {
         prop_assert_eq!(claimed, expected);
     }
 
+    /// The failure-notification frame round-trips for every valid value,
+    /// and never decodes as one of the other frame types.
+    #[test]
+    fn path_notice_round_trips(
+        path in any::<u8>(),
+        down in any::<bool>(),
+        at in any::<u64>(),
+    ) {
+        let n = PathNotice {
+            path,
+            kind: if down { NoticeKind::Down } else { NoticeKind::Up },
+            at_ns: at,
+        };
+        let wire = n.encode();
+        prop_assert_eq!(wire.len(), PathNotice::WIRE_BYTES);
+        prop_assert_eq!(PathNotice::decode(&wire), Some(n));
+        // Distinct magics: a notice is never misparsed as data or ack.
+        prop_assert_eq!(DataHeader::decode(&wire), None);
+        prop_assert_eq!(Ack::decode(&wire), None);
+        prop_assert_eq!(PathNotice::decode(&wire[..PathNotice::WIRE_BYTES - 1]), None);
+    }
+
     /// Garbage never decodes into a packet (prefix-safe).
     #[test]
     fn garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
@@ -55,6 +77,9 @@ proptest! {
         }
         if bytes.len() < Ack::WIRE_BYTES {
             prop_assert_eq!(Ack::decode(&bytes), None);
+        }
+        if bytes.len() < PathNotice::WIRE_BYTES {
+            prop_assert_eq!(PathNotice::decode(&bytes), None);
         }
     }
 

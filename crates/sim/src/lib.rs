@@ -10,9 +10,13 @@
 //!   path pairs; endpoints implement [`Agent`];
 //! * [`Link`] — serialization (`bits/bandwidth`), drop-tail queueing
 //!   (bounded bytes; overflow drops, queueing delay emerges naturally —
-//!   the +50 ms effect the paper measures in Exp. 1), Bernoulli erasure,
-//!   and constant or random ([`dmc_stats::Delay`]) propagation with
-//!   per-path FIFO ordering;
+//!   the +50 ms effect the paper measures in Exp. 1), Bernoulli or
+//!   Gilbert–Elliott bursty erasure ([`LossModel`]), and constant or
+//!   random ([`dmc_stats::Delay`]) propagation with per-path FIFO
+//!   ordering;
+//! * [`scenario`] — scheduled link dynamics ([`Dynamics`]): mid-transfer
+//!   path failure/recovery, piecewise time-varying bandwidth, and
+//!   loss-process changes;
 //! * [`EventQueue`] — integer-nanosecond virtual time with FIFO
 //!   tie-breaking, so runs are bit-for-bit reproducible for a given seed.
 //!
@@ -46,7 +50,7 @@
 //! let link = LinkConfig {
 //!     bandwidth_bps: 1e6,
 //!     propagation: Arc::new(ConstantDelay::new(0.1)),
-//!     loss: 0.0,
+//!     loss: 0.0.into(),
 //!     queue_capacity_bytes: 1 << 20,
 //! };
 //! let mut sim = TwoHostSim::new(
@@ -62,11 +66,13 @@
 mod event;
 mod link;
 mod packet;
+pub mod scenario;
 mod sim;
 mod time;
 
 pub use event::EventQueue;
-pub use link::{Link, LinkConfig, LinkStats, SendOutcome};
+pub use link::{GilbertElliott, Link, LinkChange, LinkConfig, LinkStats, LossModel, SendOutcome};
 pub use packet::Packet;
+pub use scenario::{Dynamics, LinkEvent};
 pub use sim::{Agent, Dir, HostId, SimApi, TwoHostSim};
 pub use time::{SimDuration, SimTime};

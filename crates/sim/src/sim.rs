@@ -4,8 +4,9 @@
 //! path").
 
 use crate::event::EventQueue;
-use crate::link::{Link, LinkConfig, LinkStats, SendOutcome};
+use crate::link::{Link, LinkChange, LinkConfig, LinkStats, SendOutcome};
 use crate::packet::Packet;
+use crate::scenario::Dynamics;
 use crate::time::SimTime;
 
 /// Which endpoint an event belongs to.
@@ -39,6 +40,12 @@ enum NetEvent {
     },
     /// A protocol timer fired.
     Timer { host: HostId, key: u64 },
+    /// A scheduled link change (failure/recovery/retune) takes effect.
+    LinkChange {
+        dir: Dir,
+        path: usize,
+        change: LinkChange,
+    },
 }
 
 /// What an endpoint implementation can do during a callback.
@@ -77,7 +84,7 @@ impl SimApi<'_> {
         };
         let size = packet.size_bytes();
         match self.outgoing[path].send(self.now, &mut packet) {
-            SendOutcome::DroppedQueueFull => false,
+            SendOutcome::DroppedQueueFull | SendOutcome::DroppedLinkDown => false,
             SendOutcome::Transmitted { departure, arrival } => {
                 self.queue
                     .schedule(departure, NetEvent::Departure { dir, path, size });
@@ -211,6 +218,55 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
         }
     }
 
+    /// Whether the directed link is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn link_is_up(&self, dir: Dir, path: usize) -> bool {
+        match dir {
+            Dir::Forward => self.forward[path].is_up(),
+            Dir::Backward => self.backward[path].is_up(),
+        }
+    }
+
+    /// Schedules a [`Dynamics`] script (path failures, bandwidth steps,
+    /// loss changes). Call before running; events earlier than the
+    /// current virtual time are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if an event references a path outside the
+    /// topology or lies in the simulated past.
+    pub fn apply_dynamics(&mut self, dynamics: &Dynamics) -> Result<(), String> {
+        if let Some(max) = dynamics.max_path() {
+            if max >= self.forward.len() {
+                return Err(format!(
+                    "dynamics reference path {max}, topology has {} paths",
+                    self.forward.len()
+                ));
+            }
+        }
+        for e in dynamics.events() {
+            if e.at < self.queue.now() {
+                return Err(format!(
+                    "dynamics event at {} lies in the past (now {})",
+                    e.at,
+                    self.queue.now()
+                ));
+            }
+            self.queue.schedule(
+                e.at,
+                NetEvent::LinkChange {
+                    dir: e.dir,
+                    path: e.path,
+                    change: e.change.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -273,6 +329,13 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
                         self.client.on_packet(path, packet, &mut api);
                     }
                 },
+                NetEvent::LinkChange { dir, path, change } => {
+                    let link = match dir {
+                        Dir::Forward => &mut self.forward[path],
+                        Dir::Backward => &mut self.backward[path],
+                    };
+                    link.apply(&change);
+                }
                 NetEvent::Timer { host, key } => match host {
                     HostId::Client => {
                         let mut api = SimApi {
@@ -326,7 +389,7 @@ mod tests {
         LinkConfig {
             bandwidth_bps: bw,
             propagation: Arc::new(ConstantDelay::new(delay)),
-            loss,
+            loss: loss.into(),
             queue_capacity_bytes: 1 << 20,
         }
     }
@@ -457,6 +520,50 @@ mod tests {
             0
         )
         .is_err());
+    }
+
+    #[test]
+    fn dynamics_fail_and_recover_mid_run() {
+        // Ticker sends every 10 ms for 1 s; the single path is down
+        // between 300 ms and 600 ms, so ~30 of the 100 packets vanish at
+        // the NIC and the rest arrive.
+        let dynamics = Dynamics::new().path_failure(0, 0.300, 0.600).unwrap();
+        let mut sim = TwoHostSim::new(
+            vec![link(1e7, 0.001, 0.0)],
+            vec![link(1e7, 0.001, 0.0)],
+            TickerClient {
+                sent: 0,
+                limit: 100,
+            },
+            CountingServer::default(),
+            0,
+        )
+        .unwrap();
+        sim.apply_dynamics(&dynamics).unwrap();
+        assert!(sim.link_is_up(Dir::Forward, 0));
+        sim.run_to_completion();
+        assert!(sim.link_is_up(Dir::Forward, 0), "recovered by the end");
+        let received = sim.server().received;
+        assert!(
+            (65..=75).contains(&received),
+            "received {received}, expected ~70 (30 ticks fall in the outage)"
+        );
+        assert_eq!(sim.link_stats(Dir::Forward, 0).dropped_down, 100 - received);
+    }
+
+    #[test]
+    fn dynamics_validation_against_topology() {
+        let dynamics = Dynamics::new().path_failure(3, 0.1, 0.2).unwrap();
+        let mut sim = TwoHostSim::new(
+            vec![link(1e7, 0.001, 0.0)],
+            vec![link(1e7, 0.001, 0.0)],
+            PingClient::default(),
+            EchoServer,
+            0,
+        )
+        .unwrap();
+        assert!(sim.apply_dynamics(&dynamics).is_err());
+        assert!(sim.apply_dynamics(&Dynamics::new()).is_ok());
     }
 
     #[test]

@@ -39,7 +39,7 @@ proptest! {
             LinkConfig {
                 bandwidth_bps: bw_mbps * 1e6,
                 propagation: Arc::new(ConstantDelay::new(delay_ms / 1e3)),
-                loss: 0.0,
+                loss: 0.0.into(),
                 queue_capacity_bytes: usize::MAX / 2,
             },
             0,
@@ -75,7 +75,7 @@ proptest! {
             LinkConfig {
                 bandwidth_bps: 1e9,
                 propagation: Arc::new(spec),
-                loss,
+                loss: loss.into(),
                 queue_capacity_bytes: usize::MAX / 2,
             },
             seed,
@@ -94,7 +94,7 @@ proptest! {
                     delivered += 1;
                 }
                 SendOutcome::Transmitted { arrival: None, .. } => lost += 1,
-                SendOutcome::DroppedQueueFull => prop_assert!(false, "no overflow expected"),
+                other => prop_assert!(false, "unexpected outcome {other:?}"),
             }
             link.on_departure(200);
         }
@@ -119,7 +119,7 @@ proptest! {
             LinkConfig {
                 bandwidth_bps: 1e6,
                 propagation: Arc::new(ConstantDelay::new(0.0)),
-                loss: 0.0,
+                loss: 0.0.into(),
                 queue_capacity_bytes: cap,
             },
             1,
@@ -139,6 +139,7 @@ proptest! {
                     SendOutcome::DroppedQueueFull => {
                         prop_assert!(before + 100 > cap, "dropped with room: {before}");
                     }
+                    other => prop_assert!(false, "unexpected outcome {other:?}"),
                 }
             } else if let Some(size) = outstanding.pop() {
                 link.on_departure(size);

@@ -45,9 +45,13 @@ mod dist;
 mod fit;
 mod gamma;
 mod moments;
+mod student;
+mod trial;
 
 pub use discrete::DiscreteDist;
 pub use dist::{ConstantDelay, Delay, Empirical, ShiftedGamma, UniformDelay};
 pub use fit::{fit_shifted_gamma, GammaFit};
 pub use gamma::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
 pub use moments::OnlineMoments;
+pub use student::{reg_inc_beta, student_t_cdf, student_t_quantile};
+pub use trial::TrialStats;

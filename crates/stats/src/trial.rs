@@ -1,0 +1,209 @@
+//! [`TrialStats`]: the aggregate report of independent Monte-Carlo
+//! trials, with Student-t confidence intervals.
+//!
+//! Each trial contributes one scalar observation (e.g. the measured
+//! quality of one full simulation run); the accumulator is a thin wrapper
+//! over [`OnlineMoments`] that adds the interval arithmetic. Equality is
+//! *bitwise* on the underlying moments, which is what the parallel
+//! engine's determinism pin relies on: folding the same per-trial values
+//! in the same (trial-index) order produces identical bits no matter how
+//! many worker threads computed them.
+//!
+//! ```
+//! use dmc_stats::TrialStats;
+//!
+//! let mut t = TrialStats::new();
+//! for q in [0.93, 0.91, 0.95, 0.92, 0.94] {
+//!     t.push(q);
+//! }
+//! let (lo, hi) = t.confidence_interval(0.95);
+//! assert!(lo < t.mean() && t.mean() < hi);
+//! assert!((t.mean() - 0.93).abs() < 1e-12);
+//! ```
+
+use crate::moments::OnlineMoments;
+use crate::student::student_t_quantile;
+
+/// Aggregate statistics over independent trials of one scalar metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrialStats {
+    moments: OnlineMoments,
+}
+
+impl TrialStats {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        TrialStats {
+            moments: OnlineMoments::new(),
+        }
+    }
+
+    /// Builds a report from per-trial observations, folded in iteration
+    /// order (the caller supplies trial-index order for determinism).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut t = TrialStats::new();
+        for x in samples {
+            t.push(x);
+        }
+        t
+    }
+
+    /// Adds one trial's observation.
+    pub fn push(&mut self, x: f64) {
+        self.moments.push(x);
+    }
+
+    /// Number of trials recorded.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Sample mean across trials (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Unbiased sample standard deviation (0 with fewer than 2 trials).
+    pub fn sample_std(&self) -> f64 {
+        self.moments.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n` (0 with fewer than 2 trials).
+    pub fn std_error(&self) -> f64 {
+        if self.count() < 2 {
+            0.0
+        } else {
+            self.sample_std() / (self.count() as f64).sqrt()
+        }
+    }
+
+    /// Smallest trial observation (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.moments.min()
+    }
+
+    /// Largest trial observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.moments.max()
+    }
+
+    /// The underlying moment accumulator.
+    pub fn moments(&self) -> &OnlineMoments {
+        &self.moments
+    }
+
+    /// Half-width of the two-sided `confidence` interval for the mean:
+    /// `t_{(1+c)/2, n−1} · s/√n`. Zero with fewer than 2 trials (no
+    /// variance information — the interval degenerates to the point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence` is in `(0, 1)`.
+    pub fn half_width(&self, confidence: f64) -> f64 {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        if self.count() < 2 {
+            return 0.0;
+        }
+        let df = (self.count() - 1) as f64;
+        student_t_quantile(0.5 * (1.0 + confidence), df) * self.std_error()
+    }
+
+    /// Two-sided Student-t confidence interval for the mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence` is in `(0, 1)`.
+    pub fn confidence_interval(&self, confidence: f64) -> (f64, f64) {
+        let h = self.half_width(confidence);
+        (self.mean() - h, self.mean() + h)
+    }
+
+    /// Merges another report (parallel-Welford; see [`OnlineMoments::merge`]).
+    ///
+    /// Note that merging chunk accumulators is *numerically* equivalent
+    /// but not *bitwise* identical to pushing the same samples one by
+    /// one; bit-determinism across thread counts requires folding
+    /// per-trial values in trial order, which is what the Monte-Carlo
+    /// engine does.
+    pub fn merge(&mut self, other: &TrialStats) {
+        self.moments.merge(&other.moments);
+    }
+
+    /// `"0.9332 ± 0.0021 (95% CI, n=32)"`-style rendering.
+    pub fn summary(&self, confidence: f64) -> String {
+        if self.count() < 2 {
+            return format!("{:.4} (n={})", self.mean(), self.count());
+        }
+        format!(
+            "{:.4} ± {:.4} ({:.0}% CI, n={})",
+            self.mean(),
+            self.half_width(confidence),
+            confidence * 100.0,
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_trial_degenerate() {
+        let t = TrialStats::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.half_width(0.95), 0.0);
+        let t = TrialStats::from_samples([0.9]);
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.mean(), 0.9);
+        assert_eq!(t.half_width(0.95), 0.0);
+        assert_eq!(t.confidence_interval(0.95), (0.9, 0.9));
+    }
+
+    #[test]
+    fn interval_matches_hand_computation() {
+        // Samples 1..=5: mean 3, s = √2.5, n = 5, t_{0.975,4} = 2.7764.
+        let t = TrialStats::from_samples((1..=5).map(f64::from));
+        assert_eq!(t.count(), 5);
+        assert!((t.mean() - 3.0).abs() < 1e-12);
+        assert!((t.sample_std() - 2.5f64.sqrt()).abs() < 1e-12);
+        let want = 2.7764 * (2.5f64 / 5.0).sqrt();
+        assert!(
+            (t.half_width(0.95) - want).abs() < 1e-3,
+            "half-width {} vs {want}",
+            t.half_width(0.95)
+        );
+        let (lo, hi) = t.confidence_interval(0.95);
+        assert!(lo < 3.0 && hi > 3.0);
+        assert!((hi - lo - 2.0 * t.half_width(0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_confidence_means_wider_interval() {
+        let t = TrialStats::from_samples([0.1, 0.4, 0.2, 0.3, 0.25, 0.35]);
+        assert!(t.half_width(0.99) > t.half_width(0.95));
+        assert!(t.half_width(0.95) > t.half_width(0.5));
+    }
+
+    #[test]
+    fn fold_order_is_bitwise_reproducible() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        let a = TrialStats::from_samples(xs.iter().copied());
+        let b = TrialStats::from_samples(xs.iter().copied());
+        assert_eq!(a, b); // bitwise, via OnlineMoments PartialEq
+    }
+
+    #[test]
+    fn summary_renders() {
+        let t = TrialStats::from_samples([0.93, 0.94, 0.95]);
+        let s = t.summary(0.95);
+        assert!(s.contains("± "), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+        assert!(TrialStats::from_samples([0.5])
+            .summary(0.95)
+            .contains("n=1"));
+    }
+}

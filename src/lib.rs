@@ -102,9 +102,11 @@ pub mod prelude {
         Strategy,
     };
     pub use dmc_proto::{
-        AdaptiveConfig, AdaptiveSender, DmcReceiver, DmcSender, ReceiverConfig, SenderConfig,
-        TimeoutPlan,
+        AdaptiveConfig, AdaptiveSender, DmcReceiver, DmcSender, FailureDetection, ReceiverConfig,
+        SenderConfig, TimeoutPlan,
     };
-    pub use dmc_sim::{LinkConfig, SimDuration, SimTime, TwoHostSim};
-    pub use dmc_stats::{ConstantDelay, Delay, ShiftedGamma};
+    pub use dmc_sim::{
+        Dynamics, GilbertElliott, LinkConfig, LossModel, SimDuration, SimTime, TwoHostSim,
+    };
+    pub use dmc_stats::{ConstantDelay, Delay, ShiftedGamma, TrialStats};
 }

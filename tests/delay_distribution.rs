@@ -25,7 +25,7 @@ fn simulated_delays_follow_the_configured_gamma() {
             .map(|p| LinkConfig {
                 bandwidth_bps: p.bandwidth() * 2.0, // over-provisioned
                 propagation: Arc::clone(p.delay()),
-                loss: p.loss(),
+                loss: p.loss().into(),
                 queue_capacity_bytes: 1 << 22,
             })
             .collect()
