@@ -110,7 +110,7 @@ pub use combo::{ComboTable, Slot};
 pub use network::{NetworkSpec, NetworkSpecBuilder};
 pub use path::{PathSpec, SpecError};
 pub use plan::{Plan, StageTimeoutSpec, TimeoutSchedule};
-pub use planner::{Objective, PlanError, Planner, PlannerConfig};
+pub use planner::{Objective, PlanError, Planner, PlannerConfig, ScenarioModel, WarmStats};
 pub use random_delay::{
     PlateauRule, RandomDelayConfig, RandomDelayModel, RandomNetworkSpec, RandomPath,
 };

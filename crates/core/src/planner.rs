@@ -99,6 +99,42 @@ impl From<SolveError> for PlanError {
     }
 }
 
+/// Warm-start cache counters of a [`Planner`] (or a
+/// `dmc_fleet::FleetPlanner`, which keeps the same kind of cache over its
+/// joint LPs): how re-solves split between basis reuse and cold solves.
+///
+/// An *attempt* is a solve for which a cached basis of the right shape
+/// existed; it becomes a *hit* when the solver actually re-entered
+/// phase 2 from that basis, and a *miss* when the basis had gone stale
+/// (infeasible under the new coefficients, singular) and the solver fell
+/// back to a cold two-phase solve. Solves with no cached basis at all
+/// (first solve of a shape, cache disabled) count in neither bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WarmStats {
+    /// Warm-start attempts that re-entered phase 2 from the cached basis.
+    pub hits: u64,
+    /// Warm-start attempts that fell back to a cold solve.
+    pub misses: u64,
+}
+
+impl WarmStats {
+    /// Total solves that consulted a cached basis (`hits + misses`).
+    pub fn attempts(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for WarmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} warm hit(s) / {} attempt(s)",
+            self.hits,
+            self.attempts()
+        )
+    }
+}
+
 /// Planner configuration (model-level knobs shared by every solve).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannerConfig {
@@ -250,6 +286,26 @@ impl Planner {
     ///   [`SolveError::Infeasible`]).
     pub fn plan(&mut self, scenario: &Scenario, objective: Objective) -> Result<Plan, PlanError> {
         self.validate(scenario, objective)?;
+        let (table, schedule, ack_path) = self.fill_buffers(scenario);
+
+        let problem = self.assemble_lp(scenario, objective, &table);
+        let solution = self.solve_lp(&problem)?;
+        let strategy = self.package_strategy(scenario, &table, solution.into_x());
+
+        Ok(Plan {
+            scenario: scenario.clone(),
+            objective,
+            strategy,
+            schedule,
+            ack_path,
+        })
+    }
+
+    /// Fills the planner's coefficient buffers (`p`, `usage`, `cost`) for
+    /// `scenario` and returns the combo table, timeout schedule and ack
+    /// path — the regime dispatch shared by [`Planner::plan`] and
+    /// [`Planner::model`].
+    fn fill_buffers(&mut self, scenario: &Scenario) -> (ComboTable, TimeoutSchedule, usize) {
         let n = scenario.num_paths();
         let table = ComboTable::new(n, scenario.transmissions(), self.config.blackhole);
         if self.usage.len() != n {
@@ -284,18 +340,35 @@ impl Planner {
             );
             TimeoutSchedule::from_stage_timeouts(&self.stage_timeouts, &table, scenario.lifetime())
         };
+        (table, schedule, ack_path)
+    }
 
-        let problem = self.assemble_lp(scenario, objective, &table);
-        let solution = self.solve_lp(&problem)?;
-        let strategy = self.package_strategy(scenario, &table, solution.into_x());
-
-        Ok(Plan {
+    /// Builds the *unsolved* model of a scenario: the Eq. 12/28 coefficient
+    /// vectors, the combination table, the Eq. 4/34 timeout schedule and
+    /// the ack path, packaged as an owned [`ScenarioModel`].
+    ///
+    /// This is the planner's front half with the LP solve left to the
+    /// caller — the hook the multi-flow fleet layer
+    /// (`dmc_fleet::FleetPlanner`) uses to assemble one *joint* LP whose
+    /// per-path capacity rows are shared across flows, and to package the
+    /// joint solution back into ordinary per-flow [`Plan`]s via
+    /// [`ScenarioModel::plan_for`].
+    ///
+    /// The coefficients are computed by exactly the code path
+    /// [`Planner::plan`] uses, so an LP assembled from a `ScenarioModel`
+    /// the way [`Planner::plan`] assembles its own reproduces
+    /// [`Planner::plan`]'s answers bit for bit.
+    pub fn model(&mut self, scenario: &Scenario) -> ScenarioModel {
+        let (table, schedule, ack_path) = self.fill_buffers(scenario);
+        ScenarioModel {
             scenario: scenario.clone(),
-            objective,
-            strategy,
+            table,
             schedule,
             ack_path,
-        })
+            p: self.p.clone(),
+            usage: self.usage.clone(),
+            cost: self.cost.clone(),
+        }
     }
 
     /// The paper's Experiment-1 procedure (§VII-A) as a first-class plan:
@@ -381,10 +454,20 @@ impl Planner {
         Ok(solution)
     }
 
-    /// How many solves were attempted from a cached warm basis, and how
-    /// many of those actually skipped phase 1 (the basis was still
-    /// feasible). Diagnostic counters for benches and tests.
-    pub fn warm_stats(&self) -> (u64, u64) {
+    /// Warm-start cache counters: how many solves re-entered phase 2 from
+    /// a cached basis ([`WarmStats::hits`]) and how many consulted a
+    /// cached basis that had gone stale ([`WarmStats::misses`]).
+    /// Diagnostic counters for benches and tests.
+    pub fn warm_stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.warm_hits,
+            misses: self.warm_attempts - self.warm_hits,
+        }
+    }
+
+    /// The pre-[`WarmStats`] counter shape: `(attempts, hits)`.
+    #[deprecated(note = "use `warm_stats()`, which returns a named `WarmStats { hits, misses }`")]
+    pub fn warm_stats_tuple(&self) -> (u64, u64) {
         (self.warm_attempts, self.warm_hits)
     }
 
@@ -490,6 +573,115 @@ impl Planner {
             .collect();
         let cost_rate = lambda * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
         Strategy::new(table.clone(), x, lambda, quality, cost_rate, send_rates)
+    }
+}
+
+/// The unsolved model of one scenario, produced by [`Planner::model`]:
+/// everything [`Planner::plan`] derives *before* the LP solve, owned and
+/// detached from the planner's scratch buffers.
+///
+/// Consumers assemble their own LP from the coefficient vectors (the
+/// fleet layer concatenates several models into one joint LP with shared
+/// capacity rows) and package an assignment back into a [`Plan`] with
+/// [`ScenarioModel::plan_for`].
+#[derive(Debug, Clone)]
+pub struct ScenarioModel {
+    scenario: Scenario,
+    table: ComboTable,
+    schedule: TimeoutSchedule,
+    ack_path: usize,
+    p: Vec<f64>,
+    usage: Vec<Vec<f64>>,
+    cost: Vec<f64>,
+}
+
+impl ScenarioModel {
+    /// The scenario this model was built for.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The combination table (LP variable ↔ stage-sequence bijection).
+    pub fn table(&self) -> &ComboTable {
+        &self.table
+    }
+
+    /// Number of LP variables (`table().num_combos()`).
+    pub fn num_combos(&self) -> usize {
+        self.table.num_combos()
+    }
+
+    /// The per-stage retransmission-timeout schedule (Eq. 4 / Eq. 34).
+    pub fn schedule(&self) -> &TimeoutSchedule {
+        &self.schedule
+    }
+
+    /// The acknowledgment path (Eq. 25 / Eq. 1), 0-based.
+    pub fn ack_path(&self) -> usize {
+        self.ack_path
+    }
+
+    /// In-time delivery probability `p_l` per combination (Eq. 12/28).
+    pub fn quality_coeffs(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Expected transmissions of real path `k` per unit data, per
+    /// combination (row `k` of Eq. 15, divided by `λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a real path index.
+    pub fn usage_coeffs(&self, k: usize) -> &[f64] {
+        &self.usage[k]
+    }
+
+    /// Expected cost per bit per combination (Eq. 16 divided by `λ`).
+    pub fn cost_coeffs(&self) -> &[f64] {
+        &self.cost
+    }
+
+    /// Packages an assignment vector into a full [`Plan`], computing the
+    /// predicted metrics (Eq. 2, 6, 7) exactly as [`Planner::plan`] does —
+    /// same coefficient vectors, same summation order — so feeding the `x`
+    /// of a planner solve through here reproduces the planner's plan bit
+    /// for bit.
+    ///
+    /// `objective` is recorded on the plan as the objective `x` was solved
+    /// for; this method does not solve anything itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_combos()`.
+    pub fn plan_for(&self, objective: Objective, x: Vec<f64>) -> Plan {
+        assert_eq!(
+            x.len(),
+            self.table.num_combos(),
+            "assignment length does not match the combination table"
+        );
+        let lambda = self.scenario.data_rate();
+        let quality: f64 = self.p.iter().zip(&x).map(|(p, v)| p * v).sum();
+        let send_rates: Vec<f64> = self
+            .usage
+            .iter()
+            .map(|usage| lambda * usage.iter().zip(&x).map(|(u, v)| u * v).sum::<f64>())
+            .collect();
+        let cost_rate = lambda * self.cost.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        let strategy = Strategy::new(
+            self.table.clone(),
+            x,
+            lambda,
+            quality,
+            cost_rate,
+            send_rates,
+        );
+        Plan {
+            scenario: self.scenario.clone(),
+            objective,
+            strategy,
+            schedule: self.schedule.clone(),
+            ack_path: self.ack_path,
+        }
     }
 }
 
@@ -758,6 +950,44 @@ mod tests {
         let plan = planner.plan(&three_path, Objective::MaxQuality).unwrap();
         assert!(plan.strategy().is_well_formed(1e-9));
         assert!(plan.quality() > 0.0 && plan.quality() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn model_plan_for_reproduces_plan_bit_for_bit() {
+        // Deterministic and random regimes: re-packaging the planner's own
+        // x through ScenarioModel::plan_for must reproduce the plan
+        // exactly (the fleet decomposition path relies on this).
+        let mut planner = Planner::new();
+        for scenario in [table3_scenario(90e6, 0.8), table5_scenario()] {
+            let plan = planner.plan(&scenario, Objective::MaxQuality).unwrap();
+            let model = planner.model(&scenario);
+            assert_eq!(model.num_combos(), plan.strategy().x().len());
+            let repack = model.plan_for(Objective::MaxQuality, plan.strategy().x().to_vec());
+            assert_eq!(repack.strategy().x(), plan.strategy().x());
+            assert_eq!(repack.quality(), plan.quality());
+            assert_eq!(repack.cost_rate(), plan.cost_rate());
+            assert_eq!(repack.send_rates(), plan.send_rates());
+            assert_eq!(repack.ack_path(), plan.ack_path());
+            assert_eq!(repack.schedule(), plan.schedule());
+        }
+    }
+
+    #[test]
+    fn warm_stats_struct_and_tuple_shim_agree() {
+        let mut planner = Planner::new();
+        for lambda in [60e6, 80e6, 100e6] {
+            planner
+                .plan(&table3_scenario(lambda, 0.8), Objective::MaxQuality)
+                .unwrap();
+        }
+        let stats = planner.warm_stats();
+        assert!(stats.hits > 0, "sweep never warm-started");
+        assert_eq!(stats.attempts(), stats.hits + stats.misses);
+        #[allow(deprecated)]
+        let (attempts, hits) = planner.warm_stats_tuple();
+        assert_eq!(attempts, stats.attempts());
+        assert_eq!(hits, stats.hits);
+        assert!(format!("{stats}").contains("warm hit"));
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Fleet / multi-flow driver: admission rate, per-flow delivery
+//! probability and aggregate utilization vs. offered load, plus the
+//! objective-mode comparison.
+//!
+//! Runs through the parallel Monte-Carlo engine; see `--help` for the
+//! shared `--messages/--trials/--threads/--seed` flags (`--messages` is
+//! the per-flow verification-simulation length).
+
+use dmc_experiments::fleet;
+use dmc_experiments::runner::RunConfig;
+
+fn main() {
+    let args = dmc_experiments::parse_args(5_000);
+    let mc = args.montecarlo();
+    let mut cfg = RunConfig::default();
+    cfg.messages = args.messages;
+    cfg.seed = args.seed;
+    eprintln!(
+        "fleet: {} flows/trial on {:.0} Mbps of shared capacity; {} message(s) × {} trial(s) \
+         per point on {} thread(s), seed {:#x}…",
+        fleet::FLOWS_PER_TRIAL,
+        fleet::total_capacity() / 1e6,
+        cfg.messages,
+        mc.trials,
+        mc.resolved_threads(),
+        mc.base_seed
+    );
+
+    println!("# Fleet: admission & joint shared-capacity allocation vs. offered load\n");
+    let pts = fleet::load_sweep_mc(&fleet::paper_loads(), &cfg, &mc);
+    println!("{}", fleet::render(&pts));
+
+    println!("\n# Objective modes at ρ = 1.2 (LP only)\n");
+    let rows = fleet::objective_comparison(1.2, mc.base_seed);
+    println!("{}", fleet::render_modes(&rows));
+}

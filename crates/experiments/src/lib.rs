@@ -8,6 +8,7 @@
 //! | Experiment 2 (random delays, Eq.-34 timeouts) | [`experiment2`] | `… --bin experiment2` |
 //! | Figure 3 (sensitivity to estimation errors) | [`figure3`] | `… --bin figure3` |
 //! | Figure 4 (LP solve times) | [`figure4`] | `… --bin figure4` (and `cargo bench -p dmc-bench`) |
+//! | Fleet: multi-flow admission & joint allocation (beyond the paper) | [`fleet`] | `… --bin fleet` |
 //!
 //! Simulation binaries run through the parallel Monte-Carlo engine
 //! ([`montecarlo`]) and share one flag vocabulary:
@@ -30,6 +31,7 @@ pub mod experiment2;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
+pub mod fleet;
 pub mod montecarlo;
 pub mod report;
 pub mod runner;

@@ -36,6 +36,13 @@ pub struct TrueLink {
 }
 
 impl TrueNetwork {
+    /// True links from explicit per-link configurations — e.g. the fleet
+    /// experiment running each admitted flow on its *allocated slice* of
+    /// the shared paths rather than on their full bandwidth.
+    pub fn from_links(links: Vec<TrueLink>) -> Self {
+        TrueNetwork { links }
+    }
+
     /// True links from a deterministic scenario (constant delays).
     pub fn deterministic(net: &NetworkSpec) -> Self {
         TrueNetwork {

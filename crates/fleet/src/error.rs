@@ -1,0 +1,70 @@
+//! Fleet-level errors.
+
+use crate::flow::FlowId;
+use dmc_core::{PlanError, SpecError};
+use dmc_lp::SolveError;
+use std::fmt;
+
+/// Errors from the fleet service.
+///
+/// Note that an *infeasible admission* is not an error: [`crate::FleetPlanner::offer`]
+/// reports it as [`crate::AdmissionDecision::Rejected`]. `FleetError` covers
+/// caller mistakes (invalid requests, unknown flows) and genuine solver
+/// failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A path or scenario description is invalid.
+    Spec(SpecError),
+    /// Building a per-flow model failed.
+    Plan(PlanError),
+    /// The joint LP failed for a reason other than infeasibility
+    /// (iteration limit, hostile numerics).
+    Solve(SolveError),
+    /// The referenced flow is not admitted (never admitted, already
+    /// departed, or evicted).
+    UnknownFlow(FlowId),
+    /// Invalid input (bad path index, non-finite parameter, empty fleet).
+    Invalid(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Spec(e) => write!(f, "{e}"),
+            FleetError::Plan(e) => write!(f, "{e}"),
+            FleetError::Solve(e) => write!(f, "joint LP failed: {e}"),
+            FleetError::UnknownFlow(id) => write!(f, "{id} is not admitted"),
+            FleetError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Spec(e) => Some(e),
+            FleetError::Plan(e) => Some(e),
+            FleetError::Solve(e) => Some(e),
+            FleetError::UnknownFlow(_) | FleetError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<SpecError> for FleetError {
+    fn from(e: SpecError) -> Self {
+        FleetError::Spec(e)
+    }
+}
+
+impl From<PlanError> for FleetError {
+    fn from(e: PlanError) -> Self {
+        FleetError::Plan(e)
+    }
+}
+
+impl From<SolveError> for FleetError {
+    fn from(e: SolveError) -> Self {
+        FleetError::Solve(e)
+    }
+}

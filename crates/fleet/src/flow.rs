@@ -1,0 +1,231 @@
+//! Flow identity and the tenant-facing request type.
+
+use crate::error::FleetError;
+use std::fmt;
+
+/// Identity of one flow in a fleet.
+///
+/// Ids are assigned by [`crate::FleetPlanner`] in **offer order**, starting
+/// at 0, and *every* offer consumes one — rejected flows too — so a trace
+/// author can predict the id of the `k`-th arrival without knowing
+/// admission outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    pub(crate) fn new(index: u64) -> Self {
+        FlowId(index)
+    }
+
+    /// The id of the `index`-th offer (0-based) — how trace authors name
+    /// flows ahead of time: ids are assigned sequentially per offer,
+    /// admitted or not.
+    pub fn from_index(index: u64) -> Self {
+        FlowId(index)
+    }
+
+    /// The offer-order index this id encodes.
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// One tenant's request: how much data, by when, how reliably, at what
+/// spend, and how important.
+///
+/// A request describes *demand only* — the shared paths belong to the
+/// [`crate::FleetPlanner`]. Defaults: best-effort (no quality floor), no
+/// cost budget, priority 1, the paper's `m = 2` transmissions.
+///
+/// ```
+/// use dmc_fleet::FlowRequest;
+///
+/// # fn main() -> Result<(), dmc_fleet::FleetError> {
+/// // 20 Mbps of video frames, useless after 600 ms, ≥ 95 % must make it.
+/// let video = FlowRequest::new(20e6, 0.600)?
+///     .with_min_quality(0.95)
+///     .with_priority(4.0);
+/// // A bulk sync that tolerates any loss rate the allocator leaves it.
+/// let bulk = FlowRequest::new(40e6, 1.5)?;
+/// assert!(video.min_quality() > bulk.min_quality());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRequest {
+    data_rate: f64,
+    lifetime: f64,
+    min_quality: f64,
+    cost_budget: f64,
+    priority: f64,
+    transmissions: usize,
+}
+
+impl FlowRequest {
+    /// A best-effort flow of `data_rate_bps` whose data expires
+    /// `lifetime_s` after generation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive rate/lifetime.
+    pub fn new(data_rate_bps: f64, lifetime_s: f64) -> Result<Self, FleetError> {
+        if !(data_rate_bps > 0.0) || !data_rate_bps.is_finite() {
+            return Err(FleetError::Invalid(format!(
+                "flow data rate must be finite and > 0, got {data_rate_bps}"
+            )));
+        }
+        if !(lifetime_s > 0.0) || !lifetime_s.is_finite() {
+            return Err(FleetError::Invalid(format!(
+                "flow lifetime must be finite and > 0, got {lifetime_s}"
+            )));
+        }
+        Ok(FlowRequest {
+            data_rate: data_rate_bps,
+            lifetime: lifetime_s,
+            min_quality: 0.0,
+            cost_budget: f64::INFINITY,
+            priority: 1.0,
+            transmissions: 2,
+        })
+    }
+
+    /// Requires at least this fraction of the flow's data to be delivered
+    /// in time (the admission-control floor; 0 = best effort).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `quality ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_min_quality(mut self, quality: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&quality),
+            "quality floor must be in [0, 1], got {quality}"
+        );
+        self.min_quality = quality;
+        self
+    }
+
+    /// The same floor expressed as a loss tolerance: at most `tolerance`
+    /// of the flow's data may miss its deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tolerance ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_loss_tolerance(self, tolerance: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&tolerance),
+            "loss tolerance must be in [0, 1], got {tolerance}"
+        );
+        self.with_min_quality(1.0 - tolerance)
+    }
+
+    /// Caps the flow's spend (cost units per second, Eq. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_second > 0` (∞ = unconstrained is allowed).
+    #[must_use]
+    pub fn with_cost_budget(mut self, per_second: f64) -> Self {
+        assert!(per_second > 0.0, "cost budget must be > 0");
+        self.cost_budget = per_second;
+        self
+    }
+
+    /// Priority weight for [`crate::FleetObjective::WeightedFair`]
+    /// (default 1; higher = more of the shared quality budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is finite and > 0.
+    #[must_use]
+    pub fn with_priority(mut self, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "priority must be finite and > 0, got {weight}"
+        );
+        self.priority = weight;
+        self
+    }
+
+    /// Number of transmissions `m` per data unit (default 2: one
+    /// transmission + one retransmission, the paper's base model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn with_transmissions(mut self, m: usize) -> Self {
+        assert!(m > 0, "need at least one transmission");
+        self.transmissions = m;
+        self
+    }
+
+    /// Application data rate `λ_f` in bits/second.
+    pub fn data_rate(&self) -> f64 {
+        self.data_rate
+    }
+
+    /// Data lifetime `δ_f` in seconds (the flow's deadline).
+    pub fn lifetime(&self) -> f64 {
+        self.lifetime
+    }
+
+    /// Required in-time delivery fraction (0 = best effort).
+    pub fn min_quality(&self) -> f64 {
+        self.min_quality
+    }
+
+    /// Cost budget per second (∞ when unconstrained).
+    pub fn cost_budget(&self) -> f64 {
+        self.cost_budget
+    }
+
+    /// Priority weight (see [`FlowRequest::with_priority`]).
+    pub fn priority(&self) -> f64 {
+        self.priority
+    }
+
+    /// Number of transmissions per data unit.
+    pub fn transmissions(&self) -> usize {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_validation_and_defaults() {
+        let r = FlowRequest::new(10e6, 0.5).unwrap();
+        assert_eq!(r.min_quality(), 0.0);
+        assert_eq!(r.cost_budget(), f64::INFINITY);
+        assert_eq!(r.priority(), 1.0);
+        assert_eq!(r.transmissions(), 2);
+        assert!(FlowRequest::new(0.0, 0.5).is_err());
+        assert!(FlowRequest::new(10e6, f64::NAN).is_err());
+        assert!(FlowRequest::new(f64::INFINITY, 0.5).is_err());
+    }
+
+    #[test]
+    fn loss_tolerance_is_the_quality_complement() {
+        let r = FlowRequest::new(10e6, 0.5)
+            .unwrap()
+            .with_loss_tolerance(0.2);
+        assert!((r.min_quality() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_id_display_and_order() {
+        assert_eq!(format!("{}", FlowId::new(3)), "flow#3");
+        assert!(FlowId::new(1) < FlowId::new(2));
+        assert_eq!(FlowId::new(7).index(), 7);
+    }
+}

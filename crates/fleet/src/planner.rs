@@ -1,0 +1,1018 @@
+//! The fleet service: admission control plus joint shared-capacity
+//! allocation across every admitted flow.
+//!
+//! # The joint LP
+//!
+//! A single-flow [`Planner`](dmc_core::Planner) solves (Eq. 10, per unit
+//! of `λ`):
+//!
+//! ```text
+//! max p·x   s.t.  usage_k·x ≤ b_k/λ  (per path),  Σx = 1,  x ≥ 0
+//! ```
+//!
+//! The fleet generalizes it to `F` concurrent flows by concatenating the
+//! per-flow assignment vectors into one variable block `x = (x¹ … x^F)`
+//! and **sharing the capacity rows** (everything scaled by the aggregate
+//! rate `Λ = Σ_f λ_f` so coefficients stay O(1)):
+//!
+//! ```text
+//! max  Σ_f w_f (λ_f/Λ) p_f·x^f
+//! s.t. Σ_f (λ_f/Λ) usage_{f,k}·x^f ≤ b_k/Λ          (shared, per path k)
+//!      cost_f·x^f ≤ µ_f/λ_f                         (per budgeted flow)
+//!      p_f·x^f ≥ q_f                                (per flow with a floor)
+//!      Σ x^f = 1                                    (per flow)
+//!      x ≥ 0
+//! ```
+//!
+//! With one flow this degenerates — row for row, bit for bit — to the
+//! single-flow planner's LP, which is what the
+//! `parity_single_flow` test pins. The per-flow `p`/`usage`/`cost`
+//! vectors come from [`Planner::model`](dmc_core::Planner::model), i.e.
+//! the exact coefficient code both regimes (§V deterministic, §VI-B
+//! random delays) already use.
+//!
+//! # Admission control
+//!
+//! A flow is *admitted* iff the joint LP stays feasible with the flow's
+//! quality floor added — the DDCCast rule: accept a transfer only when
+//! the remaining shared capacity can still meet every accepted deadline.
+//! Rejected flows leave the incumbents' allocation untouched. Departures
+//! and link changes re-solve the smaller/changed LP (warm-started from
+//! the cached basis of the same joint shape); a link change that makes
+//! the floors collectively infeasible triggers deterministic re-admission
+//! in admission order, evicting exactly the flows that no longer fit.
+
+use crate::error::FleetError;
+use crate::flow::{FlowId, FlowRequest};
+use dmc_core::{
+    Objective, Plan, Planner, PlannerConfig, Scenario, ScenarioModel, ScenarioPath, WarmStats,
+};
+use dmc_lp::{Basis, ConstraintKind, Problem, SolveError, Workspace};
+use dmc_sim::LinkChange;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What the joint LP optimizes across admitted flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetObjective {
+    /// Admit as many flows as the floors allow (greedy, deadline-ordered
+    /// in [`FleetPlanner::offer_batch`] — the DDCCast/ALAP flavor), then
+    /// maximize rate-weighted total quality over the admitted set.
+    #[default]
+    MaxAdmitted,
+    /// Maximize rate-weighted total quality `Σ_f (λ_f/Λ) Q_f` (aggregate
+    /// in-time goodput fraction). Admission is still floor-feasibility
+    /// based; batches keep arrival order.
+    MaxTotalQuality,
+    /// Maximize priority-weighted quality `Σ_f w_f (λ_f/Λ) Q_f`, where
+    /// `w_f` is [`FlowRequest::priority`].
+    WeightedFair,
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// Objective of the joint LP (default [`FleetObjective::MaxAdmitted`]).
+    pub objective: FleetObjective,
+    /// Model/solver knobs shared by every per-flow model and joint solve
+    /// (blackhole, discretization grid, solver options, `warm_start`).
+    pub planner: PlannerConfig,
+}
+
+/// Outcome of one [`FleetPlanner::offer`].
+#[derive(Debug, Clone)]
+pub enum AdmissionDecision {
+    /// The flow is in: the joint LP with its floor is feasible.
+    Admitted {
+        /// The assigned flow id.
+        id: FlowId,
+        /// The flow's predicted in-time delivery fraction under the joint
+        /// allocation (≥ its floor).
+        predicted_quality: f64,
+    },
+    /// The flow is out: no allocation of the remaining shared capacity
+    /// meets its floor alongside every incumbent's.
+    Rejected {
+        /// The id the offer consumed (ids are offer-ordered; see
+        /// [`FlowId`]).
+        id: FlowId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl AdmissionDecision {
+    /// Whether the flow was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admitted { .. })
+    }
+
+    /// The flow id this decision is about.
+    pub fn id(&self) -> FlowId {
+        match self {
+            AdmissionDecision::Admitted { id, .. } | AdmissionDecision::Rejected { id, .. } => *id,
+        }
+    }
+}
+
+/// One shared path's mutable state (the base description plus the link
+/// dynamics applied so far).
+#[derive(Debug, Clone)]
+struct SharedPath {
+    base: ScenarioPath,
+    bandwidth: f64,
+    loss: f64,
+    failed: bool,
+}
+
+impl SharedPath {
+    fn effective(&self) -> Result<ScenarioPath, FleetError> {
+        let loss = if self.failed { 1.0 } else { self.loss };
+        ScenarioPath::new(
+            self.bandwidth,
+            Arc::clone(self.base.delay()),
+            loss,
+            self.base.cost(),
+        )
+        .map_err(FleetError::Spec)
+    }
+}
+
+/// One admitted flow: its request, its model against the current shared
+/// paths, and its slice of the current joint allocation.
+#[derive(Debug)]
+struct FlowState {
+    id: FlowId,
+    request: FlowRequest,
+    model: ScenarioModel,
+    plan: Plan,
+}
+
+/// Cache key for joint warm-start bases: the shape of the assembled joint
+/// LP, mirroring the single-flow planner's cache. Two joint problems of
+/// equal shape can exchange bases — basis feasibility depends only on the
+/// coefficients, which the solver re-checks on every warm start — so a
+/// departure that returns the fleet to a previously seen shape (the
+/// churn pattern) re-enters phase 2 directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct JointShapeKey {
+    n_vars: usize,
+    n_rows: usize,
+    eq_mask: u128,
+}
+
+impl JointShapeKey {
+    fn of(problem: &Problem) -> Option<Self> {
+        let n_rows = problem.num_constraints();
+        if n_rows > 128 {
+            return None;
+        }
+        let mut eq_mask = 0u128;
+        for (i, c) in problem.constraints().iter().enumerate() {
+            if c.kind() == ConstraintKind::Eq {
+                eq_mask |= 1 << i;
+            }
+        }
+        Some(JointShapeKey {
+            n_vars: problem.num_vars(),
+            n_rows,
+            eq_mask,
+        })
+    }
+}
+
+/// Bound on cached joint shapes; a fleet cycling through more shapes than
+/// this restarts its cache (churn touches one shape per admitted count).
+const MAX_CACHED_SHAPES: usize = 64;
+
+/// The multi-tenant flow service: owns the shared paths, admits flows,
+/// and keeps a joint allocation current as flows arrive, depart and links
+/// change.
+///
+/// ```
+/// use dmc_core::ScenarioPath;
+/// use dmc_fleet::{FleetConfig, FleetPlanner, FlowRequest};
+///
+/// # fn main() -> Result<(), dmc_fleet::FleetError> {
+/// // Two shared links (the paper's Table III pair).
+/// let mut fleet = FleetPlanner::new(
+///     vec![
+///         ScenarioPath::constant(80e6, 0.450, 0.2)?,
+///         ScenarioPath::constant(20e6, 0.150, 0.0)?,
+///     ],
+///     FleetConfig::default(),
+/// )?;
+/// // A strict flow and a best-effort one contend for the same links.
+/// let strict = fleet.offer(FlowRequest::new(30e6, 0.750)?.with_min_quality(0.95))?;
+/// let bulk = fleet.offer(FlowRequest::new(60e6, 0.800)?)?;
+/// assert!(strict.is_admitted() && bulk.is_admitted());
+/// // The joint allocation never oversubscribes a link…
+/// assert!(fleet.utilization().iter().all(|&u| u <= 1.0 + 1e-9));
+/// // …and the strict flow's floor is honored.
+/// assert!(fleet.plan_of(strict.id()).unwrap().quality() >= 0.95 - 1e-9);
+/// // Departures re-solve for the survivors (warm-started).
+/// fleet.depart(strict.id())?;
+/// assert_eq!(fleet.num_flows(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FleetPlanner {
+    config: FleetConfig,
+    paths: Vec<SharedPath>,
+    flows: Vec<FlowState>,
+    next_id: u64,
+    /// Builds per-flow coefficient models (never solves).
+    flow_planner: Planner,
+    /// Joint-LP scratch memory, reused across solves.
+    workspace: Workspace,
+    warm_bases: HashMap<JointShapeKey, Basis>,
+    warm_attempts: u64,
+    warm_hits: u64,
+}
+
+impl FleetPlanner {
+    /// A fleet over `paths` — the shared links every flow contends for.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty path set and paths whose delay distribution has a
+    /// non-finite mean.
+    pub fn new(paths: Vec<ScenarioPath>, config: FleetConfig) -> Result<Self, FleetError> {
+        if paths.is_empty() {
+            return Err(FleetError::Invalid(
+                "a fleet needs at least one shared path".into(),
+            ));
+        }
+        for (k, p) in paths.iter().enumerate() {
+            if !p.delay().mean().is_finite() {
+                return Err(FleetError::Invalid(format!(
+                    "shared path {k} has a non-finite mean delay"
+                )));
+            }
+        }
+        let flow_planner = Planner::with_config(config.planner.clone());
+        Ok(FleetPlanner {
+            config,
+            paths: paths
+                .into_iter()
+                .map(|p| SharedPath {
+                    bandwidth: p.bandwidth(),
+                    loss: p.loss(),
+                    failed: false,
+                    base: p,
+                })
+                .collect(),
+            flows: Vec::new(),
+            next_id: 0,
+            flow_planner,
+            workspace: Workspace::new(),
+            warm_bases: HashMap::new(),
+            warm_attempts: 0,
+            warm_hits: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Offers one flow for admission.
+    ///
+    /// Admitted flows immediately receive a [`Plan`] (see
+    /// [`FleetPlanner::plan_of`]) and every incumbent's plan is refreshed
+    /// to the new joint allocation. A rejection leaves the incumbents'
+    /// allocation untouched.
+    ///
+    /// # Errors
+    ///
+    /// Invalid scenarios and non-infeasibility solver failures; a floor
+    /// that cannot be met is a [`AdmissionDecision::Rejected`], not an
+    /// error.
+    pub fn offer(&mut self, request: FlowRequest) -> Result<AdmissionDecision, FleetError> {
+        let id = FlowId::new(self.next_id);
+        self.next_id += 1;
+        let model = self.flow_model(&request)?;
+        self.admit_candidate(id, request, model)
+    }
+
+    /// Offers a batch of flows.
+    ///
+    /// First tries to admit the whole batch with **one** joint solve; only
+    /// if that is infeasible does it fall back to greedy per-flow
+    /// admission — deadline-ordered (earliest deadline first, the
+    /// DDCCast/ALAP flavor) under [`FleetObjective::MaxAdmitted`], in
+    /// arrival order otherwise. Ids are assigned in input order either
+    /// way, and decisions are returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetPlanner::offer`].
+    pub fn offer_batch(
+        &mut self,
+        requests: Vec<FlowRequest>,
+    ) -> Result<Vec<AdmissionDecision>, FleetError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut candidates = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = FlowId::new(self.next_id);
+            self.next_id += 1;
+            let model = self.flow_model(&request)?;
+            candidates.push((id, request, model));
+        }
+        // Fast path: the whole batch in one solve.
+        let extras: Vec<(&FlowRequest, &ScenarioModel)> =
+            candidates.iter().map(|(_, r, m)| (r, m)).collect();
+        match self.solve_entries(&extras) {
+            Ok(mut segments) => {
+                let candidate_segments = segments.split_off(self.flows.len());
+                self.refresh_plans(segments);
+                let mut decisions = Vec::with_capacity(candidates.len());
+                for ((id, request, model), seg) in candidates.into_iter().zip(candidate_segments) {
+                    let plan = model.plan_for(Objective::MaxQuality, seg);
+                    let predicted_quality = plan.quality();
+                    self.flows.push(FlowState {
+                        id,
+                        request,
+                        model,
+                        plan,
+                    });
+                    decisions.push(AdmissionDecision::Admitted {
+                        id,
+                        predicted_quality,
+                    });
+                }
+                Ok(decisions)
+            }
+            Err(SolveError::Infeasible { .. }) => {
+                // Greedy fallback; sort by deadline in MaxAdmitted mode.
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                if self.config.objective == FleetObjective::MaxAdmitted {
+                    order.sort_by(|&a, &b| {
+                        candidates[a]
+                            .1
+                            .lifetime()
+                            .partial_cmp(&candidates[b].1.lifetime())
+                            .expect("finite lifetimes")
+                            .then(a.cmp(&b))
+                    });
+                }
+                let mut decisions: Vec<Option<AdmissionDecision>> = vec![None; candidates.len()];
+                let mut taken: Vec<Option<(FlowId, FlowRequest, ScenarioModel)>> =
+                    candidates.into_iter().map(Some).collect();
+                for i in order {
+                    let (id, request, model) = taken[i].take().expect("visited once");
+                    decisions[i] = Some(self.admit_candidate(id, request, model)?);
+                }
+                Ok(decisions.into_iter().map(|d| d.expect("filled")).collect())
+            }
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// Removes an admitted flow and re-solves the joint allocation for
+    /// the survivors (warm-started from the cached basis of the smaller
+    /// shape when available). Returns the departing flow's last plan.
+    ///
+    /// The re-solve only ever *relaxes* the problem, so every surviving
+    /// flow keeps meeting its floor (the `admission_invariants` test pins
+    /// this).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFlow`] for ids never admitted or already
+    /// gone.
+    pub fn depart(&mut self, id: FlowId) -> Result<Plan, FleetError> {
+        let idx = self
+            .flows
+            .iter()
+            .position(|f| f.id == id)
+            .ok_or(FleetError::UnknownFlow(id))?;
+        let departed = self.flows.remove(idx);
+        if !self.flows.is_empty() {
+            let segments = self.solve_entries(&[]).map_err(FleetError::Solve)?;
+            self.refresh_plans(segments);
+        }
+        Ok(departed.plan)
+    }
+
+    /// Applies one link change to a shared path (reusing the
+    /// [`dmc_sim::LinkChange`] vocabulary: `Fail`/`Recover`/
+    /// `SetBandwidth`/`SetLoss`) and re-solves the joint allocation.
+    ///
+    /// A failed path plans as loss 1 (it can carry nothing in time); a
+    /// [`LinkChange::SetLoss`] plans against the model's stationary loss
+    /// rate, exactly as the single-flow LP does for Gilbert–Elliott
+    /// links. If the change makes the admitted floors collectively
+    /// infeasible, flows are deterministically re-admitted in admission
+    /// order and the ones that no longer fit are **evicted**; the
+    /// returned ids name them (empty when everyone still fits).
+    ///
+    /// # Errors
+    ///
+    /// Bad path index, invalid change parameters, or a solver failure.
+    pub fn apply_link_change(
+        &mut self,
+        path: usize,
+        change: &LinkChange,
+    ) -> Result<Vec<FlowId>, FleetError> {
+        let Some(shared) = self.paths.get_mut(path) else {
+            return Err(FleetError::Invalid(format!(
+                "path index {path} out of range ({} shared paths)",
+                self.paths.len()
+            )));
+        };
+        match change {
+            LinkChange::Fail => shared.failed = true,
+            LinkChange::Recover => shared.failed = false,
+            LinkChange::SetBandwidth(bps) => {
+                if !(*bps > 0.0) || !bps.is_finite() {
+                    return Err(FleetError::Invalid(format!(
+                        "bandwidth must be finite and > 0, got {bps}"
+                    )));
+                }
+                shared.bandwidth = *bps;
+            }
+            LinkChange::SetLoss(model) => {
+                model.validate().map_err(FleetError::Invalid)?;
+                shared.loss = model.stationary_loss();
+            }
+        }
+        self.resettle()
+    }
+
+    /// Number of admitted flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Ids of the admitted flows, in admission order.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.iter().map(|f| f.id).collect()
+    }
+
+    /// The current plan of an admitted flow — an ordinary single-flow
+    /// [`Plan`] (its strategy respects the flow's slice of the shared
+    /// capacity), so `run_plan`, `DmcSender::from_plan` and
+    /// `AdaptiveSender` consume it unchanged.
+    pub fn plan_of(&self, id: FlowId) -> Option<&Plan> {
+        self.flows.iter().find(|f| f.id == id).map(|f| &f.plan)
+    }
+
+    /// The admitted request behind a flow id.
+    pub fn request_of(&self, id: FlowId) -> Option<&FlowRequest> {
+        self.flows.iter().find(|f| f.id == id).map(|f| &f.request)
+    }
+
+    /// `(id, plan)` for every admitted flow, in admission order.
+    pub fn plans(&self) -> impl Iterator<Item = (FlowId, &Plan)> {
+        self.flows.iter().map(|f| (f.id, &f.plan))
+    }
+
+    /// The effective shared paths the joint LP currently plans against
+    /// (failed paths appear with loss 1).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (paths were validated on entry).
+    pub fn shared_paths(&self) -> Result<Vec<ScenarioPath>, FleetError> {
+        self.paths.iter().map(SharedPath::effective).collect()
+    }
+
+    /// Per-path utilization: the admitted flows' summed send rates over
+    /// the path's current bandwidth. The joint capacity rows keep every
+    /// entry ≤ 1 (within solver tolerance).
+    pub fn utilization(&self) -> Vec<f64> {
+        let mut util = vec![0.0; self.paths.len()];
+        for f in &self.flows {
+            for (u, rate) in util.iter_mut().zip(f.plan.send_rates()) {
+                *u += rate;
+            }
+        }
+        for (u, p) in util.iter_mut().zip(&self.paths) {
+            *u /= p.bandwidth;
+        }
+        util
+    }
+
+    /// Aggregate in-time goodput of the admitted flows, bits/second
+    /// (`Σ_f λ_f Q_f`).
+    pub fn total_goodput(&self) -> f64 {
+        self.flows
+            .iter()
+            .map(|f| f.request.data_rate() * f.plan.quality())
+            .sum()
+    }
+
+    /// Rate-weighted mean quality of the admitted flows (the joint LP's
+    /// `MaxTotalQuality` objective value; 0 with no flows).
+    pub fn aggregate_quality(&self) -> f64 {
+        let lambda_tot: f64 = self.flows.iter().map(|f| f.request.data_rate()).sum();
+        if lambda_tot <= 0.0 {
+            return 0.0;
+        }
+        self.total_goodput() / lambda_tot
+    }
+
+    /// Warm-start cache counters of the joint solves (same semantics as
+    /// [`dmc_core::Planner::warm_stats`]).
+    pub fn warm_stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.warm_hits,
+            misses: self.warm_attempts - self.warm_hits,
+        }
+    }
+
+    /// Number of joint-LP shapes with a cached warm-start basis.
+    pub fn cached_bases(&self) -> usize {
+        self.warm_bases.len()
+    }
+
+    /// Drops all cached joint bases (subsequent solves start cold).
+    pub fn clear_warm_cache(&mut self) {
+        self.warm_bases.clear();
+    }
+
+    /// Builds the candidate's per-flow scenario/model against the current
+    /// shared paths.
+    fn flow_model(&mut self, request: &FlowRequest) -> Result<ScenarioModel, FleetError> {
+        let mut builder = Scenario::builder()
+            .paths(self.shared_paths()?)
+            .data_rate(request.data_rate())
+            .lifetime(request.lifetime())
+            .transmissions(request.transmissions());
+        if request.cost_budget().is_finite() {
+            builder = builder.cost_budget(request.cost_budget());
+        }
+        let scenario = builder.build().map_err(FleetError::Spec)?;
+        Ok(self.flow_planner.model(&scenario))
+    }
+
+    /// Tentatively solves the joint LP with `id`'s candidate added;
+    /// commits on success, leaves the incumbents untouched on
+    /// infeasibility.
+    fn admit_candidate(
+        &mut self,
+        id: FlowId,
+        request: FlowRequest,
+        model: ScenarioModel,
+    ) -> Result<AdmissionDecision, FleetError> {
+        let extra = [(&request, &model)];
+        match self.solve_entries(&extra) {
+            Ok(mut segments) => {
+                let seg = segments.pop().expect("candidate segment");
+                self.refresh_plans(segments);
+                let plan = model.plan_for(Objective::MaxQuality, seg);
+                let predicted_quality = plan.quality();
+                self.flows.push(FlowState {
+                    id,
+                    request,
+                    model,
+                    plan,
+                });
+                Ok(AdmissionDecision::Admitted {
+                    id,
+                    predicted_quality,
+                })
+            }
+            Err(SolveError::Infeasible { .. }) => Ok(AdmissionDecision::Rejected {
+                id,
+                reason: "the remaining shared capacity cannot meet this flow's quality \
+                         floor alongside every admitted flow's"
+                    .into(),
+            }),
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// Rebuilds every flow's model against the changed paths and
+    /// re-solves; on collective infeasibility, re-admits greedily in
+    /// admission order and reports the evicted ids.
+    fn resettle(&mut self) -> Result<Vec<FlowId>, FleetError> {
+        for i in 0..self.flows.len() {
+            let request = self.flows[i].request.clone();
+            self.flows[i].model = self.flow_model(&request)?;
+        }
+        if self.flows.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.solve_entries(&[]) {
+            Ok(segments) => {
+                self.refresh_plans(segments);
+                Ok(Vec::new())
+            }
+            Err(SolveError::Infeasible { .. }) => {
+                let survivors = std::mem::take(&mut self.flows);
+                let mut evicted = Vec::new();
+                for f in survivors {
+                    match self.admit_candidate(f.id, f.request, f.model)? {
+                        AdmissionDecision::Admitted { .. } => {}
+                        AdmissionDecision::Rejected { id, .. } => evicted.push(id),
+                    }
+                }
+                Ok(evicted)
+            }
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// Re-packages a fresh joint solution's segments into the admitted
+    /// flows' plans (in admission order).
+    fn refresh_plans(&mut self, segments: Vec<Vec<f64>>) {
+        debug_assert_eq!(segments.len(), self.flows.len());
+        for (f, seg) in self.flows.iter_mut().zip(segments) {
+            f.plan = f.model.plan_for(Objective::MaxQuality, seg);
+        }
+    }
+
+    /// Assembles and solves the joint LP over the admitted flows plus
+    /// `extras`, returning one assignment segment per flow (admitted
+    /// first, then extras, both in order). With no flows at all there is
+    /// nothing to solve: returns no segments.
+    fn solve_entries(
+        &mut self,
+        extras: &[(&FlowRequest, &ScenarioModel)],
+    ) -> Result<Vec<Vec<f64>>, SolveError> {
+        if self.flows.is_empty() && extras.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (problem, combos) = {
+            let entries: Vec<(&FlowRequest, &ScenarioModel)> = self
+                .flows
+                .iter()
+                .map(|f| (&f.request, &f.model))
+                .chain(extras.iter().copied())
+                .collect();
+            let combos: Vec<usize> = entries.iter().map(|(_, m)| m.num_combos()).collect();
+            (
+                assemble_joint(self.config.objective, &self.paths, &entries),
+                combos,
+            )
+        };
+        let key = if self.config.planner.warm_start {
+            JointShapeKey::of(&problem)
+        } else {
+            None
+        };
+        let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
+            Some(basis) => {
+                self.warm_attempts += 1;
+                let s = problem.solve_warm_with(
+                    &self.config.planner.solver,
+                    &mut self.workspace,
+                    basis,
+                )?;
+                if s.used_warm_start() {
+                    self.warm_hits += 1;
+                }
+                s
+            }
+            None => problem.solve_with(&self.config.planner.solver, &mut self.workspace)?,
+        };
+        if let (Some(k), Some(basis)) = (key, solution.basis()) {
+            if self.warm_bases.len() >= MAX_CACHED_SHAPES && !self.warm_bases.contains_key(&k) {
+                self.warm_bases.clear();
+            }
+            self.warm_bases.insert(k, basis.clone());
+        }
+        // The decomposition path replays the feasibility certificate in
+        // debug builds: every per-flow plan descends from this x, so a
+        // bogus vertex here would silently corrupt the whole fleet.
+        #[cfg(debug_assertions)]
+        solution
+            .certify(&problem)
+            .expect("joint LP solution failed its feasibility certificate");
+        let x = solution.into_x();
+        let mut segments = Vec::with_capacity(combos.len());
+        let mut offset = 0;
+        for c in combos {
+            segments.push(x[offset..offset + c].to_vec());
+            offset += c;
+        }
+        debug_assert_eq!(offset, x.len());
+        Ok(segments)
+    }
+}
+
+/// Assembles the joint LP (see the module docs for the formulation).
+///
+/// Row order matters for single-flow parity: shared capacity rows first
+/// (one per path, like the single-flow planner), then per-flow cost and
+/// floor rows, then the per-flow `Σx = 1` equalities — with one
+/// floor-free flow this is exactly the row sequence of
+/// `Planner::plan(_, MaxQuality)`.
+fn assemble_joint(
+    objective: FleetObjective,
+    paths: &[SharedPath],
+    entries: &[(&FlowRequest, &ScenarioModel)],
+) -> Problem {
+    let lambda_tot: f64 = entries.iter().map(|(r, _)| r.data_rate()).sum();
+    let total_vars: usize = entries.iter().map(|(_, m)| m.num_combos()).sum();
+    let mut c = Vec::with_capacity(total_vars);
+    for (r, m) in entries {
+        let w = match objective {
+            FleetObjective::WeightedFair => r.priority(),
+            FleetObjective::MaxAdmitted | FleetObjective::MaxTotalQuality => 1.0,
+        };
+        let share = r.data_rate() / lambda_tot;
+        c.extend(m.quality_coeffs().iter().map(|p| w * share * p));
+    }
+    let mut lp = Problem::maximize(c);
+    // Shared capacity rows: Σ_f (λ_f/Λ)·usage_f,k · x^f ≤ b_k/Λ.
+    for (k, path) in paths.iter().enumerate() {
+        let mut row = Vec::with_capacity(total_vars);
+        for (r, m) in entries {
+            let share = r.data_rate() / lambda_tot;
+            row.extend(m.usage_coeffs(k).iter().map(|u| share * u));
+        }
+        lp.add_le(row, path.bandwidth / lambda_tot)
+            .expect("dimensions match");
+    }
+    // Per-flow cost budgets and quality floors.
+    let mut offset = 0;
+    for (r, m) in entries {
+        let n = m.num_combos();
+        if r.cost_budget().is_finite() {
+            let mut row = vec![0.0; total_vars];
+            row[offset..offset + n].copy_from_slice(m.cost_coeffs());
+            lp.add_le(row, r.cost_budget() / r.data_rate())
+                .expect("dimensions match");
+        }
+        if r.min_quality() > 0.0 {
+            let mut row = vec![0.0; total_vars];
+            row[offset..offset + n].copy_from_slice(m.quality_coeffs());
+            lp.add_ge(row, r.min_quality()).expect("dimensions match");
+        }
+        offset += n;
+    }
+    // Per-flow Σx = 1.
+    let mut offset = 0;
+    for (_, m) in entries {
+        let n = m.num_combos();
+        let mut row = vec![0.0; total_vars];
+        for v in &mut row[offset..offset + n] {
+            *v = 1.0;
+        }
+        lp.add_eq(row, 1.0).expect("dimensions match");
+        offset += n;
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3_paths() -> Vec<ScenarioPath> {
+        vec![
+            ScenarioPath::constant(80e6, 0.450, 0.2).unwrap(),
+            ScenarioPath::constant(20e6, 0.150, 0.0).unwrap(),
+        ]
+    }
+
+    fn fleet() -> FleetPlanner {
+        FleetPlanner::new(table3_paths(), FleetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_or_dead_path_sets_are_rejected() {
+        assert!(FleetPlanner::new(Vec::new(), FleetConfig::default()).is_err());
+        let dead = vec![ScenarioPath::constant(1e6, f64::INFINITY, 0.0).unwrap()];
+        assert!(FleetPlanner::new(dead, FleetConfig::default()).is_err());
+    }
+
+    #[test]
+    fn best_effort_flows_are_always_admitted() {
+        let mut fleet = fleet();
+        // Even gross overload is feasible: the blackhole absorbs it.
+        for i in 0..3 {
+            let d = fleet.offer(FlowRequest::new(90e6, 0.8).unwrap()).unwrap();
+            assert!(d.is_admitted(), "offer {i}");
+        }
+        assert_eq!(fleet.num_flows(), 3);
+        assert!(fleet.utilization().iter().all(|&u| u <= 1.0 + 1e-9));
+        // Capacity is shared: three 90 Mbps flows over 100 Mbps of links
+        // cannot all exceed 1/3 mean quality by much.
+        assert!(fleet.aggregate_quality() < 0.45);
+    }
+
+    #[test]
+    fn floors_drive_rejection_and_incumbents_are_untouched() {
+        let mut fleet = fleet();
+        let a = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(a.is_admitted());
+        let a_plan = fleet.plan_of(a.id()).unwrap().clone();
+        // A second strict flow of the same size cannot also get 90 % out
+        // of the remaining ~40 Mbps of capacity.
+        let b = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(!b.is_admitted());
+        // The incumbent's allocation did not move.
+        assert_eq!(
+            fleet.plan_of(a.id()).unwrap().strategy().x(),
+            a_plan.strategy().x()
+        );
+        assert_eq!(fleet.num_flows(), 1);
+        assert!(fleet.plan_of(b.id()).is_none());
+        // A modest flow still fits.
+        let c = fleet
+            .offer(FlowRequest::new(20e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        assert!(c.is_admitted());
+        for (_, plan) in fleet.plans() {
+            assert!(plan.quality() >= 0.5 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn departures_relax_and_unknown_ids_error() {
+        let mut fleet = fleet();
+        let a = fleet
+            .offer(FlowRequest::new(50e6, 0.8).unwrap().with_min_quality(0.8))
+            .unwrap();
+        let b = fleet.offer(FlowRequest::new(50e6, 0.8).unwrap()).unwrap();
+        let q_b_before = fleet.plan_of(b.id()).unwrap().quality();
+        let departed = fleet.depart(a.id()).unwrap();
+        assert!(departed.quality() >= 0.8 - 1e-9);
+        // The survivor can only gain from the freed capacity.
+        assert!(fleet.plan_of(b.id()).unwrap().quality() >= q_b_before - 1e-9);
+        assert!(matches!(
+            fleet.depart(a.id()),
+            Err(FleetError::UnknownFlow(_))
+        ));
+    }
+
+    #[test]
+    fn link_failure_evicts_only_what_no_longer_fits() {
+        let mut fleet = fleet();
+        // Fits only thanks to path 0: 60 Mbps at 90 %.
+        let big = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        // Fits on path 1 alone: 10 Mbps, lossless link.
+        let small = fleet
+            .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(big.is_admitted() && small.is_admitted());
+        let evicted = fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(evicted, vec![big.id()]);
+        assert_eq!(fleet.flow_ids(), vec![small.id()]);
+        assert!(fleet.plan_of(small.id()).unwrap().quality() >= 0.9 - 1e-9);
+        // Recovery admits nothing by itself (eviction is final)…
+        let evicted = fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
+        assert!(evicted.is_empty());
+        // …but the capacity is usable again for new offers.
+        let again = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(again.is_admitted());
+    }
+
+    #[test]
+    fn bandwidth_and_loss_changes_flow_into_the_joint_lp() {
+        let mut fleet = fleet();
+        let a = fleet.offer(FlowRequest::new(90e6, 0.8).unwrap()).unwrap();
+        let q_full = fleet.plan_of(a.id()).unwrap().quality();
+        // Halving path 0 must cost quality.
+        fleet
+            .apply_link_change(0, &LinkChange::SetBandwidth(40e6))
+            .unwrap();
+        let q_half = fleet.plan_of(a.id()).unwrap().quality();
+        assert!(q_half < q_full - 0.05, "{q_half} vs {q_full}");
+        // A Gilbert–Elliott loss process plans via its stationary rate
+        // (classic(0.2, 0.2) sits in the bad state half the time → 50 %).
+        let ge = dmc_sim::GilbertElliott::classic(0.2, 0.2).unwrap();
+        assert!((ge.stationary_loss() - 0.5).abs() < 1e-12);
+        fleet
+            .apply_link_change(0, &LinkChange::SetLoss(ge.into()))
+            .unwrap();
+        let q_lossy = fleet.plan_of(a.id()).unwrap().quality();
+        assert!(q_lossy < q_half + 1e-9, "{q_lossy} vs {q_half}");
+        // Bad inputs are rejected.
+        assert!(fleet.apply_link_change(9, &LinkChange::Fail).is_err());
+        assert!(fleet
+            .apply_link_change(0, &LinkChange::SetBandwidth(-1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut f = fleet();
+        assert!(f.offer_batch(Vec::new()).unwrap().is_empty());
+        assert_eq!(f.num_flows(), 0);
+        // Also fine with incumbents: nothing re-solved, nothing changed.
+        let a = f.offer(FlowRequest::new(30e6, 0.8).unwrap()).unwrap();
+        let x_before = f.plan_of(a.id()).unwrap().strategy().x().to_vec();
+        assert!(f.offer_batch(Vec::new()).unwrap().is_empty());
+        assert_eq!(f.plan_of(a.id()).unwrap().strategy().x(), x_before);
+    }
+
+    #[test]
+    fn batch_and_sequential_admission_agree() {
+        let reqs = || {
+            vec![
+                FlowRequest::new(30e6, 0.9).unwrap().with_min_quality(0.9),
+                FlowRequest::new(25e6, 0.5).unwrap().with_min_quality(0.6),
+                FlowRequest::new(20e6, 1.2).unwrap(),
+            ]
+        };
+        let mut batched = fleet();
+        let decisions = batched.offer_batch(reqs()).unwrap();
+        assert!(decisions.iter().all(AdmissionDecision::is_admitted));
+        let mut sequential = fleet();
+        for r in reqs() {
+            assert!(sequential.offer(r).unwrap().is_admitted());
+        }
+        // Same final joint LP → same canonical vertex → identical plans.
+        for (id, plan) in batched.plans() {
+            let other = sequential.plan_of(id).unwrap();
+            assert_eq!(plan.strategy().x(), other.strategy().x(), "{id}");
+            assert_eq!(plan.quality(), other.quality());
+        }
+        // Ids are input-ordered in both schemes.
+        assert_eq!(
+            decisions
+                .iter()
+                .map(AdmissionDecision::id)
+                .collect::<Vec<_>>(),
+            batched.flow_ids()
+        );
+    }
+
+    #[test]
+    fn weighted_fair_shifts_quality_toward_priority() {
+        let mk = |objective| {
+            let mut f = FleetPlanner::new(
+                table3_paths(),
+                FleetConfig {
+                    objective,
+                    ..FleetConfig::default()
+                },
+            )
+            .unwrap();
+            let hi = f
+                .offer(FlowRequest::new(70e6, 0.8).unwrap().with_priority(8.0))
+                .unwrap();
+            let lo = f.offer(FlowRequest::new(70e6, 0.8).unwrap()).unwrap();
+            let q_hi = f.plan_of(hi.id()).unwrap().quality();
+            let q_lo = f.plan_of(lo.id()).unwrap().quality();
+            (q_hi, q_lo)
+        };
+        let (q_hi, q_lo) = mk(FleetObjective::WeightedFair);
+        assert!(
+            q_hi >= q_lo + 0.1,
+            "priority 8 flow got {q_hi}, priority 1 got {q_lo}"
+        );
+    }
+
+    #[test]
+    fn churn_warm_starts_and_matches_cold_bit_for_bit() {
+        let churn = |fleet: &mut FleetPlanner| {
+            let a = fleet
+                .offer(FlowRequest::new(40e6, 0.8).unwrap().with_min_quality(0.7))
+                .unwrap();
+            let _b = fleet.offer(FlowRequest::new(30e6, 0.6).unwrap()).unwrap();
+            fleet.depart(a.id()).unwrap();
+            let _c = fleet
+                .offer(FlowRequest::new(40e6, 0.8).unwrap().with_min_quality(0.7))
+                .unwrap();
+        };
+        let mut warm = fleet();
+        churn(&mut warm);
+        assert!(
+            warm.warm_stats().hits > 0,
+            "churn re-solves never warm-started: {}",
+            warm.warm_stats()
+        );
+        let mut cold = FleetPlanner::new(
+            table3_paths(),
+            FleetConfig {
+                planner: PlannerConfig {
+                    warm_start: false,
+                    ..PlannerConfig::default()
+                },
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        churn(&mut cold);
+        assert_eq!(cold.warm_stats(), WarmStats::default());
+        assert_eq!(cold.cached_bases(), 0);
+        for ((ida, pa), (idb, pb)) in warm.plans().zip(cold.plans()) {
+            assert_eq!(ida, idb);
+            assert_eq!(pa.strategy().x(), pb.strategy().x(), "{ida}");
+            assert_eq!(pa.quality(), pb.quality());
+        }
+    }
+}

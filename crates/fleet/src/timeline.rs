@@ -1,0 +1,250 @@
+//! Deterministic event timelines: arrival traces a fleet can replay.
+//!
+//! A [`FleetTrace`] is a validated, time-sorted schedule of
+//! [`FleetEvent`]s — `Arrive`/`Depart` plus the [`dmc_sim::LinkChange`]
+//! vocabulary (`Fail`/`Recover`/`SetBandwidth`/`SetLoss`) — mirroring how
+//! [`dmc_sim::Dynamics`] schedules link changes for the simulator.
+//! Replaying the same trace through fresh [`FleetPlanner`]s produces
+//! bit-identical snapshot sequences (the `admission_invariants` test pins
+//! this), which is what lets the experiment layer sweep offered load with
+//! Monte-Carlo trials whose aggregates are thread-count independent.
+
+use crate::error::FleetError;
+use crate::flow::{FlowId, FlowRequest};
+use crate::planner::{AdmissionDecision, FleetPlanner};
+use dmc_sim::LinkChange;
+
+/// One fleet-level event.
+#[derive(Debug, Clone)]
+pub enum FleetEvent {
+    /// A flow asks for admission.
+    Arrive(FlowRequest),
+    /// An admitted flow leaves (ids are offer-ordered; see [`FlowId`]).
+    /// Departing a flow that was rejected — or already evicted — is a
+    /// no-op during replay, so traces can schedule departures without
+    /// knowing admission outcomes in advance.
+    Depart(FlowId),
+    /// A shared link changes (the [`dmc_sim::Dynamics`] vocabulary).
+    Link {
+        /// Shared path index, 0-based.
+        path: usize,
+        /// The change itself.
+        change: LinkChange,
+    },
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When the event happens (seconds; informational — replay is
+    /// sequential, not clocked).
+    pub at: f64,
+    /// What happens.
+    pub event: FleetEvent,
+}
+
+/// A validated schedule of fleet events, kept sorted by time (FIFO within
+/// ties, like [`dmc_sim::Dynamics`]).
+#[derive(Debug, Clone, Default)]
+pub struct FleetTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl FleetTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        FleetTrace::default()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, sorted by time (insertion order within ties).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn push(mut self, at: f64, event: FleetEvent) -> Result<Self, FleetError> {
+        if !(at >= 0.0) || !at.is_finite() {
+            return Err(FleetError::Invalid(format!(
+                "event time must be finite and ≥ 0, got {at}"
+            )));
+        }
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, TraceEvent { at, event });
+        Ok(self)
+    }
+
+    /// Schedules an arrival at `at_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite/negative times.
+    pub fn arrive(self, at_s: f64, request: FlowRequest) -> Result<Self, FleetError> {
+        self.push(at_s, FleetEvent::Arrive(request))
+    }
+
+    /// Schedules a departure at `at_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite/negative times.
+    pub fn depart(self, at_s: f64, flow: FlowId) -> Result<Self, FleetError> {
+        self.push(at_s, FleetEvent::Depart(flow))
+    }
+
+    /// Schedules a link change at `at_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite/negative times (path/change validity is checked
+    /// at replay time, against the fleet's actual paths).
+    pub fn link(self, at_s: f64, path: usize, change: LinkChange) -> Result<Self, FleetError> {
+        self.push(at_s, FleetEvent::Link { path, change })
+    }
+}
+
+/// The fleet's state right after one replayed event.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// The event's scheduled time.
+    pub at: f64,
+    /// The admission decision, for `Arrive` events.
+    pub decision: Option<AdmissionDecision>,
+    /// The flow that left, for effective `Depart` events (`None` when the
+    /// departure was a no-op because the flow was never admitted).
+    pub departed: Option<FlowId>,
+    /// Flows evicted by a link change (empty otherwise).
+    pub evicted: Vec<FlowId>,
+    /// Admitted flows after the event, in admission order.
+    pub admitted: Vec<FlowId>,
+    /// Per-path utilization after the event.
+    pub utilization: Vec<f64>,
+    /// Rate-weighted mean quality of the admitted flows after the event.
+    pub aggregate_quality: f64,
+}
+
+impl FleetPlanner {
+    /// Replays a trace event by event, returning one [`FleetSnapshot`]
+    /// per event.
+    ///
+    /// Replay is deterministic: the same trace through the same initial
+    /// fleet state yields bit-identical snapshots, regardless of thread
+    /// counts or environment.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`FleetPlanner::offer`]/[`FleetPlanner::apply_link_change`]
+    /// errors. Departing a never-admitted flow is a recorded no-op, not an
+    /// error (see [`FleetEvent::Depart`]).
+    pub fn replay(&mut self, trace: &FleetTrace) -> Result<Vec<FleetSnapshot>, FleetError> {
+        let mut snapshots = Vec::with_capacity(trace.events().len());
+        for e in trace.events() {
+            let (decision, departed, evicted) = match &e.event {
+                FleetEvent::Arrive(request) => {
+                    (Some(self.offer(request.clone())?), None, Vec::new())
+                }
+                FleetEvent::Depart(id) => match self.depart(*id) {
+                    Ok(_) => (None, Some(*id), Vec::new()),
+                    Err(FleetError::UnknownFlow(_)) => (None, None, Vec::new()),
+                    Err(other) => return Err(other),
+                },
+                FleetEvent::Link { path, change } => {
+                    (None, None, self.apply_link_change(*path, change)?)
+                }
+            };
+            snapshots.push(FleetSnapshot {
+                at: e.at,
+                decision,
+                departed,
+                evicted,
+                admitted: self.flow_ids(),
+                utilization: self.utilization(),
+                aggregate_quality: self.aggregate_quality(),
+            });
+        }
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::FleetConfig;
+    use dmc_core::ScenarioPath;
+
+    fn paths() -> Vec<ScenarioPath> {
+        vec![
+            ScenarioPath::constant(80e6, 0.450, 0.2).unwrap(),
+            ScenarioPath::constant(20e6, 0.150, 0.0).unwrap(),
+        ]
+    }
+
+    fn sample_trace() -> FleetTrace {
+        FleetTrace::new()
+            .arrive(
+                0.0,
+                FlowRequest::new(40e6, 0.8).unwrap().with_min_quality(0.8),
+            )
+            .unwrap()
+            .arrive(1.0, FlowRequest::new(30e6, 0.6).unwrap())
+            .unwrap()
+            .link(2.0, 0, LinkChange::SetBandwidth(40e6))
+            .unwrap()
+            .depart(3.0, FlowId::new(0))
+            .unwrap()
+            .depart(3.5, FlowId::new(7)) // never offered: replay no-op
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_stays_time_sorted_and_validates_times() {
+        let t = FleetTrace::new()
+            .depart(5.0, FlowId::new(0))
+            .unwrap()
+            .arrive(1.0, FlowRequest::new(1e6, 0.5).unwrap())
+            .unwrap();
+        assert_eq!(t.events().len(), 2);
+        assert!(t.events()[0].at < t.events()[1].at);
+        assert!(FleetTrace::new().depart(f64::NAN, FlowId::new(0)).is_err());
+        assert!(FleetTrace::new().depart(-1.0, FlowId::new(0)).is_err());
+        assert!(FleetTrace::new().is_empty());
+    }
+
+    #[test]
+    fn replay_walks_the_whole_trace() {
+        let mut fleet = FleetPlanner::new(paths(), FleetConfig::default()).unwrap();
+        let snaps = fleet.replay(&sample_trace()).unwrap();
+        assert_eq!(snaps.len(), 5);
+        // Both arrivals admitted.
+        assert!(snaps[0].decision.as_ref().unwrap().is_admitted());
+        assert!(snaps[1].decision.as_ref().unwrap().is_admitted());
+        assert_eq!(snaps[1].admitted.len(), 2);
+        // The bandwidth cut keeps both only if floors still fit.
+        assert!(snaps[2].admitted.len() + snaps[2].evicted.len() == 2);
+        // flow#0 departs (if it survived the link change).
+        if snaps[2].admitted.contains(&FlowId::new(0)) {
+            assert_eq!(snaps[3].departed, Some(FlowId::new(0)));
+        }
+        // Departing a never-admitted id is a recorded no-op.
+        assert_eq!(snaps[4].departed, None);
+        assert_eq!(snaps[4].admitted, snaps[3].admitted);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_fresh_fleets() {
+        let run = || {
+            let mut fleet = FleetPlanner::new(paths(), FleetConfig::default()).unwrap();
+            fleet.replay(&sample_trace()).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.utilization, y.utilization); // bitwise
+            assert_eq!(x.aggregate_quality, y.aggregate_quality);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Admission-control invariants:
+//!
+//! * the admitted set is **deterministic** for a fixed event trace —
+//!   fresh fleets replaying the same trace agree bitwise, and the
+//!   `DMC_THREADS` environment variable (which parallelizes the
+//!   Monte-Carlo engine, never the fleet) cannot influence it;
+//! * **departing flows never reduce a surviving flow's delivery
+//!   probability below its target** — the floors stay constraints of
+//!   every re-solve, and a departure only relaxes the joint LP.
+
+use dmc_core::ScenarioPath;
+use dmc_fleet::{FleetConfig, FleetPlanner, FleetSnapshot, FleetTrace, FlowId, FlowRequest};
+use dmc_sim::LinkChange;
+
+fn two_paths() -> Vec<ScenarioPath> {
+    vec![
+        ScenarioPath::constant(80e6, 0.450, 0.2).unwrap(),
+        ScenarioPath::constant(20e6, 0.150, 0.0).unwrap(),
+    ]
+}
+
+/// A busy fixed trace: floors, a rejection, a link retune, departures.
+fn busy_trace() -> FleetTrace {
+    FleetTrace::new()
+        .arrive(
+            0.0,
+            FlowRequest::new(40e6, 0.8).unwrap().with_min_quality(0.85),
+        )
+        .unwrap()
+        .arrive(
+            1.0,
+            FlowRequest::new(30e6, 0.75).unwrap().with_min_quality(0.7),
+        )
+        .unwrap()
+        .arrive(
+            2.0,
+            // Cannot also get 90 % out of what's left: rejected.
+            FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9),
+        )
+        .unwrap()
+        .arrive(3.0, FlowRequest::new(25e6, 1.2).unwrap())
+        .unwrap()
+        .link(4.0, 0, LinkChange::SetBandwidth(60e6))
+        .unwrap()
+        .depart(5.0, FlowId::from_index(0))
+        .unwrap()
+        .arrive(
+            6.0,
+            FlowRequest::new(35e6, 0.8).unwrap().with_min_quality(0.8),
+        )
+        .unwrap()
+        .depart(7.0, FlowId::from_index(2)) // the rejected flow: a no-op
+        .unwrap()
+}
+
+fn replay_fresh() -> Vec<FleetSnapshot> {
+    let mut fleet = FleetPlanner::new(two_paths(), FleetConfig::default()).unwrap();
+    fleet.replay(&busy_trace()).unwrap()
+}
+
+fn assert_snapshots_identical(a: &[FleetSnapshot], b: &[FleetSnapshot]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.admitted, y.admitted);
+        assert_eq!(x.departed, y.departed);
+        assert_eq!(x.evicted, y.evicted);
+        assert_eq!(x.utilization, y.utilization); // bitwise
+        assert_eq!(x.aggregate_quality, y.aggregate_quality); // bitwise
+        assert_eq!(
+            x.decision.as_ref().map(|d| (d.id(), d.is_admitted())),
+            y.decision.as_ref().map(|d| (d.id(), d.is_admitted()))
+        );
+    }
+}
+
+#[test]
+fn admitted_set_is_deterministic_and_thread_count_independent() {
+    let baseline = replay_fresh();
+    // The trace exercises both outcomes.
+    let decisions: Vec<bool> = baseline
+        .iter()
+        .filter_map(|s| s.decision.as_ref().map(|d| d.is_admitted()))
+        .collect();
+    assert_eq!(decisions, vec![true, true, false, true, true]);
+    // Fresh fleets agree bitwise…
+    assert_snapshots_identical(&baseline, &replay_fresh());
+    // …and DMC_THREADS (read only by the Monte-Carlo engine) cannot
+    // change fleet decisions: replay under several settings.
+    for threads in ["1", "4", "13"] {
+        std::env::set_var("DMC_THREADS", threads);
+        assert_snapshots_identical(&baseline, &replay_fresh());
+    }
+    std::env::remove_var("DMC_THREADS");
+}
+
+#[test]
+fn departures_never_break_surviving_floors() {
+    // The issue's 3-flow / 2-path monotonicity trace: three floored flows
+    // admitted together, then the middle one departs.
+    let floors = [0.80, 0.60, 0.70];
+    let rates = [30e6, 25e6, 20e6];
+    let mut fleet = FleetPlanner::new(two_paths(), FleetConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for (rate, floor) in rates.iter().zip(floors) {
+        let d = fleet
+            .offer(
+                FlowRequest::new(*rate, 0.8)
+                    .unwrap()
+                    .with_min_quality(floor),
+            )
+            .unwrap();
+        assert!(d.is_admitted());
+        ids.push(d.id());
+    }
+    let before: Vec<f64> = ids
+        .iter()
+        .map(|&id| fleet.plan_of(id).unwrap().quality())
+        .collect();
+    for (q, floor) in before.iter().zip(floors) {
+        assert!(*q >= floor - 1e-9, "pre-departure: {q} < floor {floor}");
+    }
+    let goodput_survivors_before = rates[0] * before[0] + rates[2] * before[2];
+
+    fleet.depart(ids[1]).unwrap();
+
+    // Survivors still meet their targets…
+    for (i, &id) in [0usize, 2].iter().zip([ids[0], ids[2]].iter()) {
+        let q = fleet.plan_of(id).unwrap().quality();
+        assert!(
+            q >= floors[*i] - 1e-9,
+            "post-departure: flow {i} at {q} < floor {}",
+            floors[*i]
+        );
+    }
+    // …and the freed capacity can only help the survivors in aggregate
+    // (the old allocation restricted to them is still feasible).
+    let goodput_survivors_after = rates[0] * fleet.plan_of(ids[0]).unwrap().quality()
+        + rates[2] * fleet.plan_of(ids[2]).unwrap().quality();
+    assert!(
+        goodput_survivors_after >= goodput_survivors_before - 1e-3,
+        "{goodput_survivors_after} < {goodput_survivors_before}"
+    );
+
+    // Repeated departures keep the invariant down to one flow.
+    fleet.depart(ids[0]).unwrap();
+    let q_last = fleet.plan_of(ids[2]).unwrap().quality();
+    assert!(q_last >= floors[2] - 1e-9);
+    assert_eq!(fleet.num_flows(), 1);
+}

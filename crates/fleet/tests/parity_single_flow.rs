@@ -1,0 +1,209 @@
+//! Single-flow degeneracy parity: a fleet with exactly one flow must
+//! produce a `Plan` identical (≤ 1e-9 on allocations, metrics and
+//! timeouts) to `Planner::plan` on the same `Scenario`.
+//!
+//! With one floor-free flow the joint LP is row-for-row the single-flow
+//! planner's LP (same coefficients, same row order, same scaling — `λ/Λ`
+//! is exactly 1.0), and the revised backend canonicalizes its reported
+//! vertex, so the fixed cases below actually agree *bit for bit*; the
+//! proptest asserts the issue's 1e-9 contract across arbitrary scenarios.
+
+use dmc_core::{Objective, Plan, Planner, Scenario, ScenarioPath};
+use dmc_fleet::{AdmissionDecision, FleetConfig, FleetPlanner, FlowRequest};
+use dmc_stats::ShiftedGamma;
+use proptest::prelude::*;
+use proptest::Strategy;
+use std::sync::Arc;
+
+const TOL: f64 = 1e-9;
+
+/// Runs `scenario` through a fresh single-flow fleet and returns the
+/// decomposed plan.
+fn fleet_plan(scenario: &Scenario) -> Plan {
+    let mut fleet =
+        FleetPlanner::new(scenario.paths().to_vec(), FleetConfig::default()).expect("valid paths");
+    let mut request = FlowRequest::new(scenario.data_rate(), scenario.lifetime())
+        .expect("valid request")
+        .with_transmissions(scenario.transmissions());
+    if scenario.cost_budget().is_finite() {
+        request = request.with_cost_budget(scenario.cost_budget());
+    }
+    let decision = fleet.offer(request).expect("offer succeeds");
+    let AdmissionDecision::Admitted { id, .. } = decision else {
+        panic!("a floor-free flow is always admitted");
+    };
+    fleet.plan_of(id).expect("admitted plan").clone()
+}
+
+fn assert_plans_match(fleet: &Plan, solo: &Plan, ctx: &str) {
+    assert_eq!(
+        fleet.strategy().x().len(),
+        solo.strategy().x().len(),
+        "{ctx}: combo count"
+    );
+    for (l, (a, b)) in fleet
+        .strategy()
+        .x()
+        .iter()
+        .zip(solo.strategy().x())
+        .enumerate()
+    {
+        assert!((a - b).abs() <= TOL, "{ctx}: x[{l}] = {a} vs {b}");
+    }
+    assert!(
+        (fleet.quality() - solo.quality()).abs() <= TOL,
+        "{ctx}: quality {} vs {}",
+        fleet.quality(),
+        solo.quality()
+    );
+    assert!(
+        (fleet.cost_rate() - solo.cost_rate()).abs() <= TOL,
+        "{ctx}: cost rate"
+    );
+    for (k, (a, b)) in fleet.send_rates().iter().zip(solo.send_rates()).enumerate() {
+        // Send rates are in bits/s; 1e-9 relative to the rate.
+        assert!(
+            (a - b).abs() <= TOL * a.abs().max(1.0),
+            "{ctx}: S_{k} = {a} vs {b}"
+        );
+    }
+    assert_eq!(fleet.ack_path(), solo.ack_path(), "{ctx}: ack path");
+    // Timeout schedules: compare every armed stage timer.
+    let n = fleet.strategy().table().num_combos();
+    for l in 0..n {
+        let stages = solo.schedule().stages(l);
+        for s in 0..stages.len() {
+            match (fleet.schedule().stage(l, s), solo.schedule().stage(l, s)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!(
+                        (a.delay - b.delay).abs() <= TOL,
+                        "{ctx}: timeout({l},{s}) = {} vs {}",
+                        a.delay,
+                        b.delay
+                    );
+                    assert_eq!(a.retransmit, b.retransmit, "{ctx}: retransmit({l},{s})");
+                }
+                (a, b) => panic!("{ctx}: stage ({l},{s}) armed differently: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn table3_sweep_matches_bit_for_bit() {
+    let mut planner = Planner::new();
+    for lambda in [10e6, 60e6, 90e6, 120e6] {
+        for delta in [0.45, 0.8, 1.5] {
+            let scenario = Scenario::builder()
+                .path(ScenarioPath::constant(80e6, 0.450, 0.2).unwrap())
+                .path(ScenarioPath::constant(20e6, 0.150, 0.0).unwrap())
+                .data_rate(lambda)
+                .lifetime(delta)
+                .build()
+                .unwrap();
+            let solo = planner.plan(&scenario, Objective::MaxQuality).unwrap();
+            let fleet = fleet_plan(&scenario);
+            // Identical LPs + canonicalized vertices ⇒ *bitwise* equality
+            // on the fixed cases, a stronger statement than the 1e-9 bar.
+            assert_eq!(fleet.strategy().x(), solo.strategy().x(), "λ={lambda}");
+            assert_eq!(fleet.quality(), solo.quality());
+            assert_eq!(fleet.send_rates(), solo.send_rates());
+            assert_eq!(fleet.schedule(), solo.schedule());
+            assert_plans_match(&fleet, &solo, &format!("λ={lambda} δ={delta}"));
+        }
+    }
+}
+
+#[test]
+fn budgeted_flow_matches() {
+    let scenario = Scenario::builder()
+        .path(ScenarioPath::constant_with_cost(80e6, 0.450, 0.2, 2e-9).unwrap())
+        .path(ScenarioPath::constant_with_cost(20e6, 0.150, 0.0, 1e-9).unwrap())
+        .data_rate(90e6)
+        .lifetime(0.8)
+        .cost_budget(0.15)
+        .build()
+        .unwrap();
+    let solo = Planner::new()
+        .plan(&scenario, Objective::MaxQuality)
+        .unwrap();
+    let fleet = fleet_plan(&scenario);
+    assert_eq!(fleet.strategy().x(), solo.strategy().x());
+    assert_eq!(fleet.cost_rate(), solo.cost_rate());
+    assert_plans_match(&fleet, &solo, "budgeted");
+}
+
+#[test]
+fn random_delay_flow_matches() {
+    // Table V (§VI-B): the fleet path goes through the same discretized
+    // Eq. 28/34 machinery as the single-flow planner.
+    let scenario = Scenario::builder()
+        .path(
+            ScenarioPath::new(
+                80e6,
+                Arc::new(ShiftedGamma::new(10.0, 0.004, 0.400).unwrap()),
+                0.2,
+                0.0,
+            )
+            .unwrap(),
+        )
+        .path(
+            ScenarioPath::new(
+                20e6,
+                Arc::new(ShiftedGamma::new(5.0, 0.002, 0.100).unwrap()),
+                0.0,
+                0.0,
+            )
+            .unwrap(),
+        )
+        .data_rate(90e6)
+        .lifetime(0.750)
+        .build()
+        .unwrap();
+    let solo = Planner::new()
+        .plan(&scenario, Objective::MaxQuality)
+        .unwrap();
+    let fleet = fleet_plan(&scenario);
+    assert_plans_match(&fleet, &solo, "table5");
+}
+
+fn arb_constant_path() -> impl Strategy<Value = ScenarioPath> {
+    (
+        1.0f64..200.0, // bandwidth Mbps
+        0.005f64..0.8, // delay s
+        0.0f64..0.9,   // loss
+        0.0f64..5e-9,  // cost per bit
+    )
+        .prop_map(|(bw, d, l, c)| {
+            ScenarioPath::constant_with_cost(bw * 1e6, d, l, c).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The 1e-9 single-flow parity contract over arbitrary deterministic
+    /// scenarios: paths, rate, lifetime and transmission count all drawn
+    /// at random.
+    #[test]
+    fn single_flow_fleet_matches_planner(
+        paths in proptest::collection::vec(arb_constant_path(), 1..4),
+        lambda in 1.0f64..300.0,
+        delta in 0.05f64..2.0,
+        m in 1usize..4,
+    ) {
+        let scenario = Scenario::builder()
+            .paths(paths)
+            .data_rate(lambda * 1e6)
+            .lifetime(delta)
+            .transmissions(m)
+            .build()
+            .expect("valid");
+        let solo = Planner::new()
+            .plan(&scenario, Objective::MaxQuality)
+            .expect("feasible");
+        let fleet = fleet_plan(&scenario);
+        assert_plans_match(&fleet, &solo, &format!("λ={lambda}M δ={delta} m={m}"));
+    }
+}

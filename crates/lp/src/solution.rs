@@ -1,6 +1,7 @@
 //! Optimal solution returned by the solver, plus the [`Basis`] type that
 //! lets one solve warm-start the next.
 
+use crate::problem::Problem;
 use std::fmt;
 
 /// One basic variable of a simplex [`Basis`].
@@ -141,5 +142,122 @@ impl Solution {
     /// Consumes the solution and returns the variable vector.
     pub fn into_x(self) -> Vec<f64> {
         self.x
+    }
+
+    /// Certifies this solution against the problem it claims to solve:
+    /// replays every [`Constraint::violation`](crate::Constraint::violation)
+    /// and the objective value against the returned `x`.
+    ///
+    /// This is the independent half of a solve — it touches none of the
+    /// solver's internal state (tableau, basis, eta file), only the raw
+    /// problem rows — so a passing certificate means the reported vertex
+    /// is genuinely feasible and the reported objective genuinely matches
+    /// `x`, whatever path (cold, warm-started, either backend) produced
+    /// it. Intended for debug builds and tests: assert it after every
+    /// solve whose result feeds further computation (the fleet LP
+    /// decomposition path does exactly that).
+    ///
+    /// Tolerances are scale-aware: a row may violate by at most
+    /// `tol × max(1, ‖row‖∞, |rhs|)` and the objective by
+    /// `tol × max(1, |objective|)`, with `tol = 1e-7` (looser than the
+    /// solver's 1e-9 pivot tolerance because violations are evaluated on
+    /// the *unequilibrated* rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first failure: a
+    /// dimension mismatch, a negative coordinate, a violated row (with
+    /// its index and violation magnitude), or an objective mismatch.
+    pub fn certify(&self, problem: &Problem) -> Result<(), String> {
+        const TOL: f64 = 1e-7;
+        if self.x.len() != problem.num_vars() {
+            return Err(format!(
+                "solution has {} variables, problem has {}",
+                self.x.len(),
+                problem.num_vars()
+            ));
+        }
+        for (j, &v) in self.x.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(format!("x[{j}] = {v} is not finite"));
+            }
+            if v < -TOL {
+                return Err(format!("x[{j}] = {v} violates x ≥ 0"));
+            }
+        }
+        for (i, c) in problem.constraints().iter().enumerate() {
+            let scale = c
+                .coeffs()
+                .iter()
+                .fold(c.rhs().abs().max(1.0), |m, a| m.max(a.abs()));
+            let violation = c.violation(&self.x);
+            if violation > TOL * scale {
+                return Err(format!(
+                    "row {i} ({:?}) violated by {violation:.3e} (scale {scale:.3e})",
+                    c.kind()
+                ));
+            }
+        }
+        let replayed = problem.objective_value(&self.x);
+        let obj_scale = self.objective.abs().max(1.0);
+        if (replayed - self.objective).abs() > TOL * obj_scale {
+            return Err(format!(
+                "objective mismatch: reported {}, replayed {replayed}",
+                self.objective
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_problem() -> Problem {
+        let mut p = Problem::maximize(vec![3.0, 2.0]);
+        p.add_le(vec![1.0, 1.0], 4.0).unwrap();
+        p.add_le(vec![1.0, 0.0], 2.0).unwrap();
+        p.add_eq(vec![0.0, 1.0], 1.0).unwrap();
+        p
+    }
+
+    #[test]
+    fn certify_accepts_a_real_solve() {
+        let p = sample_problem();
+        let s = p.solve(&crate::SolverOptions::default()).unwrap();
+        s.certify(&p).expect("optimal solution must certify");
+    }
+
+    #[test]
+    fn certify_rejects_forged_solutions() {
+        let p = sample_problem();
+        // Wrong dimension.
+        let s = Solution::new(vec![1.0], 3.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("variables"));
+        // Negative coordinate.
+        let s = Solution::new(vec![-1.0, 1.0], -1.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("x ≥ 0"));
+        // Violated inequality row (x0 = 3 > 2).
+        let s = Solution::new(vec![3.0, 1.0], 11.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("row 1"));
+        // Violated equality row (x1 = 0 ≠ 1).
+        let s = Solution::new(vec![1.0, 0.0], 3.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("row 2"));
+        // Feasible point, lied-about objective (true value 3·2 + 2·1 = 8).
+        let s = Solution::new(vec![2.0, 1.0], 42.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("objective"));
+        // Non-finite coordinate.
+        let s = Solution::new(vec![f64::NAN, 1.0], 0.0, vec![], 0, None, false);
+        assert!(s.certify(&p).unwrap_err().contains("finite"));
+    }
+
+    #[test]
+    fn certify_respects_minimization_sense() {
+        let mut p = Problem::minimize(vec![1.0, 4.0]);
+        p.add_ge(vec![1.0, 1.0], 2.0).unwrap();
+        let s = p.solve(&crate::SolverOptions::default()).unwrap();
+        s.certify(&p).expect("minimization optimum must certify");
+        assert!((s.objective() - 2.0).abs() < 1e-9);
     }
 }

@@ -141,7 +141,7 @@ impl AdaptiveSender {
     }
 
     /// The owned planner (inspect warm-start statistics:
-    /// `planner().warm_stats()`).
+    /// `planner().warm_stats()`, a [`dmc_core::WarmStats`]).
     pub fn planner(&self) -> &Planner {
         &self.planner
     }
@@ -319,9 +319,9 @@ mod tests {
                 // Re-solves share the LP shape, so all but the first must
                 // have consulted the warm cache and most should have
                 // skipped phase 1 outright.
-                let (attempts, hits) = sim.client().planner().warm_stats();
-                assert_eq!(attempts, sim.client().resolves() - 1);
-                assert!(hits > 0, "periodic re-solves never warm-started");
+                let warm = sim.client().planner().warm_stats();
+                assert_eq!(warm.attempts(), sim.client().resolves() - 1);
+                assert!(warm.hits > 0, "periodic re-solves never warm-started");
                 let learned_loss = sim.client().estimated_network().paths()[0].loss();
                 assert!(
                     (0.28..=0.52).contains(&learned_loss),

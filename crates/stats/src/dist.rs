@@ -92,7 +92,7 @@ impl Delay for ConstantDelay {
 
 /// Shifted gamma delay: `d = η + X`, `X ~ Gamma(shape α, scale β)`.
 ///
-/// This is the paper's Internet-delay model (Eq. 24/31, refs [23]–[26]):
+/// This is the paper's Internet-delay model (Eq. 24/31, refs \[23\]–\[26\]):
 /// `E[d] = η + αβ`, `Var[d] = αβ²`. See the crate docs for why `β` is a
 /// scale (not a rate) here.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -16,6 +16,7 @@
 //! | `dmc-core` | [`model`] | **the paper's model** behind the `Scenario` → `Planner` → `Plan` pipeline |
 //! | `dmc-sim` | [`sim`] | deterministic discrete-event network simulator (the ns-3 stand-in) |
 //! | `dmc-proto` | [`proto`] | sender/receiver protocol state machines, acks, estimators |
+//! | `dmc-fleet` | [`fleet`] | multi-flow admission control + joint shared-capacity allocation |
 //! | `dmc-experiments` | [`experiments`] | regenerators for every table & figure of the paper |
 //!
 //! # Quick start
@@ -73,6 +74,7 @@
 //! | `TimeoutPlan::deterministic` / `from_random_model` | `TimeoutPlan::from_plan(&plan, extra)` |
 //! | hand-built `SenderConfig::new(strategy, timeouts, λ, n)` | `SenderConfig::from_plan(&plan, extra, n)` |
 //! | `experiments::runner::run_strategy(…6 args…)` | `experiments::runner::run_plan(&plan, &truth, &cfg)` |
+//! | one `Planner` per flow, each assuming it owns the `Scenario` | [`dmc_fleet::FleetPlanner`] — admission control + one joint LP whose capacity rows are shared across all concurrent flows (multi-flow use) |
 //!
 //! See `crates/core/src/lib.rs` for the model-level table and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -82,6 +84,7 @@
 
 pub use dmc_core as model;
 pub use dmc_experiments as experiments;
+pub use dmc_fleet as fleet;
 pub use dmc_lp as lp;
 pub use dmc_proto as proto;
 pub use dmc_sim as sim;
@@ -100,6 +103,10 @@ pub mod prelude {
         DeterministicModel, ModelConfig, ModelError, NetworkSpec, PathSpec, PlateauRule,
         RandomDelayConfig, RandomDelayModel, RandomNetworkSpec, RandomPath, Slot, SolverOptions,
         Strategy,
+    };
+    pub use dmc_fleet::{
+        AdmissionDecision, FleetConfig, FleetEvent, FleetObjective, FleetPlanner, FleetTrace,
+        FlowId, FlowRequest,
     };
     pub use dmc_proto::{
         AdaptiveConfig, AdaptiveSender, DmcReceiver, DmcSender, FailureDetection, ReceiverConfig,

@@ -181,9 +181,9 @@ fn warm_sweep_matches_cold_bit_for_bit_on_table3() {
             );
         }
     }
-    let (attempts, hits) = warm.warm_stats();
-    assert!(attempts > 0, "sweep never consulted the warm cache");
-    assert!(hits > 0, "no sweep point actually warm-started");
+    let stats = warm.warm_stats();
+    assert!(stats.attempts() > 0, "sweep never consulted the warm cache");
+    assert!(stats.hits > 0, "no sweep point actually warm-started");
 }
 
 /// Same bit-for-bit property on the random-delay Table V scenario
@@ -200,8 +200,10 @@ fn warm_sweep_matches_cold_bit_for_bit_on_table5() {
         assert_eq!(swept.strategy().x(), cold.strategy().x(), "λ={lambda}");
         assert_eq!(swept.quality(), cold.quality(), "λ={lambda}");
     }
-    let (_, hits) = warm.warm_stats();
-    assert!(hits > 0, "no warm start on the Table V sweep");
+    assert!(
+        warm.warm_stats().hits > 0,
+        "no warm start on the Table V sweep"
+    );
 }
 
 /// A shape change (different path count / transmissions) must not reuse
@@ -230,8 +232,8 @@ fn shape_change_invalidates_cached_basis() {
     // Returning to the first shape warm-starts from its own basis.
     let a2 = planner.plan(&two, Objective::MaxQuality).unwrap();
     assert_eq!(a.strategy().x(), a2.strategy().x());
-    let (attempts, hits) = planner.warm_stats();
-    assert!(attempts >= 1 && hits >= 1);
+    let stats = planner.warm_stats();
+    assert!(stats.attempts() >= 1 && stats.hits >= 1);
     // m=3 changes the variable count → yet another shape, still correct.
     let m3 = planner
         .plan(&two.with_transmissions(3), Objective::MaxQuality)
@@ -270,7 +272,7 @@ fn infeasible_warm_basis_falls_back_and_can_be_disabled() {
     off.plan(&roomy, Objective::MaxQuality).unwrap();
     off.plan(&starved, Objective::MaxQuality).unwrap();
     assert_eq!(off.cached_bases(), 0);
-    assert_eq!(off.warm_stats(), (0, 0));
+    assert_eq!(off.warm_stats(), dmc_core::WarmStats::default());
 }
 
 fn arb_constant_path() -> impl Strategy<Value = ScenarioPath> {
