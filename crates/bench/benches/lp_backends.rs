@@ -42,6 +42,13 @@ fn revised_opts() -> SolverOptions {
     }
 }
 
+fn sparse_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::Sparse,
+        ..SolverOptions::default()
+    }
+}
+
 /// The quality LPs of the 20-point Table III λ sweep.
 fn table3_sweep_problems() -> Vec<Problem> {
     (1..=20)
@@ -192,5 +199,118 @@ fn planner_warm_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, table3_sweep, synthetic_729, planner_warm_sweep);
+/// A fleet-shaped block-angular joint LP: `blocks` per-flow blocks of 9
+/// columns (a `Σx = 1` row each, a quality-floor row on every fourth
+/// block), coupled by two shared capacity rows — the structure
+/// `dmc_fleet`'s joint admission LP has at `blocks` admitted flows.
+/// Column 0 of each block is the "blackhole" (zero quality, zero
+/// capacity usage), which keeps the instance feasible under any load,
+/// exactly like the real joint LP.
+fn block_angular_problem(blocks: usize) -> Problem {
+    let width = 9usize;
+    let n = blocks * width;
+    let c: Vec<f64> = (0..n)
+        .map(|j| {
+            if j % width == 0 {
+                0.0
+            } else {
+                0.2 + 0.7 * ((j as f64 * 0.7389).sin() * 0.5 + 0.5)
+            }
+        })
+        .collect();
+    let mut p = Problem::maximize(c.clone());
+    for k in 0..2usize {
+        let row: Vec<f64> = (0..n)
+            .map(|j| {
+                if j % width == 0 {
+                    0.0
+                } else {
+                    0.05 + ((j + 11 * k) as f64 * 0.4243).cos().abs()
+                }
+            })
+            .collect();
+        p.add_le(row, 0.35 * blocks as f64 + k as f64 * 0.1)
+            .unwrap();
+    }
+    for f in 0..blocks {
+        if f % 4 == 0 {
+            let mut row = vec![0.0; n];
+            row[f * width..(f + 1) * width].copy_from_slice(&c[f * width..(f + 1) * width]);
+            p.add_ge(row, 0.15).unwrap();
+        }
+        let mut row = vec![0.0; n];
+        for v in &mut row[f * width..(f + 1) * width] {
+            *v = 1.0;
+        }
+        p.add_eq(row, 1.0).unwrap();
+    }
+    p.set_block_starts((0..blocks).map(|f| f * width).collect())
+        .unwrap();
+    p
+}
+
+/// The fleet-scale instance: 64 blocks → 576 variables, 146 rows. This
+/// is where the dense backends' `O(m³)` refactorizations and `O(m·n)`
+/// pricing bite, and where the block-structured sparse backend must
+/// clear the issue's ≥ 2x bar.
+fn block_angular_64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_backends/block_angular_64flow");
+    let problem = block_angular_problem(64);
+
+    group.bench_function("revised_cold", |b| {
+        let opts = revised_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            black_box(
+                problem
+                    .solve_with(&opts, &mut ws)
+                    .expect("feasible")
+                    .objective(),
+            )
+        });
+    });
+    group.bench_function("sparse_cold", |b| {
+        let opts = sparse_opts();
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            black_box(
+                problem
+                    .solve_with(&opts, &mut ws)
+                    .expect("feasible")
+                    .objective(),
+            )
+        });
+    });
+    for (name, opts) in [
+        ("revised_warm", revised_opts()),
+        ("sparse_warm", sparse_opts()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut ws = Workspace::new();
+            let basis = problem
+                .solve_with(&opts, &mut ws)
+                .expect("feasible")
+                .basis()
+                .expect("exportable")
+                .clone();
+            b.iter(|| {
+                black_box(
+                    problem
+                        .solve_warm_with(&opts, &mut ws, &basis)
+                        .expect("feasible")
+                        .objective(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table3_sweep,
+    synthetic_729,
+    planner_warm_sweep,
+    block_angular_64
+);
 criterion_main!(benches);

@@ -641,6 +641,35 @@ impl ScenarioModel {
         &self.cost
     }
 
+    /// Nonzero entries of [`ScenarioModel::quality_coeffs`] as sorted
+    /// `(combination index, value)` triplets.
+    ///
+    /// The coefficient vectors are sparse in a structured way — every
+    /// combination whose delivery never beats the deadline (blackhole
+    /// prefixes, hopeless path sequences) contributes an exact zero — and
+    /// the fleet layer assembles its joint LP rows from these triplets
+    /// (`dmc_lp::Problem::add_*_sparse`) so the sparse solver sees the
+    /// true sparsity pattern without re-scanning dense vectors.
+    pub fn quality_triplets(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        nonzeros(&self.p)
+    }
+
+    /// Nonzero entries of [`ScenarioModel::usage_coeffs`]`(k)` as sorted
+    /// `(combination index, value)` triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a real path index.
+    pub fn usage_triplets(&self, k: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        nonzeros(&self.usage[k])
+    }
+
+    /// Nonzero entries of [`ScenarioModel::cost_coeffs`] as sorted
+    /// `(combination index, value)` triplets.
+    pub fn cost_triplets(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        nonzeros(&self.cost)
+    }
+
     /// Packages an assignment vector into a full [`Plan`], computing the
     /// predicted metrics (Eq. 2, 6, 7) exactly as [`Planner::plan`] does —
     /// same coefficient vectors, same summation order — so feeding the `x`
@@ -683,6 +712,15 @@ impl ScenarioModel {
             ack_path: self.ack_path,
         }
     }
+}
+
+/// Sorted `(index, value)` pairs of the nonzero entries of a dense
+/// coefficient vector.
+fn nonzeros(v: &[f64]) -> impl Iterator<Item = (usize, f64)> + '_ {
+    v.iter()
+        .enumerate()
+        .filter(|(_, &x)| x != 0.0)
+        .map(|(i, &x)| (i, x))
 }
 
 #[cfg(test)]
@@ -969,6 +1007,31 @@ mod tests {
             assert_eq!(repack.send_rates(), plan.send_rates());
             assert_eq!(repack.ack_path(), plan.ack_path());
             assert_eq!(repack.schedule(), plan.schedule());
+        }
+    }
+
+    #[test]
+    fn model_triplets_are_exactly_the_nonzero_coefficients() {
+        let mut planner = Planner::new();
+        for scenario in [table3_scenario(90e6, 0.8), table5_scenario()] {
+            let model = planner.model(&scenario);
+            let p = model.quality_coeffs();
+            let trip: Vec<(usize, f64)> = model.quality_triplets().collect();
+            assert_eq!(trip.len(), p.iter().filter(|&&v| v != 0.0).count());
+            assert!(trip.iter().all(|&(i, v)| p[i] == v && v != 0.0));
+            assert!(trip.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+            for k in 0..scenario.num_paths() {
+                let u = model.usage_coeffs(k);
+                let t: Vec<(usize, f64)> = model.usage_triplets(k).collect();
+                assert_eq!(t.len(), u.iter().filter(|&&v| v != 0.0).count());
+                assert!(t.iter().all(|&(i, v)| u[i] == v));
+                // The usage rows have structural zeros (combinations that
+                // never touch path k) — the sparsity is real.
+                assert!(t.len() < u.len(), "path {k} usage should be sparse");
+            }
+            let c = model.cost_coeffs();
+            let t: Vec<(usize, f64)> = model.cost_triplets().collect();
+            assert_eq!(t.len(), c.iter().filter(|&&v| v != 0.0).count());
         }
     }
 

@@ -3,8 +3,10 @@
 //! objective-mode comparison.
 //!
 //! Runs through the parallel Monte-Carlo engine; see `--help` for the
-//! shared `--messages/--trials/--threads/--seed` flags (`--messages` is
-//! the per-flow verification-simulation length).
+//! shared `--messages/--trials/--threads/--seed/--flows` flags
+//! (`--messages` is the per-flow verification-simulation length;
+//! `--flows` scales the per-trial population — the incremental sparse
+//! joint solver keeps even hundreds of concurrent flows tractable).
 
 use dmc_experiments::fleet;
 use dmc_experiments::runner::RunConfig;
@@ -18,7 +20,7 @@ fn main() {
     eprintln!(
         "fleet: {} flows/trial on {:.0} Mbps of shared capacity; {} message(s) × {} trial(s) \
          per point on {} thread(s), seed {:#x}…",
-        fleet::FLOWS_PER_TRIAL,
+        args.flows,
         fleet::total_capacity() / 1e6,
         cfg.messages,
         mc.trials,
@@ -27,7 +29,7 @@ fn main() {
     );
 
     println!("# Fleet: admission & joint shared-capacity allocation vs. offered load\n");
-    let pts = fleet::load_sweep_mc(&fleet::paper_loads(), &cfg, &mc);
+    let pts = fleet::load_sweep_mc_n(&fleet::paper_loads(), &cfg, &mc, args.flows);
     println!("{}", fleet::render(&pts));
 
     println!("\n# Objective modes at ρ = 1.2 (LP only)\n");

@@ -19,7 +19,10 @@ use dmc_fleet::{FleetConfig, FleetObjective, FleetPlanner, FleetTrace, FlowReque
 use dmc_stats::TrialStats;
 use std::sync::Arc;
 
-/// Flows offered per trial.
+/// Default flows offered per trial (`--flows`/`FLOWS` override it; the
+/// incremental sparse joint solver keeps sweeps with hundreds of
+/// concurrent flows tractable — see `BENCH_fleet.json`'s 64-flow
+/// subjects).
 pub const FLOWS_PER_TRIAL: u64 = 10;
 
 /// The shared links every flow contends for: the paper's Table III pair
@@ -78,15 +81,23 @@ impl SeedStream {
     }
 }
 
-/// The arrival trace of one trial at offered load `load`: ten flows whose
-/// rates sum to ≈ `load × total capacity`, with deadlines in
-/// `[0.3 s, 1.2 s)` and quality floors drawn from
-/// `{best-effort, 0.8, 0.9, 0.95}`.
+/// The arrival trace of one trial at offered load `load`:
+/// [`FLOWS_PER_TRIAL`] flows whose rates sum to ≈ `load × total
+/// capacity`, with deadlines in `[0.3 s, 1.2 s)` and quality floors
+/// drawn from `{best-effort, 0.8, 0.9, 0.95}`.
 pub fn offered_trace(load: f64, seed: u64) -> FleetTrace {
+    offered_trace_n(load, seed, FLOWS_PER_TRIAL)
+}
+
+/// [`offered_trace`] with an explicit flow count (the `--flows` knob):
+/// the aggregate offered rate stays `load × total capacity`, split over
+/// `flows` arrivals.
+pub fn offered_trace_n(load: f64, seed: u64, flows: u64) -> FleetTrace {
+    let flows = flows.max(1);
     let mut rng = SeedStream::new(seed);
-    let mean_rate = load * total_capacity() / FLOWS_PER_TRIAL as f64;
+    let mean_rate = load * total_capacity() / flows as f64;
     let mut trace = FleetTrace::new();
-    for i in 0..FLOWS_PER_TRIAL {
+    for i in 0..flows {
         let rate = mean_rate * rng.in_range(0.5, 1.5);
         let lifetime = rng.in_range(0.3, 1.2);
         let floor = rng.pick(&[0.0, 0.8, 0.9, 0.95]);
@@ -135,14 +146,14 @@ struct TrialOutcome {
     utilization: f64,
 }
 
-fn run_trial(load: f64, seed: u64, cfg: &RunConfig) -> Result<TrialOutcome, String> {
+fn run_trial(load: f64, seed: u64, cfg: &RunConfig, flows: u64) -> Result<TrialOutcome, String> {
     let mut fleet =
         FleetPlanner::new(shared_paths(), FleetConfig::default()).map_err(|e| e.to_string())?;
     fleet
-        .replay(&offered_trace(load, seed))
+        .replay(&offered_trace_n(load, seed, flows))
         .map_err(|e| e.to_string())?;
     let admitted = fleet.flow_ids();
-    let admission_rate = admitted.len() as f64 / FLOWS_PER_TRIAL as f64;
+    let admission_rate = admitted.len() as f64 / flows.max(1) as f64;
     let predicted_quality = fleet.aggregate_quality();
     // Capacity-weighted aggregate utilization: Σ_k util_k·b_k / Σ_k b_k.
     let caps: Vec<f64> = shared_paths().iter().map(|p| p.bandwidth()).collect();
@@ -204,13 +215,25 @@ pub struct FleetPoint {
 /// Panics if a trial fails (invalid topology — not reachable from the
 /// library's own scenario set).
 pub fn load_sweep_mc(loads: &[f64], cfg: &RunConfig, mc: &MonteCarloConfig) -> Vec<FleetPoint> {
+    load_sweep_mc_n(loads, cfg, mc, FLOWS_PER_TRIAL)
+}
+
+/// [`load_sweep_mc`] with an explicit per-trial flow count (the
+/// `--flows` knob of the fleet driver).
+pub fn load_sweep_mc_n(
+    loads: &[f64],
+    cfg: &RunConfig,
+    mc: &MonteCarloConfig,
+    flows: u64,
+) -> Vec<FleetPoint> {
     loads
         .iter()
         .map(|&load| {
-            let outcomes = run_trials_parallel(mc, |_trial, seed| run_trial(load, seed, cfg));
+            let outcomes =
+                run_trials_parallel(mc, |_trial, seed| run_trial(load, seed, cfg, flows));
             let mut point = FleetPoint {
                 offered_load: load,
-                offered: FLOWS_PER_TRIAL,
+                offered: flows.max(1),
                 admission_rate: TrialStats::new(),
                 predicted_quality: TrialStats::new(),
                 measured_quality: TrialStats::new(),

@@ -57,6 +57,10 @@ pub struct RunArgs {
     pub seed: u64,
     /// Timing repetitions for the solve-time binary (`--runs`/`RUNS`).
     pub runs: u64,
+    /// Flows offered per trial in the fleet driver (`--flows`/`FLOWS`;
+    /// the incremental sparse joint solver keeps sweeps with hundreds of
+    /// concurrent flows tractable).
+    pub flows: u64,
 }
 
 impl RunArgs {
@@ -88,6 +92,7 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
         threads: env_parse("DMC_THREADS", 0),
         seed: env_parse("SEED", 0xDEAD_BEEF),
         runs: env_parse("RUNS", 100),
+        flows: env_parse("FLOWS", fleet::FLOWS_PER_TRIAL),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,8 +101,8 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
         if flag == "--help" || flag == "-h" {
             eprintln!(
                 "flags: --messages N  --trials N  --threads N (1 = sequential oracle, \
-                 0 = all cores)  --seed S  --runs N\n\
-                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS"
+                 0 = all cores)  --seed S  --runs N  --flows N (fleet driver)\n\
+                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS, FLOWS"
             );
             std::process::exit(0);
         }
@@ -111,6 +116,7 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
             "--threads" => value.parse().map(|v| args.threads = v).is_ok(),
             "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
             "--runs" => value.parse().map(|v| args.runs = v).is_ok(),
+            "--flows" => value.parse().map(|v| args.flows = v).is_ok(),
             _ => {
                 eprintln!("unknown flag {flag} (see --help)");
                 std::process::exit(2);

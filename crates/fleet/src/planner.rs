@@ -41,15 +41,35 @@
 //! the cached basis of the same joint shape); a link change that makes
 //! the floors collectively infeasible triggers deterministic re-admission
 //! in admission order, evicting exactly the flows that no longer fit.
+//!
+//! # Incremental assembly
+//!
+//! The joint LP is block-angular — per-flow blocks coupled only by the
+//! shared capacity rows — and by default it is **maintained, not
+//! rebuilt**: admitting a flow appends its block (columns plus its cost/
+//! floor/`Σx = 1` rows) or takes over a compatible tombstoned slot in
+//! place; departing tombstones the block (`Σx = 1` → `Σx = 0`, objective
+//! and shared-row segments zeroed), which forces the block to zero
+//! *without changing the LP's shape*, so the warm-start cache keyed on
+//! that shape keeps applying. Only the aggregate-rate-dependent segments
+//! are rewritten per solve — recomputed fresh from the per-flow models,
+//! never by scaling running values, so coefficients are a pure function
+//! of the current membership. Tombstones are compacted away once they
+//! outnumber the active flows. The assembled problem carries its block
+//! boundaries, and the joint solves run on
+//! [`dmc_lp::Backend::Sparse`], the block-structured solver built for
+//! exactly this shape ([`FleetConfig::joint_backend`],
+//! [`FleetConfig::incremental`] restore the old rebuild-per-solve path).
 
 use crate::error::FleetError;
 use crate::flow::{FlowId, FlowRequest};
 use dmc_core::{
     Objective, Plan, Planner, PlannerConfig, Scenario, ScenarioModel, ScenarioPath, WarmStats,
 };
-use dmc_lp::{Basis, ConstraintKind, Problem, SolveError, Workspace};
+use dmc_lp::{Backend, Basis, ConstraintKind, Problem, SolveError, SolverOptions, Workspace};
 use dmc_sim::LinkChange;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// What the joint LP optimizes across admitted flows.
@@ -70,13 +90,39 @@ pub enum FleetObjective {
 }
 
 /// Fleet-wide configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Objective of the joint LP (default [`FleetObjective::MaxAdmitted`]).
     pub objective: FleetObjective,
     /// Model/solver knobs shared by every per-flow model and joint solve
     /// (blackhole, discretization grid, solver options, `warm_start`).
     pub planner: PlannerConfig,
+    /// LP backend for the **joint** solves (default
+    /// [`Backend::Sparse`], the block-structured solver built for the
+    /// joint LP's block-angular shape). Per-flow model construction and
+    /// any single-flow planning keep using `planner.solver.backend`.
+    pub joint_backend: Backend,
+    /// Maintain the joint LP incrementally (default `true`): admitting a
+    /// flow appends (or reuses) its assignment block in place, departing
+    /// tombstones the block (its `Σx` row drops to 0, forcing the block
+    /// to zero without changing the LP's shape — so the cached basis
+    /// stays applicable), and only coefficient segments touched by the
+    /// aggregate-rate rescaling are rewritten. With `false` the joint
+    /// [`Problem`] is rebuilt from scratch on every solve (the pre-sparse
+    /// behavior, kept as the differential baseline — see
+    /// `tests/incremental_vs_rebuild.rs`).
+    pub incremental: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            objective: FleetObjective::default(),
+            planner: PlannerConfig::default(),
+            joint_backend: Backend::Sparse,
+            incremental: true,
+        }
+    }
 }
 
 /// Outcome of one [`FleetPlanner::offer`].
@@ -139,13 +185,16 @@ impl SharedPath {
 }
 
 /// One admitted flow: its request, its model against the current shared
-/// paths, and its slice of the current joint allocation.
+/// paths, its block slot in the incremental joint assembly, and its
+/// slice of the current joint allocation.
 #[derive(Debug)]
 struct FlowState {
     id: FlowId,
     request: FlowRequest,
     model: ScenarioModel,
     plan: Plan,
+    /// Index into the assembly's slots (unused on the rebuild path).
+    slot: usize,
 }
 
 /// Cache key for joint warm-start bases: the shape of the assembled joint
@@ -153,37 +202,319 @@ struct FlowState {
 /// equal shape can exchange bases — basis feasibility depends only on the
 /// coefficients, which the solver re-checks on every warm start — so a
 /// departure that returns the fleet to a previously seen shape (the
-/// churn pattern) re-enters phase 2 directly.
+/// churn pattern, or any tombstoning depart) re-enters phase 2 directly.
+/// The row-kind pattern is folded into an FNV-1a hash so fleets of any
+/// size (the 64-flow joint LP has well over 128 rows) stay cacheable; a
+/// hash collision can at worst hand the solver a basis it validates and
+/// rejects, falling back to a cold solve.
+///
+/// The hash also tags each row with whether its RHS is exactly zero.
+/// On the incremental path a tombstoned block and its revived
+/// re-occupation share the LP's *shape* — that is the point of
+/// tombstoning — but their optimal bases are mutually infeasible
+/// (`Σx = 0` vs `Σx = 1`); keying on the zero-RHS pattern gives each
+/// churn phase its own cache entry, so steady-state churn alternates
+/// between two entries that both keep hitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct JointShapeKey {
     n_vars: usize,
     n_rows: usize,
-    eq_mask: u128,
+    kind_hash: u64,
 }
 
 impl JointShapeKey {
-    fn of(problem: &Problem) -> Option<Self> {
-        let n_rows = problem.num_constraints();
-        if n_rows > 128 {
-            return None;
+    fn of(problem: &Problem) -> Self {
+        let mut kind_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in problem.constraints() {
+            let kind: u64 = match c.kind() {
+                ConstraintKind::LessEq => 1,
+                ConstraintKind::Eq => 2,
+            };
+            let tag = kind * 2 + u64::from(c.rhs() == 0.0);
+            kind_hash ^= tag;
+            kind_hash = kind_hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mut eq_mask = 0u128;
-        for (i, c) in problem.constraints().iter().enumerate() {
-            if c.kind() == ConstraintKind::Eq {
-                eq_mask |= 1 << i;
-            }
-        }
-        Some(JointShapeKey {
+        JointShapeKey {
             n_vars: problem.num_vars(),
-            n_rows,
-            eq_mask,
-        })
+            n_rows: problem.num_constraints(),
+            kind_hash,
+        }
     }
 }
 
 /// Bound on cached joint shapes; a fleet cycling through more shapes than
 /// this restarts its cache (churn touches one shape per admitted count).
 const MAX_CACHED_SHAPES: usize = 64;
+
+/// Compact the incremental assembly once it holds at least this many
+/// slots *and* tombstoned slots outnumber the active ones.
+const COMPACT_MIN_SLOTS: usize = 8;
+
+/// One per-flow block of the incremental joint LP: its column range and
+/// the rows that belong to it. A tombstoned (inactive) slot keeps its
+/// rows and columns — its `Σx` row's RHS is 0, forcing the whole block
+/// to zero — so departures never change the LP's shape; a later flow
+/// with the same width and row pattern takes the slot over in place.
+#[derive(Debug, Clone)]
+struct Slot {
+    cols: Range<usize>,
+    eq_row: usize,
+    cost_row: Option<usize>,
+    floor_row: Option<usize>,
+    active: bool,
+}
+
+/// How a tentative placement got its slot (so a rejected candidate can
+/// be rolled back exactly).
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    /// A brand-new block was appended; these were the sizes before.
+    Appended { prev_vars: usize, prev_rows: usize },
+    /// An existing tombstoned slot was re-activated in place.
+    Reused,
+}
+
+/// The incrementally maintained joint LP.
+///
+/// Row layout: the `K` shared capacity rows first (one per path), then
+/// per-slot rows in slot order — optional cost row, optional floor row,
+/// the `Σx = 1` equality — exactly the order [`assemble_joint`] emits
+/// for a fresh fleet, so a freshly populated incremental assembly and a
+/// from-scratch rebuild produce the *same* [`Problem`].
+///
+/// Membership changes move the aggregate rate `Λ`, which scales the
+/// objective, the shared rows and their RHS. [`JointAssembly::rescale`]
+/// recomputes those segments **from the per-flow models with fresh
+/// arithmetic** (never by multiplying running values), so the
+/// coefficients are a pure function of the current membership — history
+/// (the order of past arrivals and departures) cannot leak into the
+/// numerics, which is what keeps trace replay and warm-vs-cold
+/// comparisons bit-identical.
+#[derive(Debug)]
+struct JointAssembly {
+    problem: Problem,
+    slots: Vec<Slot>,
+    /// Scratch for scaled coefficient segments.
+    seg: Vec<f64>,
+}
+
+impl JointAssembly {
+    fn new() -> Self {
+        JointAssembly {
+            problem: Problem::maximize(Vec::new()),
+            slots: Vec::new(),
+            seg: Vec::new(),
+        }
+    }
+
+    /// Finds a compatible tombstoned slot for a flow of this width/row
+    /// pattern.
+    fn reusable_slot(&self, width: usize, has_cost: bool, has_floor: bool) -> Option<usize> {
+        self.slots.iter().position(|s| {
+            !s.active
+                && s.cols.len() == width
+                && s.cost_row.is_some() == has_cost
+                && s.floor_row.is_some() == has_floor
+        })
+    }
+
+    /// Places a flow's block — reusing a compatible tombstoned slot in
+    /// place, else appending a new block (adding the shared capacity
+    /// rows first if this is the very first block). Objective and
+    /// shared-row segments are left to [`JointAssembly::rescale`], which
+    /// every solve runs anyway.
+    fn place(
+        &mut self,
+        n_paths: usize,
+        request: &FlowRequest,
+        model: &ScenarioModel,
+    ) -> (usize, Placement) {
+        let width = model.num_combos();
+        let has_cost = request.cost_budget().is_finite();
+        let has_floor = request.min_quality() > 0.0;
+        if let Some(idx) = self.reusable_slot(width, has_cost, has_floor) {
+            let slot = self.slots[idx].clone();
+            let start = slot.cols.start;
+            if let Some(row) = slot.cost_row {
+                self.seg.clear();
+                self.seg.extend_from_slice(model.cost_coeffs());
+                let seg = std::mem::take(&mut self.seg);
+                self.problem
+                    .set_row_range(row, start, &seg)
+                    .expect("cost segment fits");
+                self.problem
+                    .set_rhs(row, request.cost_budget() / request.data_rate())
+                    .expect("row exists");
+                self.seg = seg;
+            }
+            if let Some(row) = slot.floor_row {
+                // `add_ge` stores the row negated; patch it the same way.
+                self.seg.clear();
+                self.seg.extend(model.quality_coeffs().iter().map(|p| -p));
+                let seg = std::mem::take(&mut self.seg);
+                self.problem
+                    .set_row_range(row, start, &seg)
+                    .expect("floor segment fits");
+                self.problem
+                    .set_rhs(row, -request.min_quality())
+                    .expect("row exists");
+                self.seg = seg;
+            }
+            self.problem
+                .set_rhs(slot.eq_row, 1.0)
+                .expect("Σx row exists");
+            self.slots[idx].active = true;
+            return (idx, Placement::Reused);
+        }
+
+        // Append a fresh block.
+        let prev_vars = self.problem.num_vars();
+        let prev_rows = self.problem.num_constraints();
+        self.seg.clear();
+        self.seg.resize(width, 0.0);
+        let seg = std::mem::take(&mut self.seg);
+        let cols = self.problem.append_block(&seg).expect("nonempty block");
+        self.seg = seg;
+        if prev_rows == 0 {
+            // First block: create the shared capacity rows (coefficients
+            // and RHS are rescale's job).
+            for _ in 0..n_paths {
+                self.problem
+                    .add_le_sparse(&[], 1.0)
+                    .expect("empty shared row");
+            }
+        }
+        let cost_row = has_cost.then(|| {
+            let entries: Vec<(usize, f64)> = model
+                .cost_triplets()
+                .map(|(j, v)| (cols.start + j, v))
+                .collect();
+            self.problem
+                .add_le_sparse(&entries, request.cost_budget() / request.data_rate())
+                .expect("valid cost row");
+            self.problem.num_constraints() - 1
+        });
+        let floor_row = has_floor.then(|| {
+            let entries: Vec<(usize, f64)> = model
+                .quality_triplets()
+                .map(|(j, v)| (cols.start + j, v))
+                .collect();
+            self.problem
+                .add_ge_sparse(&entries, request.min_quality())
+                .expect("valid floor row");
+            self.problem.num_constraints() - 1
+        });
+        let ones: Vec<(usize, f64)> = cols.clone().map(|j| (j, 1.0)).collect();
+        self.problem
+            .add_eq_sparse(&ones, 1.0)
+            .expect("valid Σx row");
+        let eq_row = self.problem.num_constraints() - 1;
+        self.slots.push(Slot {
+            cols,
+            eq_row,
+            cost_row,
+            floor_row,
+            active: true,
+        });
+        (
+            self.slots.len() - 1,
+            Placement::Appended {
+                prev_vars,
+                prev_rows,
+            },
+        )
+    }
+
+    /// Tombstones a slot: the block's objective and shared-row segments
+    /// drop to zero and its `Σx = 1` becomes `Σx = 0` (any floor row is
+    /// relaxed to 0), forcing every variable of the block to zero while
+    /// preserving the LP's shape — the cached basis of this shape keeps
+    /// working.
+    fn deactivate(&mut self, n_paths: usize, idx: usize) {
+        let slot = self.slots[idx].clone();
+        self.seg.clear();
+        self.seg.resize(slot.cols.len(), 0.0);
+        let seg = std::mem::take(&mut self.seg);
+        self.problem
+            .set_objective_range(slot.cols.start, &seg)
+            .expect("objective segment fits");
+        for k in 0..n_paths {
+            self.problem
+                .set_row_range(k, slot.cols.start, &seg)
+                .expect("shared segment fits");
+        }
+        self.seg = seg;
+        self.problem
+            .set_rhs(slot.eq_row, 0.0)
+            .expect("Σx row exists");
+        if let Some(row) = slot.floor_row {
+            self.problem.set_rhs(row, 0.0).expect("floor row exists");
+        }
+        self.slots[idx].active = false;
+    }
+
+    /// Rolls a tentative placement back (reverse order of placement).
+    fn rollback(&mut self, n_paths: usize, idx: usize, placement: Placement) {
+        match placement {
+            Placement::Appended {
+                prev_vars,
+                prev_rows,
+            } => {
+                debug_assert_eq!(idx, self.slots.len() - 1, "rollback out of order");
+                self.problem.truncate_rows(prev_rows);
+                self.problem.truncate_vars(prev_vars);
+                self.slots.pop();
+            }
+            Placement::Reused => self.deactivate(n_paths, idx),
+        }
+    }
+
+    /// Recomputes every Λ-dependent coefficient from the given membership
+    /// (active flows plus tentative candidates): per-block objective
+    /// segments `w·(λ_f/Λ)·p_f`, shared-row segments `(λ_f/Λ)·usage_f`
+    /// and the shared RHS `b_k/Λ` — the same arithmetic as
+    /// [`assemble_joint`], applied to the same slots every time.
+    fn rescale(
+        &mut self,
+        objective: FleetObjective,
+        paths: &[SharedPath],
+        members: &[(usize, &FlowRequest, &ScenarioModel)],
+    ) {
+        let lambda_tot: f64 = members.iter().map(|(_, r, _)| r.data_rate()).sum();
+        let mut seg = std::mem::take(&mut self.seg);
+        for &(slot_idx, r, m) in members {
+            let start = self.slots[slot_idx].cols.start;
+            let w = match objective {
+                FleetObjective::WeightedFair => r.priority(),
+                FleetObjective::MaxAdmitted | FleetObjective::MaxTotalQuality => 1.0,
+            };
+            let share = r.data_rate() / lambda_tot;
+            seg.clear();
+            seg.extend(m.quality_coeffs().iter().map(|p| w * share * p));
+            self.problem
+                .set_objective_range(start, &seg)
+                .expect("objective segment fits");
+            for (k, _) in paths.iter().enumerate() {
+                seg.clear();
+                seg.extend(m.usage_coeffs(k).iter().map(|u| share * u));
+                self.problem
+                    .set_row_range(k, start, &seg)
+                    .expect("shared segment fits");
+            }
+        }
+        for (k, path) in paths.iter().enumerate() {
+            self.problem
+                .set_rhs(k, path.bandwidth / lambda_tot)
+                .expect("shared row exists");
+        }
+        self.seg = seg;
+    }
+
+    /// Number of tombstoned slots.
+    fn inactive_slots(&self) -> usize {
+        self.slots.iter().filter(|s| !s.active).count()
+    }
+}
 
 /// The multi-tenant flow service: owns the shared paths, admits flows,
 /// and keeps a joint allocation current as flows arrive, depart and links
@@ -229,6 +560,10 @@ pub struct FleetPlanner {
     warm_bases: HashMap<JointShapeKey, Basis>,
     warm_attempts: u64,
     warm_hits: u64,
+    /// The incrementally maintained joint LP
+    /// ([`FleetConfig::incremental`]); `None` until the first offer and
+    /// after structural resets (link changes that force re-admission).
+    assembly: Option<JointAssembly>,
 }
 
 impl FleetPlanner {
@@ -270,6 +605,7 @@ impl FleetPlanner {
             warm_bases: HashMap::new(),
             warm_attempts: 0,
             warm_hits: 0,
+            assembly: None,
         })
     }
 
@@ -327,11 +663,13 @@ impl FleetPlanner {
         let extras: Vec<(&FlowRequest, &ScenarioModel)> =
             candidates.iter().map(|(_, r, m)| (r, m)).collect();
         match self.solve_entries(&extras) {
-            Ok(mut segments) => {
+            Ok((mut segments, slots)) => {
                 let candidate_segments = segments.split_off(self.flows.len());
                 self.refresh_plans(segments);
                 let mut decisions = Vec::with_capacity(candidates.len());
-                for ((id, request, model), seg) in candidates.into_iter().zip(candidate_segments) {
+                for (((id, request, model), seg), slot) in
+                    candidates.into_iter().zip(candidate_segments).zip(slots)
+                {
                     let plan = model.plan_for(Objective::MaxQuality, seg);
                     let predicted_quality = plan.quality();
                     self.flows.push(FlowState {
@@ -339,6 +677,7 @@ impl FleetPlanner {
                         request,
                         model,
                         plan,
+                        slot,
                     });
                     decisions.push(AdmissionDecision::Admitted {
                         id,
@@ -392,11 +731,30 @@ impl FleetPlanner {
             .position(|f| f.id == id)
             .ok_or(FleetError::UnknownFlow(id))?;
         let departed = self.flows.remove(idx);
+        if self.config.incremental {
+            if let Some(a) = self.assembly.as_mut() {
+                a.deactivate(self.paths.len(), departed.slot);
+            }
+            self.maybe_compact();
+        }
         if !self.flows.is_empty() {
-            let segments = self.solve_entries(&[]).map_err(FleetError::Solve)?;
+            let (segments, _) = self.solve_entries(&[]).map_err(FleetError::Solve)?;
             self.refresh_plans(segments);
         }
         Ok(departed.plan)
+    }
+
+    /// Rebuilds the incremental assembly from the active flows (in
+    /// admission order) once tombstones outnumber them, bounding the
+    /// zombie-block overhead of a long-churning fleet.
+    fn maybe_compact(&mut self) {
+        let Some(a) = self.assembly.as_ref() else {
+            return;
+        };
+        if a.slots.len() < COMPACT_MIN_SLOTS || a.inactive_slots() <= self.flows.len() {
+            return;
+        }
+        self.rebuild_assembly();
     }
 
     /// Applies one link change to a shared path (reusing the
@@ -567,7 +925,7 @@ impl FleetPlanner {
     ) -> Result<AdmissionDecision, FleetError> {
         let extra = [(&request, &model)];
         match self.solve_entries(&extra) {
-            Ok(mut segments) => {
+            Ok((mut segments, slots)) => {
                 let seg = segments.pop().expect("candidate segment");
                 self.refresh_plans(segments);
                 let plan = model.plan_for(Objective::MaxQuality, seg);
@@ -577,6 +935,7 @@ impl FleetPlanner {
                     request,
                     model,
                     plan,
+                    slot: slots[0],
                 });
                 Ok(AdmissionDecision::Admitted {
                     id,
@@ -604,13 +963,20 @@ impl FleetPlanner {
         if self.flows.is_empty() {
             return Ok(Vec::new());
         }
+        if self.config.incremental {
+            // The per-flow coefficients changed wholesale; rebuild the
+            // assembly from the new models (shape usually unchanged, so
+            // the cached basis of the shape still applies).
+            self.rebuild_assembly();
+        }
         match self.solve_entries(&[]) {
-            Ok(segments) => {
+            Ok((segments, _)) => {
                 self.refresh_plans(segments);
                 Ok(Vec::new())
             }
             Err(SolveError::Infeasible { .. }) => {
                 let survivors = std::mem::take(&mut self.flows);
+                self.assembly = None;
                 let mut evicted = Vec::new();
                 for f in survivors {
                     match self.admit_candidate(f.id, f.request, f.model)? {
@@ -624,6 +990,17 @@ impl FleetPlanner {
         }
     }
 
+    /// Re-places every active flow into a fresh assembly (keeps slot
+    /// layout deterministic after wholesale model changes).
+    fn rebuild_assembly(&mut self) {
+        let mut fresh = JointAssembly::new();
+        for f in &mut self.flows {
+            let (slot, _) = fresh.place(self.paths.len(), &f.request, &f.model);
+            f.slot = slot;
+        }
+        self.assembly = Some(fresh);
+    }
+
     /// Re-packages a fresh joint solution's segments into the admitted
     /// flows' plans (in admission order).
     fn refresh_plans(&mut self, segments: Vec<Vec<f64>>) {
@@ -633,17 +1010,141 @@ impl FleetPlanner {
         }
     }
 
+    /// Solver options for the joint LP: the shared planner options with
+    /// the joint backend swapped in.
+    fn joint_opts(&self) -> SolverOptions {
+        SolverOptions {
+            backend: self.config.joint_backend,
+            ..self.config.planner.solver.clone()
+        }
+    }
+
+    /// Solves an assembled joint problem with the shape-keyed warm-start
+    /// cache (shared by the incremental and rebuild paths).
+    fn solve_joint_problem(&mut self, problem: &Problem) -> Result<dmc_lp::Solution, SolveError> {
+        let opts = self.joint_opts();
+        let key = self
+            .config
+            .planner
+            .warm_start
+            .then(|| JointShapeKey::of(problem));
+        let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
+            Some(basis) => {
+                self.warm_attempts += 1;
+                let s = problem.solve_warm_with(&opts, &mut self.workspace, basis)?;
+                if s.used_warm_start() {
+                    self.warm_hits += 1;
+                }
+                s
+            }
+            None => problem.solve_with(&opts, &mut self.workspace)?,
+        };
+        if let (Some(k), Some(basis)) = (key, solution.basis()) {
+            if self.warm_bases.len() >= MAX_CACHED_SHAPES && !self.warm_bases.contains_key(&k) {
+                self.warm_bases.clear();
+            }
+            self.warm_bases.insert(k, basis.clone());
+        }
+        // The decomposition path replays the feasibility certificate in
+        // debug builds: every per-flow plan descends from this x, so a
+        // bogus vertex here would silently corrupt the whole fleet.
+        #[cfg(debug_assertions)]
+        solution
+            .certify(problem)
+            .expect("joint LP solution failed its feasibility certificate");
+        Ok(solution)
+    }
+
     /// Assembles and solves the joint LP over the admitted flows plus
     /// `extras`, returning one assignment segment per flow (admitted
-    /// first, then extras, both in order). With no flows at all there is
-    /// nothing to solve: returns no segments.
+    /// first, then extras, both in order) and the block slot each extra
+    /// ended up in. With no flows at all there is nothing to solve.
+    ///
+    /// On *any* error — infeasibility included — the incremental
+    /// assembly is rolled back to the admitted flows, so a rejected
+    /// candidate leaves no trace.
     fn solve_entries(
         &mut self,
         extras: &[(&FlowRequest, &ScenarioModel)],
-    ) -> Result<Vec<Vec<f64>>, SolveError> {
+    ) -> Result<(Vec<Vec<f64>>, Vec<usize>), SolveError> {
         if self.flows.is_empty() && extras.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
+        if self.config.incremental {
+            self.solve_incremental(extras)
+        } else {
+            self.solve_rebuild(extras)
+        }
+    }
+
+    /// The incremental path: place extras into the maintained assembly,
+    /// rescale the Λ-dependent segments, solve in place.
+    fn solve_incremental(
+        &mut self,
+        extras: &[(&FlowRequest, &ScenarioModel)],
+    ) -> Result<(Vec<Vec<f64>>, Vec<usize>), SolveError> {
+        let n_paths = self.paths.len();
+        let mut assembly = self.assembly.take().unwrap_or_else(JointAssembly::new);
+        let mut placements: Vec<(usize, Placement)> = Vec::with_capacity(extras.len());
+        for (r, m) in extras {
+            placements.push(assembly.place(n_paths, r, m));
+        }
+        let members: Vec<(usize, &FlowRequest, &ScenarioModel)> = self
+            .flows
+            .iter()
+            .map(|f| (f.slot, &f.request, &f.model))
+            .chain(
+                placements
+                    .iter()
+                    .zip(extras)
+                    .map(|(&(slot, _), &(r, m))| (slot, r, m)),
+            )
+            .collect();
+        assembly.rescale(self.config.objective, &self.paths, &members);
+        drop(members);
+        let outcome = self.solve_joint_problem(&assembly.problem);
+        match outcome {
+            Ok(solution) => {
+                let x = solution.into_x();
+                let segments = self
+                    .flows
+                    .iter()
+                    .map(|f| f.slot)
+                    .chain(placements.iter().map(|&(slot, _)| slot))
+                    .map(|slot| x[assembly.slots[slot].cols.clone()].to_vec())
+                    .collect();
+                let slots = placements.into_iter().map(|(slot, _)| slot).collect();
+                self.assembly = Some(assembly);
+                Ok((segments, slots))
+            }
+            Err(e) => {
+                // Roll the tentative placements back (reverse order, so
+                // appended blocks truncate cleanly) and restore the
+                // incumbents' scaling.
+                for &(slot, placement) in placements.iter().rev() {
+                    assembly.rollback(n_paths, slot, placement);
+                }
+                if !self.flows.is_empty() {
+                    let members: Vec<(usize, &FlowRequest, &ScenarioModel)> = self
+                        .flows
+                        .iter()
+                        .map(|f| (f.slot, &f.request, &f.model))
+                        .collect();
+                    assembly.rescale(self.config.objective, &self.paths, &members);
+                }
+                self.assembly = Some(assembly);
+                Err(e)
+            }
+        }
+    }
+
+    /// The rebuild path ([`FleetConfig::incremental`] = `false`): the
+    /// pre-sparse behavior of assembling a fresh joint [`Problem`] per
+    /// solve, kept as the differential baseline.
+    fn solve_rebuild(
+        &mut self,
+        extras: &[(&FlowRequest, &ScenarioModel)],
+    ) -> Result<(Vec<Vec<f64>>, Vec<usize>), SolveError> {
         let (problem, combos) = {
             let entries: Vec<(&FlowRequest, &ScenarioModel)> = self
                 .flows
@@ -657,58 +1158,33 @@ impl FleetPlanner {
                 combos,
             )
         };
-        let key = if self.config.planner.warm_start {
-            JointShapeKey::of(&problem)
-        } else {
-            None
-        };
-        let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
-            Some(basis) => {
-                self.warm_attempts += 1;
-                let s = problem.solve_warm_with(
-                    &self.config.planner.solver,
-                    &mut self.workspace,
-                    basis,
-                )?;
-                if s.used_warm_start() {
-                    self.warm_hits += 1;
-                }
-                s
-            }
-            None => problem.solve_with(&self.config.planner.solver, &mut self.workspace)?,
-        };
-        if let (Some(k), Some(basis)) = (key, solution.basis()) {
-            if self.warm_bases.len() >= MAX_CACHED_SHAPES && !self.warm_bases.contains_key(&k) {
-                self.warm_bases.clear();
-            }
-            self.warm_bases.insert(k, basis.clone());
-        }
-        // The decomposition path replays the feasibility certificate in
-        // debug builds: every per-flow plan descends from this x, so a
-        // bogus vertex here would silently corrupt the whole fleet.
-        #[cfg(debug_assertions)]
-        solution
-            .certify(&problem)
-            .expect("joint LP solution failed its feasibility certificate");
+        let solution = self.solve_joint_problem(&problem)?;
         let x = solution.into_x();
         let mut segments = Vec::with_capacity(combos.len());
         let mut offset = 0;
-        for c in combos {
+        for c in &combos {
             segments.push(x[offset..offset + c].to_vec());
             offset += c;
         }
         debug_assert_eq!(offset, x.len());
-        Ok(segments)
+        // Slot indices are not meaningful on this path; extras get their
+        // entry order.
+        let slots = (self.flows.len()..combos.len()).collect();
+        Ok((segments, slots))
     }
 }
 
-/// Assembles the joint LP (see the module docs for the formulation).
+/// Assembles the joint LP from scratch (see the module docs for the
+/// formulation; the rebuild path and the differential tests use this).
 ///
-/// Row order matters for single-flow parity: shared capacity rows first
-/// (one per path, like the single-flow planner), then per-flow cost and
-/// floor rows, then the per-flow `Σx = 1` equalities — with one
-/// floor-free flow this is exactly the row sequence of
-/// `Planner::plan(_, MaxQuality)`.
+/// Row order matters twice over: with one floor-free flow the sequence —
+/// shared capacity rows first (one per path, like the single-flow
+/// planner), then the flow's cost/floor rows and its `Σx = 1` — is
+/// exactly the row order of `Planner::plan(_, MaxQuality)` (single-flow
+/// parity), and with many flows the per-flow rows are grouped *per flow*
+/// in admission order, which is precisely the layout the incremental
+/// [`JointAssembly`] maintains — a freshly populated fleet produces the
+/// same [`Problem`] on both paths.
 fn assemble_joint(
     objective: FleetObjective,
     paths: &[SharedPath],
@@ -736,10 +1212,13 @@ fn assemble_joint(
         lp.add_le(row, path.bandwidth / lambda_tot)
             .expect("dimensions match");
     }
-    // Per-flow cost budgets and quality floors.
+    // Per-flow blocks: cost budget, quality floor, Σx = 1 — grouped per
+    // flow, like the incremental assembly appends them.
     let mut offset = 0;
+    let mut block_starts = Vec::with_capacity(entries.len());
     for (r, m) in entries {
         let n = m.num_combos();
+        block_starts.push(offset);
         if r.cost_budget().is_finite() {
             let mut row = vec![0.0; total_vars];
             row[offset..offset + n].copy_from_slice(m.cost_coeffs());
@@ -751,12 +1230,6 @@ fn assemble_joint(
             row[offset..offset + n].copy_from_slice(m.quality_coeffs());
             lp.add_ge(row, r.min_quality()).expect("dimensions match");
         }
-        offset += n;
-    }
-    // Per-flow Σx = 1.
-    let mut offset = 0;
-    for (_, m) in entries {
-        let n = m.num_combos();
         let mut row = vec![0.0; total_vars];
         for v in &mut row[offset..offset + n] {
             *v = 1.0;
@@ -764,6 +1237,8 @@ fn assemble_joint(
         lp.add_eq(row, 1.0).expect("dimensions match");
         offset += n;
     }
+    lp.set_block_starts(block_starts)
+        .expect("block starts are sorted and in range");
     lp
 }
 
@@ -974,6 +1449,103 @@ mod tests {
             q_hi >= q_lo + 0.1,
             "priority 8 flow got {q_hi}, priority 1 got {q_lo}"
         );
+    }
+
+    #[test]
+    fn departure_tombstones_and_readmission_reuses_the_slot() {
+        // Steady-state churn: depart + equivalent arrival, twice. The
+        // first cycle populates the cache entries of the two LP variants
+        // (slot tombstoned / slot revived — same shape, distinguished by
+        // the zero-RHS tag in the shape key); from the second cycle on
+        // every solve re-enters phase 2 from its variant's basis.
+        let mut fleet = fleet();
+        let mut current = fleet
+            .offer(FlowRequest::new(30e6, 0.8).unwrap().with_min_quality(0.6))
+            .unwrap();
+        let _b = fleet.offer(FlowRequest::new(20e6, 0.6).unwrap()).unwrap();
+        for _ in 0..2 {
+            fleet.depart(current.id()).unwrap();
+            current = fleet
+                .offer(FlowRequest::new(30e6, 0.8).unwrap().with_min_quality(0.6))
+                .unwrap();
+            assert!(current.is_admitted());
+        }
+        assert!(
+            fleet.warm_stats().hits >= 2,
+            "churn cycles 2+ should warm-start both solves: {}",
+            fleet.warm_stats()
+        );
+        assert_eq!(fleet.num_flows(), 2);
+        assert!(fleet.utilization().iter().all(|&u| u <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn heavy_churn_compacts_and_matches_a_fresh_fleet() {
+        // Admit and immediately depart flows until tombstones outnumber
+        // the survivors, forcing compaction; the surviving allocation
+        // must match a fresh fleet admitting just the survivors.
+        let mut churned = fleet();
+        let keep_a = churned
+            .offer(FlowRequest::new(25e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        // Transients of varying widths/patterns (so slots cannot all be
+        // reused and the slot list actually grows).
+        let mut transients = Vec::new();
+        for i in 0..10 {
+            let mut req = FlowRequest::new(5e6 + i as f64 * 1e6, 0.5 + 0.05 * i as f64).unwrap();
+            if i % 2 == 0 {
+                req = req.with_min_quality(0.3);
+            }
+            if i % 3 == 0 {
+                req = req.with_transmissions(1); // narrower block
+            }
+            transients.push(churned.offer(req).unwrap());
+        }
+        let keep_b = churned.offer(FlowRequest::new(15e6, 1.0).unwrap()).unwrap();
+        for t in &transients {
+            churned.depart(t.id()).unwrap();
+        }
+        let mut fresh = fleet();
+        let fa = fresh
+            .offer(FlowRequest::new(25e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        let fb = fresh.offer(FlowRequest::new(15e6, 1.0).unwrap()).unwrap();
+        let pairs = [(keep_a.id(), fa.id()), (keep_b.id(), fb.id())];
+        for (churned_id, fresh_id) in pairs {
+            let pc = churned.plan_of(churned_id).unwrap();
+            let pf = fresh.plan_of(fresh_id).unwrap();
+            for (a, b) in pc.strategy().x().iter().zip(pf.strategy().x()) {
+                assert!((a - b).abs() <= 1e-9, "{churned_id}: {a} vs {b}");
+            }
+            assert!((pc.quality() - pf.quality()).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejected_offer_rolls_the_assembly_back() {
+        let mut fleet = fleet();
+        let a = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(a.is_admitted());
+        // Reject a few incompatible candidates (one would append, one
+        // could reuse nothing) and interleave a successful admission: the
+        // assembly must stay consistent throughout.
+        for _ in 0..3 {
+            let r = fleet
+                .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+                .unwrap();
+            assert!(!r.is_admitted());
+        }
+        let ok = fleet
+            .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        assert!(ok.is_admitted());
+        assert_eq!(fleet.num_flows(), 2);
+        for (_, plan) in fleet.plans() {
+            assert!(plan.quality() >= 0.5 - 1e-9);
+        }
+        assert!(fleet.utilization().iter().all(|&u| u <= 1.0 + 1e-9));
     }
 
     #[test]

@@ -19,6 +19,22 @@ pub enum ProblemError {
     NonFiniteCoefficient,
     /// The problem has zero variables.
     Empty,
+    /// A row/column index passed to an incremental mutator (or a block
+    /// boundary) is out of range or out of order.
+    OutOfRange {
+        /// What the offending index refers to.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound it had to stay below.
+        limit: usize,
+    },
+    /// A sparse entry list is not strictly increasing in column index
+    /// (a duplicate or out-of-order column).
+    UnsortedSparseColumn {
+        /// The column that repeats or goes backwards.
+        column: usize,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -32,6 +48,16 @@ impl fmt::Display for ProblemError {
                 write!(f, "coefficient or bound is NaN or infinite")
             }
             ProblemError::Empty => write!(f, "problem has no variables"),
+            ProblemError::OutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            ProblemError::UnsortedSparseColumn { column } => {
+                write!(
+                    f,
+                    "sparse entries must have strictly increasing column indices \
+                     (column {column} repeats or goes backwards)"
+                )
+            }
         }
     }
 }

@@ -23,8 +23,17 @@
 //!   re-solves cheap.
 //! * [`Backend::DenseTableau`]: the original two-phase dense-tableau
 //!   simplex. Simpler and hard to beat below ~50 variables; kept as the
-//!   reference oracle the revised backend is differentially tested
+//!   reference oracle the other backends are differentially tested
 //!   against (`tests/proptest_backends.rs`).
+//! * [`Backend::Sparse`]: block-structured sparse revised simplex for the
+//!   fleet layer's block-angular joint LPs (one assignment block per
+//!   admitted flow, coupled only through the shared capacity rows). CSC
+//!   columns + per-row nonzero lists, a sparse product-form basis inverse
+//!   whose refactorization pivots block-local rows first (elimination
+//!   confined to the coupling rows plus the basic columns of active
+//!   blocks), sparse eta-file FTRAN/BTRAN, and partial pricing sectioned
+//!   along [`Problem::block_starts`]. Same canonicalization and warm-start
+//!   contract as the revised backend.
 //!
 //! Both backends share the anti-cycling scheme (automatic switch to
 //! Bland's rule after a run of degenerate pivots) and produce identical
@@ -111,6 +120,7 @@ mod problem;
 mod revised;
 mod simplex;
 mod solution;
+mod sparse;
 
 pub use error::{ProblemError, SolveError};
 pub use problem::{Constraint, ConstraintKind, Problem};

@@ -4,6 +4,7 @@ use crate::error::{ProblemError, SolveError};
 use crate::revised;
 use crate::simplex::{self, Backend, SolverOptions, Workspace};
 use crate::solution::{Basis, Solution};
+use crate::sparse;
 
 /// Whether a [`Constraint`] is `≤` or `=`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,14 +16,31 @@ pub enum ConstraintKind {
 }
 
 /// A single dense constraint row.
+///
+/// Alongside the dense coefficient vector the row carries its *support*
+/// — the sorted list of nonzero column indices — maintained on every
+/// construction and mutation, so the sparse backend can stream rows
+/// without re-scanning for zeros per solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     pub(crate) coeffs: Vec<f64>,
     pub(crate) rhs: f64,
     pub(crate) kind: ConstraintKind,
+    /// Sorted column indices of the nonzero coefficients.
+    pub(crate) support: Vec<u32>,
 }
 
 impl Constraint {
+    fn new(coeffs: Vec<f64>, rhs: f64, kind: ConstraintKind) -> Self {
+        let support = compute_support(&coeffs);
+        Constraint {
+            coeffs,
+            rhs,
+            kind,
+            support,
+        }
+    }
+
     /// The row coefficients.
     pub fn coeffs(&self) -> &[f64] {
         &self.coeffs
@@ -38,6 +56,17 @@ impl Constraint {
         self.kind
     }
 
+    /// Sorted column indices of the nonzero coefficients (the row's
+    /// sparsity pattern, kept current across incremental mutation).
+    pub fn support(&self) -> &[u32] {
+        &self.support
+    }
+
+    /// Number of nonzero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.support.len()
+    }
+
     /// Evaluates `coeffs · x - rhs` (positive means violated for `≤` rows).
     pub fn violation(&self, x: &[f64]) -> f64 {
         let lhs: f64 = self.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
@@ -48,10 +77,35 @@ impl Constraint {
     }
 }
 
+/// Sorted nonzero column indices of a dense coefficient row.
+fn compute_support(coeffs: &[f64]) -> Vec<u32> {
+    coeffs
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(j, _)| j as u32)
+        .collect()
+}
+
 /// A dense linear program over non-negative variables.
 ///
 /// See the [crate-level documentation](crate) for the problem form and a
 /// worked example.
+///
+/// # Incremental assembly and block structure
+///
+/// Callers that maintain one long-lived LP across small shape changes —
+/// the fleet layer's joint admission LP grows a per-flow block on every
+/// admitted flow — can mutate a `Problem` in place instead of rebuilding
+/// it: [`Problem::append_block`] adds variables (zero-extending every
+/// existing row), the `add_*_sparse` constructors add rows from nonzero
+/// entries, and [`Problem::set_row_range`] / [`Problem::set_rhs`] /
+/// [`Problem::set_objective_range`] patch coefficients while keeping each
+/// row's sparsity [`Constraint::support`] current. The recorded block
+/// boundaries ([`Problem::block_starts`]) tell the sparse backend which
+/// columns belong together: rows whose support stays inside one block are
+/// *local* rows, rows spanning blocks are *coupling* rows, and the
+/// factorization/pricing exploit that split.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Problem {
     /// Objective coefficients, always stored in *maximization* sense.
@@ -60,6 +114,10 @@ pub struct Problem {
     /// reported objective values are negated back.
     pub(crate) minimize: bool,
     pub(crate) constraints: Vec<Constraint>,
+    /// Declared block boundaries: start column of each block, strictly
+    /// increasing, first entry 0. Empty = no declared structure (one
+    /// block).
+    pub(crate) block_starts: Vec<usize>,
 }
 
 impl Problem {
@@ -71,6 +129,7 @@ impl Problem {
             objective,
             minimize: false,
             constraints: Vec::new(),
+            block_starts: Vec::new(),
         }
     }
 
@@ -80,6 +139,7 @@ impl Problem {
             objective: objective.into_iter().map(|c| -c).collect(),
             minimize: true,
             constraints: Vec::new(),
+            block_starts: Vec::new(),
         }
     }
 
@@ -136,11 +196,8 @@ impl Problem {
     /// length and [`ProblemError::NonFiniteCoefficient`] on NaN/∞ input.
     pub fn add_le(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
         self.check_row(&coeffs, rhs)?;
-        self.constraints.push(Constraint {
-            coeffs,
-            rhs,
-            kind: ConstraintKind::LessEq,
-        });
+        self.constraints
+            .push(Constraint::new(coeffs, rhs, ConstraintKind::LessEq));
         Ok(self)
     }
 
@@ -151,11 +208,11 @@ impl Problem {
     /// Same as [`Problem::add_le`].
     pub fn add_ge(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
         self.check_row(&coeffs, rhs)?;
-        self.constraints.push(Constraint {
-            coeffs: coeffs.into_iter().map(|c| -c).collect(),
-            rhs: -rhs,
-            kind: ConstraintKind::LessEq,
-        });
+        self.constraints.push(Constraint::new(
+            coeffs.into_iter().map(|c| -c).collect(),
+            -rhs,
+            ConstraintKind::LessEq,
+        ));
         Ok(self)
     }
 
@@ -166,12 +223,307 @@ impl Problem {
     /// Same as [`Problem::add_le`].
     pub fn add_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<&mut Self, ProblemError> {
         self.check_row(&coeffs, rhs)?;
-        self.constraints.push(Constraint {
-            coeffs,
-            rhs,
-            kind: ConstraintKind::Eq,
-        });
+        self.constraints
+            .push(Constraint::new(coeffs, rhs, ConstraintKind::Eq));
         Ok(self)
+    }
+
+    /// Validates a sparse entry list: sorted strictly increasing column
+    /// indices, all in range, all values finite, finite rhs.
+    fn check_sparse(&self, entries: &[(usize, f64)], rhs: f64) -> Result<(), ProblemError> {
+        if self.objective.is_empty() {
+            return Err(ProblemError::Empty);
+        }
+        let n = self.objective.len();
+        let mut last: Option<usize> = None;
+        for &(j, v) in entries {
+            if j >= n {
+                return Err(ProblemError::OutOfRange {
+                    what: "sparse entry column",
+                    index: j,
+                    limit: n,
+                });
+            }
+            if last.is_some_and(|l| j <= l) {
+                return Err(ProblemError::UnsortedSparseColumn { column: j });
+            }
+            if !v.is_finite() {
+                return Err(ProblemError::NonFiniteCoefficient);
+            }
+            last = Some(j);
+        }
+        if !rhs.is_finite() {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        Ok(())
+    }
+
+    /// Expands sorted sparse entries into a dense row (zero-filled).
+    fn densify(&self, entries: &[(usize, f64)], negate: bool) -> Vec<f64> {
+        let mut coeffs = vec![0.0; self.objective.len()];
+        for &(j, v) in entries {
+            coeffs[j] = if negate { -v } else { v };
+        }
+        coeffs
+    }
+
+    /// Adds `entries · x ≤ rhs` from sorted sparse `(column, value)`
+    /// entries (equivalent to [`Problem::add_le`] on the zero-filled dense
+    /// row, without materializing the zeros at the call site).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::OutOfRange`] on unsorted/duplicate/out-of-range
+    /// columns, [`ProblemError::NonFiniteCoefficient`] on NaN/∞.
+    pub fn add_le_sparse(
+        &mut self,
+        entries: &[(usize, f64)],
+        rhs: f64,
+    ) -> Result<&mut Self, ProblemError> {
+        self.check_sparse(entries, rhs)?;
+        let coeffs = self.densify(entries, false);
+        self.constraints
+            .push(Constraint::new(coeffs, rhs, ConstraintKind::LessEq));
+        Ok(self)
+    }
+
+    /// Adds `entries · x ≥ rhs` from sorted sparse entries (stored
+    /// negated, exactly like [`Problem::add_ge`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::add_le_sparse`].
+    pub fn add_ge_sparse(
+        &mut self,
+        entries: &[(usize, f64)],
+        rhs: f64,
+    ) -> Result<&mut Self, ProblemError> {
+        self.check_sparse(entries, rhs)?;
+        let coeffs = self.densify(entries, true);
+        self.constraints
+            .push(Constraint::new(coeffs, -rhs, ConstraintKind::LessEq));
+        Ok(self)
+    }
+
+    /// Adds `entries · x = rhs` from sorted sparse entries.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::add_le_sparse`].
+    pub fn add_eq_sparse(
+        &mut self,
+        entries: &[(usize, f64)],
+        rhs: f64,
+    ) -> Result<&mut Self, ProblemError> {
+        self.check_sparse(entries, rhs)?;
+        let coeffs = self.densify(entries, false);
+        self.constraints
+            .push(Constraint::new(coeffs, rhs, ConstraintKind::Eq));
+        Ok(self)
+    }
+
+    /// Appends `objective.len()` new variables as a **new block**:
+    /// existing rows are zero-extended, the objective grows by the given
+    /// coefficients (maximization sense of the problem as created), and a
+    /// block boundary is recorded at the old variable count. Returns the
+    /// new columns' index range.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::NonFiniteCoefficient`] on NaN/∞ objective entries
+    /// (the problem is left unchanged); [`ProblemError::Empty`] on an
+    /// empty block.
+    pub fn append_block(
+        &mut self,
+        objective: &[f64],
+    ) -> Result<std::ops::Range<usize>, ProblemError> {
+        if objective.is_empty() {
+            return Err(ProblemError::Empty);
+        }
+        if objective.iter().any(|c| !c.is_finite()) {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        let start = self.objective.len();
+        if self.minimize {
+            self.objective.extend(objective.iter().map(|c| -c));
+        } else {
+            self.objective.extend_from_slice(objective);
+        }
+        for c in &mut self.constraints {
+            c.coeffs.resize(self.objective.len(), 0.0);
+        }
+        if self.block_starts.is_empty() && start > 0 {
+            // Declaring structure on a previously unstructured problem:
+            // everything before this block is block 0.
+            self.block_starts.push(0);
+        }
+        if self.block_starts.is_empty() {
+            self.block_starts.push(0);
+        } else if *self.block_starts.last().expect("nonempty") != start {
+            self.block_starts.push(start);
+        }
+        Ok(start..self.objective.len())
+    }
+
+    /// Declared block boundaries (start column per block, first 0);
+    /// empty when no structure was declared.
+    pub fn block_starts(&self) -> &[usize] {
+        &self.block_starts
+    }
+
+    /// Declares the block boundaries wholesale: strictly increasing start
+    /// columns, first entry 0, all within the variable count. An empty
+    /// vector clears the declared structure.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::OutOfRange`] when the boundary list is malformed.
+    pub fn set_block_starts(&mut self, starts: Vec<usize>) -> Result<&mut Self, ProblemError> {
+        let n = self.objective.len();
+        for (i, &s) in starts.iter().enumerate() {
+            let ok = s < n.max(1) && if i == 0 { s == 0 } else { s > starts[i - 1] };
+            if !ok {
+                return Err(ProblemError::OutOfRange {
+                    what: "block start",
+                    index: s,
+                    limit: n,
+                });
+            }
+        }
+        self.block_starts = starts;
+        Ok(self)
+    }
+
+    /// Overwrites the stored coefficients of row `row` over the column
+    /// range `start..start + vals.len()`, updating the row's support.
+    ///
+    /// The values are written **as stored**: a row added with
+    /// [`Problem::add_ge`] is stored negated, and callers patching such a
+    /// row must supply the negated values themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::OutOfRange`] / [`ProblemError::NonFiniteCoefficient`]
+    /// on bad indices or values (the row is left unchanged).
+    pub fn set_row_range(
+        &mut self,
+        row: usize,
+        start: usize,
+        vals: &[f64],
+    ) -> Result<&mut Self, ProblemError> {
+        let m = self.constraints.len();
+        if row >= m {
+            return Err(ProblemError::OutOfRange {
+                what: "row",
+                index: row,
+                limit: m,
+            });
+        }
+        let n = self.objective.len();
+        let end = start + vals.len();
+        if end > n {
+            return Err(ProblemError::OutOfRange {
+                what: "column range end",
+                index: end,
+                limit: n,
+            });
+        }
+        if vals.iter().any(|v| !v.is_finite()) {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        let c = &mut self.constraints[row];
+        c.coeffs[start..end].copy_from_slice(vals);
+        // Splice the support: keep entries outside the range, rebuild the
+        // inside from the new values.
+        let lo = c.support.partition_point(|&j| (j as usize) < start);
+        let hi = c.support.partition_point(|&j| (j as usize) < end);
+        let fresh = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(o, _)| (start + o) as u32);
+        c.support.splice(lo..hi, fresh);
+        Ok(self)
+    }
+
+    /// Overwrites row `row`'s right-hand side **as stored** (a
+    /// [`Problem::add_ge`] row stores `-rhs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::OutOfRange`] / [`ProblemError::NonFiniteCoefficient`].
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<&mut Self, ProblemError> {
+        let m = self.constraints.len();
+        if row >= m {
+            return Err(ProblemError::OutOfRange {
+                what: "row",
+                index: row,
+                limit: m,
+            });
+        }
+        if !rhs.is_finite() {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        self.constraints[row].rhs = rhs;
+        Ok(self)
+    }
+
+    /// Overwrites objective coefficients over `start..start + vals.len()`
+    /// in the **caller's sense** (minimization problems negate
+    /// internally, matching [`Problem::minimize`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::OutOfRange`] / [`ProblemError::NonFiniteCoefficient`].
+    pub fn set_objective_range(
+        &mut self,
+        start: usize,
+        vals: &[f64],
+    ) -> Result<&mut Self, ProblemError> {
+        let n = self.objective.len();
+        let end = start + vals.len();
+        if end > n {
+            return Err(ProblemError::OutOfRange {
+                what: "objective range end",
+                index: end,
+                limit: n,
+            });
+        }
+        if vals.iter().any(|v| !v.is_finite()) {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        if self.minimize {
+            for (slot, &v) in self.objective[start..end].iter_mut().zip(vals) {
+                *slot = -v;
+            }
+        } else {
+            self.objective[start..end].copy_from_slice(vals);
+        }
+        Ok(self)
+    }
+
+    /// Drops every variable with index ≥ `n` (undoing
+    /// [`Problem::append_block`]s): truncates the objective, every row's
+    /// coefficients and support, and the block boundaries. No-op when `n`
+    /// is not smaller than the current variable count.
+    pub fn truncate_vars(&mut self, n: usize) {
+        if n >= self.objective.len() {
+            return;
+        }
+        self.objective.truncate(n);
+        for c in &mut self.constraints {
+            c.coeffs.truncate(n);
+            let keep = c.support.partition_point(|&j| (j as usize) < n);
+            c.support.truncate(keep);
+        }
+        let keep = self.block_starts.partition_point(|&s| s < n.max(1));
+        self.block_starts.truncate(keep);
+    }
+
+    /// Drops every constraint row with index ≥ `m` (undoing appended
+    /// rows). No-op when `m` is not smaller than the current row count.
+    pub fn truncate_rows(&mut self, m: usize) {
+        self.constraints.truncate(m);
     }
 
     /// Solves the problem with the two-phase simplex method.
@@ -261,6 +613,7 @@ impl Problem {
         match options.backend {
             Backend::DenseTableau => simplex::solve(self, options, workspace),
             Backend::Revised => revised::solve(self, options, workspace, warm),
+            Backend::Sparse => sparse::solve(self, options, workspace, warm),
         }
     }
 
@@ -335,6 +688,44 @@ mod tests {
         let p = Problem::minimize(vec![3.0, -1.0]);
         assert_eq!(p.objective(), vec![3.0, -1.0]);
         assert!((p.objective_value(&[2.0, 1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_rows_match_their_dense_equivalents() {
+        let mut dense = Problem::maximize(vec![1.0; 4]);
+        dense.add_le(vec![0.0, 2.0, 0.0, 3.0], 5.0).unwrap();
+        dense.add_ge(vec![1.0, 0.0, 0.0, 0.0], 2.0).unwrap();
+        dense.add_eq(vec![0.0, 0.0, 4.0, 0.0], 1.0).unwrap();
+        let mut sparse = Problem::maximize(vec![1.0; 4]);
+        sparse.add_le_sparse(&[(1, 2.0), (3, 3.0)], 5.0).unwrap();
+        sparse.add_ge_sparse(&[(0, 1.0)], 2.0).unwrap();
+        sparse.add_eq_sparse(&[(2, 4.0)], 1.0).unwrap();
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse.constraints()[0].support(), &[1, 3]);
+        assert_eq!(sparse.constraints()[0].nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_entry_validation() {
+        let mut p = Problem::maximize(vec![1.0; 3]);
+        // Duplicate / backwards columns get the dedicated error.
+        assert_eq!(
+            p.add_le_sparse(&[(1, 1.0), (1, 2.0)], 1.0).unwrap_err(),
+            ProblemError::UnsortedSparseColumn { column: 1 }
+        );
+        assert_eq!(
+            p.add_le_sparse(&[(2, 1.0), (0, 2.0)], 1.0).unwrap_err(),
+            ProblemError::UnsortedSparseColumn { column: 0 }
+        );
+        assert!(matches!(
+            p.add_le_sparse(&[(3, 1.0)], 1.0).unwrap_err(),
+            ProblemError::OutOfRange { index: 3, .. }
+        ));
+        assert_eq!(
+            p.add_le_sparse(&[(0, f64::NAN)], 1.0).unwrap_err(),
+            ProblemError::NonFiniteCoefficient
+        );
+        assert_eq!(p.num_constraints(), 0, "failed adds leave no rows");
     }
 
     #[test]

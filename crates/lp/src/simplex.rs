@@ -44,13 +44,27 @@ pub enum Backend {
     /// kept as the reference oracle the revised backend is differentially
     /// tested against.
     DenseTableau,
-    /// Revised simplex on a column-major sparse matrix with a product-form
-    /// (eta-file) basis inverse and partial pricing. A pivot costs
-    /// `O(m²)` plus the columns actually priced, which wins decisively on
-    /// the paper's few-rows/many-columns LPs; also the only backend that
-    /// honors warm starts ([`Problem::solve_warm`]). The default.
+    /// Revised simplex with a dense-LU basis inverse, a product-form
+    /// (eta-file) update and partial pricing. The matrix is used in place
+    /// (row-major); a pivot costs `O(m²)` plus the columns actually
+    /// priced, which wins decisively on the paper's few-rows/many-columns
+    /// LPs; honors warm starts ([`Problem::solve_warm`]). The default.
     #[default]
     Revised,
+    /// Block-structured **sparse** revised simplex: CSC columns plus
+    /// per-row nonzero lists, a sparse product-form basis inverse whose
+    /// refactorization pivots block-local rows first (so elimination work
+    /// and fill stay confined to the coupling rows plus the basic columns
+    /// of active blocks), sparse eta-file FTRAN/BTRAN, and partial
+    /// pricing sectioned along the declared block boundaries
+    /// ([`Problem::block_starts`]). Built for the fleet layer's
+    /// block-angular joint admission LPs — per-flow assignment blocks
+    /// coupled only by the shared capacity rows — where it replaces the
+    /// dense backends' `O(m³)` refactorizations and `O(m·n)` pricing with
+    /// work proportional to the nonzeros. Honors warm starts, and
+    /// canonicalizes its reported vertex exactly like
+    /// [`Backend::Revised`], so warm and cold solves are bit-identical.
+    Sparse,
 }
 
 /// Tuning knobs for [`Problem::solve`].
@@ -120,6 +134,8 @@ pub struct Workspace {
     row_info: Vec<RowInfo>,
     /// Buffers of the revised backend ([`Backend::Revised`]).
     pub(crate) revised: crate::revised::RevisedWorkspace,
+    /// Buffers of the sparse backend ([`Backend::Sparse`]).
+    pub(crate) sparse: crate::sparse::SparseWorkspace,
 }
 
 impl Workspace {

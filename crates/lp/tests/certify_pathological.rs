@@ -1,0 +1,131 @@
+//! [`Solution::certify`] on pathological inputs: infeasible and
+//! unbounded problems, degenerate zero-capacity rows, zero rows, and the
+//! tombstoned (`Σx = 0`) blocks the fleet's incremental assembly
+//! produces — the certificate must accept exactly the genuinely feasible
+//! points and reject everything else with a usable message, on every
+//! backend.
+//!
+//! Forged candidate points are produced by a *pinning solve* (an LP
+//! whose equality rows fix `x = v` exactly), so the `Solution` under
+//! test is a real solver artifact; `certify` checks rows before the
+//! objective, so row-violation messages are still the first failure.
+
+use dmc_lp::{Backend, Problem, Solution, SolveError, SolverOptions};
+
+fn all_backends() -> [SolverOptions; 3] {
+    [Backend::DenseTableau, Backend::Revised, Backend::Sparse].map(|backend| SolverOptions {
+        backend,
+        ..SolverOptions::default()
+    })
+}
+
+/// A `Solution` whose `x` is (up to solver roundoff) the given point,
+/// obtained by solving `max 0` s.t. `x_j = v_j`.
+fn pinned(v: &[f64]) -> Solution {
+    let mut q = Problem::maximize(vec![0.0; v.len()]);
+    for (j, &val) in v.iter().enumerate() {
+        let mut row = vec![0.0; v.len()];
+        row[j] = 1.0;
+        q.add_eq(row, val).unwrap();
+    }
+    q.solve(&SolverOptions::default())
+        .expect("pinning LP solves")
+}
+
+#[test]
+fn infeasible_problems_never_yield_a_certifiable_point() {
+    // x ≤ 1 and x ≥ 2: every backend reports infeasibility, and no
+    // candidate x can certify — whatever a buggy solver might return.
+    let mut p = Problem::maximize(vec![1.0]);
+    p.add_le(vec![1.0], 1.0).unwrap();
+    p.add_ge(vec![1.0], 2.0).unwrap();
+    for opts in all_backends() {
+        assert!(matches!(p.solve(&opts), Err(SolveError::Infeasible { .. })));
+    }
+    for x in [0.0, 1.0, 1.5, 2.0, 3.0] {
+        let err = pinned(&[x]).certify(&p).unwrap_err();
+        assert!(err.contains("row"), "x={x}: {err}");
+    }
+}
+
+#[test]
+fn unbounded_problems_still_certify_feasible_points() {
+    // Certification is a *feasibility* certificate: an unbounded problem
+    // has no optimum for a solver to return, but a feasible point (here
+    // produced by solving a bounded variant of the same objective) must
+    // still certify against it.
+    let mut p = Problem::maximize(vec![1.0, 0.0]);
+    p.add_le(vec![0.0, 1.0], 1.0).unwrap();
+    for opts in all_backends() {
+        assert!(matches!(p.solve(&opts), Err(SolveError::Unbounded)));
+    }
+    let mut bounded = Problem::maximize(vec![1.0, 0.0]);
+    bounded.add_le(vec![0.0, 1.0], 1.0).unwrap();
+    bounded.add_le(vec![1.0, 0.0], 7.0).unwrap();
+    let s = bounded.solve(&SolverOptions::default()).unwrap();
+    s.certify(&p)
+        .expect("feasible point of an unbounded problem certifies");
+    // …while an infeasible point of the same problem does not.
+    assert!(pinned(&[7.0, 2.0]).certify(&p).is_err());
+}
+
+#[test]
+fn zero_capacity_rows_pin_their_variables() {
+    // A zero-capacity row (b_k = 0) is the fleet's "failed path" shape:
+    // feasible, but only with nothing assigned to the path.
+    let mut p = Problem::maximize(vec![0.6, 0.4]);
+    p.add_le(vec![1.0, 0.0], 0.0).unwrap(); // dead path: x0 ≤ 0
+    p.add_le(vec![0.0, 1.0], 1.0).unwrap();
+    p.add_eq(vec![1.0, 1.0], 1.0).unwrap();
+    for opts in all_backends() {
+        let s = p.solve(&opts).unwrap();
+        s.certify(&p).expect("solver optimum certifies");
+        assert!(s.x()[0].abs() <= 1e-9, "dead-path mass: {}", s.x()[0]);
+        assert!((s.x()[1] - 1.0).abs() <= 1e-9);
+    }
+    // Any mass on the dead path is flagged, however small the row norm.
+    let err = pinned(&[0.5, 0.5]).certify(&p).unwrap_err();
+    assert!(err.contains("row 0"), "{err}");
+}
+
+#[test]
+fn all_zero_rows_certify_by_rhs_sign() {
+    // A degenerate all-zero row is satisfiable iff its RHS admits 0.
+    let mut sat = Problem::maximize(vec![1.0]);
+    sat.add_le(vec![0.0], 0.0).unwrap(); // 0 ≤ 0: vacuous
+    sat.add_le(vec![1.0], 2.0).unwrap();
+    for opts in all_backends() {
+        let s = sat.solve(&opts).unwrap();
+        s.certify(&sat).expect("vacuous zero row certifies");
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+    }
+    let mut unsat = Problem::maximize(vec![1.0]);
+    unsat.add_ge(vec![0.0], 1.0).unwrap(); // 0 ≥ 1: impossible
+    unsat.add_le(vec![1.0], 2.0).unwrap();
+    for opts in all_backends() {
+        assert!(matches!(
+            unsat.solve(&opts),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+    assert!(pinned(&[0.0]).certify(&unsat).is_err());
+}
+
+#[test]
+fn tombstoned_blocks_certify_only_at_zero() {
+    // The incremental fleet's departure pattern: Σx = 0 forces a block
+    // to zero. The solver's answer must certify; any lingering mass in
+    // the tombstoned block must not.
+    let mut p = Problem::maximize(vec![0.0, 0.0, 0.5, 0.7]);
+    p.add_le(vec![0.3, 0.4, 0.5, 0.2], 1.0).unwrap();
+    p.add_eq(vec![1.0, 1.0, 0.0, 0.0], 0.0).unwrap(); // tombstoned block
+    p.add_eq(vec![0.0, 0.0, 1.0, 1.0], 1.0).unwrap(); // live block
+    p.set_block_starts(vec![0, 2]).unwrap();
+    for opts in all_backends() {
+        let s = p.solve(&opts).unwrap();
+        s.certify(&p).expect("tombstoned optimum certifies");
+        assert!(s.x()[0].abs() <= 1e-9 && s.x()[1].abs() <= 1e-9);
+    }
+    let err = pinned(&[0.5, 0.0, 0.0, 1.0]).certify(&p).unwrap_err();
+    assert!(err.contains("row 1"), "{err}");
+}

@@ -1,12 +1,20 @@
-//! Differential testing: the revised backend against the dense oracle.
+//! Differential testing: the revised and sparse backends against the
+//! dense oracle.
 //!
 //! Random LPs — feasible by construction, infeasible by construction,
 //! unbounded by construction, and unconstrained-outcome mixes — must
-//! produce the same outcome class from [`Backend::Revised`] and
-//! [`Backend::DenseTableau`], and on success agree on objective, primal
-//! point and duals to 1e-9. Coefficients are drawn from continuous
-//! distributions, so optima (and duals) are unique almost surely and the
-//! pointwise comparison is meaningful.
+//! produce the same outcome class from [`Backend::Revised`],
+//! [`Backend::Sparse`] and [`Backend::DenseTableau`], and on success
+//! agree on objective, primal point and duals to 1e-9. Coefficients are
+//! drawn from continuous distributions, so optima (and duals) are unique
+//! almost surely and the pointwise comparison is meaningful.
+//!
+//! The block-angular properties generate random fleet-shaped LPs (per
+//! block: a `Σx = 1` row and an optional floor row; a few coupling
+//! capacity rows over everything) with declared block boundaries, and
+//! additionally run warm-started churn sequences (tombstone a block,
+//! revive it) asserting sparse warm ≡ sparse cold **bitwise** and both
+//! ≡ dense to 1e-9.
 
 use dmc_lp::{Backend, Problem, SolveError, SolverOptions};
 use proptest::prelude::*;
@@ -21,6 +29,13 @@ fn dense_opts() -> SolverOptions {
 fn revised_opts() -> SolverOptions {
     SolverOptions {
         backend: Backend::Revised,
+        ..SolverOptions::default()
+    }
+}
+
+fn sparse_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::Sparse,
         ..SolverOptions::default()
     }
 }
@@ -64,34 +79,84 @@ fn build_feasible_lp(n: usize, m: usize, with_eq: bool, seed0: u64) -> Problem {
 
 fn assert_backends_agree(p: &Problem) -> Result<(), TestCaseError> {
     let dense = p.solve(&dense_opts());
-    let revised = p.solve(&revised_opts());
-    match (dense, revised) {
-        (Ok(d), Ok(r)) => {
-            prop_assert!(
-                (d.objective() - r.objective()).abs() < 1e-9,
-                "objective: dense {} vs revised {}",
-                d.objective(),
-                r.objective()
-            );
-            for (j, (a, b)) in d.x().iter().zip(r.x()).enumerate() {
-                prop_assert!((a - b).abs() < 1e-9, "x[{j}]: dense {a} vs revised {b}");
+    for (name, opts) in [("revised", revised_opts()), ("sparse", sparse_opts())] {
+        let other = p.solve(&opts);
+        match (&dense, &other) {
+            (Ok(d), Ok(r)) => {
+                prop_assert!(
+                    (d.objective() - r.objective()).abs() < 1e-9,
+                    "objective: dense {} vs {name} {}",
+                    d.objective(),
+                    r.objective()
+                );
+                for (j, (a, b)) in d.x().iter().zip(r.x()).enumerate() {
+                    prop_assert!((a - b).abs() < 1e-9, "x[{j}]: dense {a} vs {name} {b}");
+                }
+                for (i, (a, b)) in d.duals().iter().zip(r.duals()).enumerate() {
+                    prop_assert!((a - b).abs() < 1e-9, "dual[{i}]: dense {a} vs {name} {b}");
+                }
+                // Both must actually be feasible for the original problem.
+                prop_assert!(p.max_violation(d.x()) < 1e-6);
+                prop_assert!(p.max_violation(r.x()) < 1e-6);
             }
-            for (i, (a, b)) in d.duals().iter().zip(r.duals()).enumerate() {
-                prop_assert!((a - b).abs() < 1e-9, "dual[{i}]: dense {a} vs revised {b}");
+            (Err(SolveError::Infeasible { .. }), Err(SolveError::Infeasible { .. })) => {}
+            (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
+            (d, r) => {
+                return Err(TestCaseError(format!(
+                    "outcome mismatch: dense {d:?} vs {name} {r:?}"
+                )))
             }
-            // Both must actually be feasible for the original problem.
-            prop_assert!(p.max_violation(d.x()) < 1e-6);
-            prop_assert!(p.max_violation(r.x()) < 1e-6);
-        }
-        (Err(SolveError::Infeasible { .. }), Err(SolveError::Infeasible { .. })) => {}
-        (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
-        (d, r) => {
-            return Err(TestCaseError(format!(
-                "outcome mismatch: dense {d:?} vs revised {r:?}"
-            )))
         }
     }
     Ok(())
+}
+
+/// A random block-angular LP in the fleet's joint shape: `blocks` blocks
+/// of `width` columns (per block a `Σx = 1` row and, for odd blocks, a
+/// floor row), plus `couplings` capacity rows over all columns. With
+/// `declare` the block boundaries are recorded on the problem.
+fn build_block_angular(
+    blocks: usize,
+    width: usize,
+    couplings: usize,
+    declare: bool,
+    seed0: u64,
+) -> Problem {
+    let mut seed = seed0;
+    let n = blocks * width;
+    let c: Vec<f64> = (0..n).map(|_| 0.2 + mix(&mut seed)).collect();
+    let mut p = Problem::maximize(c.clone());
+    for k in 0..couplings {
+        let row: Vec<f64> = (0..n).map(|_| 0.05 + mix(&mut seed)).collect();
+        // Roomy enough to be feasible most of the time, tight enough to
+        // bind: between 30% and 110% of the per-block average demand.
+        let rhs = (0.3 + 0.8 * mix(&mut seed)) * blocks as f64 * 0.55;
+        p.add_le(row, rhs).unwrap();
+        let _ = k;
+    }
+    for f in 0..blocks {
+        if f % 2 == 1 {
+            // Floor row: p_f · x^f ≥ q with q below the best coefficient,
+            // so the block alone can satisfy it.
+            let mut row = vec![0.0; n];
+            let mut best: f64 = 0.0;
+            for j in f * width..(f + 1) * width {
+                row[j] = c[j];
+                best = best.max(c[j]);
+            }
+            p.add_ge(row, best * 0.5 * mix(&mut seed)).unwrap();
+        }
+        let mut row = vec![0.0; n];
+        for v in &mut row[f * width..(f + 1) * width] {
+            *v = 1.0;
+        }
+        p.add_eq(row, 1.0).unwrap();
+    }
+    if declare {
+        p.set_block_starts((0..blocks).map(|f| f * width).collect())
+            .unwrap();
+    }
+    p
 }
 
 proptest! {
@@ -187,6 +252,95 @@ proptest! {
                 prop_assert!((a - b).abs() < 1e-9, "step {step} x[{j}]: {a} vs {b}");
             }
             basis = revised.basis().cloned();
+        }
+    }
+
+    /// Random block-angular fleet LPs: all three backends agree to 1e-9,
+    /// with and without declared block boundaries (declaring structure
+    /// changes pivot orders, never answers).
+    #[test]
+    fn block_angular_lps_agree(
+        blocks in 1usize..10,
+        width in 2usize..8,
+        couplings in 1usize..4,
+        declare in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let p = build_block_angular(blocks, width, couplings, declare, seed);
+        assert_backends_agree(&p)?;
+    }
+
+    /// Warm-started churn over a block-angular LP: tombstone a block
+    /// (`Σx = 1 → 0`, objective zeroed), then revive it, warm-starting
+    /// every re-solve from the previous basis. Sparse warm must equal
+    /// sparse cold **bitwise** at every step, and both must match the
+    /// dense oracle to 1e-9.
+    #[test]
+    fn block_angular_churn_warm_equals_cold(
+        blocks in 2usize..8,
+        width in 2usize..6,
+        victim_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let base = build_block_angular(blocks, width, 2, true, seed);
+        let victim = (victim_seed % blocks as u64) as usize;
+        let eq_row_of = |f: usize| {
+            // Rows: 2 couplings, then per block (floor for odd blocks)
+            // followed by its Σx row.
+            let mut row = 2;
+            for g in 0..f {
+                row += if g % 2 == 1 { 2 } else { 1 };
+            }
+            row + if f % 2 == 1 { 1 } else { 0 }
+        };
+        let zeros = vec![0.0; width];
+        let objective = base.objective();
+
+        let mut tombstoned = base.clone();
+        tombstoned.set_rhs(eq_row_of(victim), 0.0).unwrap();
+        tombstoned.set_objective_range(victim * width, &zeros).unwrap();
+        if victim % 2 == 1 {
+            // Relax the tombstoned block's floor row (stored negated).
+            tombstoned.set_rhs(eq_row_of(victim) - 1, 0.0).unwrap();
+        }
+        let mut revived = tombstoned.clone();
+        revived.set_rhs(eq_row_of(victim), 1.0).unwrap();
+        revived
+            .set_objective_range(victim * width, &objective[victim * width..(victim + 1) * width])
+            .unwrap();
+
+        let sparse = sparse_opts();
+        let mut basis = None;
+        for (step, p) in [&base, &tombstoned, &revived].into_iter().enumerate() {
+            let cold = p.solve(&sparse);
+            let warm = match (&basis, &cold) {
+                (Some(b), Ok(_)) => Some(p.solve_warm(&sparse, b).unwrap()),
+                _ => None,
+            };
+            match cold {
+                Ok(cold) => {
+                    if let Some(warm) = warm {
+                        prop_assert_eq!(warm.x(), cold.x(), "step {}: warm != cold", step);
+                        prop_assert_eq!(warm.objective(), cold.objective());
+                        prop_assert_eq!(warm.duals(), cold.duals());
+                    }
+                    let dense = p.solve(&dense_opts()).unwrap();
+                    prop_assert!(
+                        (cold.objective() - dense.objective()).abs() < 1e-9,
+                        "step {step}: sparse {} vs dense {}",
+                        cold.objective(),
+                        dense.objective()
+                    );
+                    for (j, (a, b)) in cold.x().iter().zip(dense.x()).enumerate() {
+                        prop_assert!((a - b).abs() < 1e-9, "step {step} x[{j}]: {a} vs {b}");
+                    }
+                    basis = cold.basis().cloned();
+                }
+                Err(_) => {
+                    prop_assert!(p.solve(&dense_opts()).is_err(), "outcome class mismatch");
+                    basis = None;
+                }
+            }
         }
     }
 }

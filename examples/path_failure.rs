@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bwd = vec![link(12e6, 0.100, 0.0), link(5e6, 0.050, 0.0)];
     // The outage: path 0 (both directions) down from t = 10 s to t = 25 s.
     let dynamics = Dynamics::new().path_failure(0, 10.0, 25.0)?;
-    let messages = 21_000; // ≈ 34 s of generation at λ = 5 Mbps
+    // ≈ 34 s of generation at λ = 5 Mbps; MESSAGES overrides (the CI
+    // smoke run uses a shorter transfer that still spans the outage).
+    let messages = std::env::var("MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(21_000);
     let horizon = SimTime::from_secs_f64(40.0);
     let rto_extra = SimDuration::from_millis(100);
 
