@@ -14,6 +14,8 @@
 //! Measured numbers are recorded in `BENCH_fleet.json` (regenerate with
 //! `CRITERION_OUTPUT_JSON=1 cargo bench -p dmc-bench --bench fleet_admission`).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmc_core::{PlannerConfig, ScenarioPath};
 use dmc_fleet::{FleetConfig, FleetPlanner, FlowRequest};

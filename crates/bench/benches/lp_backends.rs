@@ -21,6 +21,8 @@
 //! Measured numbers are recorded in `BENCH_lp.json` (regenerate with
 //! `CRITERION_OUTPUT_JSON=1 cargo bench -p dmc-bench --bench lp_backends`).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{DeterministicModel, Objective, Planner, PlannerConfig};
 use dmc_experiments::figure4::synthetic_network;

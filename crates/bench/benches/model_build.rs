@@ -1,6 +1,8 @@
 //! Cost of *assembling* the model matrices alone (Eq. 11–18), separated
 //! from solving — shows how much of Figure 4 is construction vs. simplex.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::DeterministicModel;
 use dmc_experiments::figure4::synthetic_network;

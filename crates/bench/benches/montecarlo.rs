@@ -7,6 +7,8 @@
 //! single-core container cannot show parallel speedup — the interesting
 //! number there is the (small) overhead of the pool at threads > 1.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmc_core::{Objective, Planner, Scenario};
 use dmc_experiments::montecarlo::{run_plan_trials, MonteCarloConfig};

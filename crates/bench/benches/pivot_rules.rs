@@ -2,6 +2,8 @@
 //! problem family. Dantzig is fastest but can cycle; Bland never cycles
 //! but takes more pivots; the adaptive default should track Dantzig.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{DeterministicModel, PivotRule, SolverOptions};
 use dmc_experiments::figure4::synthetic_network;

@@ -13,6 +13,8 @@
 //! --bench planner_reuse`). A larger synthetic scenario (8 paths,
 //! m = 3 → 729 LP variables) shows the gap growing with problem size.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{optimal_strategy, ModelConfig, Objective, Planner, Scenario, ScenarioPath};
 use dmc_experiments::figure4::synthetic_network;

@@ -1,6 +1,8 @@
 //! Ablation: Algorithm 1 (deficit selector) vs. weighted random
 //! assignment — per-selection cost and convergence error after N packets.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{ComboScheduler, RandomScheduler};
 use rand::rngs::StdRng;

@@ -1,6 +1,8 @@
 //! Simulator throughput: messages/second through the full protocol stack
 //! on the paper's Experiment-1 topology.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dmc_core::ModelConfig;
 use dmc_experiments::runner::{run_measured, RunConfig, TrueNetwork};

@@ -3,6 +3,8 @@
 //! blackhole / 2 transmissions on a 2.8 GHz i5, growing toward seconds at
 //! 10 paths / 3 transmissions).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{DeterministicModel, SolverOptions};
 use dmc_experiments::figure4::synthetic_network;

@@ -2,6 +2,8 @@
 //! resolution (finer grids cost quadratically in the convolution but only
 //! linearly in the argmax scan).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmc_core::{RandomDelayConfig, RandomDelayModel};
 use dmc_experiments::scenarios;

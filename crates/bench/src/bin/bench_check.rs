@@ -29,6 +29,8 @@
 //! the current run never produced — which is how a silently bit-rotted
 //! or renamed bench fails the gate instead of skating through).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 

@@ -199,7 +199,8 @@ impl DeterministicModel {
     pub fn min_cost_lp(&self, min_quality: f64) -> Problem {
         let mut lp = Problem::minimize(self.cost.clone());
         self.push_capacity_rows_no_budget(&mut lp);
-        lp.add_ge(self.p.clone(), min_quality).expect("dimensions");
+        lp.add_ge(self.p.clone(), min_quality)
+            .expect("p has exactly one coefficient per path");
         let ones = vec![1.0; self.table.num_combos()];
         lp.add_eq(ones, 1.0).expect("dimensions match");
         lp

@@ -240,6 +240,7 @@ pub struct Planner {
     det_paths: Vec<PathSpec>,
     // Warm-start state: last optimal basis per problem shape, plus
     // counters for observability (benchmarks, tests).
+    // dmc-lint: allow(det-unordered-map) key-lookup-only cache: get/insert/contains_key/len/clear, never iterated, so key order cannot reach results
     warm_bases: HashMap<ShapeKey, Basis>,
     warm_attempts: u64,
     warm_hits: u64,
@@ -553,7 +554,8 @@ impl Planner {
                     lp.add_le(usage.clone(), scenario.paths()[k].bandwidth() / lambda)
                         .expect("dimensions match");
                 }
-                lp.add_ge(self.p.clone(), min_quality).expect("dimensions");
+                lp.add_ge(self.p.clone(), min_quality)
+                    .expect("p has exactly one coefficient per path");
                 lp.add_eq(vec![1.0; table.num_combos()], 1.0)
                     .expect("dimensions match");
                 lp
@@ -719,6 +721,7 @@ impl ScenarioModel {
 fn nonzeros(v: &[f64]) -> impl Iterator<Item = (usize, f64)> + '_ {
     v.iter()
         .enumerate()
+        // dmc-lint: allow(float-exact) exact-zero sparsity filter: a stored 0.0 means structurally absent, not approximately small
         .filter(|(_, &x)| x != 0.0)
         .map(|(i, &x)| (i, x))
 }

@@ -492,6 +492,7 @@ fn joint_in_time_no_ack(
 ) -> f64 {
     let mut total = 0.0;
     for (k, &mass) in delay.pmf().iter().enumerate() {
+        // dmc-lint: allow(float-exact) a PMF bin with exactly zero mass is structurally empty; skipping it is lossless
         if mass == 0.0 {
             continue;
         }

@@ -3,6 +3,8 @@
 //! Runs through the parallel Monte-Carlo engine; see `--help` for the
 //! shared `--messages/--trials/--threads/--seed` flags.
 
+#![forbid(unsafe_code)]
+
 use dmc_experiments::figure3::{self, Metric};
 use dmc_experiments::runner::RunConfig;
 

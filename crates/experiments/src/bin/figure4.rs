@@ -3,6 +3,8 @@
 //! Accepts the shared flag vocabulary (`--runs N` / env `RUNS` selects
 //! the timing repetitions; see `--help`).
 
+#![forbid(unsafe_code)]
+
 use dmc_experiments::figure4;
 
 fn main() {

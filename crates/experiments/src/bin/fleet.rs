@@ -8,6 +8,8 @@
 //! `--flows` scales the per-trial population — the incremental sparse
 //! joint solver keeps even hundreds of concurrent flows tractable).
 
+#![forbid(unsafe_code)]
+
 use dmc_experiments::fleet;
 use dmc_experiments::runner::RunConfig;
 

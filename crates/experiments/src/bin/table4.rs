@@ -3,6 +3,8 @@
 //! Exact LP only — no simulation, so of the shared flag vocabulary only
 //! `--help` is meaningful; the rest are accepted and ignored.
 
+#![forbid(unsafe_code)]
+
 use dmc_experiments::table4;
 
 fn main() {

@@ -41,15 +41,15 @@ fn point(
     let model = scenarios::table3_model_scenario(lambda, delta);
     let theory = planner
         .plan(&model, Objective::MaxQuality)
-        .expect("feasible")
+        .expect("figure-2 scenarios are feasible by construction")
         .quality();
     let path1_theory = planner
         .plan(&model.restricted_to_path(0), Objective::MaxQuality)
-        .expect("feasible")
+        .expect("figure-2 scenarios are feasible by construction")
         .quality();
     let path2_theory = planner
         .plan(&model.restricted_to_path(1), Objective::MaxQuality)
-        .expect("feasible")
+        .expect("figure-2 scenarios are feasible by construction")
         .quality();
     // The Experiment-1 split: plan against measured + margin, run on the
     // raw measured truth (same construction as `run_measured_with`, but
@@ -59,9 +59,10 @@ fn point(
         Scenario::from_network(&measured).with_transmissions(ModelConfig::default().transmissions);
     let plan = planner
         .plan_with_margin(&scenario, scenarios::QUEUE_MARGIN_S, Objective::MaxQuality)
-        .expect("feasible");
+        .expect("figure-2 scenarios are feasible by construction");
     let truth = TrueNetwork::deterministic(&measured);
-    let report = run_plan_trials(&plan, &truth, cfg, mc).expect("run");
+    let report = run_plan_trials(&plan, &truth, cfg, mc)
+        .expect("figure-2 plan/network pairs are valid for the runner");
     Figure2Point {
         param: 0.0,
         theory,

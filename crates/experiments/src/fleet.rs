@@ -30,8 +30,8 @@ pub const FLOWS_PER_TRIAL: u64 = 10;
 /// aggregate capacity.
 pub fn shared_paths() -> Vec<ScenarioPath> {
     vec![
-        ScenarioPath::constant(80e6, 0.450, 0.2).expect("valid"),
-        ScenarioPath::constant(20e6, 0.150, 0.0).expect("valid"),
+        ScenarioPath::constant(80e6, 0.450, 0.2).expect("literal path parameters are valid"),
+        ScenarioPath::constant(20e6, 0.150, 0.0).expect("literal path parameters are valid"),
     ]
 }
 
@@ -104,7 +104,9 @@ pub fn offered_trace_n(load: f64, seed: u64, flows: u64) -> FleetTrace {
         let request = FlowRequest::new(rate, lifetime)
             .expect("valid request")
             .with_min_quality(floor);
-        trace = trace.arrive(i as f64, request).expect("valid time");
+        trace = trace
+            .arrive(i as f64, request)
+            .expect("arrival times increase with flow index");
     }
     trace
 }
@@ -168,7 +170,9 @@ fn run_trial(load: f64, seed: u64, cfg: &RunConfig, flows: u64) -> Result<TrialO
     let mut weighted = 0.0;
     let mut lambda_tot = 0.0;
     for (i, id) in admitted.iter().enumerate() {
-        let plan = fleet.plan_of(*id).expect("admitted");
+        let plan = fleet
+            .plan_of(*id)
+            .expect("id was taken from the admitted list");
         let lambda = plan.scenario().data_rate();
         let q = measure_flow(plan, cfg, trial_seed(seed, 1_000 + i as u64))?;
         weighted += lambda * q;
@@ -324,7 +328,7 @@ pub fn objective_comparison(load: f64, seed: u64) -> Vec<ModeRow> {
                     ..FleetConfig::default()
                 },
             )
-            .expect("valid paths");
+            .expect("literal path parameters are valid");
             fleet
                 .replay(&offered_trace(load, seed))
                 .expect("replay succeeds");

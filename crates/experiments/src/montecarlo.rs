@@ -222,7 +222,7 @@ pub fn run_plan_trials(
             first = Some(outcome);
         }
     }
-    let first = first.expect("trials ≥ 1");
+    let first = first.expect("config validation guarantees trials >= 1");
     Ok(MonteCarloReport {
         quality,
         predicted_quality: first.predicted_quality,

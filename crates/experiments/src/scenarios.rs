@@ -19,8 +19,8 @@ pub const QUEUE_MARGIN_S: f64 = 0.050;
 /// Panics only if the hard-coded constants were edited into invalidity.
 pub fn table3_true(lambda_bps: f64, lifetime_s: f64) -> NetworkSpec {
     NetworkSpec::builder()
-        .path(PathSpec::new(80e6, 0.400, 0.2).expect("valid"))
-        .path(PathSpec::new(20e6, 0.100, 0.0).expect("valid"))
+        .path(PathSpec::new(80e6, 0.400, 0.2).expect("literal scenario parameters are valid"))
+        .path(PathSpec::new(20e6, 0.100, 0.0).expect("literal scenario parameters are valid"))
         .data_rate(lambda_bps)
         .lifetime(lifetime_s)
         .build()
@@ -35,8 +35,14 @@ pub fn table3_true(lambda_bps: f64, lifetime_s: f64) -> NetworkSpec {
 /// Panics only if the hard-coded constants were edited into invalidity.
 pub fn table3_model(lambda_bps: f64, lifetime_s: f64) -> NetworkSpec {
     NetworkSpec::builder()
-        .path(PathSpec::new(80e6, 0.400 + QUEUE_MARGIN_S, 0.2).expect("valid"))
-        .path(PathSpec::new(20e6, 0.100 + QUEUE_MARGIN_S, 0.0).expect("valid"))
+        .path(
+            PathSpec::new(80e6, 0.400 + QUEUE_MARGIN_S, 0.2)
+                .expect("literal scenario parameters are valid"),
+        )
+        .path(
+            PathSpec::new(20e6, 0.100 + QUEUE_MARGIN_S, 0.0)
+                .expect("literal scenario parameters are valid"),
+        )
         .data_rate(lambda_bps)
         .lifetime(lifetime_s)
         .build()
@@ -52,19 +58,24 @@ pub fn table3_model(lambda_bps: f64, lifetime_s: f64) -> NetworkSpec {
 pub fn table5(lambda_bps: f64, lifetime_s: f64) -> RandomNetworkSpec {
     let p1 = RandomPath::new(
         80e6,
-        Arc::new(ShiftedGamma::new(10.0, 0.004, 0.400).expect("valid")),
+        Arc::new(
+            ShiftedGamma::new(10.0, 0.004, 0.400).expect("literal scenario parameters are valid"),
+        ),
         0.2,
         0.0,
     )
-    .expect("valid");
+    .expect("literal scenario parameters are valid");
     let p2 = RandomPath::new(
         20e6,
-        Arc::new(ShiftedGamma::new(5.0, 0.002, 0.100).expect("valid")),
+        Arc::new(
+            ShiftedGamma::new(5.0, 0.002, 0.100).expect("literal scenario parameters are valid"),
+        ),
         0.0,
         0.0,
     )
-    .expect("valid");
-    RandomNetworkSpec::new(vec![p1, p2], lambda_bps, lifetime_s).expect("valid")
+    .expect("literal scenario parameters are valid");
+    RandomNetworkSpec::new(vec![p1, p2], lambda_bps, lifetime_s)
+        .expect("literal scenario parameters are valid")
 }
 
 /// Figure 1's motivating scenario: 10 Mbps/600 ms/10 % + 1 Mbps/200 ms/0 %,
@@ -75,8 +86,8 @@ pub fn table5(lambda_bps: f64, lifetime_s: f64) -> RandomNetworkSpec {
 /// Panics only if the hard-coded constants were edited into invalidity.
 pub fn figure1() -> NetworkSpec {
     NetworkSpec::builder()
-        .path(PathSpec::new(10e6, 0.600, 0.10).expect("valid"))
-        .path(PathSpec::new(1e6, 0.200, 0.0).expect("valid"))
+        .path(PathSpec::new(10e6, 0.600, 0.10).expect("literal scenario parameters are valid"))
+        .path(PathSpec::new(1e6, 0.200, 0.0).expect("literal scenario parameters are valid"))
         .data_rate(10e6)
         .lifetime(1.0)
         .build()

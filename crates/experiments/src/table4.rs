@@ -62,7 +62,7 @@ pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
             param: l * 1e6,
             strategy: planner
                 .plan(&base.with_data_rate(l * 1e6), Objective::MaxQuality)
-                .expect("feasible")
+                .expect("table-4 scenarios are feasible by construction")
                 .into_strategy(),
         })
         .collect()
@@ -82,7 +82,7 @@ pub fn bottom(deltas_ms: &[f64]) -> Vec<Table4Row> {
             param: d / 1e3,
             strategy: planner
                 .plan(&base.with_lifetime(d / 1e3), Objective::MaxQuality)
-                .expect("feasible")
+                .expect("table-4 scenarios are feasible by construction")
                 .into_strategy(),
         })
         .collect()

@@ -230,6 +230,7 @@ impl JointShapeKey {
                 ConstraintKind::LessEq => 1,
                 ConstraintKind::Eq => 2,
             };
+            // dmc-lint: allow(float-exact) shape-key tag: structurally-zero RHS (tombstoned rows, quality floors) is written bitwise as 0.0, never computed
             let tag = kind * 2 + u64::from(c.rhs() == 0.0);
             kind_hash ^= tag;
             kind_hash = kind_hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -344,7 +345,7 @@ impl JointAssembly {
                     .expect("cost segment fits");
                 self.problem
                     .set_rhs(row, request.cost_budget() / request.data_rate())
-                    .expect("row exists");
+                    .expect("row index recorded at assembly stays in range");
                 self.seg = seg;
             }
             if let Some(row) = slot.floor_row {
@@ -357,7 +358,7 @@ impl JointAssembly {
                     .expect("floor segment fits");
                 self.problem
                     .set_rhs(row, -request.min_quality())
-                    .expect("row exists");
+                    .expect("row index recorded at assembly stays in range");
                 self.seg = seg;
             }
             self.problem
@@ -557,6 +558,7 @@ pub struct FleetPlanner {
     flow_planner: Planner,
     /// Joint-LP scratch memory, reused across solves.
     workspace: Workspace,
+    // dmc-lint: allow(det-unordered-map) key-lookup-only cache: get/insert/contains_key/len/clear, never iterated, so key order cannot reach results
     warm_bases: HashMap<JointShapeKey, Basis>,
     warm_attempts: u64,
     warm_hits: u64,
@@ -602,6 +604,7 @@ impl FleetPlanner {
             next_id: 0,
             flow_planner,
             workspace: Workspace::new(),
+            // dmc-lint: allow(det-unordered-map) constructor of the key-lookup-only warm-basis cache above
             warm_bases: HashMap::new(),
             warm_attempts: 0,
             warm_hits: 0,
@@ -706,7 +709,10 @@ impl FleetPlanner {
                     let (id, request, model) = taken[i].take().expect("visited once");
                     decisions[i] = Some(self.admit_candidate(id, request, model)?);
                 }
-                Ok(decisions.into_iter().map(|d| d.expect("filled")).collect())
+                Ok(decisions
+                    .into_iter()
+                    .map(|d| d.expect("every decision slot was filled by the loop above"))
+                    .collect())
             }
             Err(e) => Err(FleetError::Solve(e)),
         }

@@ -1,0 +1,120 @@
+//! Rule identities and diagnostic rendering.
+
+use std::fmt;
+
+/// Every rule dmc-lint knows about.
+///
+/// `bad-pragma` and `lex-error` are meta-rules: they report problems with
+/// the lint input itself and can never be suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    UnsafeCode,
+    DetUnorderedMap,
+    DetWallclock,
+    DetThreadSpawn,
+    FloatExact,
+    PanicHygiene,
+    BadPragma,
+    LexError,
+}
+
+impl Rule {
+    /// Stable kebab-case id used in diagnostics, pragmas and the config.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::DetUnorderedMap => "det-unordered-map",
+            Rule::DetWallclock => "det-wallclock",
+            Rule::DetThreadSpawn => "det-thread-spawn",
+            Rule::FloatExact => "float-exact",
+            Rule::PanicHygiene => "panic-hygiene",
+            Rule::BadPragma => "bad-pragma",
+            Rule::LexError => "lex-error",
+        }
+    }
+
+    /// Rules a pragma or allowlist entry may name. The meta-rules are
+    /// deliberately absent: you cannot suppress a malformed pragma.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "unsafe-code" => Some(Rule::UnsafeCode),
+            "det-unordered-map" => Some(Rule::DetUnorderedMap),
+            "det-wallclock" => Some(Rule::DetWallclock),
+            "det-thread-spawn" => Some(Rule::DetThreadSpawn),
+            "float-exact" => Some(Rule::FloatExact),
+            "panic-hygiene" => Some(Rule::PanicHygiene),
+            _ => None,
+        }
+    }
+
+    pub fn all() -> [Rule; 8] {
+        [
+            Rule::UnsafeCode,
+            Rule::DetUnorderedMap,
+            Rule::DetWallclock,
+            Rule::DetThreadSpawn,
+            Rule::FloatExact,
+            Rule::PanicHygiene,
+            Rule::BadPragma,
+            Rule::LexError,
+        ]
+    }
+
+    /// One-line catalogue entry for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::UnsafeCode => {
+                "`unsafe` anywhere in the workspace (also compiler-backed by #![forbid(unsafe_code)])"
+            }
+            Rule::DetUnorderedMap => {
+                "HashMap/HashSet in deterministic-scope library code: iteration order is \
+                 run-unstable; use BTreeMap/sorted iteration or annotate key-lookup-only use"
+            }
+            Rule::DetWallclock => {
+                "std::time::{Instant,SystemTime} in deterministic-scope library code: solver and \
+                 sim paths must take time as an input, never read the wall clock"
+            }
+            Rule::DetThreadSpawn => {
+                "thread spawn/scope outside the Monte-Carlo pool: parallelism must go through \
+                 the deterministic per-trial seed sharder"
+            }
+            Rule::FloatExact => {
+                "`==`/`!=` against a float literal in library code: use a tolerance, or annotate \
+                 the invariant that makes exact comparison meaningful"
+            }
+            Rule::PanicHygiene => {
+                "`.unwrap()`, `panic!`-family macros, or an `.expect` message too short to name \
+                 an invariant, in library (non-test, non-bin) code"
+            }
+            Rule::BadPragma => "malformed `dmc-lint:` pragma (unknown rule, missing reason, …)",
+            Rule::LexError => "file could not be lexed; dmc-lint cannot vouch for it",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding, positioned in a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// rustc-style one-liner: `path:line:col: severity[rule-id]: message`.
+    pub fn render(&self, deny: bool) -> String {
+        let severity = if deny { "error" } else { "warning" };
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.path, self.line, self.col, severity, self.rule, self.msg
+        )
+    }
+}

@@ -1,0 +1,121 @@
+//! File walking and scan orchestration.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer;
+use crate::rules::{scan_tokens, FileScan};
+
+/// Aggregate result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diags: Vec<Diagnostic>,
+    pub suppressed_pragma: usize,
+    pub suppressed_allowlist: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Scan one file's source under its repo-relative path.
+pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> FileScan {
+    match lexer::lex(src) {
+        Ok(tokens) => scan_tokens(rel, &tokens, cfg),
+        Err(e) => FileScan {
+            diags: vec![Diagnostic {
+                path: rel.to_string(),
+                line: e.line,
+                col: e.col,
+                rule: Rule::LexError,
+                msg: format!("cannot lex file: {}", e.msg),
+            }],
+            ..FileScan::default()
+        },
+    }
+}
+
+/// Scan every `.rs` file under `root` (or under `root`-relative `paths`
+/// when non-empty), honoring the config's skip list. Deterministic: files
+/// are visited in sorted path order.
+pub fn scan_workspace(root: &Path, paths: &[String], cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    if paths.is_empty() {
+        collect_rs_files(root, root, cfg, &mut files)?;
+    } else {
+        for p in paths {
+            let abs = root.join(p);
+            if abs.is_dir() {
+                collect_rs_files(root, &abs, cfg, &mut files)?;
+            } else {
+                files.push(abs);
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for abs in files {
+        let rel = rel_path(root, &abs);
+        if cfg.is_skipped(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(&abs)?;
+        let scan = scan_source(&rel, &src, cfg);
+        report.files_scanned += 1;
+        report.diags.extend(scan.diags);
+        report.suppressed_pragma += scan.suppressed_pragma;
+        report.suppressed_allowlist += scan.suppressed_allowlist;
+    }
+    Ok(report)
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    // Normalize to forward slashes so config prefixes match on any host.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        // Dot-dirs (.git, .github) and build output are never scanned.
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if cfg.is_skipped(&format!("{rel}/")) {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") && !cfg.is_skipped(&rel) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

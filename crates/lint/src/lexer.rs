@@ -1,0 +1,617 @@
+//! Hand-rolled Rust lexer.
+//!
+//! Fidelity target: never misclassify code as comment/string (or the
+//! reverse), never misread a lifetime as a char literal, and classify
+//! numeric literals as int vs float — that is exactly the information the
+//! token rules need. This is not a parser: structure beyond tokens
+//! (attributes, `#[cfg(test)]` regions, `use` items) is recovered by the
+//! rule engine from the token stream.
+
+/// Kind of a single lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#raw_ident`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (apostrophe included in text).
+    Lifetime,
+    /// Integer literal, including its suffix if any (`42`, `0xFF`, `7u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`, `1.`).
+    Float,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Punctuation. Multi-char operators the rules care about (`==`, `!=`,
+    /// `::`) are joined into one token; everything else is one char each.
+    Punct,
+    /// `// …` comment, text includes the slashes (doc `///`/`//!` too).
+    LineComment,
+    /// `/* … */` comment (nesting handled), text includes delimiters.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// A lexing failure (unterminated string/comment, stray char, …).
+#[derive(Debug)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub msg: &'static str,
+}
+
+/// Lex a whole source file. On error the file is considered unscannable
+/// and the caller reports a `lex-error` diagnostic.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i + off).copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, line: u32, col: u32, msg: &'static str) -> LexError {
+        LexError { line, col, msg }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.advance();
+            }
+            let Some(c) = self.peek() else { break };
+            let (line, col) = (self.line, self.col);
+            let tok = match c {
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line, col)?,
+                '"' => self.string(line, col)?,
+                '\'' => self.char_or_lifetime(line, col)?,
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line, col)?,
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            };
+            out.push(Token { line, col, ..tok });
+        }
+        Ok(out)
+    }
+
+    /// True when the upcoming `r`/`b` begins a literal (`r"`, `r#"`, `b"`,
+    /// `b'`, `br"`, `br#"`) rather than an ordinary identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        let c = self.peek();
+        let n1 = self.peek_at(1);
+        match (c, n1) {
+            (Some('r'), Some('"')) => true,
+            (Some('r'), Some('#')) => {
+                // r#"…"# is a raw string; r#ident is a raw identifier.
+                let mut k = 2;
+                while self.peek_at(k) == Some('#') {
+                    k += 1;
+                }
+                self.peek_at(k) == Some('"')
+            }
+            (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+            (Some('b'), Some('r')) => matches!(self.peek_at(2), Some('"') | Some('#')),
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.advance();
+        }
+        Token {
+            kind: TokKind::LineComment,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        loop {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    self.advance();
+                    self.advance();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    self.advance();
+                    self.advance();
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.advance();
+                }
+                (None, _) => return Err(self.err(line, col, "unterminated block comment")),
+            }
+        }
+        Ok(Token {
+            kind: TokKind::BlockComment,
+            text,
+            line: 0,
+            col: 0,
+        })
+    }
+
+    /// Plain `"…"` string (escapes honored). The opening quote has not
+    /// been consumed yet.
+    fn string(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
+        let mut text = String::new();
+        text.push(self.advance().expect("caller saw the opening quote")); // '"'
+        loop {
+            match self.advance() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.advance() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(line, col, "unterminated string literal")),
+            }
+        }
+        Ok(Token {
+            kind: TokKind::Str,
+            text,
+            line: 0,
+            col: 0,
+        })
+    }
+
+    /// Literals introduced by `r`/`b` prefixes: raw strings, byte strings,
+    /// raw byte strings, byte chars.
+    fn prefixed_literal(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
+        let mut text = String::new();
+        // Consume the prefix letters (`r`, `b`, or `br`); the caller's
+        // `raw_or_byte_prefix` check guarantees a literal body follows.
+        while matches!(self.peek(), Some('r') | Some('b')) {
+            text.push(self.advance().expect("peeked prefix letter"));
+        }
+        match self.peek() {
+            Some('\'') => {
+                // b'x' byte char: reuse char lexing, escapes included.
+                self.advance();
+                text.push('\'');
+                loop {
+                    match self.advance() {
+                        Some('\\') => {
+                            text.push('\\');
+                            if let Some(e) = self.advance() {
+                                text.push(e);
+                            }
+                        }
+                        Some('\'') => {
+                            text.push('\'');
+                            break;
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err(line, col, "unterminated byte char")),
+                    }
+                }
+                Ok(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line: 0,
+                    col: 0,
+                })
+            }
+            Some('"') => {
+                // Non-raw (byte) string.
+                let s = self.string(line, col)?;
+                text.push_str(&s.text);
+                Ok(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line: 0,
+                    col: 0,
+                })
+            }
+            Some('#') => {
+                // Raw (byte) string: r#"…"#, with any number of hashes.
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    hashes += 1;
+                    text.push('#');
+                    self.advance();
+                }
+                if self.peek() != Some('"') {
+                    return Err(self.err(line, col, "malformed raw string"));
+                }
+                text.push('"');
+                self.advance();
+                'outer: loop {
+                    match self.advance() {
+                        Some('"') => {
+                            text.push('"');
+                            let mut seen = 0usize;
+                            while seen < hashes && self.peek() == Some('#') {
+                                seen += 1;
+                                text.push('#');
+                                self.advance();
+                            }
+                            if seen == hashes {
+                                break 'outer;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err(line, col, "unterminated raw string")),
+                    }
+                }
+                Ok(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line: 0,
+                    col: 0,
+                })
+            }
+            _ => Err(self.err(line, col, "malformed literal prefix")),
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime). The apostrophe has
+    /// not been consumed yet.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
+        let mut text = String::new();
+        text.push(self.advance().expect("caller saw the apostrophe")); // '\''
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                loop {
+                    match self.advance() {
+                        Some('\\') => {
+                            text.push('\\');
+                            if let Some(e) = self.advance() {
+                                text.push(e);
+                            }
+                        }
+                        Some('\'') => {
+                            text.push('\'');
+                            break;
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err(line, col, "unterminated char literal")),
+                    }
+                }
+                Ok(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line: 0,
+                    col: 0,
+                })
+            }
+            Some(c) if is_ident_start(c) => {
+                while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                    text.push(self.advance().expect("peeked ident char"));
+                }
+                if self.peek() == Some('\'') {
+                    text.push('\'');
+                    self.advance();
+                    Ok(Token {
+                        kind: TokKind::Char,
+                        text,
+                        line: 0,
+                        col: 0,
+                    })
+                } else {
+                    Ok(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: 0,
+                        col: 0,
+                    })
+                }
+            }
+            Some(_) => {
+                // Single non-ident char like '(' or '1'.
+                text.push(self.advance().expect("peeked literal char"));
+                if self.peek() != Some('\'') {
+                    return Err(self.err(line, col, "unterminated char literal"));
+                }
+                text.push('\'');
+                self.advance();
+                Ok(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line: 0,
+                    col: 0,
+                })
+            }
+            None => Err(self.err(line, col, "unterminated char literal")),
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let mut text = String::new();
+        // Raw identifier r#ident: keep the prefix in the text.
+        if self.peek() == Some('r') && self.peek_at(1) == Some('#') {
+            text.push(self.advance().expect("peeked raw-ident prefix r"));
+            text.push(self.advance().expect("peeked raw-ident hash mark"));
+        }
+        while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+            text.push(self.advance().expect("peeked ident char"));
+        }
+        Token {
+            kind: TokKind::Ident,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn number(&mut self) -> Token {
+        let mut text = String::new();
+        let first = self.advance().expect("caller saw a digit");
+        text.push(first);
+        // Hex/octal/binary: always an integer.
+        if first == '0' && matches!(self.peek(), Some('x') | Some('o') | Some('b')) {
+            text.push(self.advance().expect("peeked base letter"));
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit() || c == '_') {
+                text.push(self.advance().expect("peeked digit"));
+            }
+            while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                text.push(self.advance().expect("peeked suffix char"));
+            }
+            return Token {
+                kind: TokKind::Int,
+                text,
+                line: 0,
+                col: 0,
+            };
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+            text.push(self.advance().expect("peeked digit"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            match self.peek_at(1) {
+                // `1.5`: fractional part.
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    text.push(self.advance().expect("peeked fraction dot"));
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                        text.push(self.advance().expect("peeked digit"));
+                    }
+                }
+                // `1..n` range or `1.method()`: the dot is not ours.
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                // Trailing-dot float `1.`.
+                _ => {
+                    is_float = true;
+                    text.push(self.advance().expect("peeked fraction dot"));
+                }
+            }
+        }
+        // Exponent: `1e9`, `1e-9`, `2.5E+10`.
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let exp_ok = match self.peek_at(1) {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+') | Some('-') => {
+                    matches!(self.peek_at(2), Some(c) if c.is_ascii_digit())
+                }
+                _ => false,
+            };
+            if exp_ok {
+                is_float = true;
+                text.push(self.advance().expect("peeked exponent marker"));
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.advance().expect("peeked exponent sign"));
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                    text.push(self.advance().expect("peeked digit"));
+                }
+            }
+        }
+        // Suffix: `1f64` and `1.0_f32` are floats; `7u64` stays an int.
+        let suffix_start = text.len();
+        while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+            text.push(self.advance().expect("peeked suffix char"));
+        }
+        let suffix = &text[suffix_start..];
+        if suffix.trim_start_matches('_').starts_with("f32")
+            || suffix.trim_start_matches('_').starts_with("f64")
+        {
+            is_float = true;
+        }
+        Token {
+            kind: if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn punct(&mut self) -> Token {
+        let c = self.advance().expect("caller saw a char");
+        let mut text = String::new();
+        text.push(c);
+        // Join only the multi-char operators the rules inspect.
+        let joined = matches!(
+            (c, self.peek()),
+            ('=', Some('=')) | ('!', Some('=')) | (':', Some(':'))
+        );
+        if joined {
+            text.push(self.advance().expect("peeked second op char"));
+        }
+        Token {
+            kind: TokKind::Punct,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_distinguished() {
+        let toks = kinds(r#"let s = "a // not a comment"; // real"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("not a comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t == "// real"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r##"let s = r#"he said "hi""#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("he said")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges_vs_method_calls() {
+        let toks = kinds("let a = 1.0; let b = 1..5; let c = 1.max(2); let d = 1e-9; let e = 2f64; let f = 0xFF;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-9", "2f64"]);
+    }
+
+    #[test]
+    fn multi_char_ops_join() {
+        let toks = kinds("a == b != c :: d => e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "=", ">"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "fn");
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("fn main() {\n    let x = 1;\n}").unwrap();
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! dmc-lint — dependency-free static analysis for the deadline-multipath
+//! workspace.
+//!
+//! Every guarantee this repo sells (warm starts bitwise-equal to cold
+//! solves, Monte-Carlo aggregates bit-identical at any thread count,
+//! deterministic fleet-trace replay) rests on source conventions. This
+//! tool machine-enforces them:
+//!
+//! | rule id             | invariant |
+//! |---------------------|-----------|
+//! | `det-unordered-map` | no `HashMap`/`HashSet` on deterministic library paths unless provably key-lookup-only |
+//! | `det-wallclock`     | no `Instant`/`SystemTime`: time is an input, never ambient |
+//! | `det-thread-spawn`  | no thread creation outside the Monte-Carlo pool |
+//! | `float-exact`       | float `==`/`!=` only where exact equality is an invariant, annotated |
+//! | `panic-hygiene`     | no `.unwrap()`/`panic!`-family/short `.expect` in library code |
+//! | `unsafe-code`       | no `unsafe`, anywhere (also `#![forbid(unsafe_code)]` in every crate) |
+//!
+//! Suppression is always *written down*: a per-line/per-file pragma
+//! (`// dmc-lint: allow(<rule>) <reason>` — the reason is mandatory) or a
+//! checked-in allowlist entry in `dmc-lint.conf`. Run it as
+//! `cargo run -p dmc-lint -- --deny`; see EXPERIMENTS.md § "Static
+//! analysis" for the full catalogue and how to add a rule.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Rule};
+pub use engine::{scan_source, scan_workspace, Report};

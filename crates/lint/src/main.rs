@@ -1,0 +1,125 @@
+//! dmc-lint CLI.
+//!
+//! ```text
+//! dmc-lint [--deny] [--root DIR] [--config FILE] [--list-rules] [-q] [PATHS…]
+//! ```
+//!
+//! Exit codes: 0 clean (or warnings without `--deny`), 1 diagnostics under
+//! `--deny`, 2 usage/config/io error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dmc_lint::{config::Config, diag::Rule, engine};
+
+struct Args {
+    deny: bool,
+    quiet: bool,
+    list_rules: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    paths: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: dmc-lint [--deny] [--root DIR] [--config FILE] [--list-rules] [-q] [PATHS...]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        quiet: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        config: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "-q" | "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => args.paths.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in Rule::all() {
+            println!("{:<18} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Config: explicit --config, else <root>/dmc-lint.conf if present,
+    // else built-in defaults.
+    let config_path = args.config.clone().or_else(|| {
+        let default = args.root.join("dmc-lint.conf");
+        default.exists().then_some(default)
+    });
+    let cfg = match &config_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Config::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dmc-lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("dmc-lint: cannot read {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Config::default(),
+    };
+
+    let report = match engine::scan_workspace(&args.root, &args.paths, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dmc-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diags {
+        println!("{}", d.render(args.deny));
+    }
+    if !args.quiet {
+        println!(
+            "dmc-lint: scanned {} files; {} diagnostic{} ({} suppressed: {} pragma, {} allowlist)",
+            report.files_scanned,
+            report.diags.len(),
+            if report.diags.len() == 1 { "" } else { "s" },
+            report.suppressed_pragma + report.suppressed_allowlist,
+            report.suppressed_pragma,
+            report.suppressed_allowlist,
+        );
+    }
+    if args.deny && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! End-to-end CLI tests: the exact binary CI invokes, including the exit
+//! code a seeded violation must produce under `--deny`. This demonstrates
+//! that the CI lint step fails when a violation lands.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmc-lint"))
+}
+
+/// A scratch root inside `target/` (kept inside the repo tree, wiped and
+/// rebuilt on every run).
+fn scratch_root(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("scratch dir removable");
+    }
+    std::fs::create_dir_all(dir.join("crates/core/src")).expect("scratch dir creatable");
+    dir
+}
+
+#[test]
+fn seeded_violation_fails_under_deny_and_passes_without() {
+    let root = scratch_root("seeded-violation");
+    std::fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "pub fn f(o: Option<f64>) -> bool {\n    o.unwrap() == 0.0\n}\n",
+    )
+    .expect("seed file written");
+
+    // Under --deny: nonzero exit, both rules reported rustc-style.
+    let out = bin()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("dmc-lint runs");
+    assert_eq!(out.status.code(), Some(1), "--deny must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:2:7: error[panic-hygiene]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:2:16: error[float-exact]"),
+        "{stdout}"
+    );
+
+    // Without --deny: warnings only, exit 0.
+    let out = bin()
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("dmc-lint runs");
+    assert_eq!(out.status.code(), Some(0), "warn mode must exit 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[panic-hygiene]"));
+}
+
+#[test]
+fn clean_tree_exits_zero_under_deny() {
+    let root = scratch_root("clean-tree");
+    std::fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "pub fn near(x: f64, y: f64) -> bool {\n    (x - y).abs() < 1e-9\n}\n",
+    )
+    .expect("clean file written");
+    let out = bin()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("dmc-lint runs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn malformed_config_is_a_usage_error() {
+    let root = scratch_root("bad-config");
+    std::fs::write(root.join("crates/core/src/lib.rs"), "pub fn ok() {}\n").expect("file written");
+    std::fs::write(root.join("dmc-lint.conf"), "allow float-exact crates/ \n")
+        .expect("config written");
+    let out = bin()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("dmc-lint runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "reasonless allow entry must be a config error"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reason"));
+}
+
+#[test]
+fn list_rules_covers_the_catalogue() {
+    let out = bin().arg("--list-rules").output().expect("dmc-lint runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "unsafe-code",
+        "det-unordered-map",
+        "det-wallclock",
+        "det-thread-spawn",
+        "float-exact",
+        "panic-hygiene",
+        "bad-pragma",
+        "lex-error",
+    ] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}

@@ -1,0 +1,12 @@
+pub fn is_zero(x: f64) -> bool {
+    // dmc-lint: allow(float-exact)
+    x == 0.0
+}
+pub fn unknown_rule(x: f64) -> bool {
+    // dmc-lint: allow(no-such-rule) reason text
+    x == 1.0
+}
+pub fn unknown_directive(x: f64) -> bool {
+    // dmc-lint: frobnicate(float-exact) reason text
+    x == 2.0
+}

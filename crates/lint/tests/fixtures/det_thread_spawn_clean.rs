@@ -1,0 +1,3 @@
+pub fn sequential(trials: u64) -> u64 {
+    (0..trials).map(|t| t * 2).sum()
+}

@@ -1,0 +1,7 @@
+pub fn pool() {
+    // dmc-lint: allow(det-thread-spawn) sanctioned pool: trials are pure and reassembled in index order
+    std::thread::scope(|s| {
+        // dmc-lint: allow(det-thread-spawn) same pool: per-trial seed streams keep results bit-identical
+        s.spawn(|| 2 + 2);
+    });
+}

@@ -1,0 +1,7 @@
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::scope(|s| {
+        s.spawn(|| 2 + 2);
+    });
+}

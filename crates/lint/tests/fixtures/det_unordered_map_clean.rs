@@ -1,0 +1,6 @@
+use std::collections::BTreeMap;
+
+pub fn build() -> usize {
+    let m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.len()
+}

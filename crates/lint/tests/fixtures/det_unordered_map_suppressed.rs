@@ -1,0 +1,12 @@
+use std::collections::HashMap;
+
+pub struct Cache {
+    // dmc-lint: allow(det-unordered-map) key-lookup-only cache: never iterated
+    map: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn lookup(&self, k: u64) -> Option<u64> {
+        self.map.get(&k).copied()
+    }
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: HashMap<u64, u64> = HashMap::default();
+    m.len()
+}

@@ -1,0 +1,3 @@
+pub fn advance(now_ns: u64, dt_ns: u64) -> u64 {
+    now_ns + dt_ns
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // dmc-lint: allow(det-wallclock) timing is reported only, never fed back into results
+    Instant::now()
+}

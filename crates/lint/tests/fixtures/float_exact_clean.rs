@@ -1,0 +1,6 @@
+pub fn near(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-9
+}
+pub fn int_compare_is_fine(a: u32) -> bool {
+    a == 0
+}

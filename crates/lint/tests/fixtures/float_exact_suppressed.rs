@@ -1,0 +1,7 @@
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 // dmc-lint: allow(float-exact) a stored zero means structurally absent
+}
+pub fn nonzero(x: f64) -> bool {
+    // dmc-lint: allow(float-exact) exact endpoint short-circuits to the exact value
+    0.0 != x
+}

@@ -1,0 +1,6 @@
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+pub fn nonzero(x: f64) -> bool {
+    0.0 != x
+}

@@ -1,0 +1,19 @@
+pub fn take(o: Option<u32>) -> Result<u32, String> {
+    o.ok_or_else(|| "empty".to_string())
+}
+pub fn invariant_named(o: Option<u32>) -> u32 {
+    o.expect("slot filled by the loop above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_idiomatic_in_tests() {
+        let o: Option<u32> = Some(1);
+        assert_eq!(o.unwrap(), 1);
+        let bad: Option<u32> = None;
+        if bad.is_some() {
+            panic!("unreachable in this test");
+        }
+    }
+}

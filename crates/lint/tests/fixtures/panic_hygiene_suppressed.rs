@@ -1,0 +1,8 @@
+pub fn arm(x: u32) -> u32 {
+    match x % 2 {
+        0 => 1,
+        1 => 2,
+        // dmc-lint: allow(panic-hygiene) n % 2 is exhaustively covered by the arms above
+        _ => unreachable!(),
+    }
+}

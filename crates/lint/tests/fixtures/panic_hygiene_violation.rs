@@ -1,0 +1,15 @@
+pub fn take(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+pub fn boom() {
+    panic!("boom");
+}
+pub fn arm(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+pub fn short_message(o: Option<u32>) -> u32 {
+    o.expect("present")
+}

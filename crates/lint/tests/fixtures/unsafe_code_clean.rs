@@ -1,0 +1,3 @@
+pub fn peek(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}

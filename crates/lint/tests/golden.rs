@@ -1,0 +1,189 @@
+//! Fixture-based golden tests: per rule, one violating fixture, one clean
+//! fixture, and one pragma-suppressed fixture. Fixtures live under
+//! `tests/fixtures/` (skipped by the workspace scan via `dmc-lint.conf`)
+//! and are scanned here under synthetic repo paths, because a file's role
+//! (library vs test/bin) and rule scope derive from its path.
+
+use std::path::Path;
+
+use dmc_lint::{scan_source, Config, Rule};
+
+/// Scan a fixture as if it lived at `rel` inside the repo.
+fn scan_fixture_as(fixture: &str, rel: &str) -> dmc_lint::rules::FileScan {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    scan_source(rel, &src, &Config::default())
+}
+
+/// (rule, line) pairs of the unsuppressed diagnostics.
+fn hits(scan: &dmc_lint::rules::FileScan) -> Vec<(Rule, u32)> {
+    scan.diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+// A path inside the determinism scope with Library role.
+const LIB: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn float_exact_golden() {
+    let v = scan_fixture_as("float_exact_violation.rs", LIB);
+    assert_eq!(hits(&v), vec![(Rule::FloatExact, 2), (Rule::FloatExact, 5)]);
+    // Full rendered form, pinned once: rustc-style file:line:col with rule id.
+    assert_eq!(
+        v.diags[0].render(true),
+        "crates/core/src/fixture.rs:2:7: error[float-exact]: exact float `==` comparison: \
+         use a tolerance, or annotate the invariant that makes exact equality meaningful"
+    );
+
+    assert!(hits(&scan_fixture_as("float_exact_clean.rs", LIB)).is_empty());
+
+    let s = scan_fixture_as("float_exact_suppressed.rs", LIB);
+    assert!(hits(&s).is_empty(), "{:?}", s.diags);
+    assert_eq!(s.suppressed_pragma, 2);
+
+    // Float compares in test/bin-role files are idiomatic (bitwise parity
+    // tests are this repo's bread and butter) and do not flag.
+    let as_test = scan_fixture_as("float_exact_violation.rs", "crates/core/tests/fixture.rs");
+    assert!(hits(&as_test).is_empty());
+}
+
+#[test]
+fn panic_hygiene_golden() {
+    let v = scan_fixture_as("panic_hygiene_violation.rs", LIB);
+    assert_eq!(
+        hits(&v),
+        vec![
+            (Rule::PanicHygiene, 2),  // .unwrap()
+            (Rule::PanicHygiene, 5),  // panic!
+            (Rule::PanicHygiene, 10), // unreachable!
+            (Rule::PanicHygiene, 14), // short .expect
+        ]
+    );
+
+    // Clean: typed errors, invariant-naming expect, and a #[cfg(test)]
+    // module whose unwrap/panic are exempt.
+    let c = scan_fixture_as("panic_hygiene_clean.rs", LIB);
+    assert!(hits(&c).is_empty(), "{:?}", c.diags);
+
+    let s = scan_fixture_as("panic_hygiene_suppressed.rs", LIB);
+    assert!(hits(&s).is_empty(), "{:?}", s.diags);
+    assert_eq!(s.suppressed_pragma, 1);
+
+    // The same violations under a bin-role path are exempt.
+    let as_bin = scan_fixture_as(
+        "panic_hygiene_violation.rs",
+        "crates/experiments/src/bin/fixture.rs",
+    );
+    assert!(hits(&as_bin).is_empty());
+}
+
+#[test]
+fn det_unordered_map_golden() {
+    let v = scan_fixture_as("det_unordered_map_violation.rs", LIB);
+    // The `use` line never flags; both body mentions do.
+    assert_eq!(
+        hits(&v),
+        vec![(Rule::DetUnorderedMap, 4), (Rule::DetUnorderedMap, 4)]
+    );
+
+    assert!(hits(&scan_fixture_as("det_unordered_map_clean.rs", LIB)).is_empty());
+
+    let s = scan_fixture_as("det_unordered_map_suppressed.rs", LIB);
+    assert!(hits(&s).is_empty(), "{:?}", s.diags);
+    assert_eq!(s.suppressed_pragma, 1);
+
+    // Outside the determinism scope the rule does not apply.
+    let out = scan_fixture_as(
+        "det_unordered_map_violation.rs",
+        "crates/lint/src/fixture.rs",
+    );
+    assert!(hits(&out).is_empty());
+}
+
+#[test]
+fn det_wallclock_golden() {
+    let v = scan_fixture_as("det_wallclock_violation.rs", LIB);
+    // `use std::time::Instant` is exempt; the return type and the call
+    // site both flag.
+    assert_eq!(
+        hits(&v),
+        vec![(Rule::DetWallclock, 3), (Rule::DetWallclock, 4)]
+    );
+
+    assert!(hits(&scan_fixture_as("det_wallclock_clean.rs", LIB)).is_empty());
+
+    let s = scan_fixture_as("det_wallclock_suppressed.rs", LIB);
+    // The pragma guards the call; the type mention in the signature still
+    // flags, so a real suppression needs the signature annotated too —
+    // here we only pin the call-site suppression.
+    assert_eq!(hits(&s), vec![(Rule::DetWallclock, 3)]);
+    assert_eq!(s.suppressed_pragma, 1);
+}
+
+#[test]
+fn det_thread_spawn_golden() {
+    let v = scan_fixture_as("det_thread_spawn_violation.rs", LIB);
+    assert_eq!(
+        hits(&v),
+        vec![
+            (Rule::DetThreadSpawn, 2), // std::thread::spawn
+            (Rule::DetThreadSpawn, 4), // std::thread::scope
+            (Rule::DetThreadSpawn, 5), // s.spawn(…)
+        ]
+    );
+
+    assert!(hits(&scan_fixture_as("det_thread_spawn_clean.rs", LIB)).is_empty());
+
+    let s = scan_fixture_as("det_thread_spawn_suppressed.rs", LIB);
+    assert!(hits(&s).is_empty(), "{:?}", s.diags);
+    assert_eq!(s.suppressed_pragma, 2);
+
+    // The checked-in allowlist suppresses without touching the source:
+    // this is exactly how the Monte-Carlo pool is sanctioned.
+    let cfg = Config::parse(
+        "allow det-thread-spawn crates/core/src/fixture.rs -- sanctioned pool for this test\n",
+    )
+    .unwrap();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/det_thread_spawn_violation.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let allowed = scan_source(LIB, &src, &cfg);
+    assert!(allowed.diags.is_empty(), "{:?}", allowed.diags);
+    assert_eq!(allowed.suppressed_allowlist, 3);
+}
+
+#[test]
+fn unsafe_code_golden() {
+    let v = scan_fixture_as("unsafe_code_violation.rs", LIB);
+    assert_eq!(hits(&v), vec![(Rule::UnsafeCode, 2)]);
+
+    assert!(hits(&scan_fixture_as("unsafe_code_clean.rs", LIB)).is_empty());
+
+    // unsafe flags even in test-role files: the audit has no blind spots.
+    let in_tests = scan_fixture_as("unsafe_code_violation.rs", "crates/core/tests/fixture.rs");
+    assert_eq!(hits(&in_tests), vec![(Rule::UnsafeCode, 2)]);
+}
+
+#[test]
+fn pragma_without_reason_is_rejected() {
+    let v = scan_fixture_as("bad_pragma.rs", LIB);
+    let bad: Vec<u32> = v
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::BadPragma)
+        .map(|d| d.line)
+        .collect();
+    // Reasonless pragma, unknown rule id, unknown directive.
+    assert_eq!(bad, vec![2, 6, 10]);
+    // A rejected pragma suppresses nothing: all three float compares
+    // still flag.
+    let floats = v
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::FloatExact)
+        .count();
+    assert_eq!(floats, 3, "{:?}", v.diags);
+    assert_eq!(v.suppressed_pragma, 0);
+}

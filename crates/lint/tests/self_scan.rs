@@ -1,0 +1,75 @@
+//! The linchpin: the workspace itself must be clean under `--deny`
+//! semantics, with every suppression carrying a written reason. This is
+//! the same scan CI runs; if a new HashMap iteration, wall-clock read,
+//! float `==` or library `unwrap()` lands anywhere in the workspace, this
+//! test fails before CI does.
+
+use std::path::{Path, PathBuf};
+
+use dmc_lint::{engine, Config};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+fn workspace_config(root: &Path) -> Config {
+    let conf = root.join("dmc-lint.conf");
+    let text =
+        std::fs::read_to_string(&conf).expect("dmc-lint.conf is checked in at the workspace root");
+    Config::parse(&text).expect("checked-in dmc-lint.conf parses")
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let report = engine::scan_workspace(&root, &[], &cfg).expect("workspace scan io");
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.render(true)).collect();
+    assert!(
+        report.clean(),
+        "workspace has unsuppressed diagnostics:\n{}",
+        rendered.join("\n")
+    );
+    // Sanity: the scan actually covered the workspace rather than
+    // silently skipping it.
+    assert!(
+        report.files_scanned > 80,
+        "only {} files scanned",
+        report.files_scanned
+    );
+    // The sweep is real: deliberate exact-float/map/wallclock sites are
+    // annotated (not absent), and the Monte-Carlo pool rides the
+    // checked-in allowlist.
+    assert!(
+        report.suppressed_pragma >= 20,
+        "expected the annotated sweep, saw {} pragma suppressions",
+        report.suppressed_pragma
+    );
+    assert!(
+        report.suppressed_allowlist >= 1,
+        "expected the montecarlo allowlist entry to be exercised"
+    );
+}
+
+#[test]
+fn every_allowlist_entry_names_a_real_path() {
+    // Allowlist entries that match nothing are stale and must be removed;
+    // entries pointing at paths that no longer exist are bugs.
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    for entry in &cfg.allow {
+        assert!(
+            root.join(&entry.prefix).exists(),
+            "allowlist entry for `{}` points at a path that does not exist",
+            entry.prefix
+        );
+        assert!(
+            !entry.reason.is_empty(),
+            "allowlist entry for `{}` has no reason",
+            entry.prefix
+        );
+    }
+}

@@ -82,6 +82,7 @@ fn compute_support(coeffs: &[f64]) -> Vec<u32> {
     coeffs
         .iter()
         .enumerate()
+        // dmc-lint: allow(float-exact) exact-zero sparsity filter: a stored 0.0 means structurally absent, not approximately small
         .filter(|(_, &v)| v != 0.0)
         .map(|(j, _)| j as u32)
         .collect()
@@ -359,7 +360,12 @@ impl Problem {
         }
         if self.block_starts.is_empty() {
             self.block_starts.push(0);
-        } else if *self.block_starts.last().expect("nonempty") != start {
+        } else if *self
+            .block_starts
+            .last()
+            .expect("else-branch: block_starts is non-empty")
+            != start
+        {
             self.block_starts.push(start);
         }
         Ok(start..self.objective.len())
@@ -440,6 +446,7 @@ impl Problem {
         let fresh = vals
             .iter()
             .enumerate()
+            // dmc-lint: allow(float-exact) exact-zero sparsity filter: a stored 0.0 means structurally absent, not approximately small
             .filter(|(_, &v)| v != 0.0)
             .map(|(o, _)| (start + o) as u32);
         c.support.splice(lo..hi, fresh);

@@ -415,6 +415,7 @@ fn fill_rc_structural(
     rc[lo..hi].copy_from_slice(&cost[lo..hi]);
     for (r, c) in rows.iter().enumerate() {
         let mult = y[r] * row_factor[r];
+        // dmc-lint: allow(float-exact) axpy skip: an exactly-zero multiplier contributes nothing; a tolerance here would change results
         if mult != 0.0 {
             let seg = &c.coeffs()[lo..hi];
             for (acc, &v) in rc[lo..hi].iter_mut().zip(seg) {
@@ -723,6 +724,7 @@ fn factor(rows: &[Constraint], ws: &mut RevisedWorkspace, dims: &Dims) -> bool {
         for i in k + 1..m {
             let f = ws.lu[i * m + k] * inv;
             ws.lu[i * m + k] = f;
+            // dmc-lint: allow(float-exact) an exactly-zero LU factor generates no eta entry; the skip is lossless
             if f != 0.0 {
                 for j in k + 1..m {
                     ws.lu[i * m + j] -= f * ws.lu[k * m + j];
@@ -783,6 +785,7 @@ fn ftran(ws: &RevisedWorkspace, m: usize, v: &mut [f64]) {
     for (k, &r) in ws.eta_rows.iter().enumerate() {
         let eta = &ws.eta_data[k * m..(k + 1) * m];
         let vr = v[r];
+        // dmc-lint: allow(float-exact) eta transform skip: an exactly-zero pivot component leaves the vector unchanged
         if vr != 0.0 {
             for i in 0..m {
                 if i == r {
@@ -1104,6 +1107,7 @@ fn canonicalize(
         rc2[..dims.art_start].copy_from_slice(&ws.w2[..dims.art_start]);
         for (r, c) in rows.iter().enumerate() {
             let mult = y2[r] * ws.row_factor[r];
+            // dmc-lint: allow(float-exact) axpy skip: an exactly-zero multiplier contributes nothing; a tolerance here would change results
             if mult != 0.0 {
                 for (acc, &v) in rc2[..dims.n].iter_mut().zip(c.coeffs()) {
                     *acc -= mult * v;

@@ -207,6 +207,7 @@ impl Tableau<'_> {
                 continue;
             }
             let factor = self.at(r, pc);
+            // dmc-lint: allow(float-exact) row-elimination skip: an exactly-zero pivot-column entry leaves the row unchanged
             if factor == 0.0 {
                 continue;
             }
@@ -235,6 +236,7 @@ impl Tableau<'_> {
         }
         for r in 0..self.rows {
             let cb = cost[self.basis[r]];
+            // dmc-lint: allow(float-exact) pricing skip: an exactly-zero basic cost contributes nothing to the reduced costs
             if cb == 0.0 {
                 continue;
             }

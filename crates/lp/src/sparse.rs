@@ -365,7 +365,10 @@ fn build(problem: &Problem, ws: &mut SparseWorkspace) -> Dims {
     let declared = problem.block_starts();
     ws.col_block.clear();
     ws.col_block.resize(n, 0);
-    let n_blocks = if declared.len() >= 2 && declared[0] == 0 && *declared.last().unwrap() < n {
+    let n_blocks = if declared.len() >= 2
+        && declared[0] == 0
+        && *declared.last().expect("declared.len() >= 2 checked above") < n
+    {
         for (bi, w) in declared.windows(2).enumerate() {
             for cb in &mut ws.col_block[w[0]..w[1]] {
                 *cb = bi as u32;
@@ -455,6 +458,7 @@ fn ftran(ws: &SparseWorkspace, v: &mut [f64]) {
     for k in 0..ws.eta_pivot.len() {
         let r = ws.eta_pivot[k] as usize;
         let vr = v[r];
+        // dmc-lint: allow(float-exact) eta transform skip: an exactly-zero pivot component leaves the vector unchanged
         if vr != 0.0 {
             for idx in ws.eta_ptr[k]..ws.eta_ptr[k + 1] {
                 v[ws.eta_rows[idx] as usize] += ws.eta_vals[idx] * vr;
@@ -653,6 +657,7 @@ fn eliminate_column(ws: &mut SparseWorkspace, dims: &Dims, col: usize, local_onl
     for k in 0..ws.eta_pivot.len() {
         let r = ws.eta_pivot[k] as usize;
         let vr = work[r];
+        // dmc-lint: allow(float-exact) eta transform skip: an exactly-zero pivot component leaves the vector unchanged
         if vr != 0.0 {
             for idx in ws.eta_ptr[k]..ws.eta_ptr[k + 1] {
                 let i = ws.eta_rows[idx] as usize;
@@ -723,6 +728,7 @@ fn eliminate_column(ws: &mut SparseWorkspace, dims: &Dims, col: usize, local_onl
         ws.eta_pivot_val.push(inv);
         for &t in &touched {
             let i = t as usize;
+            // dmc-lint: allow(float-exact) elimination skip: an exactly-zero work entry produces no fill
             if i != pivot_row && work[i] != 0.0 {
                 ws.eta_rows.push(t);
                 ws.eta_vals.push(-work[i] * inv);
@@ -781,6 +787,7 @@ fn fill_rc_structural(
     rc[lo..hi].copy_from_slice(&cost[lo..hi]);
     for (r, c) in rows.iter().enumerate() {
         let mult = y[r] * row_factor[r];
+        // dmc-lint: allow(float-exact) axpy skip: an exactly-zero multiplier contributes nothing; a tolerance here would change results
         if mult != 0.0 {
             let sup = c.support();
             let start = sup.partition_point(|&j| (j as usize) < lo);
@@ -970,6 +977,7 @@ fn pivot(ws: &mut SparseWorkspace, dims: &Dims, q: usize, r: usize, d: &[f64], t
     ws.eta_pivot.push(r as u32);
     ws.eta_pivot_val.push(inv);
     for (i, &di) in d.iter().enumerate().take(dims.m) {
+        // dmc-lint: allow(float-exact) the eta column stores exact nonzeros only: a zero entry is structurally absent
         if i != r && di != 0.0 {
             ws.eta_rows.push(i as u32);
             ws.eta_vals.push(-di * inv);
@@ -1187,6 +1195,7 @@ fn canonicalize(
         rc2[..dims.art_start].copy_from_slice(&ws.w2[..dims.art_start]);
         for (r, c) in rows.iter().enumerate() {
             let mult = y2[r] * ws.row_factor[r];
+            // dmc-lint: allow(float-exact) axpy skip: an exactly-zero multiplier contributes nothing; a tolerance here would change results
             if mult != 0.0 {
                 for &j in c.support() {
                     let j = j as usize;

@@ -114,6 +114,7 @@ pub struct ReceiverStats {
 #[derive(Debug)]
 pub struct DmcReceiver {
     config: ReceiverConfig,
+    // dmc-lint: allow(det-unordered-map) membership-set only: insert/contains by seq, never iterated
     seen: HashSet<u64>,
     highest_seq: u64,
     stats: ReceiverStats,
@@ -149,6 +150,7 @@ impl DmcReceiver {
     pub fn new(config: ReceiverConfig) -> Self {
         DmcReceiver {
             config,
+            // dmc-lint: allow(det-unordered-map) constructor of the membership-only dedup set above
             seen: HashSet::new(),
             highest_seq: 0,
             stats: ReceiverStats::default(),

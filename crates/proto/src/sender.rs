@@ -249,6 +249,7 @@ struct InFlight {
 pub struct DmcSender {
     config: SenderConfig,
     scheduler: dmc_core::Scheduler,
+    // dmc-lint: allow(det-unordered-map) key-lookup-only: get/insert/remove/contains_key by seq, never iterated
     in_flight: HashMap<u64, InFlight>,
     /// Per path: send counter and outstanding transmissions by send index
     /// (for fast retransmit).
@@ -280,6 +281,7 @@ impl DmcSender {
             .expect("valid strategy");
         DmcSender {
             scheduler,
+            // dmc-lint: allow(det-unordered-map) constructor of the key-lookup-only in-flight map above
             in_flight: HashMap::new(),
             path_send_count: vec![0; num_paths],
             outstanding: vec![BTreeMap::new(); num_paths],
@@ -562,7 +564,10 @@ impl Agent for DmcSender {
         } else {
             // Detect-only timer: the transmission is presumed lost; record
             // it and give the message up.
-            let state = self.in_flight.remove(&seq).expect("present");
+            let state = self
+                .in_flight
+                .remove(&seq)
+                .expect("membership in in_flight checked just above");
             self.loss[state.path].record(true);
             self.outstanding[state.path].remove(&state.path_send_idx);
             self.stats.expired += 1;

@@ -298,7 +298,10 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
             if next > end {
                 break;
             }
-            let (now, event) = self.queue.pop().expect("peeked");
+            let (now, event) = self
+                .queue
+                .pop()
+                .expect("queue verified non-empty by the peek above");
             self.events_processed += 1;
             match event {
                 NetEvent::Departure { dir, path, size } => {

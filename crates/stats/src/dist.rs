@@ -282,7 +282,10 @@ impl Empirical {
         if samples.iter().any(|s| !s.is_finite() || *s < 0.0) {
             return Err("samples must be finite and ≥ 0".into());
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("samples validated finite at construction")
+        });
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
@@ -325,7 +328,10 @@ impl Delay for Empirical {
     }
 
     fn max_delay(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        *self
+            .sorted
+            .last()
+            .expect("sorted samples validated non-empty at construction")
     }
 
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {

@@ -18,6 +18,7 @@
 //! | `dmc-proto` | [`proto`] | sender/receiver protocol state machines, acks, estimators |
 //! | `dmc-fleet` | [`fleet`] | multi-flow admission control + joint shared-capacity allocation |
 //! | `dmc-experiments` | [`experiments`] | regenerators for every table & figure of the paper |
+//! | `dmc-lint` | (dev tool, not re-exported) | dependency-free static analyzer enforcing the workspace's determinism, float-safety, and panic-hygiene invariants (`cargo run -p dmc-lint -- --deny`; rule catalogue and pragma syntax in `EXPERIMENTS.md`) |
 //!
 //! # Quick start
 //!
