@@ -13,7 +13,9 @@ use dmc_core::{
 use dmc_proto::{
     DmcReceiver, DmcSender, ReceiverConfig, ReceiverStats, SenderConfig, SenderStats, TimeoutPlan,
 };
-use dmc_sim::{Dynamics, LinkConfig, LossModel, SimDuration, TwoHostSim};
+use dmc_sim::{
+    Dir, Dynamics, FaultPlan, FaultStats, LinkConfig, LossModel, SimDuration, TwoHostSim,
+};
 use dmc_stats::{ConstantDelay, Delay};
 use std::sync::Arc;
 
@@ -150,6 +152,10 @@ pub struct RunConfig {
     /// Scheduled link dynamics (path failures, bandwidth steps, loss
     /// changes); empty = the paper's static links.
     pub dynamics: Dynamics,
+    /// Seeded fault injection (payload corruption, duplication, bounded
+    /// reordering, flaps, correlated fault domains); `None` = a clean
+    /// run. The plan's link schedule composes with `dynamics`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -167,6 +173,7 @@ impl Default for RunConfig {
             queue_capacity: 100 * 1024,
             fast_retransmit: None,
             dynamics: Dynamics::new(),
+            faults: None,
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct RunOutcome {
     pub sender: SenderStats,
     /// Receiver counters.
     pub receiver: ReceiverStats,
+    /// Packet faults injected on the data direction (all zero when
+    /// [`RunConfig::faults`] is `None`).
+    pub faults_injected: FaultStats,
 }
 
 /// Runs a solved [`Plan`] on a true network: the sender, its timeouts,
@@ -278,7 +288,11 @@ pub fn run_strategy(
     ));
     let mut sim = TwoHostSim::new(mk_links(), mk_links(), sender, receiver, cfg.seed)?;
     sim.apply_dynamics(&cfg.dynamics)?;
+    if let Some(plan) = &cfg.faults {
+        sim.apply_faults(plan)?;
+    }
     sim.run_to_completion();
+    let faults_injected = sim.fault_stats(Dir::Forward);
     let sender = sim.client().stats();
     let receiver = sim.server().stats();
     let quality = if sender.generated == 0 {
@@ -291,6 +305,7 @@ pub fn run_strategy(
         predicted_quality,
         sender,
         receiver,
+        faults_injected,
     })
 }
 

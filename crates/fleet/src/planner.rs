@@ -40,7 +40,12 @@
 //! and link changes re-solve the smaller/changed LP (warm-started from
 //! the cached basis of the same joint shape); a link change that makes
 //! the floors collectively infeasible triggers deterministic re-admission
-//! in admission order, evicting exactly the flows that no longer fit.
+//! highest priority first (admission order within ties), **shedding**
+//! exactly the flows that no longer fit into a re-admission queue: each
+//! subsequent capacity event (link change or departure) retries them
+//! under capped exponential backoff until they are revived — keeping
+//! their original ids — or definitively rejected within a bounded number
+//! of events ([`FleetPlanner::SHED_HORIZON`]).
 //!
 //! # Incremental assembly
 //!
@@ -66,7 +71,9 @@ use crate::flow::{FlowId, FlowRequest};
 use dmc_core::{
     Objective, Plan, Planner, PlannerConfig, Scenario, ScenarioModel, ScenarioPath, WarmStats,
 };
-use dmc_lp::{Backend, Basis, ConstraintKind, Problem, SolveError, SolverOptions, Workspace};
+use dmc_lp::{
+    Backend, Basis, ConstraintKind, Problem, SolveError, SolveStatus, SolverOptions, Workspace,
+};
 use dmc_sim::LinkChange;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -112,6 +119,12 @@ pub struct FleetConfig {
     /// behavior, kept as the differential baseline — see
     /// `tests/incremental_vs_rebuild.rs`).
     pub incremental: bool,
+    /// Replay the feasibility certificate ([`dmc_lp::Solution::certify`])
+    /// after **every** joint solve, even in release builds (default
+    /// `false`: debug builds always certify, release builds skip it).
+    /// Fault-injection harnesses turn this on so a bogus vertex aborts
+    /// the run at the solve that produced it.
+    pub certify: bool,
 }
 
 impl Default for FleetConfig {
@@ -121,6 +134,7 @@ impl Default for FleetConfig {
             planner: PlannerConfig::default(),
             joint_backend: Backend::Sparse,
             incremental: true,
+            certify: false,
         }
     }
 }
@@ -250,6 +264,32 @@ const MAX_CACHED_SHAPES: usize = 64;
 /// Compact the incremental assembly once it holds at least this many
 /// slots *and* tombstoned slots outnumber the active ones.
 const COMPACT_MIN_SLOTS: usize = 8;
+
+/// Cap on the capacity-event backoff between re-admission attempts of a
+/// shed flow (`2^MAX_SHED_ATTEMPTS-1 - 1`, so the total horizon telescopes
+/// to [`FleetPlanner::SHED_HORIZON`]).
+const SHED_SKIP_CAP: u32 = 7;
+
+/// A flow displaced by a capacity loss, queued for re-admission.
+///
+/// The flow keeps its [`FlowId`] and its last-known-good [`Plan`]; each
+/// failed re-admission attempt doubles the number of capacity events the
+/// flow then sits out (capped at [`SHED_SKIP_CAP`]), and after
+/// [`FleetPlanner::MAX_SHED_ATTEMPTS`] failures it is definitively
+/// rejected — so every shed flow leaves the queue within
+/// [`FleetPlanner::SHED_HORIZON`] capacity events.
+#[derive(Debug, Clone)]
+struct ShedFlow {
+    id: FlowId,
+    request: FlowRequest,
+    /// The plan the flow held when it was shed (returned if the tenant
+    /// withdraws the flow while it waits).
+    plan: Plan,
+    /// Failed re-admission attempts so far.
+    attempts: u32,
+    /// Capacity events to skip before the next attempt.
+    skip: u32,
+}
 
 /// One per-flow block of the incremental joint LP: its column range and
 /// the rows that belong to it. A tombstoned (inactive) slot keeps its
@@ -562,6 +602,15 @@ pub struct FleetPlanner {
     warm_bases: HashMap<JointShapeKey, Basis>,
     warm_attempts: u64,
     warm_hits: u64,
+    /// Cold re-solves forced by a warm-start anomaly (singular basis or
+    /// pivot-cap abort on the warm path).
+    warm_anomalies: u64,
+    /// Flows displaced by capacity losses, awaiting re-admission.
+    shed: Vec<ShedFlow>,
+    /// Flows that exhausted their re-admission attempts (cumulative).
+    shed_rejected: Vec<FlowId>,
+    /// Flows revived from the shed queue (cumulative, in revival order).
+    revived: Vec<FlowId>,
     /// The incrementally maintained joint LP
     /// ([`FleetConfig::incremental`]); `None` until the first offer and
     /// after structural resets (link changes that force re-admission).
@@ -608,9 +657,24 @@ impl FleetPlanner {
             warm_bases: HashMap::new(),
             warm_attempts: 0,
             warm_hits: 0,
+            warm_anomalies: 0,
+            shed: Vec::new(),
+            shed_rejected: Vec::new(),
+            revived: Vec::new(),
             assembly: None,
         })
     }
+
+    /// Re-admission attempts a shed flow gets before it is definitively
+    /// rejected.
+    pub const MAX_SHED_ATTEMPTS: u32 = 4;
+
+    /// Upper bound, in capacity events (link changes and departures), on
+    /// how long a shed flow can sit in the re-admission queue before it is
+    /// either revived or definitively rejected: attempt `a` is followed by
+    /// `min(2^a - 1, 7)` skipped events, so the schedule telescopes to
+    /// `1 + 2 + 4 + 8 = 2^MAX_SHED_ATTEMPTS - 1` events.
+    pub const SHED_HORIZON: usize = (1 << Self::MAX_SHED_ATTEMPTS) - 1;
 
     /// The active configuration.
     pub fn config(&self) -> &FleetConfig {
@@ -726,16 +790,24 @@ impl FleetPlanner {
     /// flow keeps meeting its floor (the `admission_invariants` test pins
     /// this).
     ///
+    /// Departing a flow that sits in the **re-admission queue** (shed by
+    /// a capacity loss, not yet revived) withdraws it from the queue and
+    /// returns the plan it held when it was shed.
+    ///
+    /// A departure frees capacity, so it also runs one re-admission sweep
+    /// over the shed queue (see [`FleetPlanner::shed_flows`]).
+    ///
     /// # Errors
     ///
     /// [`FleetError::UnknownFlow`] for ids never admitted or already
     /// gone.
     pub fn depart(&mut self, id: FlowId) -> Result<Plan, FleetError> {
-        let idx = self
-            .flows
-            .iter()
-            .position(|f| f.id == id)
-            .ok_or(FleetError::UnknownFlow(id))?;
+        let Some(idx) = self.flows.iter().position(|f| f.id == id) else {
+            if let Some(pos) = self.shed.iter().position(|s| s.id == id) {
+                return Ok(self.shed.remove(pos).plan);
+            }
+            return Err(FleetError::UnknownFlow(id));
+        };
         let departed = self.flows.remove(idx);
         if self.config.incremental {
             if let Some(a) = self.assembly.as_mut() {
@@ -747,6 +819,7 @@ impl FleetPlanner {
             let (segments, _) = self.solve_entries(&[]).map_err(FleetError::Solve)?;
             self.refresh_plans(segments);
         }
+        self.revive_shed()?;
         Ok(departed.plan)
     }
 
@@ -771,9 +844,14 @@ impl FleetPlanner {
     /// [`LinkChange::SetLoss`] plans against the model's stationary loss
     /// rate, exactly as the single-flow LP does for Gilbert–Elliott
     /// links. If the change makes the admitted floors collectively
-    /// infeasible, flows are deterministically re-admitted in admission
-    /// order and the ones that no longer fit are **evicted**; the
-    /// returned ids name them (empty when everyone still fits).
+    /// infeasible, flows are deterministically re-admitted highest
+    /// priority first (admission order within ties) and the ones that no
+    /// longer fit are **shed** into the re-admission queue (see
+    /// [`FleetPlanner::shed_flows`]); the returned ids name them (empty
+    /// when everyone still fits). Every link change also runs one
+    /// re-admission sweep over the *previously* shed flows, reviving —
+    /// under their original ids — those the changed capacity again
+    /// accommodates.
     ///
     /// # Errors
     ///
@@ -805,7 +883,44 @@ impl FleetPlanner {
                 shared.loss = model.stationary_loss();
             }
         }
-        self.resettle()
+        // Resettle the incumbents first (their models must match the new
+        // paths before any joint solve), then give the previously shed
+        // flows their re-admission sweep, and only then enqueue the newly
+        // shed ones — the event that displaced them is no occasion to
+        // retry them.
+        let newly_shed = self.resettle()?;
+        self.revive_shed()?;
+        let ids: Vec<FlowId> = newly_shed.iter().map(|s| s.id).collect();
+        self.shed.extend(newly_shed);
+        Ok(ids)
+    }
+
+    /// Ids currently queued for re-admission after being shed by a
+    /// capacity loss, in queue order (the deterministic attempt order:
+    /// highest priority first, admission order within ties, refreshed at
+    /// every sweep).
+    pub fn shed_flows(&self) -> Vec<FlowId> {
+        self.shed.iter().map(|s| s.id).collect()
+    }
+
+    /// Ids definitively rejected after exhausting their
+    /// [`FleetPlanner::MAX_SHED_ATTEMPTS`] re-admission attempts
+    /// (cumulative, in rejection order).
+    pub fn shed_rejected(&self) -> &[FlowId] {
+        &self.shed_rejected
+    }
+
+    /// Ids revived from the shed queue so far (cumulative, in revival
+    /// order). A revived flow keeps its original [`FlowId`].
+    pub fn revived_flows(&self) -> &[FlowId] {
+        &self.revived
+    }
+
+    /// Cold re-solves forced by a warm-start anomaly — a singular basis
+    /// or a pivot-cap abort on the warm path. Each one dropped the cached
+    /// basis and retried cold instead of failing the operation.
+    pub fn warm_anomalies(&self) -> u64 {
+        self.warm_anomalies
     }
 
     /// Number of admitted flows.
@@ -959,9 +1074,11 @@ impl FleetPlanner {
     }
 
     /// Rebuilds every flow's model against the changed paths and
-    /// re-solves; on collective infeasibility, re-admits greedily in
-    /// admission order and reports the evicted ids.
-    fn resettle(&mut self) -> Result<Vec<FlowId>, FleetError> {
+    /// re-solves; on collective infeasibility, re-admits greedily highest
+    /// priority first ([`FlowRequest::priority`], admission order within
+    /// ties — so equal-priority fleets shed exactly as they always did)
+    /// and returns the displaced flows for the caller to enqueue.
+    fn resettle(&mut self) -> Result<Vec<ShedFlow>, FleetError> {
         for i in 0..self.flows.len() {
             let request = self.flows[i].request.clone();
             self.flows[i].model = self.flow_model(&request)?;
@@ -981,19 +1098,77 @@ impl FleetPlanner {
                 Ok(Vec::new())
             }
             Err(SolveError::Infeasible { .. }) => {
-                let survivors = std::mem::take(&mut self.flows);
+                let mut survivors = std::mem::take(&mut self.flows);
                 self.assembly = None;
-                let mut evicted = Vec::new();
+                survivors.sort_by(|a, b| {
+                    b.request
+                        .priority()
+                        .partial_cmp(&a.request.priority())
+                        .expect("priorities are finite")
+                        .then(a.id.cmp(&b.id))
+                });
+                let mut shed = Vec::new();
                 for f in survivors {
+                    let request = f.request.clone();
                     match self.admit_candidate(f.id, f.request, f.model)? {
                         AdmissionDecision::Admitted { .. } => {}
-                        AdmissionDecision::Rejected { id, .. } => evicted.push(id),
+                        AdmissionDecision::Rejected { id, .. } => shed.push(ShedFlow {
+                            id,
+                            request,
+                            plan: f.plan,
+                            attempts: 0,
+                            skip: 0,
+                        }),
                     }
                 }
-                Ok(evicted)
+                Ok(shed)
             }
             Err(e) => Err(FleetError::Solve(e)),
         }
+    }
+
+    /// One re-admission sweep over the shed queue, run after every
+    /// capacity-affecting event (link change or departure).
+    ///
+    /// Flows are tried highest priority first (admission order within
+    /// ties). Each failed attempt puts the flow back with an
+    /// exponentially growing event-skip (capped at [`SHED_SKIP_CAP`]);
+    /// after [`FleetPlanner::MAX_SHED_ATTEMPTS`] failures the flow is
+    /// definitively rejected, bounding every shed flow's queue residence
+    /// by [`FleetPlanner::SHED_HORIZON`] capacity events.
+    fn revive_shed(&mut self) -> Result<(), FleetError> {
+        if self.shed.is_empty() {
+            return Ok(());
+        }
+        self.shed.sort_by(|a, b| {
+            b.request
+                .priority()
+                .partial_cmp(&a.request.priority())
+                .expect("priorities are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        let queue = std::mem::take(&mut self.shed);
+        for mut s in queue {
+            if s.skip > 0 {
+                s.skip -= 1;
+                self.shed.push(s);
+                continue;
+            }
+            let model = self.flow_model(&s.request)?;
+            match self.admit_candidate(s.id, s.request.clone(), model)? {
+                AdmissionDecision::Admitted { .. } => self.revived.push(s.id),
+                AdmissionDecision::Rejected { .. } => {
+                    s.attempts += 1;
+                    if s.attempts >= Self::MAX_SHED_ATTEMPTS {
+                        self.shed_rejected.push(s.id);
+                    } else {
+                        s.skip = ((1u32 << s.attempts) - 1).min(SHED_SKIP_CAP);
+                        self.shed.push(s);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Re-places every active flow into a fresh assembly (keeps slot
@@ -1037,11 +1212,29 @@ impl FleetPlanner {
         let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
             Some(basis) => {
                 self.warm_attempts += 1;
-                let s = problem.solve_warm_with(&opts, &mut self.workspace, basis)?;
-                if s.used_warm_start() {
-                    self.warm_hits += 1;
+                match problem.solve_warm_with(&opts, &mut self.workspace, basis) {
+                    Ok(s) => {
+                        if s.used_warm_start() {
+                            self.warm_hits += 1;
+                        }
+                        s
+                    }
+                    Err(e) if SolveStatus::of_error(&e).is_anomaly() => {
+                        // A singular/stale basis or a pivot-cap abort on
+                        // the warm path is a numerical anomaly, not a
+                        // verdict about the problem: drop the offending
+                        // basis and re-solve cold. The incumbents keep
+                        // their last-known-good plans unless the cold
+                        // solve succeeds (plans are only refreshed from a
+                        // successful solution).
+                        self.warm_anomalies += 1;
+                        if let Some(k) = key {
+                            self.warm_bases.remove(&k);
+                        }
+                        problem.solve_with(&opts, &mut self.workspace)?
+                    }
+                    Err(e) => return Err(e),
                 }
-                s
             }
             None => problem.solve_with(&opts, &mut self.workspace)?,
         };
@@ -1052,12 +1245,14 @@ impl FleetPlanner {
             self.warm_bases.insert(k, basis.clone());
         }
         // The decomposition path replays the feasibility certificate in
-        // debug builds: every per-flow plan descends from this x, so a
-        // bogus vertex here would silently corrupt the whole fleet.
-        #[cfg(debug_assertions)]
-        solution
-            .certify(problem)
-            .expect("joint LP solution failed its feasibility certificate");
+        // debug builds (and in release when [`FleetConfig::certify`] is
+        // set): every per-flow plan descends from this x, so a bogus
+        // vertex here would silently corrupt the whole fleet.
+        if cfg!(debug_assertions) || self.config.certify {
+            solution
+                .certify(problem)
+                .expect("joint LP solution failed its feasibility certificate");
+        }
         Ok(solution)
     }
 
@@ -1335,7 +1530,7 @@ mod tests {
     }
 
     #[test]
-    fn link_failure_evicts_only_what_no_longer_fits() {
+    fn link_failure_sheds_only_what_no_longer_fits_and_recovery_revives_it() {
         let mut fleet = fleet();
         // Fits only thanks to path 0: 60 Mbps at 90 %.
         let big = fleet
@@ -1346,18 +1541,152 @@ mod tests {
             .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.9))
             .unwrap();
         assert!(big.is_admitted() && small.is_admitted());
-        let evicted = fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
-        assert_eq!(evicted, vec![big.id()]);
+        let shed = fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(shed, vec![big.id()]);
         assert_eq!(fleet.flow_ids(), vec![small.id()]);
+        assert_eq!(fleet.shed_flows(), vec![big.id()]);
         assert!(fleet.plan_of(small.id()).unwrap().quality() >= 0.9 - 1e-9);
-        // Recovery admits nothing by itself (eviction is final)…
-        let evicted = fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
-        assert!(evicted.is_empty());
-        // …but the capacity is usable again for new offers.
-        let again = fleet
+        // Recovery sheds nothing and revives the queued flow under its
+        // original id, floor met again.
+        let shed = fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
+        assert!(shed.is_empty());
+        assert!(fleet.shed_flows().is_empty());
+        assert_eq!(fleet.revived_flows(), &[big.id()]);
+        assert!(fleet.flow_ids().contains(&big.id()));
+        assert!(fleet.plan_of(big.id()).unwrap().quality() >= 0.9 - 1e-9);
+        assert!(fleet.shed_rejected().is_empty());
+    }
+
+    #[test]
+    fn shedding_is_priority_ordered_lowest_first() {
+        // Two flows that both fit initially but cannot share the thin
+        // clean path once the fat one fails. The *lower-priority* flow is
+        // shed even though it was admitted first.
+        let mut ranked = fleet();
+        let lo = ranked
+            .offer(FlowRequest::new(15e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        let hi = ranked
+            .offer(
+                FlowRequest::new(15e6, 0.8)
+                    .unwrap()
+                    .with_min_quality(0.9)
+                    .with_priority(4.0),
+            )
+            .unwrap();
+        assert!(lo.is_admitted() && hi.is_admitted());
+        let shed = ranked.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(shed, vec![lo.id()]);
+        assert_eq!(ranked.flow_ids(), vec![hi.id()]);
+        // Equal priorities break ties by admission order: rerun with the
+        // priorities leveled and the *second* arrival is shed instead.
+        let mut tied = fleet();
+        let first = tied
+            .offer(FlowRequest::new(15e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        let second = tied
+            .offer(FlowRequest::new(15e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        assert!(first.is_admitted() && second.is_admitted());
+        let shed = tied.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(shed, vec![second.id()]);
+        assert_eq!(tied.flow_ids(), vec![first.id()]);
+    }
+
+    #[test]
+    fn shed_flow_backs_off_and_is_definitively_rejected_within_the_horizon() {
+        let mut fleet = fleet();
+        let big = fleet
             .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
             .unwrap();
-        assert!(again.is_admitted());
+        let small = fleet
+            .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(fleet.shed_flows(), vec![big.id()]);
+        // Capacity never returns; every subsequent event runs one sweep.
+        // The flow must leave the queue within SHED_HORIZON events.
+        let mut events = 0;
+        while !fleet.shed_flows().is_empty() {
+            fleet
+                .apply_link_change(1, &LinkChange::SetBandwidth(20e6))
+                .unwrap();
+            events += 1;
+            assert!(
+                events <= FleetPlanner::SHED_HORIZON,
+                "flow still queued after {events} capacity events"
+            );
+        }
+        assert_eq!(events, FleetPlanner::SHED_HORIZON);
+        assert_eq!(fleet.shed_rejected(), &[big.id()]);
+        assert!(fleet.revived_flows().is_empty());
+        // The survivor was never disturbed.
+        assert_eq!(fleet.flow_ids(), vec![small.id()]);
+        assert!(fleet.plan_of(small.id()).unwrap().quality() >= 0.9 - 1e-9);
+    }
+
+    #[test]
+    fn departing_a_shed_flow_withdraws_it_from_the_queue() {
+        let mut fleet = fleet();
+        let big = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        fleet
+            .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        assert_eq!(fleet.shed_flows(), vec![big.id()]);
+        // The tenant gives up while the flow waits: it returns the plan
+        // it held when it was shed, and recovery revives nothing.
+        let last_plan = fleet.depart(big.id()).unwrap();
+        assert!(last_plan.quality() >= 0.9 - 1e-9);
+        assert!(fleet.shed_flows().is_empty());
+        fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
+        assert!(fleet.revived_flows().is_empty());
+        assert_eq!(fleet.num_flows(), 1);
+    }
+
+    #[test]
+    fn warm_anomaly_drops_the_basis_and_never_panics() {
+        // Admit two flows so the joint shape has a cached basis, then
+        // strangle the pivot budget: the next resettle's warm attempt
+        // aborts on the iteration cap (an anomaly), the fallback drops
+        // the cached basis and retries cold — which also aborts, so the
+        // operation fails with an error, not a panic, and the incumbents
+        // keep their last-known-good plans. Restoring the budget heals
+        // the fleet on the next event.
+        let mut fleet = fleet();
+        let a = fleet
+            .offer(FlowRequest::new(40e6, 0.8).unwrap().with_min_quality(0.7))
+            .unwrap();
+        let b = fleet.offer(FlowRequest::new(10e6, 0.8).unwrap()).unwrap();
+        assert!(a.is_admitted() && b.is_admitted());
+        assert!(fleet.cached_bases() > 0);
+        let cached_before = fleet.cached_bases();
+        let plan_a = fleet.plan_of(a.id()).unwrap().clone();
+        let budget = fleet.config.planner.solver.max_iterations;
+        fleet.config.planner.solver.max_iterations = 1;
+        let err = fleet
+            .apply_link_change(0, &LinkChange::SetBandwidth(5e6))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FleetError::Solve(SolveError::IterationLimit { .. })
+        ));
+        assert_eq!(fleet.warm_anomalies(), 1);
+        assert_eq!(fleet.cached_bases(), cached_before - 1);
+        // Last-known-good plans survived the failed solve.
+        assert_eq!(
+            fleet.plan_of(a.id()).unwrap().strategy().x(),
+            plan_a.strategy().x()
+        );
+        // With the budget restored the fleet resettles cleanly.
+        fleet.config.planner.solver.max_iterations = budget;
+        let shed = fleet
+            .apply_link_change(0, &LinkChange::SetBandwidth(80e6))
+            .unwrap();
+        assert!(shed.is_empty());
+        assert!(fleet.plan_of(a.id()).unwrap().quality() >= 0.7 - 1e-9);
     }
 
     #[test]

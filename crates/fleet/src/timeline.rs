@@ -20,9 +20,11 @@ pub enum FleetEvent {
     /// A flow asks for admission.
     Arrive(FlowRequest),
     /// An admitted flow leaves (ids are offer-ordered; see [`FlowId`]).
-    /// Departing a flow that was rejected — or already evicted — is a
-    /// no-op during replay, so traces can schedule departures without
-    /// knowing admission outcomes in advance.
+    /// Departing a flow that was rejected — or definitively rejected
+    /// after being shed — is a no-op during replay, so traces can
+    /// schedule departures without knowing admission outcomes in
+    /// advance; departing a flow waiting in the re-admission queue
+    /// withdraws it.
     Depart(FlowId),
     /// A shared link changes (the [`dmc_sim::Dynamics`] vocabulary).
     Link {
@@ -116,8 +118,12 @@ pub struct FleetSnapshot {
     /// The flow that left, for effective `Depart` events (`None` when the
     /// departure was a no-op because the flow was never admitted).
     pub departed: Option<FlowId>,
-    /// Flows evicted by a link change (empty otherwise).
-    pub evicted: Vec<FlowId>,
+    /// Flows shed into the re-admission queue by a link change (empty
+    /// otherwise).
+    pub shed: Vec<FlowId>,
+    /// Flows revived from the re-admission queue by this event's sweep
+    /// (link changes and departures both free capacity; empty otherwise).
+    pub revived: Vec<FlowId>,
     /// Admitted flows after the event, in admission order.
     pub admitted: Vec<FlowId>,
     /// Per-path utilization after the event.
@@ -142,7 +148,8 @@ impl FleetPlanner {
     pub fn replay(&mut self, trace: &FleetTrace) -> Result<Vec<FleetSnapshot>, FleetError> {
         let mut snapshots = Vec::with_capacity(trace.events().len());
         for e in trace.events() {
-            let (decision, departed, evicted) = match &e.event {
+            let revived_before = self.revived_flows().len();
+            let (decision, departed, shed) = match &e.event {
                 FleetEvent::Arrive(request) => {
                     (Some(self.offer(request.clone())?), None, Vec::new())
                 }
@@ -159,7 +166,8 @@ impl FleetPlanner {
                 at: e.at,
                 decision,
                 departed,
-                evicted,
+                shed,
+                revived: self.revived_flows()[revived_before..].to_vec(),
                 admitted: self.flow_ids(),
                 utilization: self.utilization(),
                 aggregate_quality: self.aggregate_quality(),
@@ -223,7 +231,7 @@ mod tests {
         assert!(snaps[1].decision.as_ref().unwrap().is_admitted());
         assert_eq!(snaps[1].admitted.len(), 2);
         // The bandwidth cut keeps both only if floors still fit.
-        assert!(snaps[2].admitted.len() + snaps[2].evicted.len() == 2);
+        assert!(snaps[2].admitted.len() + snaps[2].shed.len() == 2);
         // flow#0 departs (if it survived the link change).
         if snaps[2].admitted.contains(&FlowId::new(0)) {
             assert_eq!(snaps[3].departed, Some(FlowId::new(0)));

@@ -63,7 +63,8 @@ fn assert_snapshots_identical(a: &[FleetSnapshot], b: &[FleetSnapshot]) {
     for (x, y) in a.iter().zip(b) {
         assert_eq!(x.admitted, y.admitted);
         assert_eq!(x.departed, y.departed);
-        assert_eq!(x.evicted, y.evicted);
+        assert_eq!(x.shed, y.shed);
+        assert_eq!(x.revived, y.revived);
         assert_eq!(x.utilization, y.utilization); // bitwise
         assert_eq!(x.aggregate_quality, y.aggregate_quality); // bitwise
         assert_eq!(

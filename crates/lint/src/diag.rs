@@ -71,8 +71,9 @@ impl Rule {
                  run-unstable; use BTreeMap/sorted iteration or annotate key-lookup-only use"
             }
             Rule::DetWallclock => {
-                "std::time::{Instant,SystemTime} in deterministic-scope library code: solver and \
-                 sim paths must take time as an input, never read the wall clock"
+                "std::time::{Instant,SystemTime} or ambient entropy (thread_rng/from_entropy/\
+                 OsRng) in deterministic-scope library code: solver, sim and backoff/jitter \
+                 paths must take time as an input and draw randomness from seeded streams"
             }
             Rule::DetThreadSpawn => {
                 "thread spawn/scope outside the Monte-Carlo pool: parallelism must go through \

@@ -125,6 +125,24 @@ pub fn scan_tokens(rel: &str, tokens: &[Token], cfg: &Config) -> FileScan {
                 ));
                 continue;
             }
+            // Ambient entropy is wall-clock's twin: backoff/jitter and
+            // fault-injection code must draw from seeded SplitMix64
+            // streams, never from the OS entropy pool.
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+            {
+                raw.push(diag(
+                    rel,
+                    t,
+                    Rule::DetWallclock,
+                    format!(
+                        "`{}` draws ambient entropy: backoff/jitter on deterministic paths must \
+                         use a seeded stream (SplitMix64 via mix_seed/trial_seed)",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
             let spawn_via_thread_path = matches!(&prev, Some(p) if p.is_punct("::"))
                 && matches!(&prev2, Some(p) if p.is_ident("thread"))
                 && t.kind == TokKind::Ident
@@ -600,5 +618,31 @@ mod tests {
         );
         assert_eq!(scan.diags.len(), 1);
         assert_eq!(scan.diags[0].rule, Rule::DetWallclock);
+    }
+
+    #[test]
+    fn wallclock_flags_ambient_entropy() {
+        // Backoff/jitter code must draw from seeded streams: every
+        // ambient-entropy entry point flags, in library code only.
+        let src = "fn f() { let mut r = thread_rng(); let s = SmallRng::from_entropy(); \
+                   OsRng.fill_bytes(&mut b); }\n";
+        let scan = scan("crates/proto/src/a.rs", src);
+        assert_eq!(
+            scan.diags
+                .iter()
+                .filter(|d| d.rule == Rule::DetWallclock)
+                .count(),
+            3,
+            "{:?}",
+            scan.diags
+        );
+        assert!(scan.diags.iter().any(|d| d.msg.contains("seeded stream")));
+        // Tests and bins keep their freedom.
+        let test_scan = scan_tokens(
+            "crates/proto/tests/t.rs",
+            &lex(src).unwrap(),
+            &Config::default(),
+        );
+        assert!(test_scan.diags.is_empty(), "{:?}", test_scan.diags);
     }
 }

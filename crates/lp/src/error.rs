@@ -126,3 +126,67 @@ impl From<ProblemError> for SolveError {
         SolveError::Problem(e)
     }
 }
+
+/// Coarse classification of a solve outcome, for callers (fault-injection
+/// harnesses, fleet degradation logic) that must branch on *what kind* of
+/// abort happened — in particular distinguishing an iteration-cap abort
+/// (retryable: drop the warm basis and re-solve cold) from a genuine
+/// infeasibility (not retryable: the constraint set itself must change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot-iteration cap was hit before optimality; a numerical
+    /// anomaly, not a statement about the problem. Retry cold.
+    IterationLimit,
+    /// A basis factorization failed; a numerical anomaly. Retry cold.
+    Singular,
+    /// The problem itself is malformed.
+    Malformed,
+}
+
+impl SolveStatus {
+    /// Classifies the result of a solve call.
+    pub fn of(result: &Result<crate::Solution, SolveError>) -> SolveStatus {
+        match result {
+            Ok(_) => SolveStatus::Optimal,
+            Err(e) => SolveStatus::of_error(e),
+        }
+    }
+
+    /// Classifies a [`SolveError`].
+    pub fn of_error(error: &SolveError) -> SolveStatus {
+        match error {
+            SolveError::Infeasible { .. } => SolveStatus::Infeasible,
+            SolveError::Unbounded => SolveStatus::Unbounded,
+            SolveError::IterationLimit { .. } => SolveStatus::IterationLimit,
+            SolveError::Singular => SolveStatus::Singular,
+            SolveError::Problem(_) => SolveStatus::Malformed,
+        }
+    }
+
+    /// Whether the outcome is a numerical anomaly (stale/singular basis or
+    /// iteration cap) rather than a verdict about the problem — the cases
+    /// where dropping the warm basis and re-solving cold can succeed.
+    pub fn is_anomaly(self) -> bool {
+        matches!(self, SolveStatus::IterationLimit | SolveStatus::Singular)
+    }
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::IterationLimit => "iteration-limit",
+            SolveStatus::Singular => "singular",
+            SolveStatus::Malformed => "malformed",
+        };
+        f.write_str(s)
+    }
+}

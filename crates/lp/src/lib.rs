@@ -122,7 +122,7 @@ mod simplex;
 mod solution;
 mod sparse;
 
-pub use error::{ProblemError, SolveError};
+pub use error::{ProblemError, SolveError, SolveStatus};
 pub use problem::{Constraint, ConstraintKind, Problem};
 pub use simplex::{Backend, PivotRule, SolverOptions, Workspace};
 pub use solution::{Basis, BasisVar, Solution};

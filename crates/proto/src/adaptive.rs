@@ -2,6 +2,7 @@
 //! "the problem must be solved … when the estimations of network
 //! characteristics vary significantly").
 
+use crate::notice::{NoticeGuard, NoticeSeq};
 use crate::sender::{DmcSender, SenderConfig, TimeoutPlan, RESERVED_KEY_BASE};
 use crate::wire::{NoticeKind, PathNotice};
 use dmc_core::{
@@ -11,6 +12,76 @@ use dmc_sim::{Agent, Packet, SimApi, SimDuration};
 
 /// Timer key reserved for the periodic re-solve.
 const ADAPT_KEY: u64 = RESERVED_KEY_BASE;
+
+/// Cap on the probe-backoff exponent: after this many unanswered probes
+/// on a path, the wait between probes stops growing (at `2^cap − 1`
+/// adaptation ticks plus jitter). Probing never stops entirely —
+/// recovery can only be observed by a probe getting through.
+const MAX_BACKOFF_EXP: u32 = 3;
+
+/// Stepwise quality-floor relaxation schedule (fractions of the
+/// configured floor tried in order when the full floor is infeasible).
+const FLOOR_RELAX_STEPS: [f64; 3] = [0.75, 0.5, 0.25];
+
+/// Cap on the retained degradation-ladder event log.
+const MAX_LADDER_EVENTS: usize = 4096;
+
+/// The rung of the degradation ladder that finally produced a plan when
+/// a re-solve at the configured operating point was infeasible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LadderRung {
+    /// The quality floor was relaxed to the embedded value (a fraction of
+    /// the configured floor) and the cheaper problem solved.
+    RelaxedFloor {
+        /// The relaxed floor that was feasible.
+        floor: f64,
+    },
+    /// The floor was dropped entirely: best-effort quality maximization.
+    BestEffort,
+    /// Everything is routed onto the single best surviving path, with
+    /// the offered rate clamped to that path's bandwidth.
+    SinglePath {
+        /// The surviving path carrying all traffic.
+        path: usize,
+    },
+    /// Even the single-path fallback failed; the previous plan stays in
+    /// force.
+    Stuck,
+}
+
+/// One engagement of the degradation ladder (a clean full re-plan is not
+/// an event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderEvent {
+    /// Simulation time of the re-solve, in nanoseconds.
+    pub at_ns: u64,
+    /// The rung that produced (or failed to produce) a plan.
+    pub rung: LadderRung,
+}
+
+/// Per-path probe backoff state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeBackoff {
+    /// Unanswered probes so far (exponent; capped at [`MAX_BACKOFF_EXP`]).
+    exp: u32,
+    /// Adaptation ticks left to skip before the next probe.
+    skip: u64,
+}
+
+/// SplitMix64 for deterministic probe jitter — same generator family as
+/// the simulator's seed discipline, so runs replay bit-identically.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
 
 /// Configuration for [`AdaptiveSender`].
 #[derive(Debug, Clone)]
@@ -29,6 +100,13 @@ pub struct AdaptiveConfig {
     /// Minimum RTT samples on a path before its delay estimate replaces
     /// the prior.
     pub min_samples: u64,
+    /// Required quality floor: when set, re-solves minimize cost subject
+    /// to `Q ≥ floor` ([`Objective::MinCost`]) instead of maximizing
+    /// quality, and mid-transfer infeasibility walks the degradation
+    /// ladder (stepwise relaxation → best effort → single path).
+    pub quality_floor: Option<f64>,
+    /// Seed for the deterministic probe-backoff jitter stream.
+    pub jitter_seed: u64,
 }
 
 /// A [`DmcSender`] that periodically refits path characteristics from its
@@ -58,6 +136,23 @@ pub struct AdaptiveSender {
     notice_replans: u64,
     /// Recovery probes sent on failed paths.
     probes: u64,
+    /// Drops duplicated/stale-reordered receiver notices before they can
+    /// re-trigger outage handling.
+    notice_guard: NoticeGuard,
+    /// Stale or duplicated notices dropped by the guard.
+    stale_notices_dropped: u64,
+    /// Stamps `(at_ns, seq)` on outgoing probes so the receiver can drop
+    /// duplicated copies.
+    probe_seq: NoticeSeq,
+    /// Per-path exponential probe backoff.
+    backoff: Vec<ProbeBackoff>,
+    /// Deterministic jitter stream for the backoff.
+    jitter: SplitMix64,
+    /// Degradation-ladder engagements, oldest first (capped at
+    /// [`MAX_LADDER_EVENTS`]).
+    ladder: Vec<LadderEvent>,
+    /// Ladder engagements dropped once the log was full.
+    ladder_dropped: u64,
 }
 
 impl AdaptiveSender {
@@ -69,6 +164,7 @@ impl AdaptiveSender {
             ..PlannerConfig::default()
         });
         let num_paths = config.prior.num_paths();
+        let jitter = SplitMix64(config.jitter_seed);
         AdaptiveSender {
             inner: DmcSender::new(sender),
             config,
@@ -77,6 +173,13 @@ impl AdaptiveSender {
             failed: vec![false; num_paths],
             notice_replans: 0,
             probes: 0,
+            notice_guard: NoticeGuard::new(),
+            stale_notices_dropped: 0,
+            probe_seq: NoticeSeq::new(),
+            backoff: vec![ProbeBackoff::default(); num_paths],
+            jitter,
+            ladder: Vec::new(),
+            ladder_dropped: 0,
         }
     }
 
@@ -120,23 +223,65 @@ impl AdaptiveSender {
         self.probes
     }
 
-    /// Sends one [`PathNotice`]-framed probe on each failed path. The
-    /// re-planned strategy carries no data on those paths, so without
-    /// probing a recovery could never be observed; a probe that gets
-    /// through makes the receiver's detector report the path up.
+    /// Receiver notices discarded as duplicates or stale reorders.
+    pub fn stale_notices_dropped(&self) -> u64 {
+        self.stale_notices_dropped
+    }
+
+    /// Degradation-ladder engagements so far, oldest first (a clean
+    /// full re-plan is not an event; the log caps at a few thousand
+    /// entries — [`AdaptiveSender::ladder_events_dropped`] counts the
+    /// overflow).
+    pub fn ladder_events(&self) -> &[LadderEvent] {
+        &self.ladder
+    }
+
+    /// Ladder engagements that no longer fit in the event log.
+    pub fn ladder_events_dropped(&self) -> u64 {
+        self.ladder_dropped
+    }
+
+    /// Sends one [`PathNotice`]-framed probe on each failed path that is
+    /// due under its exponential backoff. The re-planned strategy carries
+    /// no data on those paths, so without probing a recovery could never
+    /// be observed; a probe that gets through makes the receiver's
+    /// detector report the path up. Consecutive unanswered probes back
+    /// off exponentially (capped, never stopping) with deterministic
+    /// jitter drawn from the seeded stream, so a long outage is not
+    /// hammered with one probe per adaptation tick and simultaneous
+    /// outages do not probe in lockstep.
     fn probe_failed_paths(&mut self, api: &mut SimApi<'_>) {
         for path in 0..self.failed.len() {
             if !self.failed[path] {
                 continue;
             }
+            if path >= self.backoff.len() {
+                self.backoff.resize(path + 1, ProbeBackoff::default());
+            }
+            let state = &mut self.backoff[path];
+            if state.skip > 0 {
+                state.skip -= 1;
+                continue;
+            }
             let probe = PathNotice {
                 path: path as u8,
                 kind: NoticeKind::Down,
+                seq: self.probe_seq.next(path),
                 at_ns: api.now().as_nanos(),
             };
             if api.send(path, Packet::new(64, probe.encode())) {
                 self.probes += 1;
             }
+            let state = &mut self.backoff[path];
+            let exp = state.exp.min(MAX_BACKOFF_EXP);
+            let base = (1u64 << exp) - 1;
+            let jitter = if exp > 0 {
+                self.jitter.next_u64() % (u64::from(exp) + 1)
+            } else {
+                0
+            };
+            state.skip = base + jitter;
+            state.exp = state.exp.saturating_add(1).min(MAX_BACKOFF_EXP);
         }
     }
 
@@ -195,8 +340,14 @@ impl AdaptiveSender {
     /// re-plan *now* — timeouts on the failed path keep firing, but the
     /// fresh plan's combinations route new data (and the retransmit
     /// stages of anything still in flight at its next stage) onto live
-    /// paths.
-    fn on_notice(&mut self, notice: &PathNotice) {
+    /// paths. Duplicated or stale-reordered notices are dropped by the
+    /// guard before they reach this edge trigger: a stale `Down`
+    /// arriving after the matching `Up` must not re-fail a live path.
+    fn on_notice(&mut self, notice: &PathNotice, now_ns: u64) {
+        if !self.notice_guard.fresh(notice) {
+            self.stale_notices_dropped += 1;
+            return;
+        }
         let path = notice.path as usize;
         if path >= self.failed.len() {
             return;
@@ -210,21 +361,119 @@ impl AdaptiveSender {
                 // would keep avoiding it and the receiver would re-declare
                 // it down (flapping).
                 self.inner.reset_loss_window(path);
+                if let Some(state) = self.backoff.get_mut(path) {
+                    *state = ProbeBackoff::default();
+                }
             }
-            self.resolve();
+            self.resolve(now_ns);
             self.notice_replans += 1;
         }
     }
 
-    fn resolve(&mut self) {
+    /// Records a degradation-ladder engagement (bounded log).
+    fn push_ladder(&mut self, at_ns: u64, rung: LadderRung) {
+        if self.ladder.len() < MAX_LADDER_EVENTS {
+            self.ladder.push(LadderEvent { at_ns, rung });
+        } else {
+            self.ladder_dropped += 1;
+        }
+    }
+
+    /// Plans `scenario` under `objective`; on success retargets the inner
+    /// sender and returns `true`.
+    fn try_retarget(&mut self, scenario: &Scenario, objective: Objective) -> bool {
+        match self.planner.plan(scenario, objective) {
+            Ok(plan) => {
+                let timeouts = TimeoutPlan::from_plan(&plan, self.config.rto_extra);
+                self.inner.retarget(plan.into_strategy(), timeouts);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The surviving path with the highest expected goodput
+    /// (`(1 − loss) · bandwidth`), ties to the lowest index.
+    fn best_surviving_path(&self, est: &NetworkSpec) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (k, p) in est.paths().iter().enumerate() {
+            if self.failed.get(k).copied().unwrap_or(false) {
+                continue;
+            }
+            let score = (1.0 - p.loss()) * p.bandwidth();
+            if best.is_none_or(|(bs, _)| score > bs) {
+                best = Some((score, k));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Re-estimates and re-plans, walking the degradation ladder on
+    /// mid-transfer infeasibility:
+    ///
+    /// 1. **Re-plan** at the configured operating point (the quality
+    ///    floor when one is set, otherwise plain quality maximization).
+    /// 2. **Relax the floor stepwise** ([`FLOOR_RELAX_STEPS`] fractions
+    ///    of the configured floor), then drop it entirely (best-effort
+    ///    quality maximization).
+    /// 3. **Single-best-path fallback**: pin every other path's loss to
+    ///    1, clamp the offered rate to the survivor's bandwidth, and
+    ///    solve for best-effort quality.
+    ///
+    /// Every engaged rung is logged ([`AdaptiveSender::ladder_events`]);
+    /// if even the fallback fails the previous plan stays in force. The
+    /// ladder re-climbs automatically: every re-solve starts again at
+    /// rung 1, so feasibility returning restores the configured floor.
+    fn resolve(&mut self, now_ns: u64) {
         let est = self.estimated_network();
         let scenario =
             Scenario::from_network(&est).with_transmissions(self.config.model.transmissions);
-        if let Ok(plan) = self.planner.plan(&scenario, Objective::MaxQuality) {
-            let timeouts = TimeoutPlan::from_plan(&plan, self.config.rto_extra);
-            self.inner.retarget(plan.into_strategy(), timeouts);
+        let objective = match self.config.quality_floor {
+            Some(floor) => Objective::MinCost { min_quality: floor },
+            None => Objective::MaxQuality,
+        };
+        if self.try_retarget(&scenario, objective) {
             self.resolves += 1;
+            return;
         }
+        if let Some(floor) = self.config.quality_floor {
+            for fraction in FLOOR_RELAX_STEPS {
+                let relaxed = floor * fraction;
+                let objective = Objective::MinCost {
+                    min_quality: relaxed,
+                };
+                if self.try_retarget(&scenario, objective) {
+                    self.resolves += 1;
+                    self.push_ladder(now_ns, LadderRung::RelaxedFloor { floor: relaxed });
+                    return;
+                }
+            }
+            if self.try_retarget(&scenario, Objective::MaxQuality) {
+                self.resolves += 1;
+                self.push_ladder(now_ns, LadderRung::BestEffort);
+                return;
+            }
+        }
+        if let Some(path) = self.best_surviving_path(&est) {
+            let survivor = est.paths()[path];
+            let mut solo = est.with_data_rate(est.data_rate().min(survivor.bandwidth()));
+            for k in 0..solo.num_paths() {
+                if k == path {
+                    continue;
+                }
+                let p = solo.paths()[k];
+                let dead = PathSpec::with_cost(p.bandwidth(), p.delay(), 1.0, p.cost());
+                solo = solo.with_path_replaced(k, dead.unwrap_or(p));
+            }
+            let solo_scenario =
+                Scenario::from_network(&solo).with_transmissions(self.config.model.transmissions);
+            if self.try_retarget(&solo_scenario, Objective::MaxQuality) {
+                self.resolves += 1;
+                self.push_ladder(now_ns, LadderRung::SinglePath { path });
+                return;
+            }
+        }
+        self.push_ladder(now_ns, LadderRung::Stuck);
     }
 }
 
@@ -236,7 +485,7 @@ impl Agent for AdaptiveSender {
 
     fn on_packet(&mut self, path: usize, packet: Packet, api: &mut SimApi<'_>) {
         if let Some(notice) = PathNotice::decode(packet.payload()) {
-            self.on_notice(&notice);
+            self.on_notice(&notice, api.now().as_nanos());
             return;
         }
         self.inner.on_packet(path, packet, api);
@@ -244,7 +493,7 @@ impl Agent for AdaptiveSender {
 
     fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
         if key == ADAPT_KEY {
-            self.resolve();
+            self.resolve(api.now().as_nanos());
             self.probe_failed_paths(api);
             api.set_timer(api.now() + self.config.interval, ADAPT_KEY);
         } else {
@@ -310,6 +559,8 @@ mod tests {
                         model: ModelConfig::default(),
                         rto_extra: SimDuration::from_millis(50),
                         min_samples: 30,
+                        quality_floor: None,
+                        jitter_seed: 0x5EED_0001,
                     },
                 );
                 let mut sim =
@@ -383,6 +634,8 @@ mod tests {
                     model: ModelConfig::default(),
                     rto_extra: SimDuration::from_millis(50),
                     min_samples: 30,
+                    quality_floor: None,
+                    jitter_seed: 0x5EED_0002,
                 },
                 messages,
             );
@@ -415,6 +668,210 @@ mod tests {
         assert!(
             q_aware > q_blind + 0.02,
             "failure-aware {q_aware} vs blind {q_blind}"
+        );
+    }
+
+    /// A scripted peer that replays pre-stamped notice frames at fixed
+    /// times — including exact duplicates and stale reorders a chaotic
+    /// network would produce.
+    struct NoticeScript {
+        /// `(send at, frame)` — frames carry *their own* stamps, so a
+        /// late entry with an old stamp emulates reordering.
+        script: Vec<(SimTime, PathNotice)>,
+    }
+    impl Agent for NoticeScript {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            for (i, &(at, _)) in self.script.iter().enumerate() {
+                api.set_timer(at, i as u64);
+            }
+        }
+        fn on_packet(&mut self, _path: usize, _p: Packet, _api: &mut SimApi<'_>) {}
+        fn on_timer(&mut self, key: u64, api: &mut SimApi<'_>) {
+            let (_, notice) = self.script[key as usize];
+            let wire = notice.encode();
+            api.send(1, Packet::new(wire.len().max(40), wire));
+        }
+    }
+
+    fn two_path_prior() -> NetworkSpec {
+        NetworkSpec::builder()
+            .path(PathSpec::new(10e6, 0.050, 0.0).unwrap())
+            .path(PathSpec::new(2.5e6, 0.050, 0.0).unwrap())
+            .data_rate(8e6)
+            .lifetime(0.4)
+            .build()
+            .unwrap()
+    }
+
+    fn adaptive_under_script(
+        config: AdaptiveConfig,
+        script: Vec<(SimTime, PathNotice)>,
+        horizon: SimTime,
+    ) -> AdaptiveSender {
+        let plan = Planner::new()
+            .plan(
+                &Scenario::from_network(&config.prior),
+                Objective::MaxQuality,
+            )
+            .unwrap();
+        let sender = AdaptiveSender::from_plan(&plan, config, 100);
+        let l = |bw| link(bw, 0.050, 0.0);
+        let mut sim = TwoHostSim::new(
+            vec![l(10e6), l(2.5e6)],
+            vec![l(10e6), l(2.5e6)],
+            sender,
+            NoticeScript { script },
+            11,
+        )
+        .unwrap();
+        sim.run_until(horizon);
+        assert!(sim.client().resolves() > 0, "periodic loop never ran");
+        sim.into_agents().0
+    }
+
+    fn down(path: u8, seq: u8, at_ms: u64) -> PathNotice {
+        PathNotice {
+            path,
+            kind: NoticeKind::Down,
+            seq,
+            at_ns: at_ms * 1_000_000,
+        }
+    }
+
+    fn up(path: u8, seq: u8, at_ms: u64) -> PathNotice {
+        PathNotice {
+            path,
+            kind: NoticeKind::Up,
+            seq,
+            at_ns: at_ms * 1_000_000,
+        }
+    }
+
+    /// Duplicated and stale-reordered notice frames must not re-trigger
+    /// outage handling: a stale `Down` replayed after the matching `Up`
+    /// used to re-fail a live path.
+    #[test]
+    fn duplicated_and_reordered_notices_are_dropped() {
+        let at = SimTime::from_secs_f64;
+        let script = vec![
+            (at(0.10), down(0, 0, 100)),
+            (at(0.15), down(0, 0, 100)), // duplicate
+            (at(0.20), down(0, 0, 100)), // duplicate
+            (at(0.50), up(0, 1, 500)),
+            (at(0.55), up(0, 1, 500)),   // duplicate
+            (at(0.80), down(0, 0, 100)), // stale reorder: old stamp after the Up
+        ];
+        let config = AdaptiveConfig {
+            prior: two_path_prior(),
+            interval: SimDuration::from_millis(250),
+            model: ModelConfig::default(),
+            rto_extra: SimDuration::from_millis(50),
+            min_samples: 30,
+            quality_floor: None,
+            jitter_seed: 0x5EED_0003,
+        };
+        let client = adaptive_under_script(config, script, SimTime::from_secs_f64(2.0));
+        assert_eq!(client.notice_replans(), 2, "one down, one up");
+        assert_eq!(
+            client.stale_notices_dropped(),
+            4,
+            "2 dup downs + 1 dup up + 1 stale down"
+        );
+        assert!(
+            client.failed_paths().is_empty(),
+            "stale down re-failed a live path: {:?}",
+            client.failed_paths()
+        );
+    }
+
+    /// A quality floor that a mid-transfer failure makes unreachable must
+    /// engage the ladder: stepwise relaxation, logged, and the full floor
+    /// restored after recovery.
+    #[test]
+    fn infeasible_floor_relaxes_stepwise_and_restores() {
+        let at = SimTime::from_secs_f64;
+        let script = vec![(at(1.0), down(0, 0, 1_000)), (at(2.0), up(0, 1, 2_000))];
+        let config = AdaptiveConfig {
+            prior: two_path_prior(),
+            interval: SimDuration::from_millis(250),
+            model: ModelConfig::default(),
+            rto_extra: SimDuration::from_millis(50),
+            min_samples: 1_000_000, // pin estimates to the prior
+            quality_floor: Some(0.8),
+            jitter_seed: 0x5EED_0004,
+        };
+        let client = adaptive_under_script(config, script, SimTime::from_secs_f64(3.0));
+        let events = client.ladder_events();
+        assert!(!events.is_empty(), "floor infeasibility never logged");
+        // With path 0 dead, path 1 (2.5 of 8 Mbps) caps quality ≈ 0.31:
+        // 0.8 and the 0.6/0.4 relaxations are infeasible, 0.2 is not.
+        for e in events {
+            assert_eq!(
+                e.rung,
+                LadderRung::RelaxedFloor { floor: 0.8 * 0.25 },
+                "unexpected rung at {} ns",
+                e.at_ns
+            );
+        }
+        // The ladder re-climbs: no engagement after the recovery notice
+        // (plus one adaptation interval of slack).
+        let cutoff = 2_000_000_000 + 250_000_000;
+        assert!(
+            events.iter().all(|e| e.at_ns <= cutoff),
+            "ladder still engaged after recovery"
+        );
+        assert!(client.failed_paths().is_empty());
+    }
+
+    /// With the blackhole disabled and demand above total capacity, even
+    /// best-effort planning is infeasible: the ladder must fall back to
+    /// the single best surviving path instead of keeping a dead plan.
+    #[test]
+    fn overload_without_blackhole_falls_back_to_single_path() {
+        let prior = NetworkSpec::builder()
+            .path(PathSpec::new(5e6, 0.050, 0.0).unwrap())
+            .path(PathSpec::new(2e6, 0.050, 0.0).unwrap())
+            .data_rate(8e6) // exceeds 7 Mbps total: infeasible sans blackhole
+            .lifetime(0.4)
+            .build()
+            .unwrap();
+        let config = AdaptiveConfig {
+            prior: prior.clone(),
+            interval: SimDuration::from_millis(250),
+            model: ModelConfig {
+                blackhole: false,
+                ..ModelConfig::default()
+            },
+            rto_extra: SimDuration::from_millis(50),
+            min_samples: 1_000_000,
+            quality_floor: None,
+            jitter_seed: 0x5EED_0005,
+        };
+        // The initial plan comes from a blackhole-enabled planner (the
+        // operator admitted the overload); the adaptive loop's stricter
+        // model then cannot re-plan at the full rate.
+        let plan = Planner::new()
+            .plan(&Scenario::from_network(&prior), Objective::MaxQuality)
+            .unwrap();
+        let sender = AdaptiveSender::from_plan(&plan, config, 100);
+        let l = |bw| link(bw, 0.050, 0.0);
+        let mut sim = TwoHostSim::new(
+            vec![l(5e6), l(2e6)],
+            vec![l(5e6), l(2e6)],
+            sender,
+            NoticeScript { script: vec![] },
+            13,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let events = sim.client().ladder_events();
+        assert!(!events.is_empty(), "overload never engaged the ladder");
+        for e in events {
+            assert_eq!(e.rung, LadderRung::SinglePath { path: 0 });
+        }
+        assert!(
+            sim.client().resolves() > 0,
+            "fallback never produced a plan"
         );
     }
 }

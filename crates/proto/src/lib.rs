@@ -36,11 +36,13 @@
 
 mod adaptive;
 mod estimator;
+mod notice;
 mod receiver;
 mod sender;
 pub mod wire;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveSender};
+pub use adaptive::{AdaptiveConfig, AdaptiveSender, LadderEvent, LadderRung};
 pub use estimator::{LossEstimator, PathEstimator, RateEstimator, RttEstimator};
+pub use notice::{NoticeGuard, NoticeSeq};
 pub use receiver::{DmcReceiver, FailureDetection, ReceiverConfig, ReceiverStats};
 pub use sender::{DmcSender, SenderConfig, SenderStats, TimeoutPlan, MAX_STAGES};

@@ -1,0 +1,115 @@
+//! Replay protection for [`PathNotice`] frames.
+//!
+//! Notices are fire-and-forget and deliberately re-sent against loss, and
+//! a chaotic network can additionally duplicate or reorder them. Without
+//! a guard, a stale `Down` arriving after the matching `Up` (or a
+//! duplicated probe) re-triggers outage handling. [`NoticeGuard`] accepts
+//! a notice only if it is strictly newer than the last accepted one on
+//! its path, ordering by the `(at_ns, seq)` pair the sender stamps.
+
+use crate::wire::PathNotice;
+
+/// Per-path monotonic filter: drops duplicated and stale-reordered
+/// notices. Keyed on the sender-stamped `(at_ns, seq)` pair — `at_ns` is
+/// the sender's (monotonic) clock, `seq` breaks ties between notices
+/// stamped at the same instant.
+#[derive(Debug, Default)]
+pub struct NoticeGuard {
+    last: Vec<Option<(u64, u8)>>,
+}
+
+impl NoticeGuard {
+    /// An empty guard (every first notice per path is fresh).
+    pub fn new() -> Self {
+        NoticeGuard::default()
+    }
+
+    /// Returns `true` (and advances the high-water mark) iff `notice` is
+    /// strictly newer than the last accepted notice on its path. Exact
+    /// duplicates and older (reordered) notices return `false`.
+    pub fn fresh(&mut self, notice: &PathNotice) -> bool {
+        let path = notice.path as usize;
+        if path >= self.last.len() {
+            self.last.resize(path + 1, None);
+        }
+        let stamp = (notice.at_ns, notice.seq);
+        match self.last[path] {
+            Some(prev) if stamp <= prev => false,
+            _ => {
+                self.last[path] = Some(stamp);
+                true
+            }
+        }
+    }
+}
+
+/// Per-path wrapping stamper for outgoing notices: each call returns the
+/// next `seq` for that path.
+#[derive(Debug, Default)]
+pub struct NoticeSeq {
+    next: Vec<u8>,
+}
+
+impl NoticeSeq {
+    /// A stamper starting every path at 0.
+    pub fn new() -> Self {
+        NoticeSeq::default()
+    }
+
+    /// The next sequence number for `path` (wrapping at 255).
+    pub fn next(&mut self, path: usize) -> u8 {
+        if path >= self.next.len() {
+            self.next.resize(path + 1, 0);
+        }
+        let seq = self.next[path];
+        self.next[path] = seq.wrapping_add(1);
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::NoticeKind;
+
+    fn notice(path: u8, seq: u8, at_ns: u64) -> PathNotice {
+        PathNotice {
+            path,
+            kind: NoticeKind::Down,
+            seq,
+            at_ns,
+        }
+    }
+
+    #[test]
+    fn duplicates_and_stale_reorders_are_dropped() {
+        let mut g = NoticeGuard::new();
+        assert!(g.fresh(&notice(0, 0, 100)));
+        assert!(!g.fresh(&notice(0, 0, 100)), "exact duplicate");
+        assert!(!g.fresh(&notice(0, 3, 50)), "older timestamp (reordered)");
+        assert!(g.fresh(&notice(0, 1, 100)), "same time, later seq");
+        assert!(g.fresh(&notice(0, 2, 200)));
+        assert!(!g.fresh(&notice(0, 1, 100)), "replay of an accepted one");
+    }
+
+    #[test]
+    fn paths_are_independent() {
+        let mut g = NoticeGuard::new();
+        assert!(g.fresh(&notice(0, 0, 100)));
+        assert!(g.fresh(&notice(5, 0, 1)), "other path has its own clock");
+        assert!(!g.fresh(&notice(5, 0, 1)));
+    }
+
+    #[test]
+    fn stamper_counts_per_path() {
+        let mut s = NoticeSeq::new();
+        assert_eq!(s.next(0), 0);
+        assert_eq!(s.next(0), 1);
+        assert_eq!(s.next(2), 0);
+        assert_eq!(s.next(0), 2);
+        for _ in 0..255 {
+            s.next(2);
+        }
+        assert_eq!(s.next(2), 0, "wraps");
+    }
+}

@@ -1,6 +1,7 @@
 //! The receiving endpoint: deadline verification, deduplication, and
 //! acknowledgment generation (paper §VII-A server + §VIII-C ack scheme).
 
+use crate::notice::{NoticeGuard, NoticeSeq};
 use crate::wire::{Ack, DataHeader, NoticeKind, PathNotice};
 use dmc_sim::{Agent, Packet, SimApi, SimDuration, SimTime};
 use dmc_stats::OnlineMoments;
@@ -103,6 +104,9 @@ pub struct ReceiverStats {
     pub failure_notices_sent: u64,
     /// Path-recovery (`Up`) notices sent.
     pub recovery_notices_sent: u64,
+    /// Sender probes discarded as duplicates or stale reorders (each
+    /// would otherwise have triggered a redundant `Up` reply).
+    pub stale_probes_dropped: u64,
 }
 
 /// The receiving endpoint ("server" in the paper's simulation).
@@ -143,6 +147,13 @@ pub struct DmcReceiver {
     up_sent_at: Vec<Option<SimTime>>,
     /// Whether the silence-check timer is armed.
     checker_armed: bool,
+    /// Stamps `(at_ns, seq)` on outgoing notices so the sender can drop
+    /// duplicated/reordered copies.
+    notice_seq: NoticeSeq,
+    /// Drops duplicated/stale-reordered sender probes: a chaotic network
+    /// that duplicates a probe frame must not elicit one `Up` reply per
+    /// copy.
+    probe_guard: NoticeGuard,
 }
 
 impl DmcReceiver {
@@ -161,6 +172,8 @@ impl DmcReceiver {
             down_resends: Vec::new(),
             up_sent_at: Vec::new(),
             checker_armed: false,
+            notice_seq: NoticeSeq::new(),
+            probe_guard: NoticeGuard::new(),
         }
     }
 
@@ -217,6 +230,7 @@ impl DmcReceiver {
         let notice = PathNotice {
             path: path as u8,
             kind,
+            seq: self.notice_seq.next(path),
             at_ns: api.now().as_nanos(),
         };
         let wire = notice.encode();
@@ -341,7 +355,11 @@ impl Agent for DmcReceiver {
         // the forward direction works again, so feed the detector (which
         // answers with an `Up` notice) without touching data accounting.
         if let Some(probe) = PathNotice::decode(packet.payload()) {
-            self.note_arrival(probe.path as usize, true, api);
+            if self.probe_guard.fresh(&probe) {
+                self.note_arrival(probe.path as usize, true, api);
+            } else {
+                self.stats.stale_probes_dropped += 1;
+            }
             return;
         }
         let Some(header) = DataHeader::decode(packet.payload()) else {

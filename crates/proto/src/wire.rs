@@ -7,8 +7,29 @@
 //! bit vector of what was received in a window of consecutive packets,
 //! and (c) the packet that was just received, for RTT estimation
 //! (§VIII-C's three components).
+//!
+//! Every frame carries an FNV-1a checksum in its formerly reserved
+//! bytes, so a bit-flipped frame decodes to `None` (and is counted as
+//! malformed by the receiver) instead of silently parsing into wrong
+//! field values. The frame sizes are unchanged.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// FNV-1a (32-bit) over a frame with its checksum field zeroed.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// FNV-1a folded to 16 bits (for frames with only two spare bytes).
+fn fnv1a_16(bytes: &[u8]) -> u16 {
+    let c = fnv1a(bytes);
+    (c ^ (c >> 16)) as u16
+}
 
 /// Magic byte tagging data packets.
 const DATA_MAGIC: u8 = 0xD7;
@@ -48,17 +69,27 @@ impl DataHeader {
         b.put_u8(self.path);
         b.put_u8(self.stage);
         b.put_u8(0); // reserved
-        b.put_u32_le(0); // reserved
+        b.put_u32_le(0); // checksum placeholder
         b.put_u64_le(self.seq);
         b.put_u64_le(self.created_ns);
         b.put_u64_le(self.sent_ns);
         debug_assert_eq!(b.len(), DATA_HEADER_BYTES);
+        let sum = fnv1a(&b);
+        b[4..8].copy_from_slice(&sum.to_le_bytes());
         b.freeze()
     }
 
-    /// Parses a header; `None` on wrong magic or truncation.
+    /// Parses a header; `None` on wrong magic, bad checksum, or
+    /// truncation.
     pub fn decode(mut buf: &[u8]) -> Option<Self> {
         if buf.len() < DATA_HEADER_BYTES || buf[0] != DATA_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; DATA_HEADER_BYTES];
+        frame.copy_from_slice(&buf[..DATA_HEADER_BYTES]);
+        let stored = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        frame[4..8].fill(0);
+        if fnv1a(&frame) != stored {
             return None;
         }
         buf.advance(1);
@@ -148,18 +179,28 @@ impl Ack {
         let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
         b.put_u8(ACK_MAGIC);
         b.put_u8(self.echo_path);
-        b.put_u16_le(0); // reserved
+        b.put_u16_le(0); // checksum placeholder
         b.put_u64_le(self.just_received);
         b.put_u64_le(self.echo_sent_ns);
         b.put_u64_le(self.window_start);
         b.put_slice(&self.bitmap);
         debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a_16(&b);
+        b[2..4].copy_from_slice(&sum.to_le_bytes());
         b.freeze()
     }
 
-    /// Parses an ack; `None` on wrong magic or truncation.
+    /// Parses an ack; `None` on wrong magic, bad checksum, or
+    /// truncation.
     pub fn decode(mut buf: &[u8]) -> Option<Self> {
         if buf.len() < Self::WIRE_BYTES || buf[0] != ACK_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u16::from_le_bytes([frame[2], frame[3]]);
+        frame[2..4].fill(0);
+        if fnv1a_16(&frame) != stored {
             return None;
         }
         buf.advance(1);
@@ -200,6 +241,10 @@ pub struct PathNotice {
     pub path: u8,
     /// Down or up.
     pub kind: NoticeKind,
+    /// Per-path notice sequence number (wrapping). Consumers use it,
+    /// together with `at_ns`, to drop duplicated and stale-reordered
+    /// notices instead of re-triggering outage handling.
+    pub seq: u8,
     /// Receiver-side time of the determination, ns.
     pub at_ns: u64,
 }
@@ -214,17 +259,26 @@ impl PathNotice {
         b.put_u8(NOTICE_MAGIC);
         b.put_u8(self.path);
         b.put_u8(self.kind as u8);
-        b.put_u8(0); // reserved
-        b.put_u32_le(0); // reserved
+        b.put_u8(self.seq);
+        b.put_u32_le(0); // checksum placeholder
         b.put_u64_le(self.at_ns);
         debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a(&b);
+        b[4..8].copy_from_slice(&sum.to_le_bytes());
         b.freeze()
     }
 
-    /// Parses a notice; `None` on wrong magic, unknown kind, or
-    /// truncation.
+    /// Parses a notice; `None` on wrong magic, unknown kind, bad
+    /// checksum, or truncation.
     pub fn decode(mut buf: &[u8]) -> Option<Self> {
         if buf.len() < Self::WIRE_BYTES || buf[0] != NOTICE_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        frame[4..8].fill(0);
+        if fnv1a(&frame) != stored {
             return None;
         }
         buf.advance(1);
@@ -234,10 +288,15 @@ impl PathNotice {
             1 => NoticeKind::Up,
             _ => return None,
         };
-        buf.advance(1);
+        let seq = buf.get_u8();
         buf.advance(4);
         let at_ns = buf.get_u64_le();
-        Some(PathNotice { path, kind, at_ns })
+        Some(PathNotice {
+            path,
+            kind,
+            seq,
+            at_ns,
+        })
     }
 }
 
@@ -251,6 +310,7 @@ mod tests {
             let n = PathNotice {
                 path: 3,
                 kind,
+                seq: 42,
                 at_ns: 123_456_789,
             };
             let wire = n.encode();
@@ -266,6 +326,7 @@ mod tests {
         let n = PathNotice {
             path: 0,
             kind: NoticeKind::Down,
+            seq: 0,
             at_ns: 1,
         };
         let wire = n.encode();
@@ -279,6 +340,44 @@ mod tests {
         // The three magics are distinct, so frames cannot be confused.
         assert_eq!(Ack::decode(&wire), None);
         assert_eq!(DataHeader::decode(&wire), None);
+    }
+
+    #[test]
+    fn checksums_reject_any_single_bit_flip() {
+        // Magic-only parsing used to accept bit-flipped payload bytes as
+        // valid frames; every frame type must now reject them.
+        let notice = PathNotice {
+            path: 2,
+            kind: NoticeKind::Up,
+            seq: 9,
+            at_ns: 55_555,
+        }
+        .encode();
+        let header = DataHeader {
+            seq: 7,
+            created_ns: 8,
+            sent_ns: 9,
+            path: 1,
+            stage: 2,
+        }
+        .encode();
+        let mut ack = Ack::new(500, 42_000, 1, 400);
+        ack.set_received(405);
+        let ack = ack.encode();
+        for (name, wire) in [("notice", &notice), ("header", &header), ("ack", &ack)] {
+            for byte in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut bad = wire.to_vec();
+                    bad[byte] ^= 1u8 << bit;
+                    let survives = match name {
+                        "notice" => PathNotice::decode(&bad).is_some(),
+                        "header" => DataHeader::decode(&bad).is_some(),
+                        _ => Ack::decode(&bad).is_some(),
+                    };
+                    assert!(!survives, "{name}: flip of byte {byte} bit {bit} accepted");
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`scenario`] — scheduled link dynamics ([`Dynamics`]): mid-transfer
 //!   path failure/recovery, piecewise time-varying bandwidth, and
 //!   loss-process changes;
+//! * [`FaultPlan`] — seeded chaos: payload corruption, frame
+//!   duplication, bounded reordering, link flapping and correlated
+//!   multi-link fault domains, bit-identical in replay
+//!   ([`TwoHostSim::apply_faults`]);
 //! * [`EventQueue`] — integer-nanosecond virtual time with FIFO
 //!   tie-breaking, so runs are bit-for-bit reproducible for a given seed.
 //!
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod link;
 mod packet;
 pub mod scenario;
@@ -71,6 +76,7 @@ mod sim;
 mod time;
 
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultStats};
 pub use link::{GilbertElliott, Link, LinkChange, LinkConfig, LinkStats, LossModel, SendOutcome};
 pub use packet::Packet;
 pub use scenario::{Dynamics, LinkEvent};

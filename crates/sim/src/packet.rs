@@ -67,6 +67,18 @@ impl Packet {
     pub(crate) fn stamp_sent(&mut self, at: SimTime) {
         self.sent_at = at;
     }
+
+    /// Swaps the payload in place (fault injection), preserving the
+    /// on-wire size and link timestamp. The new payload must still fit.
+    pub(crate) fn replace_payload(&mut self, payload: Bytes) {
+        assert!(
+            self.size_bytes >= payload.len(),
+            "replacement payload {} exceeds wire size {}",
+            payload.len(),
+            self.size_bytes
+        );
+        self.payload = payload;
+    }
 }
 
 #[cfg(test)]

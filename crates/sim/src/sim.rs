@@ -4,6 +4,7 @@
 //! path").
 
 use crate::event::EventQueue;
+use crate::fault::{FaultPlan, FaultStats, FaultStream, FAULT_SALT_BACKWARD, FAULT_SALT_FORWARD};
 use crate::link::{Link, LinkChange, LinkConfig, LinkStats, SendOutcome};
 use crate::packet::Packet;
 use crate::scenario::Dynamics;
@@ -58,6 +59,7 @@ pub struct SimApi<'a> {
     host: HostId,
     outgoing: &'a mut [Link],
     queue: &'a mut EventQueue<NetEvent>,
+    faults: Option<&'a mut FaultStream>,
 }
 
 impl SimApi<'_> {
@@ -89,8 +91,30 @@ impl SimApi<'_> {
                 self.queue
                     .schedule(departure, NetEvent::Departure { dir, path, size });
                 if let Some(at) = arrival {
-                    self.queue
-                        .schedule(at, NetEvent::Arrival { dir, path, packet });
+                    match self.faults.as_deref_mut() {
+                        Some(stream) => {
+                            let mut packet = packet;
+                            let injection = stream.inject(at, &mut packet);
+                            if let Some(dup_at) = injection.duplicate_at {
+                                self.queue.schedule(
+                                    dup_at,
+                                    NetEvent::Arrival {
+                                        dir,
+                                        path,
+                                        packet: packet.clone(),
+                                    },
+                                );
+                            }
+                            self.queue.schedule(
+                                injection.deliver_at,
+                                NetEvent::Arrival { dir, path, packet },
+                            );
+                        }
+                        None => {
+                            self.queue
+                                .schedule(at, NetEvent::Arrival { dir, path, packet });
+                        }
+                    }
                 }
                 true
             }
@@ -137,6 +161,15 @@ pub struct TwoHostSim<C, S> {
     server: S,
     started: bool,
     events_processed: u64,
+    faults: Option<PacketFaults>,
+}
+
+/// Per-direction packet-fault streams (installed by
+/// [`TwoHostSim::apply_faults`]).
+#[derive(Debug)]
+struct PacketFaults {
+    forward: FaultStream,
+    backward: FaultStream,
 }
 
 impl<C: Agent, S: Agent> TwoHostSim<C, S> {
@@ -183,6 +216,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
             server,
             started: false,
             events_processed: 0,
+            faults: None,
         })
     }
 
@@ -204,6 +238,12 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
     /// The server endpoint (for extracting results).
     pub fn server(&self) -> &S {
         &self.server
+    }
+
+    /// Consumes the simulation, returning both endpoints (for extracting
+    /// owned results after the run).
+    pub fn into_agents(self) -> (C, S) {
+        (self.client, self.server)
     }
 
     /// Stats of one link.
@@ -267,6 +307,39 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
         Ok(())
     }
 
+    /// Installs a [`FaultPlan`]: schedules its link-level dynamics (flaps
+    /// and correlated fault domains) and arms the per-direction
+    /// packet-fault streams (corruption, duplication, bounded
+    /// reordering). Call before running; composes with
+    /// [`Self::apply_dynamics`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the plan's link events reference a path
+    /// outside the topology or lie in the simulated past.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        self.apply_dynamics(plan.dynamics())?;
+        if plan.has_packet_faults() {
+            self.faults = Some(PacketFaults {
+                forward: plan.stream(FAULT_SALT_FORWARD),
+                backward: plan.stream(FAULT_SALT_BACKWARD),
+            });
+        }
+        Ok(())
+    }
+
+    /// Packet-fault counters for one direction (zeros when no
+    /// [`FaultPlan`] is installed).
+    pub fn fault_stats(&self, dir: Dir) -> FaultStats {
+        match &self.faults {
+            Some(f) => match dir {
+                Dir::Forward => f.forward.stats(),
+                Dir::Backward => f.backward.stats(),
+            },
+            None => FaultStats::default(),
+        }
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -277,6 +350,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
             host: HostId::Client,
             outgoing: &mut self.forward,
             queue: &mut self.queue,
+            faults: self.faults.as_mut().map(|f| &mut f.forward),
         };
         self.client.on_start(&mut api);
         let mut api = SimApi {
@@ -284,6 +358,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
             host: HostId::Server,
             outgoing: &mut self.backward,
             queue: &mut self.queue,
+            faults: self.faults.as_mut().map(|f| &mut f.backward),
         };
         self.server.on_start(&mut api);
     }
@@ -319,6 +394,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
                             host: HostId::Server,
                             outgoing: &mut self.backward,
                             queue: &mut self.queue,
+                            faults: self.faults.as_mut().map(|f| &mut f.backward),
                         };
                         self.server.on_packet(path, packet, &mut api);
                     }
@@ -328,6 +404,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
                             host: HostId::Client,
                             outgoing: &mut self.forward,
                             queue: &mut self.queue,
+                            faults: self.faults.as_mut().map(|f| &mut f.forward),
                         };
                         self.client.on_packet(path, packet, &mut api);
                     }
@@ -346,6 +423,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
                             host: HostId::Client,
                             outgoing: &mut self.forward,
                             queue: &mut self.queue,
+                            faults: self.faults.as_mut().map(|f| &mut f.forward),
                         };
                         self.client.on_timer(key, &mut api);
                     }
@@ -355,6 +433,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
                             host: HostId::Server,
                             outgoing: &mut self.backward,
                             queue: &mut self.queue,
+                            faults: self.faults.as_mut().map(|f| &mut f.backward),
                         };
                         self.server.on_timer(key, &mut api);
                     }
@@ -372,7 +451,7 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
 
 /// SplitMix64-style seed derivation so each link gets an independent,
 /// reproducible stream.
-fn mix_seed(seed: u64, salt: u64, index: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, salt: u64, index: u64) -> u64 {
     let mut z = seed
         .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
@@ -567,6 +646,115 @@ mod tests {
         .unwrap();
         assert!(sim.apply_dynamics(&dynamics).is_err());
         assert!(sim.apply_dynamics(&Dynamics::new()).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_duplication_doubles_deliveries() {
+        let plan = crate::fault::FaultPlan::new(5)
+            .with_duplication(1.0)
+            .unwrap();
+        let mut sim = TwoHostSim::new(
+            vec![link(1e7, 0.01, 0.0)],
+            vec![link(1e7, 0.01, 0.0)],
+            TickerClient { sent: 0, limit: 40 },
+            CountingServer::default(),
+            0,
+        )
+        .unwrap();
+        sim.apply_faults(&plan).unwrap();
+        sim.run_to_completion();
+        assert_eq!(sim.client().sent, 40);
+        assert_eq!(sim.server().received, 80, "every frame delivered twice");
+        assert_eq!(sim.fault_stats(Dir::Forward).duplicated, 40);
+        assert_eq!(sim.fault_stats(Dir::Backward).duplicated, 0);
+    }
+
+    /// Client that sends payload-carrying packets; server collects them.
+    struct PayloadClient {
+        sent: u64,
+        limit: u64,
+    }
+    impl Agent for PayloadClient {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            api.set_timer(SimTime::from_millis_helper(10), 1);
+        }
+        fn on_packet(&mut self, _path: usize, _p: Packet, _api: &mut SimApi<'_>) {}
+        fn on_timer(&mut self, _key: u64, api: &mut SimApi<'_>) {
+            self.sent += 1;
+            api.send(0, Packet::new(100, Bytes::from(vec![0xAAu8; 16])));
+            if self.sent < self.limit {
+                api.set_timer(api.now() + crate::time::SimDuration::from_millis(10), 1);
+            }
+        }
+    }
+    #[derive(Default)]
+    struct CollectingServer {
+        payloads: Vec<Vec<u8>>,
+    }
+    impl Agent for CollectingServer {
+        fn on_start(&mut self, _api: &mut SimApi<'_>) {}
+        fn on_packet(&mut self, _path: usize, p: Packet, _api: &mut SimApi<'_>) {
+            self.payloads.push(p.payload().to_vec());
+        }
+        fn on_timer(&mut self, _key: u64, _api: &mut SimApi<'_>) {}
+    }
+
+    #[test]
+    fn fault_plan_corruption_flips_exactly_one_bit_reproducibly() {
+        let run = || {
+            let plan = crate::fault::FaultPlan::new(0xFA17)
+                .with_corruption(1.0)
+                .unwrap();
+            let mut sim = TwoHostSim::new(
+                vec![link(1e7, 0.01, 0.0)],
+                vec![link(1e7, 0.01, 0.0)],
+                PayloadClient { sent: 0, limit: 30 },
+                CollectingServer::default(),
+                0,
+            )
+            .unwrap();
+            sim.apply_faults(&plan).unwrap();
+            sim.run_to_completion();
+            assert_eq!(sim.fault_stats(Dir::Forward).corrupted, 30);
+            sim.server().payloads.clone()
+        };
+        let a = run();
+        assert_eq!(a.len(), 30);
+        for p in &a {
+            let flipped: u32 = p.iter().map(|b| (b ^ 0xAAu8).count_ones()).sum();
+            assert_eq!(flipped, 1, "exactly one bit flipped per frame");
+        }
+        assert_eq!(a, run(), "same seed, same corrupted bytes");
+    }
+
+    #[test]
+    fn fault_plan_reordering_stays_within_window() {
+        // With a 5 ms window and 10 ms inter-send spacing, frames can be
+        // delayed but never leapfrogged by more than one slot; deliveries
+        // stay deterministic.
+        let run = || {
+            let plan = crate::fault::FaultPlan::new(0x0DD)
+                .with_reordering(0.8, crate::time::SimDuration::from_millis(5))
+                .unwrap();
+            let mut sim = TwoHostSim::new(
+                vec![link(1e7, 0.01, 0.0)],
+                vec![link(1e7, 0.01, 0.0)],
+                TickerClient {
+                    sent: 0,
+                    limit: 100,
+                },
+                CountingServer::default(),
+                0,
+            )
+            .unwrap();
+            sim.apply_faults(&plan).unwrap();
+            sim.run_to_completion();
+            (sim.server().received, sim.fault_stats(Dir::Forward))
+        };
+        let (received, stats) = run();
+        assert_eq!(received, 100, "reordering delays but never drops");
+        assert!(stats.reordered > 50, "~80 of 100 reordered, got {stats:?}");
+        assert_eq!((received, stats), run());
     }
 
     #[test]

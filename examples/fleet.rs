@@ -6,8 +6,10 @@
 //! (the DDCCast rule), allocates jointly — `Σ` over flows of per-flow
 //! path usage ≤ path bandwidth — and hands every tenant an ordinary
 //! `Plan`, which we verify by simulation on the flow's allocated slice.
-//! Then a link fails mid-session: flows that no longer fit are evicted,
-//! everyone else is re-planned, warm-started from cached bases.
+//! Then a link fails mid-session: flows that no longer fit are shed into
+//! the re-admission queue (lowest priority first), everyone else is
+//! re-planned, warm-started from cached bases — and recovery revives the
+//! shed flows under their original ids.
 //!
 //! Run: `cargo run --example fleet --release`
 
@@ -85,14 +87,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- A link fails mid-session ----------------------------------------
-    let evicted = fleet.apply_link_change(0, &deadline_multipath::sim::LinkChange::Fail)?;
+    let shed = fleet.apply_link_change(0, &deadline_multipath::sim::LinkChange::Fail)?;
     println!(
-        "\npath 1 fails: {} flow(s) evicted, {} still admitted on the thin link",
-        evicted.len(),
+        "\npath 1 fails: {} flow(s) shed for re-admission, {} still admitted on the thin link",
+        shed.len(),
         fleet.num_flows()
     );
-    for id in &evicted {
-        println!("  evicted: {id}");
+    for id in &shed {
+        println!("  shed: {id}");
     }
     for (id, plan) in fleet.plans() {
         println!(
@@ -101,8 +103,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- Churn is cheap ----------------------------------------------------
+    // --- Recovery revives the shed flows ----------------------------------
     fleet.apply_link_change(0, &deadline_multipath::sim::LinkChange::Recover)?;
+    println!(
+        "\npath 1 recovers: {} flow(s) revived under their original ids, {} admitted again",
+        fleet.revived_flows().len(),
+        fleet.num_flows()
+    );
+
+    // --- Churn is cheap ----------------------------------------------------
     for _ in 0..8 {
         let d = fleet.offer(FlowRequest::new(10e6, 0.8)?.with_min_quality(0.5))?;
         fleet.depart(d.id())?;

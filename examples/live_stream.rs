@@ -65,6 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             model: ModelConfig::default(),
             rto_extra,
             min_samples: 30,
+            quality_floor: None,
+            jitter_seed: 0x11_7E57,
         },
         messages,
     );

@@ -106,8 +106,8 @@ pub mod prelude {
         Strategy,
     };
     pub use dmc_fleet::{
-        AdmissionDecision, FleetConfig, FleetEvent, FleetObjective, FleetPlanner, FleetTrace,
-        FlowId, FlowRequest,
+        AdmissionDecision, FleetConfig, FleetEvent, FleetObjective, FleetPlanner, FleetSnapshot,
+        FleetTrace, FlowId, FlowRequest,
     };
     pub use dmc_proto::{
         AdaptiveConfig, AdaptiveSender, DmcReceiver, DmcSender, FailureDetection, ReceiverConfig,
