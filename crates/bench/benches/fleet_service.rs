@@ -1,0 +1,110 @@
+//! Sharded fleet-service throughput:
+//!
+//! * `admit_100k` — the tentpole number: 100,000 flows admitted through a
+//!   64-shard service in batched ticks. Each tick offers a cohort spread
+//!   across every region and departs the cohort admitted two ticks ago,
+//!   so the resident population stays bounded (steady-state churn) while
+//!   each shard's `offer_batch`/`depart_batch` proves a whole cohort per
+//!   solve and keeps re-entering its warm basis.
+//! * `shard_scaling` — the same fixed workload (2,048 flows, 128 offers
+//!   per tick, so 256 resident at steady state) pushed through 1, 4, 16
+//!   and 64 shards. Flows with disjoint path sets never share a capacity
+//!   row, so sharding shrinks every joint LP: 64 two-path regions solve
+//!   4-flow blocks where one region solves a single 256-flow LP.
+//!
+//! Workers are pinned to 1 so the numbers isolate the *decomposition*
+//! win (smaller LPs per shard) from thread-pool effects — the CI box is
+//! a single-CPU container, and worker-count invariance of the decision
+//! stream is pinned separately by `crates/fleet/tests/service.rs`.
+//!
+//! Measured numbers are recorded in `BENCH_service.json` (regenerate with
+//! `CRITERION_OUTPUT_JSON=1 cargo bench -p dmc-bench --bench fleet_service`).
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmc_experiments::service::region_paths;
+use dmc_fleet::{FleetConfig, FleetService, FlowRequest, ServiceConfig, ServiceEvent};
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+fn service(shards: usize) -> FleetService {
+    let (paths, groups) = region_paths(shards);
+    FleetService::new(
+        paths,
+        &groups,
+        ServiceConfig {
+            workers: 1,
+            fleet: FleetConfig::default(),
+        },
+    )
+    .expect("bench service parameters are valid")
+}
+
+/// A cheap single-transmission request pinned to one region's paths.
+fn request(groups: &[Vec<usize>], region: usize, i: u64) -> FlowRequest {
+    let rate = 2e6 + 1e6 * ((i % 5) as f64);
+    FlowRequest::new(rate, 0.8)
+        .expect("bench request parameters are valid")
+        .with_transmissions(1)
+        .with_paths(groups[region].clone())
+}
+
+/// Admits `flows` flows through a `shards`-region service in ticks of
+/// `per_tick` offers, departing each admitted cohort two ticks later.
+/// Returns the decision hash so the whole run is observable.
+fn churn(flows: u64, shards: usize, per_tick: u64) -> u64 {
+    let mut svc = service(shards);
+    let (_, groups) = region_paths(shards);
+    let mut live: VecDeque<Vec<u64>> = VecDeque::new();
+    let mut offered = 0u64;
+    let mut decided = 0u64;
+    while offered < flows || live.iter().any(|c| !c.is_empty()) {
+        let batch = per_tick.min(flows - offered);
+        for k in 0..batch {
+            let region = ((offered + k) % shards as u64) as usize;
+            svc.submit(request(&groups, region, offered + k))
+                .expect("bench offer is valid");
+        }
+        offered += batch;
+        if live.len() >= 2 {
+            for flow in live.pop_front().expect("cohort present") {
+                svc.submit_depart(flow);
+            }
+        }
+        let events = svc.tick().expect("bench tick succeeds");
+        let mut cohort = Vec::new();
+        for event in &events {
+            if let ServiceEvent::Decision { seq, admitted, .. } = event {
+                decided += 1;
+                if *admitted {
+                    cohort.push(*seq);
+                }
+            }
+        }
+        live.push_back(cohort);
+    }
+    assert_eq!(decided, flows, "every offer gets a decision");
+    svc.decision_hash()
+}
+
+fn admit_100k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_service/admit_100k");
+    group.bench_function("64shards", |b| {
+        b.iter(|| black_box(churn(100_000, 64, 512)));
+    });
+    group.finish();
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_service/shard_scaling");
+    for shards in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| black_box(churn(2_048, s, 128)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, admit_100k, shard_scaling);
+criterion_main!(benches);

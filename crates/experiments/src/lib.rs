@@ -9,6 +9,7 @@
 //! | Figure 3 (sensitivity to estimation errors) | [`figure3`] | `… --bin figure3` |
 //! | Figure 4 (LP solve times) | [`figure4`] | `… --bin figure4` (and `cargo bench -p dmc-bench`) |
 //! | Fleet: multi-flow admission & joint allocation (beyond the paper) | [`fleet`] | `… --bin fleet` |
+//! | Fleet service: sharded admission over wire frames (beyond the paper) | [`service`] | `… --bin fleet_service` |
 //!
 //! Simulation binaries run through the parallel Monte-Carlo engine
 //! ([`montecarlo`]) and share one flag vocabulary:
@@ -19,8 +20,10 @@
 //!   reported as mean ± 95 % Student-t CI (default 1: the paper's
 //!   single-run protocol);
 //! * `--threads N` (or env `DMC_THREADS`) — worker threads; `1` is the
-//!   sequential oracle, `0`/unset uses all cores. Results are
-//!   bit-identical at any thread count;
+//!   sequential oracle, `0`/unset uses all cores (`DMC_THREADS=0` is
+//!   clamped to the sequential oracle, and an unparseable value warns
+//!   once and counts as unset). Results are bit-identical at any thread
+//!   count;
 //! * `--seed S` (or env `SEED`) — base of the per-trial seed stream;
 //! * `--runs N` (or env `RUNS`) — timing repetitions (`figure4` only).
 
@@ -37,6 +40,7 @@ pub mod montecarlo;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod service;
 pub mod table4;
 
 /// Reads the `MESSAGES` environment override for simulation length
@@ -62,6 +66,9 @@ pub struct RunArgs {
     /// the incremental sparse joint solver keeps sweeps with hundreds of
     /// concurrent flows tractable).
     pub flows: u64,
+    /// Capacity regions in the fleet-service driver
+    /// (`--shards`/`SHARDS`; each shard is a two-path region, ≤ 64).
+    pub shards: usize,
 }
 
 impl RunArgs {
@@ -94,6 +101,7 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
         seed: env_parse("SEED", 0xDEAD_BEEF),
         runs: env_parse("RUNS", 100),
         flows: env_parse("FLOWS", fleet::FLOWS_PER_TRIAL),
+        shards: env_parse("SHARDS", service::SHARDS_DEFAULT),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,8 +110,9 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
         if flag == "--help" || flag == "-h" {
             eprintln!(
                 "flags: --messages N  --trials N  --threads N (1 = sequential oracle, \
-                 0 = all cores)  --seed S  --runs N  --flows N (fleet driver)\n\
-                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS, FLOWS"
+                 0 = all cores; DMC_THREADS=0 clamps to 1)  --seed S  --runs N  \
+                 --flows N (fleet drivers)  --shards N (fleet_service driver, ≤ 64)\n\
+                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS, FLOWS, SHARDS"
             );
             std::process::exit(0);
         }
@@ -118,6 +127,7 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
             "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
             "--runs" => value.parse().map(|v| args.runs = v).is_ok(),
             "--flows" => value.parse().map(|v| args.flows = v).is_ok(),
+            "--shards" => value.parse().map(|v| args.shards = v).is_ok(),
             _ => {
                 eprintln!("unknown flag {flag} (see --help)");
                 std::process::exit(2);

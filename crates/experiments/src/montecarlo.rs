@@ -84,24 +84,13 @@ impl MonteCarloConfig {
         }
     }
 
-    /// The worker count after resolving `0`: the `DMC_THREADS`
-    /// environment variable if parseable, else the machine's available
-    /// parallelism (at least 1).
+    /// The worker count after resolving `0`, shared with the fleet
+    /// service: the `DMC_THREADS` environment variable clamped to ≥ 1
+    /// (`DMC_THREADS=0` means the sequential oracle, not a zero-width
+    /// pool), an unparseable value warned about once and treated as
+    /// unset, else the machine's available parallelism (at least 1).
     pub fn resolved_threads(&self) -> usize {
-        if self.threads != 0 {
-            return self.threads;
-        }
-        if let Some(n) = std::env::var("DMC_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            if n > 0 {
-                return n;
-            }
-        }
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        dmc_fleet::service::resolved_workers(self.threads)
     }
 }
 
@@ -272,6 +261,31 @@ mod tests {
             base_seed: 0,
         };
         assert!(mc.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn dmc_threads_zero_is_the_sequential_oracle() {
+        // Regression: `DMC_THREADS=0` parsed "successfully" and used to
+        // fall through to available parallelism; it must clamp to one
+        // worker (the sequential oracle), and the trial results must be
+        // identical either way.
+        std::env::set_var("DMC_THREADS", "0");
+        let mc = MonteCarloConfig {
+            trials: 6,
+            threads: 0,
+            base_seed: 0x5EED,
+        };
+        assert_eq!(mc.resolved_threads(), 1);
+        let clamped: Vec<u64> = run_trials_parallel(&mc, |t, seed| t ^ seed);
+        std::env::remove_var("DMC_THREADS");
+        let sequential: Vec<u64> = run_trials_parallel(
+            &MonteCarloConfig {
+                threads: 1,
+                ..mc.clone()
+            },
+            |t, seed| t ^ seed,
+        );
+        assert_eq!(clamped, sequential);
     }
 
     #[test]

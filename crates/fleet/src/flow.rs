@@ -65,6 +65,7 @@ pub struct FlowRequest {
     cost_budget: f64,
     priority: f64,
     transmissions: usize,
+    paths: Option<Vec<usize>>,
 }
 
 impl FlowRequest {
@@ -92,6 +93,7 @@ impl FlowRequest {
             cost_budget: f64::INFINITY,
             priority: 1.0,
             transmissions: 2,
+            paths: None,
         })
     }
 
@@ -167,6 +169,31 @@ impl FlowRequest {
         self
     }
 
+    /// Restricts the flow to a subset of the fleet's shared paths, named
+    /// by 0-based path index (default: every shared path). Indices are
+    /// sorted and deduplicated here; they are validated against the
+    /// actual path count when the flow is offered. Flows whose path sets
+    /// never overlap end up in disjoint capacity regions and can be
+    /// admitted by independent shards (see `dmc_fleet::service`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    #[must_use]
+    pub fn with_paths(mut self, mut paths: Vec<usize>) -> Self {
+        assert!(!paths.is_empty(), "a flow needs at least one usable path");
+        paths.sort_unstable();
+        paths.dedup();
+        self.paths = Some(paths);
+        self
+    }
+
+    /// The restricted path set (sorted, deduplicated global path
+    /// indices), or `None` when the flow may use every shared path.
+    pub fn paths(&self) -> Option<&[usize]> {
+        self.paths.as_deref()
+    }
+
     /// Application data rate `λ_f` in bits/second.
     pub fn data_rate(&self) -> f64 {
         self.data_rate
@@ -196,6 +223,24 @@ impl FlowRequest {
     pub fn transmissions(&self) -> usize {
         self.transmissions
     }
+
+    /// A copy of this request with a re-scaled rate/budget and a
+    /// replacement path set — the service router's two-phase spanning
+    /// split. Callers guarantee validity (positive finite rate, positive
+    /// budget or `+∞`, sorted deduplicated paths).
+    pub(crate) fn scaled_to(
+        &self,
+        data_rate: f64,
+        cost_budget: f64,
+        paths: Option<Vec<usize>>,
+    ) -> FlowRequest {
+        FlowRequest {
+            data_rate,
+            cost_budget,
+            paths,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +265,20 @@ mod tests {
             .unwrap()
             .with_loss_tolerance(0.2);
         assert!((r.min_quality() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_subsets_are_sorted_and_deduplicated() {
+        let r = FlowRequest::new(10e6, 0.5).unwrap();
+        assert!(r.paths().is_none());
+        let r = r.with_paths(vec![3, 1, 3, 0]);
+        assert_eq!(r.paths(), Some(&[0, 1, 3][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one usable path")]
+    fn empty_path_subset_panics() {
+        let _ = FlowRequest::new(10e6, 0.5).unwrap().with_paths(Vec::new());
     }
 
     #[test]

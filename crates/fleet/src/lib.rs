@@ -68,11 +68,13 @@
 mod error;
 mod flow;
 mod planner;
+pub mod service;
 mod timeline;
 
 pub use error::FleetError;
 pub use flow::{FlowId, FlowRequest};
 pub use planner::{AdmissionDecision, FleetConfig, FleetObjective, FleetPlanner};
+pub use service::{FleetService, RegionMap, ServiceConfig, ServiceEvent};
 pub use timeline::{FleetEvent, FleetSnapshot, FleetTrace, TraceEvent};
 
 // Re-exported so fleet callers can name the shared counter type without

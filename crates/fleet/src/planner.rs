@@ -494,27 +494,47 @@ impl JointAssembly {
         self.slots[idx].active = false;
     }
 
-    /// Rolls a tentative placement back (reverse order of placement).
-    fn rollback(&mut self, n_paths: usize, idx: usize, placement: Placement) {
+    /// Rolls a tentative placement back. Appended placements **must** be
+    /// rolled back in reverse order of placement — truncating a block
+    /// from the middle would shift every later slot's rows and columns
+    /// under the slot table. That used to be a `debug_assert`, which a
+    /// release build would sail past and silently corrupt the assembly;
+    /// it is a checked error now, and callers fall back to rebuilding the
+    /// assembly from the admitted flows when it fires.
+    fn rollback(
+        &mut self,
+        n_paths: usize,
+        idx: usize,
+        placement: Placement,
+    ) -> Result<(), FleetError> {
         match placement {
             Placement::Appended {
                 prev_vars,
                 prev_rows,
             } => {
-                debug_assert_eq!(idx, self.slots.len() - 1, "rollback out of order");
+                if idx + 1 != self.slots.len() {
+                    return Err(FleetError::Invalid(format!(
+                        "rollback out of order: appended slot {idx} is not the last of {} slots",
+                        self.slots.len()
+                    )));
+                }
                 self.problem.truncate_rows(prev_rows);
                 self.problem.truncate_vars(prev_vars);
                 self.slots.pop();
             }
             Placement::Reused => self.deactivate(n_paths, idx),
         }
+        Ok(())
     }
 
     /// Recomputes every Λ-dependent coefficient from the given membership
     /// (active flows plus tentative candidates): per-block objective
     /// segments `w·(λ_f/Λ)·p_f`, shared-row segments `(λ_f/Λ)·usage_f`
     /// and the shared RHS `b_k/Λ` — the same arithmetic as
-    /// [`assemble_joint`], applied to the same slots every time.
+    /// [`assemble_joint`], applied to the same slots every time. A flow
+    /// restricted to a path subset ([`FlowRequest::with_paths`]) consumes
+    /// nothing on the paths it does not use: its segment in those shared
+    /// rows is structurally zero.
     fn rescale(
         &mut self,
         objective: FleetObjective,
@@ -537,7 +557,10 @@ impl JointAssembly {
                 .expect("objective segment fits");
             for (k, _) in paths.iter().enumerate() {
                 seg.clear();
-                seg.extend(m.usage_coeffs(k).iter().map(|u| share * u));
+                match local_path_index(r.paths(), k) {
+                    Some(lk) => seg.extend(m.usage_coeffs(lk).iter().map(|u| share * u)),
+                    None => seg.resize(m.num_combos(), 0.0),
+                }
                 self.problem
                     .set_row_range(k, start, &seg)
                     .expect("shared segment fits");
@@ -823,6 +846,65 @@ impl FleetPlanner {
         Ok(departed.plan)
     }
 
+    /// Removes a batch of flows with **one** joint re-solve and **one**
+    /// re-admission sweep, instead of one of each per departure — the
+    /// batched-tick counterpart of [`FleetPlanner::offer_batch`], so a
+    /// service draining a tick's worth of departures counts as a single
+    /// capacity event for the shed queue's backoff schedule. Returns each
+    /// flow's last plan, in input order. Ids may name admitted flows or
+    /// flows waiting in the re-admission queue (withdrawn, exactly like
+    /// [`FleetPlanner::depart`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFlow`] if any id is unknown or repeated; the
+    /// fleet is left untouched in that case.
+    pub fn depart_batch(&mut self, ids: &[FlowId]) -> Result<Vec<Plan>, FleetError> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in ids {
+            let known =
+                self.flows.iter().any(|f| f.id == id) || self.shed.iter().any(|s| s.id == id);
+            if !known || !seen.insert(id) {
+                return Err(FleetError::UnknownFlow(id));
+            }
+        }
+        let mut plans = Vec::with_capacity(ids.len());
+        let mut removed_admitted = false;
+        for &id in ids {
+            if let Some(idx) = self.flows.iter().position(|f| f.id == id) {
+                let departed = self.flows.remove(idx);
+                if self.config.incremental {
+                    if let Some(a) = self.assembly.as_mut() {
+                        a.deactivate(self.paths.len(), departed.slot);
+                    }
+                }
+                removed_admitted = true;
+                plans.push(departed.plan);
+            } else {
+                let pos = self
+                    .shed
+                    .iter()
+                    .position(|s| s.id == id)
+                    .expect("validated as known above");
+                plans.push(self.shed.remove(pos).plan);
+            }
+        }
+        if removed_admitted {
+            if self.config.incremental {
+                self.maybe_compact();
+            }
+            if !self.flows.is_empty() {
+                let (segments, _) = self.solve_entries(&[]).map_err(FleetError::Solve)?;
+                self.refresh_plans(segments);
+            }
+            self.revive_shed()?;
+        }
+        Ok(plans)
+    }
+
     /// Rebuilds the incremental assembly from the active flows (in
     /// admission order) once tombstones outnumber them, bounding the
     /// zombie-block overhead of a long-churning fleet.
@@ -904,16 +986,40 @@ impl FleetPlanner {
     }
 
     /// Ids definitively rejected after exhausting their
-    /// [`FleetPlanner::MAX_SHED_ATTEMPTS`] re-admission attempts
-    /// (cumulative, in rejection order).
+    /// [`FleetPlanner::MAX_SHED_ATTEMPTS`] re-admission attempts, in
+    /// rejection order. The list accumulates from construction — or from
+    /// the last [`FleetPlanner::drain_shed_rejected`] call, for
+    /// long-lived services that consume these as per-event notifications.
     pub fn shed_rejected(&self) -> &[FlowId] {
         &self.shed_rejected
     }
 
-    /// Ids revived from the shed queue so far (cumulative, in revival
-    /// order). A revived flow keeps its original [`FlowId`].
+    /// Ids revived from the shed queue, in revival order. A revived flow
+    /// keeps its original [`FlowId`]. Like
+    /// [`FleetPlanner::shed_rejected`], the list accumulates from
+    /// construction or from the last [`FleetPlanner::drain_revived`]
+    /// call.
     pub fn revived_flows(&self) -> &[FlowId] {
         &self.revived
+    }
+
+    /// Removes and returns the revived-flow events recorded since
+    /// construction or the last drain (in revival order), resetting
+    /// [`FleetPlanner::revived_flows`] to empty.
+    ///
+    /// Long-lived services must drain these lists once per event/tick:
+    /// before the drain API existed they grew without bound and every
+    /// consumer re-reported stale events from earlier outages.
+    pub fn drain_revived(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.revived)
+    }
+
+    /// Removes and returns the definitive-rejection events recorded since
+    /// construction or the last drain (in rejection order), resetting
+    /// [`FleetPlanner::shed_rejected`] to empty. See
+    /// [`FleetPlanner::drain_revived`].
+    pub fn drain_shed_rejected(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.shed_rejected)
     }
 
     /// Cold re-solves forced by a warm-start anomaly — a singular basis
@@ -968,12 +1074,23 @@ impl FleetPlanner {
 
     /// Per-path utilization: the admitted flows' summed send rates over
     /// the path's current bandwidth. The joint capacity rows keep every
-    /// entry ≤ 1 (within solver tolerance).
+    /// entry ≤ 1 (within solver tolerance). A flow restricted to a path
+    /// subset contributes only to the paths it uses (its plan's send
+    /// rates are indexed by its own subset).
     pub fn utilization(&self) -> Vec<f64> {
         let mut util = vec![0.0; self.paths.len()];
         for f in &self.flows {
-            for (u, rate) in util.iter_mut().zip(f.plan.send_rates()) {
-                *u += rate;
+            match f.request.paths() {
+                None => {
+                    for (u, rate) in util.iter_mut().zip(f.plan.send_rates()) {
+                        *u += rate;
+                    }
+                }
+                Some(subset) => {
+                    for (&k, rate) in subset.iter().zip(f.plan.send_rates()) {
+                        util[k] += rate;
+                    }
+                }
             }
         }
         for (u, p) in util.iter_mut().zip(&self.paths) {
@@ -1021,10 +1138,24 @@ impl FleetPlanner {
     }
 
     /// Builds the candidate's per-flow scenario/model against the current
-    /// shared paths.
+    /// shared paths (restricted to the flow's declared subset when
+    /// [`FlowRequest::with_paths`] was used).
     fn flow_model(&mut self, request: &FlowRequest) -> Result<ScenarioModel, FleetError> {
+        let effective = self.shared_paths()?;
+        let flow_paths = match request.paths() {
+            Some(subset) => {
+                if let Some(&bad) = subset.iter().find(|&&k| k >= effective.len()) {
+                    return Err(FleetError::Invalid(format!(
+                        "flow path index {bad} out of range ({} shared paths)",
+                        effective.len()
+                    )));
+                }
+                subset.iter().map(|&k| effective[k].clone()).collect()
+            }
+            None => effective,
+        };
         let mut builder = Scenario::builder()
-            .paths(self.shared_paths()?)
+            .paths(flow_paths)
             .data_rate(request.data_rate())
             .lifetime(request.lifetime())
             .transmissions(request.transmissions());
@@ -1321,19 +1452,28 @@ impl FleetPlanner {
             Err(e) => {
                 // Roll the tentative placements back (reverse order, so
                 // appended blocks truncate cleanly) and restore the
-                // incumbents' scaling.
-                for &(slot, placement) in placements.iter().rev() {
-                    assembly.rollback(n_paths, slot, placement);
+                // incumbents' scaling. If the rollback sequence is ever
+                // inconsistent (a checked error since the two-phase
+                // service path, not a debug_assert), the assembly is
+                // rebuilt from the admitted flows instead of being
+                // patched in place with shifted row indices.
+                let clean = placements
+                    .iter()
+                    .rev()
+                    .all(|&(slot, placement)| assembly.rollback(n_paths, slot, placement).is_ok());
+                if clean {
+                    if !self.flows.is_empty() {
+                        let members: Vec<(usize, &FlowRequest, &ScenarioModel)> = self
+                            .flows
+                            .iter()
+                            .map(|f| (f.slot, &f.request, &f.model))
+                            .collect();
+                        assembly.rescale(self.config.objective, &self.paths, &members);
+                    }
+                    self.assembly = Some(assembly);
+                } else {
+                    self.rebuild_assembly();
                 }
-                if !self.flows.is_empty() {
-                    let members: Vec<(usize, &FlowRequest, &ScenarioModel)> = self
-                        .flows
-                        .iter()
-                        .map(|f| (f.slot, &f.request, &f.model))
-                        .collect();
-                    assembly.rescale(self.config.objective, &self.paths, &members);
-                }
-                self.assembly = Some(assembly);
                 Err(e)
             }
         }
@@ -1386,6 +1526,16 @@ impl FleetPlanner {
 /// in admission order, which is precisely the layout the incremental
 /// [`JointAssembly`] maintains — a freshly populated fleet produces the
 /// same [`Problem`] on both paths.
+/// The flow-local index of global path `k` under an optional path subset
+/// (`None` = the identity mapping: the flow's model covers every shared
+/// path), or `None` when the flow does not use the path at all.
+fn local_path_index(subset: Option<&[usize]>, k: usize) -> Option<usize> {
+    match subset {
+        None => Some(k),
+        Some(s) => s.binary_search(&k).ok(),
+    }
+}
+
 fn assemble_joint(
     objective: FleetObjective,
     paths: &[SharedPath],
@@ -1403,12 +1553,17 @@ fn assemble_joint(
         c.extend(m.quality_coeffs().iter().map(|p| w * share * p));
     }
     let mut lp = Problem::maximize(c);
-    // Shared capacity rows: Σ_f (λ_f/Λ)·usage_f,k · x^f ≤ b_k/Λ.
+    // Shared capacity rows: Σ_f (λ_f/Λ)·usage_f,k · x^f ≤ b_k/Λ. A flow
+    // restricted to a path subset has a structurally zero segment in the
+    // rows of the paths it does not use.
     for (k, path) in paths.iter().enumerate() {
         let mut row = Vec::with_capacity(total_vars);
         for (r, m) in entries {
             let share = r.data_rate() / lambda_tot;
-            row.extend(m.usage_coeffs(k).iter().map(|u| share * u));
+            match local_path_index(r.paths(), k) {
+                Some(lk) => row.extend(m.usage_coeffs(lk).iter().map(|u| share * u)),
+                None => row.extend(std::iter::repeat_n(0.0, m.num_combos())),
+            }
         }
         lp.add_le(row, path.bandwidth / lambda_tot)
             .expect("dimensions match");
@@ -1644,6 +1799,175 @@ mod tests {
         fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
         assert!(fleet.revived_flows().is_empty());
         assert_eq!(fleet.num_flows(), 1);
+    }
+
+    #[test]
+    fn event_lists_drain_per_event_across_successive_outages() {
+        let mut fleet = fleet();
+        let big = fleet
+            .offer(FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        fleet
+            .offer(FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.9))
+            .unwrap();
+        // Outage 1: the big flow is shed, recovery revives it.
+        fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
+        assert_eq!(fleet.drain_revived(), vec![big.id()]);
+        assert!(fleet.revived_flows().is_empty());
+        assert!(fleet.drain_shed_rejected().is_empty());
+        // Outage 2: the drained view must report *this* event's revival
+        // exactly once. Before the drain API the lists were
+        // cumulative-only, so a service polling after the second outage
+        // re-reported the first outage's revival as if it were new.
+        fleet.apply_link_change(0, &LinkChange::Fail).unwrap();
+        fleet.apply_link_change(0, &LinkChange::Recover).unwrap();
+        assert_eq!(fleet.drain_revived(), vec![big.id()]);
+        assert!(fleet.drain_revived().is_empty());
+        assert!(fleet.drain_shed_rejected().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_rollback_is_a_checked_error() {
+        let mut fleet = fleet();
+        let req_a = FlowRequest::new(10e6, 0.5).unwrap();
+        let req_b = FlowRequest::new(20e6, 0.7).unwrap();
+        let model_a = fleet.flow_model(&req_a).unwrap();
+        let model_b = fleet.flow_model(&req_b).unwrap();
+        let mut assembly = JointAssembly::new();
+        let (slot_a, place_a) = assembly.place(2, &req_a, &model_a);
+        let (slot_b, place_b) = assembly.place(2, &req_b, &model_b);
+        // Rolling the *first* appended block back while the second still
+        // exists would truncate the wrong rows; it must fail loudly (it
+        // was a debug_assert before, so release builds corrupted the
+        // assembly silently).
+        assert!(matches!(
+            assembly.rollback(2, slot_a, place_a),
+            Err(FleetError::Invalid(_))
+        ));
+        // Reverse placement order unwinds cleanly.
+        assert!(assembly.rollback(2, slot_b, place_b).is_ok());
+        assert!(assembly.rollback(2, slot_a, place_a).is_ok());
+        assert!(assembly.slots.is_empty());
+    }
+
+    #[test]
+    fn partial_batch_failure_rolls_back_and_admits_what_fits() {
+        let mut fleet = fleet();
+        // The whole batch cannot fit (two 60 Mbps flows at 90 % on
+        // ~100 Mbps of links), so the single-solve fast path fails and
+        // the greedy fallback must roll its tentative placements back
+        // per candidate without corrupting the assembly.
+        let decisions = fleet
+            .offer_batch(vec![
+                FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9),
+                FlowRequest::new(60e6, 0.8).unwrap().with_min_quality(0.9),
+                FlowRequest::new(10e6, 0.8).unwrap().with_min_quality(0.5),
+            ])
+            .unwrap();
+        let admitted: Vec<bool> = decisions
+            .iter()
+            .map(AdmissionDecision::is_admitted)
+            .collect();
+        assert_eq!(admitted, vec![true, false, true]);
+        assert_eq!(fleet.num_flows(), 2);
+        for (_, plan) in fleet.plans() {
+            assert!(plan.quality() >= 0.5 - 1e-9);
+        }
+        assert!(fleet.utilization().iter().all(|&u| u <= 1.0 + 1e-9));
+        // The assembly survived the mid-batch refusal: later churn on the
+        // same assembly still works.
+        let later = fleet
+            .offer(FlowRequest::new(5e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        assert!(later.is_admitted());
+        fleet.depart(later.id()).unwrap();
+        assert_eq!(fleet.num_flows(), 2);
+    }
+
+    #[test]
+    fn depart_batch_matches_sequential_departs() {
+        let admit_four = |fleet: &mut FleetPlanner| -> Vec<FlowId> {
+            [
+                FlowRequest::new(30e6, 0.8).unwrap().with_min_quality(0.6),
+                FlowRequest::new(20e6, 0.6).unwrap(),
+                FlowRequest::new(15e6, 1.0).unwrap().with_min_quality(0.4),
+                FlowRequest::new(10e6, 0.9).unwrap(),
+            ]
+            .into_iter()
+            .map(|r| {
+                let d = fleet.offer(r).unwrap();
+                assert!(d.is_admitted());
+                d.id()
+            })
+            .collect()
+        };
+        let mut batched = fleet();
+        let ids = admit_four(&mut batched);
+        let mut sequential = fleet();
+        let seq_ids = admit_four(&mut sequential);
+        assert_eq!(ids, seq_ids);
+        let plans = batched.depart_batch(&[ids[0], ids[2]]).unwrap();
+        assert_eq!(plans.len(), 2);
+        let p0 = sequential.depart(ids[0]).unwrap();
+        let p2 = sequential.depart(ids[2]).unwrap();
+        assert_eq!(plans[0].strategy().x(), p0.strategy().x());
+        assert_eq!(plans[1].strategy().x(), p2.strategy().x());
+        // Same survivors, same final joint LP, same plans.
+        assert_eq!(batched.flow_ids(), sequential.flow_ids());
+        for (id, plan) in batched.plans() {
+            assert_eq!(
+                plan.strategy().x(),
+                sequential.plan_of(id).unwrap().strategy().x(),
+                "{id}"
+            );
+        }
+        // Unknown or repeated ids leave the fleet untouched.
+        assert!(matches!(
+            batched.depart_batch(&[ids[1], ids[0]]),
+            Err(FleetError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            batched.depart_batch(&[ids[1], ids[1]]),
+            Err(FleetError::UnknownFlow(_))
+        ));
+        assert_eq!(batched.num_flows(), 2);
+        assert!(batched.depart_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn path_subsets_restrict_usage_and_match_a_restricted_fleet() {
+        let mut fleet = fleet();
+        let restricted = fleet
+            .offer(
+                FlowRequest::new(15e6, 0.8)
+                    .unwrap()
+                    .with_min_quality(0.5)
+                    .with_paths(vec![1]),
+            )
+            .unwrap();
+        assert!(restricted.is_admitted());
+        // The flow consumes nothing on the path it renounced.
+        let util = fleet.utilization();
+        assert!(util[0].abs() < 1e-12, "path 0 utilization {}", util[0]);
+        assert!(util[1] > 0.0);
+        // It plans exactly like the same flow on a fleet that only has
+        // that path.
+        let mut solo =
+            FleetPlanner::new(vec![table3_paths()[1].clone()], FleetConfig::default()).unwrap();
+        let alone = solo
+            .offer(FlowRequest::new(15e6, 0.8).unwrap().with_min_quality(0.5))
+            .unwrap();
+        let pf = fleet.plan_of(restricted.id()).unwrap();
+        let ps = solo.plan_of(alone.id()).unwrap();
+        assert!((pf.quality() - ps.quality()).abs() <= 1e-9);
+        for (a, b) in pf.strategy().x().iter().zip(ps.strategy().x()) {
+            assert!((a - b).abs() <= 1e-9, "{a} vs {b}");
+        }
+        // Out-of-range subset indices are rejected.
+        assert!(fleet
+            .offer(FlowRequest::new(1e6, 0.5).unwrap().with_paths(vec![9]))
+            .is_err());
     }
 
     #[test]

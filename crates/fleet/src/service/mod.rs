@@ -1,0 +1,114 @@
+//! `dmc-fleetd` — the sharded, concurrent fleet admission service.
+//!
+//! [`FleetPlanner`](crate::FleetPlanner) is a single-threaded library
+//! object: one lock around it would serialize every offer and departure
+//! of a million-flow deployment. This module is the service layer that
+//! removes that bottleneck without touching the solver:
+//!
+//! * **Region sharding** ([`RegionMap`]) — the shared paths are
+//!   partitioned into *capacity regions* by union-find over declared
+//!   path groups: two paths land in the same region exactly when some
+//!   expected flow class may use both. Flows with disjoint path sets
+//!   never share a capacity row of the joint LP, so each region gets its
+//!   own `FleetPlanner` (and its own warm-basis cache) and regions never
+//!   contend.
+//! * **Shard router + workers** ([`FleetService`]) — submissions are
+//!   sequence-numbered and queued per shard; [`FleetService::tick`]
+//!   drains every queue in one *batched tick*, with the shards split
+//!   across `std::thread` scoped workers. Within a shard, consecutive
+//!   offers collapse into one [`offer_batch`](crate::FleetPlanner::offer_batch)
+//!   solve and consecutive departures into one
+//!   [`depart_batch`](crate::FleetPlanner::depart_batch) solve. Flows
+//!   whose path set spans regions go through a deterministic two-phase
+//!   reserve/commit after the parallel phase, with rollback on any
+//!   shard's refusal.
+//! * **Wire front end** — [`FleetService::handle_frame`] and
+//!   [`FleetService::tick_frames`] speak the checksummed
+//!   [`dmc_proto::wire`] Offer/Decision/Depart/LinkChange frames, so the
+//!   chaos harness and the `fleet_service` bench drive the service
+//!   end-to-end over encoded bytes.
+//!
+//! # Determinism contract
+//!
+//! Per-shard event streams are independent (a shard only ever touches
+//! its own planner), the workers partition the shards into contiguous
+//! chunks, and the router merges each tick's events in submission
+//! sequence order — so a fixed submission script produces **bitwise
+//! identical** decisions, plans and [`FleetService::decision_hash`] at
+//! *any* worker count (`tests/service.rs` pins workers 1 vs 4).
+
+mod region;
+mod router;
+mod shard;
+mod wire;
+
+pub use region::RegionMap;
+pub use router::{FleetService, ServiceConfig, ServiceEvent};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Warn at most once per process about an unparseable `DMC_THREADS`.
+static WARNED_BAD_DMC_THREADS: AtomicBool = AtomicBool::new(false);
+
+/// Resolves a requested worker count for the service (and for the
+/// Monte-Carlo trial pool, which delegates here): a nonzero request wins
+/// verbatim; `0` defers to the `DMC_THREADS` environment variable, then
+/// to the machine's available parallelism.
+///
+/// Parsed environment values are clamped to ≥ 1 — `DMC_THREADS=0` used
+/// to parse "successfully" and configure a zero-width pool — and an
+/// unparseable value is treated as unset, with a one-line warning the
+/// first time it is seen (instead of being silently swallowed).
+pub fn resolved_workers(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    match std::env::var("DMC_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                if !WARNED_BAD_DMC_THREADS.swap(true, Ordering::Relaxed) {
+                    eprintln!("warning: DMC_THREADS={raw:?} is not a number; treating it as unset");
+                }
+                available_parallelism()
+            }
+        },
+        Err(_) => available_parallelism(),
+    }
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_workers_clamps_and_falls_back() {
+        // One test mutates the process environment for every case, so
+        // the cases cannot race each other across #[test] threads.
+        assert_eq!(resolved_workers(3), 3);
+
+        std::env::set_var("DMC_THREADS", "2");
+        assert_eq!(resolved_workers(0), 2);
+        // An explicit request still beats the environment.
+        assert_eq!(resolved_workers(5), 5);
+
+        // The regression: DMC_THREADS=0 parses, and used to configure a
+        // zero-width pool; it must clamp to one worker.
+        std::env::set_var("DMC_THREADS", "0");
+        assert_eq!(resolved_workers(0), 1);
+
+        // Unparseable values fall back to the machine default (≥ 1)
+        // instead of being silently treated as a count.
+        std::env::set_var("DMC_THREADS", "lots");
+        assert!(resolved_workers(0) >= 1);
+
+        std::env::remove_var("DMC_THREADS");
+        assert!(resolved_workers(0) >= 1);
+    }
+}

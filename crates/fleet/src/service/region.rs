@@ -1,0 +1,155 @@
+//! Capacity-region partitioning: union-find over shared-path membership.
+
+use crate::error::FleetError;
+
+/// A partition of the shared paths into **capacity regions**.
+///
+/// Two paths belong to the same region exactly when some declared *path
+/// group* — the path set of an expected flow class — contains both
+/// (transitively). Flows whose path sets never overlap never share a
+/// capacity row of the joint LP, so each region can be admitted by an
+/// independent [`FleetPlanner`](crate::FleetPlanner) shard; only flows
+/// whose declared path set spans regions need the router's two-phase
+/// reserve/commit.
+///
+/// Region ids are deterministic: regions are numbered in order of their
+/// smallest member path, and [`RegionMap::region_paths`] lists each
+/// region's paths in ascending global index — the layout every shard,
+/// trace and test can rely on.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    /// Global path index → region id.
+    path_region: Vec<usize>,
+    /// Region id → its global path indices, ascending.
+    regions: Vec<Vec<usize>>,
+}
+
+impl RegionMap {
+    /// Partitions `n_paths` shared paths by the declared `groups` (each
+    /// a set of 0-based path indices some flow class may use). Paths
+    /// named by no group each form a singleton region.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n_paths == 0` and groups naming out-of-range paths.
+    pub fn new(n_paths: usize, groups: &[Vec<usize>]) -> Result<Self, FleetError> {
+        if n_paths == 0 {
+            return Err(FleetError::Invalid(
+                "a fleet service needs at least one shared path".into(),
+            ));
+        }
+        let mut parent: Vec<usize> = (0..n_paths).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for group in groups {
+            for &k in group {
+                if k >= n_paths {
+                    return Err(FleetError::Invalid(format!(
+                        "path group names path {k}, but there are only {n_paths} shared paths"
+                    )));
+                }
+            }
+            for pair in group.windows(2) {
+                let a = find(&mut parent, pair[0]);
+                let b = find(&mut parent, pair[1]);
+                if a != b {
+                    // Root at the smaller index so normalization below
+                    // is order-independent.
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+        let mut path_region = vec![0usize; n_paths];
+        let mut regions: Vec<Vec<usize>> = Vec::new();
+        let mut root_region: Vec<Option<usize>> = vec![None; n_paths];
+        for (k, slot) in path_region.iter_mut().enumerate() {
+            let root = find(&mut parent, k);
+            let region = match root_region[root] {
+                Some(r) => r,
+                None => {
+                    regions.push(Vec::new());
+                    let r = regions.len() - 1;
+                    root_region[root] = Some(r);
+                    r
+                }
+            };
+            *slot = region;
+            regions[region].push(k);
+        }
+        Ok(RegionMap {
+            path_region,
+            regions,
+        })
+    }
+
+    /// Number of capacity regions (= number of shards).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region a global path index belongs to (`None` out of range).
+    pub fn region_of(&self, path: usize) -> Option<usize> {
+        self.path_region.get(path).copied()
+    }
+
+    /// The global path indices of one region, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region ≥ num_regions()`.
+    pub fn region_paths(&self, region: usize) -> &[usize] {
+        &self.regions[region]
+    }
+
+    /// The sorted, distinct regions a path set touches (out-of-range
+    /// indices are ignored; validate them first).
+    pub fn regions_of(&self, paths: &[usize]) -> Vec<usize> {
+        let mut rs: Vec<usize> = paths.iter().filter_map(|&k| self.region_of(k)).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungrouped_paths_are_singleton_regions() {
+        let map = RegionMap::new(4, &[]).unwrap();
+        assert_eq!(map.num_regions(), 4);
+        for k in 0..4 {
+            assert_eq!(map.region_of(k), Some(k));
+            assert_eq!(map.region_paths(k), &[k]);
+        }
+        assert_eq!(map.region_of(4), None);
+    }
+
+    #[test]
+    fn groups_union_transitively_and_ids_are_normalized() {
+        // {0,2} and {2,4} chain into one region; 1 and 3 stay alone.
+        let map = RegionMap::new(5, &[vec![0, 2], vec![2, 4]]).unwrap();
+        assert_eq!(map.num_regions(), 3);
+        assert_eq!(map.region_paths(0), &[0, 2, 4]);
+        assert_eq!(map.region_paths(1), &[1]);
+        assert_eq!(map.region_paths(2), &[3]);
+        assert_eq!(map.regions_of(&[4, 1]), vec![0, 1]);
+        assert_eq!(map.regions_of(&[2, 0]), vec![0]);
+        // Group order cannot change the ids.
+        let swapped = RegionMap::new(5, &[vec![4, 2], vec![2, 0]]).unwrap();
+        assert_eq!(swapped.region_paths(0), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(RegionMap::new(0, &[]).is_err());
+        assert!(RegionMap::new(2, &[vec![0, 2]]).is_err());
+    }
+}

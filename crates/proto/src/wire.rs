@@ -37,6 +37,14 @@ const DATA_MAGIC: u8 = 0xD7;
 const ACK_MAGIC: u8 = 0xA3;
 /// Magic byte tagging path-state notifications.
 const NOTICE_MAGIC: u8 = 0x5E;
+/// Magic byte tagging fleet-service admission offers.
+const OFFER_MAGIC: u8 = 0x0F;
+/// Magic byte tagging fleet-service admission decisions.
+const DECISION_MAGIC: u8 = 0xDC;
+/// Magic byte tagging fleet-service flow departures.
+const DEPART_MAGIC: u8 = 0xDD;
+/// Magic byte tagging fleet-service link-change commands.
+const LINK_MAGIC: u8 = 0x17;
 
 /// Size of the serialized [`DataHeader`] in bytes.
 pub const DATA_HEADER_BYTES: usize = 32;
@@ -300,6 +308,374 @@ impl PathNotice {
     }
 }
 
+/// Maximum shared-path index addressable by [`OfferFrame`]'s path mask.
+pub const OFFER_PATH_BITS: usize = 128;
+
+/// A tenant's admission request on the fleet-service control plane:
+/// rate, deadline, quality floor, spend cap and priority, plus a 128-bit
+/// mask of the shared paths the flow may use (all-zero = every path).
+///
+/// The `f64` fields travel as raw IEEE-754 bits, so a round trip is
+/// bitwise — the service validates semantics (finite, positive, floor in
+/// `[0, 1]`) on receipt and answers an invalid offer with a
+/// [`Verdict::Invalid`] decision rather than dropping the frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfferFrame {
+    /// Client-chosen request tag, echoed by the matching
+    /// [`DecisionFrame`].
+    pub seq: u64,
+    /// Application data rate λ, bits/second.
+    pub data_rate: f64,
+    /// Data lifetime δ, seconds.
+    pub lifetime: f64,
+    /// Required in-time delivery fraction (0 = best effort).
+    pub min_quality: f64,
+    /// Cost budget per second (+∞ = unconstrained).
+    pub cost_budget: f64,
+    /// Priority weight.
+    pub priority: f64,
+    /// Transmissions per data unit.
+    pub transmissions: u8,
+    /// Bit `k` (low word first) set ⇔ shared path `k` is usable;
+    /// all-zero means every shared path.
+    pub path_mask: [u64; 2],
+}
+
+impl OfferFrame {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 2 + 8 + 5 * 8 + 16;
+
+    /// The mask naming exactly `paths` (0-based indices); `None` if an
+    /// index exceeds [`OFFER_PATH_BITS`].
+    pub fn mask_for(paths: &[usize]) -> Option<[u64; 2]> {
+        let mut mask = [0u64; 2];
+        for &k in paths {
+            if k >= OFFER_PATH_BITS {
+                return None;
+            }
+            mask[k / 64] |= 1u64 << (k % 64);
+        }
+        Some(mask)
+    }
+
+    /// The path subset the mask names (sorted), or `None` for an
+    /// all-zero mask (every shared path).
+    pub fn path_subset(&self) -> Option<Vec<usize>> {
+        if self.path_mask == [0, 0] {
+            return None;
+        }
+        let mut paths = Vec::new();
+        for k in 0..OFFER_PATH_BITS {
+            if self.path_mask[k / 64] & (1u64 << (k % 64)) != 0 {
+                paths.push(k);
+            }
+        }
+        Some(paths)
+    }
+
+    /// Serializes to exactly [`OfferFrame::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(OFFER_MAGIC);
+        b.put_u8(self.transmissions);
+        b.put_u16_le(0); // checksum placeholder
+        b.put_u64_le(self.seq);
+        b.put_u64_le(self.data_rate.to_bits());
+        b.put_u64_le(self.lifetime.to_bits());
+        b.put_u64_le(self.min_quality.to_bits());
+        b.put_u64_le(self.cost_budget.to_bits());
+        b.put_u64_le(self.priority.to_bits());
+        b.put_u64_le(self.path_mask[0]);
+        b.put_u64_le(self.path_mask[1]);
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a_16(&b);
+        b[2..4].copy_from_slice(&sum.to_le_bytes());
+        b.freeze()
+    }
+
+    /// Parses an offer; `None` on wrong magic, bad checksum, or
+    /// truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != OFFER_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u16::from_le_bytes([frame[2], frame[3]]);
+        frame[2..4].fill(0);
+        if fnv1a_16(&frame) != stored {
+            return None;
+        }
+        buf.advance(1);
+        let transmissions = buf.get_u8();
+        buf.advance(2);
+        let seq = buf.get_u64_le();
+        let data_rate = f64::from_bits(buf.get_u64_le());
+        let lifetime = f64::from_bits(buf.get_u64_le());
+        let min_quality = f64::from_bits(buf.get_u64_le());
+        let cost_budget = f64::from_bits(buf.get_u64_le());
+        let priority = f64::from_bits(buf.get_u64_le());
+        let path_mask = [buf.get_u64_le(), buf.get_u64_le()];
+        Some(OfferFrame {
+            seq,
+            data_rate,
+            lifetime,
+            min_quality,
+            cost_budget,
+            priority,
+            transmissions,
+            path_mask,
+        })
+    }
+}
+
+/// Outcome carried by a [`DecisionFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The joint LP with this flow's floor is infeasible.
+    Rejected = 0,
+    /// The flow is in; `predicted_quality` is its in-time fraction.
+    Admitted = 1,
+    /// The offer's parameters were malformed (non-finite rate, floor
+    /// outside `[0, 1]`, zero transmissions, out-of-range path mask…).
+    Invalid = 2,
+}
+
+/// The service's answer to an [`OfferFrame`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionFrame {
+    /// Echo of the offer's client-chosen tag.
+    pub seq: u64,
+    /// The service-assigned flow id (offer-ordered; every offer consumes
+    /// one, rejected and invalid offers included). [`DepartFrame`]s name
+    /// flows by this id.
+    pub flow: u64,
+    /// Admitted / rejected / invalid.
+    pub verdict: Verdict,
+    /// Predicted in-time delivery fraction (0 unless admitted; for a
+    /// flow spanning capacity regions, the rate-weighted mean over its
+    /// legs).
+    pub predicted_quality: f64,
+}
+
+impl DecisionFrame {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 2 + 8 + 8 + 8;
+
+    /// Serializes to exactly [`DecisionFrame::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(DECISION_MAGIC);
+        b.put_u8(self.verdict as u8);
+        b.put_u16_le(0); // checksum placeholder
+        b.put_u64_le(self.seq);
+        b.put_u64_le(self.flow);
+        b.put_u64_le(self.predicted_quality.to_bits());
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a_16(&b);
+        b[2..4].copy_from_slice(&sum.to_le_bytes());
+        b.freeze()
+    }
+
+    /// Parses a decision; `None` on wrong magic, unknown verdict, bad
+    /// checksum, or truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != DECISION_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u16::from_le_bytes([frame[2], frame[3]]);
+        frame[2..4].fill(0);
+        if fnv1a_16(&frame) != stored {
+            return None;
+        }
+        buf.advance(1);
+        let verdict = match buf.get_u8() {
+            0 => Verdict::Rejected,
+            1 => Verdict::Admitted,
+            2 => Verdict::Invalid,
+            _ => return None,
+        };
+        buf.advance(2);
+        let seq = buf.get_u64_le();
+        let flow = buf.get_u64_le();
+        let predicted_quality = f64::from_bits(buf.get_u64_le());
+        Some(DecisionFrame {
+            seq,
+            flow,
+            verdict,
+            predicted_quality,
+        })
+    }
+}
+
+/// A tenant withdraws a flow (admitted or waiting in a re-admission
+/// queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepartFrame {
+    /// Client-chosen request tag.
+    pub seq: u64,
+    /// The service-assigned flow id (from the admission
+    /// [`DecisionFrame`]).
+    pub flow: u64,
+}
+
+impl DepartFrame {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 2 + 8 + 8;
+
+    /// Serializes to exactly [`DepartFrame::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(DEPART_MAGIC);
+        b.put_u8(0); // reserved
+        b.put_u16_le(0); // checksum placeholder
+        b.put_u64_le(self.seq);
+        b.put_u64_le(self.flow);
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a_16(&b);
+        b[2..4].copy_from_slice(&sum.to_le_bytes());
+        b.freeze()
+    }
+
+    /// Parses a departure; `None` on wrong magic, bad checksum, or
+    /// truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != DEPART_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u16::from_le_bytes([frame[2], frame[3]]);
+        frame[2..4].fill(0);
+        if fnv1a_16(&frame) != stored {
+            return None;
+        }
+        buf.advance(1);
+        buf.advance(1);
+        buf.advance(2);
+        let seq = buf.get_u64_le();
+        let flow = buf.get_u64_le();
+        Some(DepartFrame { seq, flow })
+    }
+}
+
+/// A link-state command on the fleet-service control plane, mirroring
+/// [`dmc_sim::LinkChange`]. Loss travels as a stationary Bernoulli rate
+/// (the joint LP plans against stationary loss either way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChangeFrame {
+    /// Client-chosen request tag.
+    pub seq: u64,
+    /// The shared path (0-based) the change applies to.
+    pub path: u16,
+    /// Fail / recover / set-bandwidth / set-loss.
+    pub kind: LinkChangeKind,
+    /// Bandwidth in bits/second for [`LinkChangeKind::SetBandwidth`],
+    /// loss probability for [`LinkChangeKind::SetLoss`], ignored (encode
+    /// as 0) otherwise.
+    pub value: f64,
+}
+
+/// Discriminant of a [`LinkChangeFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkChangeKind {
+    /// The path is down.
+    Fail = 0,
+    /// The path is back.
+    Recover = 1,
+    /// New bandwidth (bits/second) in `value`.
+    SetBandwidth = 2,
+    /// New Bernoulli loss probability in `value`.
+    SetLoss = 3,
+}
+
+impl LinkChangeFrame {
+    /// Serialized size in bytes (fixed).
+    pub const WIRE_BYTES: usize = 1 + 1 + 2 + 4 + 8 + 8;
+
+    /// The frame encoding `change` for `path`. Gilbert–Elliott loss
+    /// models travel as their stationary rate — exactly what the joint
+    /// LP plans against.
+    pub fn from_change(seq: u64, path: u16, change: &dmc_sim::LinkChange) -> Self {
+        let (kind, value) = match change {
+            dmc_sim::LinkChange::Fail => (LinkChangeKind::Fail, 0.0),
+            dmc_sim::LinkChange::Recover => (LinkChangeKind::Recover, 0.0),
+            dmc_sim::LinkChange::SetBandwidth(bps) => (LinkChangeKind::SetBandwidth, *bps),
+            dmc_sim::LinkChange::SetLoss(model) => {
+                (LinkChangeKind::SetLoss, model.stationary_loss())
+            }
+        };
+        LinkChangeFrame {
+            seq,
+            path,
+            kind,
+            value,
+        }
+    }
+
+    /// The [`dmc_sim::LinkChange`] this frame encodes.
+    pub fn change(&self) -> dmc_sim::LinkChange {
+        match self.kind {
+            LinkChangeKind::Fail => dmc_sim::LinkChange::Fail,
+            LinkChangeKind::Recover => dmc_sim::LinkChange::Recover,
+            LinkChangeKind::SetBandwidth => dmc_sim::LinkChange::SetBandwidth(self.value),
+            LinkChangeKind::SetLoss => {
+                dmc_sim::LinkChange::SetLoss(dmc_sim::LossModel::Bernoulli(self.value))
+            }
+        }
+    }
+
+    /// Serializes to exactly [`LinkChangeFrame::WIRE_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
+        b.put_u8(LINK_MAGIC);
+        b.put_u8(self.kind as u8);
+        b.put_u16_le(self.path);
+        b.put_u32_le(0); // checksum placeholder
+        b.put_u64_le(self.seq);
+        b.put_u64_le(self.value.to_bits());
+        debug_assert_eq!(b.len(), Self::WIRE_BYTES);
+        let sum = fnv1a(&b);
+        b[4..8].copy_from_slice(&sum.to_le_bytes());
+        b.freeze()
+    }
+
+    /// Parses a link change; `None` on wrong magic, unknown kind, bad
+    /// checksum, or truncation.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::WIRE_BYTES || buf[0] != LINK_MAGIC {
+            return None;
+        }
+        let mut frame = [0u8; Self::WIRE_BYTES];
+        frame.copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        let stored = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        frame[4..8].fill(0);
+        if fnv1a(&frame) != stored {
+            return None;
+        }
+        buf.advance(1);
+        let kind = match buf.get_u8() {
+            0 => LinkChangeKind::Fail,
+            1 => LinkChangeKind::Recover,
+            2 => LinkChangeKind::SetBandwidth,
+            3 => LinkChangeKind::SetLoss,
+            _ => return None,
+        };
+        let path = buf.get_u16_le();
+        buf.advance(4);
+        let seq = buf.get_u64_le();
+        let value = f64::from_bits(buf.get_u64_le());
+        Some(LinkChangeFrame {
+            seq,
+            path,
+            kind,
+            value,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,7 +740,19 @@ mod tests {
         let mut ack = Ack::new(500, 42_000, 1, 400);
         ack.set_received(405);
         let ack = ack.encode();
-        for (name, wire) in [("notice", &notice), ("header", &header), ("ack", &ack)] {
+        let offer = sample_offer().encode();
+        let decision = sample_decision().encode();
+        let depart = DepartFrame { seq: 4, flow: 17 }.encode();
+        let link = sample_link().encode();
+        for (name, wire) in [
+            ("notice", &notice),
+            ("header", &header),
+            ("ack", &ack),
+            ("offer", &offer),
+            ("decision", &decision),
+            ("depart", &depart),
+            ("link", &link),
+        ] {
             for byte in 0..wire.len() {
                 for bit in 0..8 {
                     let mut bad = wire.to_vec();
@@ -372,12 +760,151 @@ mod tests {
                     let survives = match name {
                         "notice" => PathNotice::decode(&bad).is_some(),
                         "header" => DataHeader::decode(&bad).is_some(),
+                        "offer" => OfferFrame::decode(&bad).is_some(),
+                        "decision" => DecisionFrame::decode(&bad).is_some(),
+                        "depart" => DepartFrame::decode(&bad).is_some(),
+                        "link" => LinkChangeFrame::decode(&bad).is_some(),
                         _ => Ack::decode(&bad).is_some(),
                     };
                     assert!(!survives, "{name}: flip of byte {byte} bit {bit} accepted");
                 }
             }
         }
+    }
+
+    fn sample_offer() -> OfferFrame {
+        OfferFrame {
+            seq: 42,
+            data_rate: 20e6,
+            lifetime: 0.6,
+            min_quality: 0.95,
+            cost_budget: f64::INFINITY,
+            priority: 4.0,
+            transmissions: 2,
+            path_mask: OfferFrame::mask_for(&[0, 3, 127]).unwrap(),
+        }
+    }
+
+    fn sample_decision() -> DecisionFrame {
+        DecisionFrame {
+            seq: 42,
+            flow: 7,
+            verdict: Verdict::Admitted,
+            predicted_quality: 0.9875,
+        }
+    }
+
+    fn sample_link() -> LinkChangeFrame {
+        LinkChangeFrame {
+            seq: 3,
+            path: 513,
+            kind: LinkChangeKind::SetBandwidth,
+            value: 55e6,
+        }
+    }
+
+    #[test]
+    fn fleet_service_frames_round_trip() {
+        let offer = sample_offer();
+        let wire = offer.encode();
+        assert_eq!(wire.len(), OfferFrame::WIRE_BYTES);
+        assert_eq!(OfferFrame::decode(&wire), Some(offer));
+        assert_eq!(offer.path_subset(), Some(vec![0, 3, 127]));
+
+        for verdict in [Verdict::Rejected, Verdict::Admitted, Verdict::Invalid] {
+            let d = DecisionFrame {
+                verdict,
+                ..sample_decision()
+            };
+            let wire = d.encode();
+            assert_eq!(wire.len(), DecisionFrame::WIRE_BYTES);
+            assert_eq!(DecisionFrame::decode(&wire), Some(d));
+        }
+
+        let depart = DepartFrame { seq: 9, flow: 123 };
+        let wire = depart.encode();
+        assert_eq!(wire.len(), DepartFrame::WIRE_BYTES);
+        assert_eq!(DepartFrame::decode(&wire), Some(depart));
+
+        for kind in [
+            LinkChangeKind::Fail,
+            LinkChangeKind::Recover,
+            LinkChangeKind::SetBandwidth,
+            LinkChangeKind::SetLoss,
+        ] {
+            let l = LinkChangeFrame {
+                kind,
+                ..sample_link()
+            };
+            let wire = l.encode();
+            assert_eq!(wire.len(), LinkChangeFrame::WIRE_BYTES);
+            assert_eq!(LinkChangeFrame::decode(&wire), Some(l));
+        }
+    }
+
+    #[test]
+    fn offer_masks_cover_128_paths_and_all_zero_means_every_path() {
+        assert_eq!(OfferFrame::mask_for(&[]), Some([0, 0]));
+        assert_eq!(OfferFrame::mask_for(&[128]), None);
+        let all_paths = OfferFrame {
+            path_mask: [0, 0],
+            ..sample_offer()
+        };
+        assert_eq!(all_paths.path_subset(), None);
+        let mask = OfferFrame::mask_for(&[0, 63, 64, 127]).unwrap();
+        let subset = OfferFrame {
+            path_mask: mask,
+            ..sample_offer()
+        };
+        assert_eq!(subset.path_subset(), Some(vec![0, 63, 64, 127]));
+    }
+
+    #[test]
+    fn link_change_frames_mirror_sim_link_changes() {
+        use dmc_sim::LinkChange;
+        let cases = [
+            LinkChange::Fail,
+            LinkChange::Recover,
+            LinkChange::SetBandwidth(40e6),
+            LinkChange::SetLoss(dmc_sim::LossModel::Bernoulli(0.125)),
+        ];
+        for change in &cases {
+            let frame = LinkChangeFrame::from_change(5, 2, change);
+            let back = LinkChangeFrame::decode(&frame.encode()).unwrap().change();
+            match (change, &back) {
+                (LinkChange::SetLoss(a), LinkChange::SetLoss(b)) => {
+                    assert_eq!(a.stationary_loss().to_bits(), b.stationary_loss().to_bits());
+                }
+                _ => assert_eq!(format!("{change:?}"), format!("{back:?}")),
+            }
+        }
+        // A Gilbert–Elliott model travels as its stationary rate.
+        let ge = dmc_sim::GilbertElliott::classic(0.2, 0.2).unwrap();
+        let frame = LinkChangeFrame::from_change(0, 0, &LinkChange::SetLoss(ge.into()));
+        assert_eq!(frame.kind, LinkChangeKind::SetLoss);
+        assert!((frame.value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_service_frames_reject_garbage_and_cross_magics() {
+        assert_eq!(OfferFrame::decode(&[]), None);
+        assert_eq!(DecisionFrame::decode(&[0xFF; 64]), None);
+        let offer = sample_offer().encode();
+        assert_eq!(
+            OfferFrame::decode(&offer[..OfferFrame::WIRE_BYTES - 1]),
+            None
+        );
+        let mut bad_verdict = sample_decision().encode().to_vec();
+        bad_verdict[1] = 9;
+        assert_eq!(DecisionFrame::decode(&bad_verdict), None);
+        let mut bad_kind = sample_link().encode().to_vec();
+        bad_kind[1] = 9;
+        assert_eq!(LinkChangeFrame::decode(&bad_kind), None);
+        // The magics stay distinct across the whole frame family.
+        assert_eq!(DecisionFrame::decode(&offer), None);
+        assert_eq!(DepartFrame::decode(&offer), None);
+        assert_eq!(Ack::decode(&offer), None);
+        assert_eq!(DataHeader::decode(&offer), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! | `dmc-core` | [`model`] | **the paper's model** behind the `Scenario` → `Planner` → `Plan` pipeline |
 //! | `dmc-sim` | [`sim`] | deterministic discrete-event network simulator (the ns-3 stand-in) |
 //! | `dmc-proto` | [`proto`] | sender/receiver protocol state machines, acks, estimators |
-//! | `dmc-fleet` | [`fleet`] | multi-flow admission control + joint shared-capacity allocation |
+//! | `dmc-fleet` | [`fleet`] | multi-flow admission control + joint shared-capacity allocation; `fleet::service` shards it into capacity regions behind a wire front end |
 //! | `dmc-experiments` | [`experiments`] | regenerators for every table & figure of the paper |
 //! | `dmc-lint` | (dev tool, not re-exported) | dependency-free static analyzer enforcing the workspace's determinism, float-safety, and panic-hygiene invariants (`cargo run -p dmc-lint -- --deny`; rule catalogue and pragma syntax in `EXPERIMENTS.md`) |
 //!
@@ -76,6 +76,7 @@
 //! | hand-built `SenderConfig::new(strategy, timeouts, λ, n)` | `SenderConfig::from_plan(&plan, extra, n)` |
 //! | `experiments::runner::run_strategy(…6 args…)` | `experiments::runner::run_plan(&plan, &truth, &cfg)` |
 //! | one `Planner` per flow, each assuming it owns the `Scenario` | [`dmc_fleet::FleetPlanner`] — admission control + one joint LP whose capacity rows are shared across all concurrent flows (multi-flow use) |
+//! | one `FleetPlanner` serializing every offer/depart | [`dmc_fleet::FleetService`] — capacity-region sharding (one planner + warm-basis cache per shard), batched worker ticks, two-phase spanning admission, and a checksummed wire front end (`dmc_proto::wire` offer/decision/depart/link frames) |
 //!
 //! See `crates/core/src/lib.rs` for the model-level table and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
