@@ -1,0 +1,123 @@
+//! Telemetry overhead: the cost of the dmc-obs instrumentation compiled
+//! into the fleet-service churn path.
+//!
+//! Two subjects, each measured with a **disabled** registry (the default
+//! every library config ships with: each metric op is a branch on a
+//! `None`) and an **enabled** one (real atomic counters, histograms and
+//! spans):
+//!
+//! * `churn` — the `fleet_service` steady-state churn workload (2,048
+//!   flows through a 16-shard service, 128 offers per tick, cohorts
+//!   departing two ticks later), end to end through submit → tick →
+//!   decision. This is the number CI gates: `bench_check --ratio`
+//!   demands `enabled ≤ 1.05× disabled` — even switched-on telemetry
+//!   may tax the service by at most 5 %, and the disabled default by
+//!   construction costs less than that.
+//! * `sink` — the raw metric operations in a tight loop (counter add,
+//!   histogram record, span enter/exit, clock advance), keeping the
+//!   per-op cost visible rather than buried in a churn run.
+//!
+//! Measured numbers are recorded in `BENCH_obs.json` (regenerate with
+//! `CRITERION_OUTPUT_JSON=1 cargo bench -p dmc-bench --bench obs_overhead`).
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmc_experiments::service::region_paths;
+use dmc_fleet::{FleetConfig, FleetService, FlowRequest, ServiceConfig, ServiceEvent};
+use dmc_obs::Obs;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+const FLOWS: u64 = 2_048;
+const SHARDS: usize = 16;
+const PER_TICK: u64 = 128;
+
+fn service(obs: Obs) -> FleetService {
+    let (paths, groups) = region_paths(SHARDS);
+    FleetService::new(
+        paths,
+        &groups,
+        ServiceConfig {
+            workers: 1,
+            fleet: FleetConfig {
+                obs,
+                ..FleetConfig::default()
+            },
+        },
+    )
+    .expect("bench service parameters are valid")
+}
+
+/// A cheap single-transmission request pinned to one region's paths.
+fn request(groups: &[Vec<usize>], region: usize, i: u64) -> FlowRequest {
+    let rate = 2e6 + 1e6 * ((i % 5) as f64);
+    FlowRequest::new(rate, 0.8)
+        .expect("bench request parameters are valid")
+        .with_transmissions(1)
+        .with_paths(groups[region].clone())
+}
+
+/// The `fleet_service` bench's steady-state churn, with telemetry wired
+/// through the service config. Returns the decision hash so the whole
+/// run is observable.
+fn churn(obs: &Obs) -> u64 {
+    let mut svc = service(obs.clone());
+    let (_, groups) = region_paths(SHARDS);
+    let mut live: VecDeque<Vec<u64>> = VecDeque::new();
+    let mut offered = 0u64;
+    while offered < FLOWS || live.iter().any(|c| !c.is_empty()) {
+        let batch = PER_TICK.min(FLOWS - offered);
+        for k in 0..batch {
+            let region = ((offered + k) % SHARDS as u64) as usize;
+            svc.submit(request(&groups, region, offered + k))
+                .expect("bench offer is valid");
+        }
+        offered += batch;
+        if live.len() >= 2 {
+            for flow in live.pop_front().expect("cohort present") {
+                svc.submit_depart(flow);
+            }
+        }
+        let events = svc.tick().expect("bench tick succeeds");
+        let mut cohort = Vec::new();
+        for event in &events {
+            if let ServiceEvent::Decision { seq, admitted, .. } = event {
+                if *admitted {
+                    cohort.push(*seq);
+                }
+            }
+        }
+        live.push_back(cohort);
+    }
+    svc.decision_hash()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    for (label, obs) in [("disabled", Obs::disabled()), ("enabled", Obs::enabled())] {
+        group.bench_function(format!("churn/{label}"), |b| {
+            b.iter(|| black_box(churn(&obs)));
+        });
+    }
+
+    for (label, obs) in [("disabled", Obs::disabled()), ("enabled", Obs::enabled())] {
+        group.bench_function(format!("sink/{label}"), |b| {
+            b.iter(|| {
+                for i in 0..64u64 {
+                    obs.counter("bench.counter").add(i);
+                    obs.histogram("bench.hist").record(i);
+                    obs.advance(1);
+                    drop(obs.span("bench.span"));
+                }
+                black_box(obs.tick())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

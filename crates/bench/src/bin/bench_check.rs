@@ -28,6 +28,16 @@
 //! beyond the threshold; 1 otherwise (regression, or a baseline id that
 //! the current run never produced — which is how a silently bit-rotted
 //! or renamed bench fails the gate instead of skating through).
+//!
+//! `--ratio <num-id> <den-id> <max>` adds a **same-run** gate: the two
+//! ids are taken from the current measurements, so machine speed cancels
+//! and the budget can be tight. CI uses it to cap telemetry overhead:
+//!
+//! ```text
+//! cargo run -p dmc-bench --bin bench_check -- --current bench_current.txt \
+//!     --ratio obs_overhead/churn/enabled obs_overhead/churn/disabled 1.05 \
+//!     BENCH_obs.json
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -90,6 +100,7 @@ fn main() -> ExitCode {
     let mut threshold = 1.5f64;
     let mut current_path: Option<String> = None;
     let mut baseline_paths: Vec<String> = Vec::new();
+    let mut ratios: Vec<(String, String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,9 +112,26 @@ fn main() -> ExitCode {
                 threshold = v;
             }
             "--current" => current_path = args.next(),
+            "--ratio" => {
+                let (Some(num), Some(den), Some(max)) = (args.next(), args.next(), args.next())
+                else {
+                    eprintln!("--ratio needs <numerator-id> <denominator-id> <max>");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(max) = max.parse::<f64>() else {
+                    eprintln!("--ratio max {max:?} is not a number");
+                    return ExitCode::FAILURE;
+                };
+                ratios.push((num, den, max));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_check --current <run-output> [--threshold 1.5] <BENCH_*.json>..."
+                    "usage: bench_check --current <run-output> [--threshold 1.5] \
+                     [--ratio <id> <id> <max>]... <BENCH_*.json>...\n\
+                     --ratio gates two ids of the *same* run against each other \
+                     (median A ≤ max × median B) — immune to machine-speed drift, \
+                     which is how tight budgets like the 1.05x telemetry-overhead \
+                     cap stay meaningful on varied CI hardware"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -114,8 +142,8 @@ fn main() -> ExitCode {
         eprintln!("bench_check: missing --current <file> (the bench run's output)");
         return ExitCode::FAILURE;
     };
-    if baseline_paths.is_empty() {
-        eprintln!("bench_check: no baseline files given");
+    if baseline_paths.is_empty() && ratios.is_empty() {
+        eprintln!("bench_check: no baseline files or --ratio gates given");
         return ExitCode::FAILURE;
     }
 
@@ -190,7 +218,27 @@ fn main() -> ExitCode {
         }
     }
 
-    if !regressions.is_empty() || !missing.is_empty() {
+    // Same-run ratio gates: both ids come from the current measurements,
+    // so machine speed cancels and the budget can be tight.
+    let mut ratio_failures = Vec::new();
+    for (num_id, den_id, max) in &ratios {
+        let (Some(num), Some(den)) = (current.get(num_id), current.get(den_id)) else {
+            ratio_failures.push(format!(
+                "ratio gate {num_id} / {den_id}: one or both ids missing from the current run"
+            ));
+            continue;
+        };
+        let ratio = num.median_ns / den.median_ns;
+        let verdict = if ratio > *max { "  << OVER BUDGET" } else { "" };
+        println!("ratio {num_id} / {den_id} = {ratio:.3}x (budget {max}x){verdict}");
+        if ratio > *max {
+            ratio_failures.push(format!(
+                "{num_id} is {ratio:.3}x of {den_id} (budget {max}x)"
+            ));
+        }
+    }
+
+    if !regressions.is_empty() || !missing.is_empty() || !ratio_failures.is_empty() {
         eprintln!();
         for (id, ratio) in &regressions {
             eprintln!("bench_check: {id} regressed {ratio:.2}x (> {threshold}x threshold)");
@@ -198,11 +246,16 @@ fn main() -> ExitCode {
         for id in &missing {
             eprintln!("bench_check: {id} is in the baseline but was not measured");
         }
+        for f in &ratio_failures {
+            eprintln!("bench_check: {f}");
+        }
         return ExitCode::FAILURE;
     }
     println!(
-        "\nbench_check: {} benchmarks within {threshold}x of their baselines",
-        baseline.len()
+        "\nbench_check: {} benchmarks within {threshold}x of their baselines, \
+         {} ratio gate(s) within budget",
+        baseline.len(),
+        ratios.len()
     );
     ExitCode::SUCCESS
 }

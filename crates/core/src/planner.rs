@@ -438,9 +438,26 @@ impl Planner {
         let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
             Some(basis) => {
                 self.warm_attempts += 1;
-                let s = problem.solve_warm_with(&self.config.solver, &mut self.workspace, basis)?;
+                // Mirror hit/miss into the telemetry registry (no-op when
+                // disabled); a solve error counts as a miss, matching how
+                // `warm_stats()` derives misses from attempts − hits.
+                let obs = &self.config.solver.obs;
+                let s = match problem.solve_warm_with(
+                    &self.config.solver,
+                    &mut self.workspace,
+                    basis,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        obs.counter("planner.warm_misses").inc();
+                        return Err(e);
+                    }
+                };
                 if s.used_warm_start() {
                     self.warm_hits += 1;
+                    obs.counter("planner.warm_hits").inc();
+                } else {
+                    obs.counter("planner.warm_misses").inc();
                 }
                 s
             }
@@ -459,6 +476,12 @@ impl Planner {
     /// a cached basis ([`WarmStats::hits`]) and how many consulted a
     /// cached basis that had gone stale ([`WarmStats::misses`]).
     /// Diagnostic counters for benches and tests.
+    ///
+    /// MIGRATION: the same events are mirrored onto the `dmc_obs`
+    /// counters `planner.warm_hits` / `planner.warm_misses` of
+    /// `config.solver.obs` when that registry is enabled. This accessor
+    /// stays per-planner (a registry shared across planners or replays
+    /// aggregates instead); prefer the registry for exported telemetry.
     pub fn warm_stats(&self) -> WarmStats {
         WarmStats {
             hits: self.warm_hits,

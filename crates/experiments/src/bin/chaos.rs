@@ -11,15 +11,25 @@
 //! scenario under payload corruption, duplication and bounded
 //! reordering. Exits nonzero on any invariant violation.
 //!
-//! Shared flags: `--messages/--trials/--threads/--seed/--flows`.
+//! With `--metrics` the replays also record dmc-obs telemetry, the
+//! counter deltas are cross-checked against the planner's own state
+//! (an instrumentation drift is an invariant violation like any other),
+//! and the whole workload is re-run at 1 and 4 worker threads to prove
+//! the merged snapshot's FNV hash is bitwise-identical at any
+//! concurrency — the telemetry layer's own determinism contract.
+//!
+//! Shared flags: `--messages/--trials/--threads/--seed/--flows`,
+//! plus `--metrics PATH`.
 
 #![forbid(unsafe_code)]
 
 use dmc_experiments::chaos;
+use dmc_experiments::montecarlo::MonteCarloConfig;
 
 fn main() {
     let args = dmc_experiments::parse_args(3_000);
     let mc = args.montecarlo();
+    let obs = args.obs();
     eprintln!(
         "chaos: {} flows/trial on {:.0} Mbps across 3 paths; {} trial(s) on {} thread(s), \
          seed {:#x}…",
@@ -31,11 +41,12 @@ fn main() {
     );
 
     println!("# Fleet chaos: correlated outage, shed/backoff/revive, certified solves\n");
-    let outcomes = chaos::fleet_chaos_mc(&mc, args.flows);
+    let outcomes = chaos::fleet_chaos_mc_obs(&mc, args.flows, &obs);
     println!("{}", chaos::render(&outcomes));
 
     println!("\n# Proto chaos: corruption + duplication + bounded reordering (Table III)\n");
-    let out = chaos::proto_chaos_run(mc.base_seed, args.messages).expect("proto chaos run");
+    let out =
+        chaos::proto_chaos_run_obs(mc.base_seed, args.messages, &obs).expect("proto chaos run");
     let inj = out.faults_injected;
     println!(
         "- injected: {} corrupted, {} duplicated, {} reordered frame(s)",
@@ -60,4 +71,32 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("\nall invariants hold across {} trial(s)", outcomes.len());
+
+    if obs.is_enabled() {
+        // The telemetry layer's own determinism contract: replay the
+        // whole workload at 1 and at 4 worker threads into fresh
+        // registries — all three merged snapshots must hash identically.
+        let hash = obs.snapshot().fnv_hash();
+        for workers in [1usize, 4] {
+            let again = dmc_obs::Obs::enabled();
+            let mc2 = MonteCarloConfig {
+                trials: mc.trials,
+                threads: workers,
+                base_seed: mc.base_seed,
+            };
+            let _ = chaos::fleet_chaos_mc_obs(&mc2, args.flows, &again);
+            let _ = chaos::proto_chaos_run_obs(mc.base_seed, args.messages, &again)
+                .expect("proto chaos replay");
+            let got = again.snapshot().fnv_hash();
+            if got != hash {
+                eprintln!(
+                    "telemetry determinism violation: snapshot hash {got:#018x} at \
+                     {workers} worker(s) != {hash:#018x} from the main run"
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!("telemetry snapshot hash {hash:#018x} reproduces at 1 and 4 worker(s)");
+        dmc_experiments::finish_metrics(&args, &obs);
+    }
 }

@@ -11,8 +11,10 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let args = dmc_experiments::parse_args(100_000);
     let mc = args.montecarlo();
+    let obs = args.obs();
     let mut cfg = RunConfig::default();
     cfg.messages = args.messages;
+    cfg.obs = obs.clone();
     eprintln!(
         "simulating {} messages × {} trial(s) on {} thread(s), seed {:#x}…",
         cfg.messages,
@@ -27,4 +29,5 @@ fn main() {
             std::process::exit(1);
         }
     }
+    dmc_experiments::finish_metrics(&args, &obs);
 }

@@ -11,8 +11,10 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let args = dmc_experiments::parse_args(100_000);
     let mc = args.montecarlo();
+    let obs = args.obs();
     let mut cfg = RunConfig::default();
     cfg.messages = args.messages;
+    cfg.obs = obs.clone();
     eprintln!(
         "simulating {} messages × {} trial(s) per point on {} thread(s), seed {:#x}…",
         cfg.messages,
@@ -28,4 +30,6 @@ fn main() {
     println!("\n# Figure 2 (bottom): quality vs. lifetime, λ = 90 Mbps\n");
     let pts = figure2::lifetime_sweep_mc(&figure2::paper_deltas(), &cfg, &mc);
     println!("{}", figure2::render(&pts, "δ (ms)", 1e3));
+
+    dmc_experiments::finish_metrics(&args, &obs);
 }

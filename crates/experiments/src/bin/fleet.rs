@@ -16,9 +16,11 @@ use dmc_experiments::runner::RunConfig;
 fn main() {
     let args = dmc_experiments::parse_args(5_000);
     let mc = args.montecarlo();
+    let obs = args.obs();
     let mut cfg = RunConfig::default();
     cfg.messages = args.messages;
     cfg.seed = args.seed;
+    cfg.obs = obs.clone();
     eprintln!(
         "fleet: {} flows/trial on {:.0} Mbps of shared capacity; {} message(s) × {} trial(s) \
          per point on {} thread(s), seed {:#x}…",
@@ -37,4 +39,6 @@ fn main() {
     println!("\n# Objective modes at ρ = 1.2 (LP only)\n");
     let rows = fleet::objective_comparison(1.2, mc.base_seed);
     println!("{}", fleet::render_modes(&rows));
+
+    dmc_experiments::finish_metrics(&args, &obs);
 }

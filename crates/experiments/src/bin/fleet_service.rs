@@ -22,7 +22,9 @@ fn main() {
     );
 
     println!("# Fleet service: sharded admission over wire frames\n");
-    let outcome = service::run_service_script(args.seed, flows, args.shards, args.threads);
+    let obs = args.obs();
+    let (outcome, snapshot) =
+        service::run_service_script_obs(args.seed, flows, args.shards, args.threads, &obs);
     println!("{}", service::render(&outcome));
 
     println!("# Worker-count determinism (1 vs 4 workers)\n");
@@ -32,5 +34,9 @@ fn main() {
             eprintln!("determinism violation: {why}");
             std::process::exit(1);
         }
+    }
+
+    if obs.is_enabled() {
+        dmc_experiments::finish_metrics_snapshot(&args, &snapshot);
     }
 }

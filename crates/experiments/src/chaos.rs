@@ -155,10 +155,25 @@ pub fn chaos_trace(seed: u64, flows: u64) -> FleetTrace {
 ///
 /// Forwards planner construction/replay errors as strings.
 pub fn chaos_replay(seed: u64, flows: u64) -> Result<(Vec<FleetSnapshot>, FleetPlanner), String> {
+    chaos_replay_obs(seed, flows, &dmc_obs::Obs::disabled())
+}
+
+/// [`chaos_replay`] with the planner's telemetry (`fleet.*`, `lp.*`)
+/// recorded into `obs`.
+///
+/// # Errors
+///
+/// Forwards planner construction/replay errors as strings.
+pub fn chaos_replay_obs(
+    seed: u64,
+    flows: u64,
+    obs: &dmc_obs::Obs,
+) -> Result<(Vec<FleetSnapshot>, FleetPlanner), String> {
     let mut fleet = FleetPlanner::new(
         chaos_paths(),
         FleetConfig {
             certify: true,
+            obs: obs.clone(),
             ..FleetConfig::default()
         },
     )
@@ -297,7 +312,30 @@ pub struct FleetChaosOutcome {
 ///
 /// Forwards planner construction/replay errors as strings.
 pub fn fleet_chaos_trial(seed: u64, flows: u64) -> Result<FleetChaosOutcome, String> {
-    let (snaps, fleet) = chaos_replay(seed, flows)?;
+    fleet_chaos_trial_obs(seed, flows, &dmc_obs::Obs::disabled())
+}
+
+/// [`fleet_chaos_trial`] with the **first** replay's telemetry recorded
+/// into `obs` (the verification replay stays unrecorded, so counter
+/// deltas describe exactly one run of the script). With an enabled
+/// registry the trial gains a third invariant class: the telemetry
+/// deltas over the replay ([`dmc_obs::Obs::diff`] against the
+/// pre-replay snapshot) must agree with the ground truth the planner's
+/// own state reports — `fleet.sheds`, `fleet.revives`,
+/// `fleet.shed_rejects` and `fleet.warm_anomalies` each cross-checked
+/// against the outcome. A mismatch means the instrumentation itself
+/// drifted and is reported as an invariant violation.
+///
+/// # Errors
+///
+/// Forwards planner construction/replay errors as strings.
+pub fn fleet_chaos_trial_obs(
+    seed: u64,
+    flows: u64,
+    obs: &dmc_obs::Obs,
+) -> Result<FleetChaosOutcome, String> {
+    let before = obs.snapshot();
+    let (snaps, fleet) = chaos_replay_obs(seed, flows, obs)?;
     let (snaps2, fleet2) = chaos_replay(seed, flows)?;
     let trace = chaos_trace(seed, flows);
     let hash = trace_hash(&snaps, &fleet);
@@ -306,6 +344,25 @@ pub fn fleet_chaos_trial(seed: u64, flows: u64) -> Result<FleetChaosOutcome, Str
         violations.push(format!(
             "seed {seed:#x}: same-seed replays diverge (trace hashes differ)"
         ));
+    }
+    if obs.is_enabled() {
+        let delta = obs.diff(&before);
+        let shed: usize = snaps.iter().map(|s| s.shed.len()).sum();
+        let revived: usize = snaps.iter().map(|s| s.revived.len()).sum();
+        for (name, want) in [
+            ("fleet.sheds", shed as u64),
+            ("fleet.revives", revived as u64),
+            ("fleet.shed_rejects", fleet.shed_rejected().len() as u64),
+            ("fleet.warm_anomalies", fleet.warm_anomalies()),
+        ] {
+            let got = delta.counter(name).unwrap_or(0);
+            if got != want {
+                violations.push(format!(
+                    "seed {seed:#x}: telemetry counter {name} recorded {got} \
+                     but the planner's own state says {want}"
+                ));
+            }
+        }
     }
     Ok(FleetChaosOutcome {
         seed,
@@ -326,10 +383,36 @@ pub fn fleet_chaos_trial(seed: u64, flows: u64) -> Result<FleetChaosOutcome, Str
 /// Panics if a trial fails outright (planner construction — not
 /// reachable from the library's own scenario set).
 pub fn fleet_chaos_mc(mc: &MonteCarloConfig, flows: u64) -> Vec<FleetChaosOutcome> {
-    run_trials_parallel(mc, |_trial, seed| fleet_chaos_trial(seed, flows))
-        .into_iter()
-        .map(|r| r.expect("fleet chaos trial failed"))
-        .collect()
+    fleet_chaos_mc_obs(mc, flows, &dmc_obs::Obs::disabled())
+}
+
+/// [`fleet_chaos_mc`] with telemetry. Each trial records into its own
+/// [`dmc_obs::Obs::fork`] (trials run on arbitrary worker threads; span
+/// and warning order inside a shared registry would depend on
+/// scheduling), and the forks' snapshots are absorbed into `obs` in
+/// trial order afterwards — so the merged registry is bit-identical at
+/// any `--threads` setting.
+///
+/// # Panics
+///
+/// Panics if a trial fails outright (planner construction — not
+/// reachable from the library's own scenario set).
+pub fn fleet_chaos_mc_obs(
+    mc: &MonteCarloConfig,
+    flows: u64,
+    obs: &dmc_obs::Obs,
+) -> Vec<FleetChaosOutcome> {
+    run_trials_parallel(mc, |_trial, seed| {
+        let fork = obs.fork();
+        let outcome = fleet_chaos_trial_obs(seed, flows, &fork);
+        (outcome, fork.snapshot())
+    })
+    .into_iter()
+    .map(|(r, trial_obs)| {
+        obs.absorb(&trial_obs);
+        r.expect("fleet chaos trial failed")
+    })
+    .collect()
 }
 
 /// Renders fleet-chaos trials as a markdown table.
@@ -392,12 +475,27 @@ pub fn proto_fault_plan(seed: u64) -> FaultPlan {
 ///
 /// Forwards model/solver and topology errors as strings.
 pub fn proto_chaos_run(seed: u64, messages: u64) -> Result<RunOutcome, String> {
+    proto_chaos_run_obs(seed, messages, &dmc_obs::Obs::disabled())
+}
+
+/// [`proto_chaos_run`] with the run's telemetry (`proto.tx.*`,
+/// `proto.rx.*`, `sim.*`, `runner.runs`) recorded into `obs`.
+///
+/// # Errors
+///
+/// Forwards model/solver and topology errors as strings.
+pub fn proto_chaos_run_obs(
+    seed: u64,
+    messages: u64,
+    obs: &dmc_obs::Obs,
+) -> Result<RunOutcome, String> {
     let measured = scenarios::table3_true(60e6, 0.8);
     let truth = TrueNetwork::deterministic(&measured);
     let mut cfg = RunConfig::default();
     cfg.messages = messages;
     cfg.seed = trial_seed(seed, 1);
     cfg.faults = Some(proto_fault_plan(trial_seed(seed, 2)));
+    cfg.obs = obs.clone();
     run_measured(
         &measured,
         scenarios::QUEUE_MARGIN_S,
@@ -488,6 +586,41 @@ mod tests {
         }
         let table = render(&seq);
         assert!(table.contains("pass"), "{table}");
+    }
+
+    #[test]
+    fn chaos_telemetry_reproduces_bitwise_across_thread_counts() {
+        let run = |threads| {
+            let obs = dmc_obs::Obs::enabled();
+            let outcomes = fleet_chaos_mc_obs(
+                &MonteCarloConfig {
+                    trials: 3,
+                    threads,
+                    base_seed: 42,
+                },
+                CHAOS_FLOWS,
+                &obs,
+            );
+            for o in &outcomes {
+                assert!(
+                    o.violations.is_empty(),
+                    "seed {:#x}: {:?} (telemetry cross-check included)",
+                    o.seed,
+                    o.violations
+                );
+            }
+            obs.snapshot()
+        };
+        let (seq, par) = (run(1), run(4));
+        assert_eq!(
+            seq.fnv_hash(),
+            par.fnv_hash(),
+            "merged telemetry must not depend on worker threads"
+        );
+        // The script sheds under the correlated outage, and every joint
+        // solve lands in the shared registry.
+        assert!(seq.counter("fleet.sheds").unwrap_or(0) > 0);
+        assert!(seq.counter("lp.solves").unwrap_or(0) > 0);
     }
 
     #[test]

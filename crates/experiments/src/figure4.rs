@@ -48,8 +48,18 @@ pub fn synthetic_network(n: usize) -> NetworkSpec {
 /// Measures mean build+solve time for `n` paths and `m` transmissions
 /// over `runs` repetitions (the paper averages 100 runs).
 pub fn measure(n: usize, m: usize, runs: usize) -> TimingPoint {
+    measure_obs(n, m, runs, &dmc_obs::Obs::disabled())
+}
+
+/// [`measure`] with the LP solves recorded into `obs`. An *enabled*
+/// registry adds a few atomic increments per solve to the timed region,
+/// so compare timings only against runs with the same telemetry setting.
+pub fn measure_obs(n: usize, m: usize, runs: usize, obs: &dmc_obs::Obs) -> TimingPoint {
     let net = synthetic_network(n);
-    let opts = SolverOptions::default();
+    let opts = SolverOptions {
+        obs: obs.clone(),
+        ..SolverOptions::default()
+    };
     // Warm-up (page in, branch predictors).
     let model = DeterministicModel::new(&net, m, true);
     let _ = model.solve_quality(&opts);
@@ -70,10 +80,16 @@ pub fn measure(n: usize, m: usize, runs: usize) -> TimingPoint {
 
 /// The paper's sweep: 2–10 paths × {2, 3} transmissions.
 pub fn sweep(runs: usize) -> Vec<TimingPoint> {
+    sweep_obs(runs, &dmc_obs::Obs::disabled())
+}
+
+/// [`sweep`] with the LP solves recorded into `obs` (see [`measure_obs`]
+/// for the timing caveat).
+pub fn sweep_obs(runs: usize, obs: &dmc_obs::Obs) -> Vec<TimingPoint> {
     let mut out = Vec::new();
     for &m in &[2usize, 3] {
         for n in 2..=10 {
-            out.push(measure(n, m, runs));
+            out.push(measure_obs(n, m, runs, obs));
         }
     }
     out

@@ -69,6 +69,10 @@ pub struct RunArgs {
     /// Capacity regions in the fleet-service driver
     /// (`--shards`/`SHARDS`; each shard is a two-path region, ≤ 64).
     pub shards: usize,
+    /// Telemetry export path (`--metrics`/`METRICS`); `None` disables
+    /// telemetry entirely. A `.prom` extension selects the Prometheus
+    /// text exposition, anything else the deterministic JSON-lines form.
+    pub metrics: Option<std::path::PathBuf>,
 }
 
 impl RunArgs {
@@ -78,6 +82,72 @@ impl RunArgs {
             trials: self.trials,
             threads: self.threads,
             base_seed: self.seed,
+        }
+    }
+
+    /// The driver's telemetry registry: enabled exactly when `--metrics`
+    /// (or `METRICS`) requested an export, disabled (zero-cost) otherwise.
+    pub fn obs(&self) -> dmc_obs::Obs {
+        if self.metrics.is_some() {
+            dmc_obs::Obs::enabled()
+        } else {
+            dmc_obs::Obs::disabled()
+        }
+    }
+
+    /// Writes `snap` to the `--metrics` path (no-op without one):
+    /// Prometheus text when the path ends in `.prom`, deterministic
+    /// JSON-lines otherwise. Returns the path written to.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error message.
+    pub fn write_metrics(
+        &self,
+        snap: &dmc_obs::Snapshot,
+    ) -> Result<Option<std::path::PathBuf>, String> {
+        let Some(path) = &self.metrics else {
+            return Ok(None);
+        };
+        let body = if path.extension().is_some_and(|e| e == "prom") {
+            snap.to_prometheus()
+        } else {
+            snap.to_jsonl()
+        };
+        std::fs::write(path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        Ok(Some(path.clone()))
+    }
+}
+
+/// Driver epilogue: renders the registry's snapshot as a markdown table
+/// on stdout and exports it to the `--metrics` path. No-op when the
+/// registry is disabled (no `--metrics` given). Exits with status 1 if
+/// the export file cannot be written — a requested artifact silently
+/// missing would defeat the point of asking for it.
+pub fn finish_metrics(args: &RunArgs, obs: &dmc_obs::Obs) {
+    if !obs.is_enabled() {
+        return;
+    }
+    finish_metrics_snapshot(args, &obs.snapshot());
+}
+
+/// [`finish_metrics`] for drivers that already hold a merged
+/// [`Snapshot`](dmc_obs::Snapshot) (e.g. the fleet-service driver, whose
+/// per-shard forks are absorbed by `FleetService::obs_snapshot`, so the
+/// parent registry alone would under-report). No-op when the snapshot is
+/// empty and no `--metrics` export was requested.
+pub fn finish_metrics_snapshot(args: &RunArgs, snap: &dmc_obs::Snapshot) {
+    let table = report::snapshot_table(snap);
+    if !table.is_empty() {
+        println!("\n# Telemetry (dmc-obs)\n");
+        println!("{table}");
+    }
+    match args.write_metrics(snap) {
+        Ok(Some(path)) => eprintln!("metrics written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -102,6 +172,7 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
         runs: env_parse("RUNS", 100),
         flows: env_parse("FLOWS", fleet::FLOWS_PER_TRIAL),
         shards: env_parse("SHARDS", service::SHARDS_DEFAULT),
+        metrics: std::env::var("METRICS").ok().map(std::path::PathBuf::from),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -111,8 +182,9 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
             eprintln!(
                 "flags: --messages N  --trials N  --threads N (1 = sequential oracle, \
                  0 = all cores; DMC_THREADS=0 clamps to 1)  --seed S  --runs N  \
-                 --flows N (fleet drivers)  --shards N (fleet_service driver, ≤ 64)\n\
-                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS, FLOWS, SHARDS"
+                 --flows N (fleet drivers)  --shards N (fleet_service driver, ≤ 64)  \
+                 --metrics PATH (telemetry export: .prom = Prometheus text, else JSONL)\n\
+                 env fallbacks: MESSAGES, TRIALS, DMC_THREADS, SEED, RUNS, FLOWS, SHARDS, METRICS"
             );
             std::process::exit(0);
         }
@@ -128,6 +200,10 @@ pub fn parse_args(default_messages: u64) -> RunArgs {
             "--runs" => value.parse().map(|v| args.runs = v).is_ok(),
             "--flows" => value.parse().map(|v| args.flows = v).is_ok(),
             "--shards" => value.parse().map(|v| args.shards = v).is_ok(),
+            "--metrics" => {
+                args.metrics = Some(std::path::PathBuf::from(value));
+                true
+            }
             _ => {
                 eprintln!("unknown flag {flag} (see --help)");
                 std::process::exit(2);

@@ -181,6 +181,11 @@ fn add_receiver(a: &mut ReceiverStats, b: &ReceiverStats) {
 /// into a [`TrialStats`] *in trial order* (bit-identical across thread
 /// counts).
 ///
+/// When `cfg.obs` is enabled, every trial records into a private
+/// [`fork`](dmc_obs::Obs::fork) of it and the forks are absorbed back
+/// into `cfg.obs` in trial order — the merged snapshot is bit-identical
+/// at any thread count, like the quality fold.
+///
 /// # Errors
 ///
 /// Forwards the first failing trial's error (by trial order).
@@ -193,16 +198,22 @@ pub fn run_plan_trials(
     if mc.trials == 0 {
         return Err("at least one trial is required".into());
     }
+    // Each trial publishes into a private fork of the caller's registry;
+    // the forks are absorbed back *in trial order* below, so the merged
+    // telemetry (clock included) is bit-identical at any thread count.
     let outcomes = run_trials_parallel(mc, |_trial, seed| {
         let mut trial_cfg = cfg.clone();
         trial_cfg.seed = seed;
-        run_plan(plan, true_net, &trial_cfg)
+        trial_cfg.obs = cfg.obs.fork();
+        let outcome = run_plan(plan, true_net, &trial_cfg);
+        (outcome, trial_cfg.obs.snapshot())
     });
     let mut quality = TrialStats::new();
     let mut sender = SenderStats::default();
     let mut receiver = ReceiverStats::default();
     let mut first = None;
-    for outcome in outcomes {
+    for (outcome, trial_obs) in outcomes {
+        cfg.obs.absorb(&trial_obs);
         let outcome = outcome?;
         quality.push(outcome.quality);
         add_sender(&mut sender, &outcome.sender);

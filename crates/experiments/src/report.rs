@@ -35,6 +35,71 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders a telemetry [`Snapshot`](dmc_obs::Snapshot) as markdown
+/// tables: one `metric | value` table for counters and gauges, one
+/// `histogram | count | min | max | mean` table, and one
+/// `span | count | ticks | max` table for span aggregates. Sections with
+/// no entries are omitted; an empty snapshot renders to an empty string.
+pub fn snapshot_table(snap: &dmc_obs::Snapshot) -> String {
+    let mut out = String::new();
+    let mut scalars: Vec<Vec<String>> = Vec::new();
+    for (name, value) in &snap.counters {
+        scalars.push(vec![(*name).to_string(), value.to_string()]);
+    }
+    for (name, value) in &snap.gauges {
+        scalars.push(vec![(*name).to_string(), value.to_string()]);
+    }
+    if !scalars.is_empty() {
+        out.push_str(&markdown_table(&["metric", "value"], &scalars));
+    }
+    let histograms: Vec<Vec<String>> = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let mean = if h.count == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", h.sum as f64 / h.count as f64)
+            };
+            vec![
+                (*name).to_string(),
+                h.count.to_string(),
+                h.min.map_or("-".to_string(), |m| m.to_string()),
+                h.max.to_string(),
+                mean,
+            ]
+        })
+        .collect();
+    if !histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&markdown_table(
+            &["histogram", "count", "min", "max", "mean"],
+            &histograms,
+        ));
+    }
+    let spans: Vec<Vec<String>> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.count.to_string(),
+                s.total_ticks.to_string(),
+                s.max_ticks.to_string(),
+            ]
+        })
+        .collect();
+    if !spans.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&markdown_table(&["span", "count", "ticks", "max"], &spans));
+    }
+    out
+}
+
 /// `92.5%`-style percentage with one decimal.
 pub fn pct(q: f64) -> String {
     format!("{:.1}%", q * 100.0)
@@ -80,6 +145,24 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn snapshot_table_renders_all_sections() {
+        let obs = dmc_obs::Obs::enabled();
+        obs.counter("a.count").add(3);
+        obs.gauge("b.level").add(2);
+        obs.histogram("c.sizes").record(4);
+        obs.histogram("c.sizes").record(8);
+        obs.advance(5);
+        drop(obs.span("d.work"));
+        let table = snapshot_table(&obs.snapshot());
+        assert!(table.contains("a.count"));
+        assert!(table.contains("b.level"));
+        assert!(table.contains("c.sizes"));
+        assert!(table.contains("d.work"));
+        assert!(table.contains("6.0"), "histogram mean rendered:\n{table}");
+        assert_eq!(snapshot_table(&dmc_obs::Snapshot::default()), "");
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub struct RunConfig {
     /// reordering, flaps, correlated fault domains); `None` = a clean
     /// run. The plan's link schedule composes with `dynamics`.
     pub faults: Option<FaultPlan>,
+    /// Telemetry registry. When enabled, every run publishes its
+    /// endpoint counters (`proto.tx.*` / `proto.rx.*`), the simulator's
+    /// fault and event counters (`sim.*`), and a `runner.runs` counter;
+    /// the registry's logical clock advances to the dispatched-event
+    /// total. Disabled (the default) costs nothing.
+    pub obs: dmc_obs::Obs,
 }
 
 impl Default for RunConfig {
@@ -174,6 +180,7 @@ impl Default for RunConfig {
             fast_retransmit: None,
             dynamics: Dynamics::new(),
             faults: None,
+            obs: dmc_obs::Obs::disabled(),
         }
     }
 }
@@ -292,6 +299,12 @@ pub fn run_strategy(
         sim.apply_faults(plan)?;
     }
     sim.run_to_completion();
+    if cfg.obs.is_enabled() {
+        cfg.obs.counter("runner.runs").inc();
+        sim.client().stats().publish_obs(&cfg.obs);
+        sim.server().stats().publish_obs(&cfg.obs);
+        sim.publish_obs(&cfg.obs);
+    }
     let faults_injected = sim.fault_stats(Dir::Forward);
     let sender = sim.client().stats();
     let receiver = sim.server().stats();

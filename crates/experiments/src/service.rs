@@ -107,6 +107,20 @@ impl Script {
 /// `shards`-region service with `workers` tick threads (0 = resolve via
 /// `DMC_THREADS`), entirely over wire frames.
 pub fn run_service_script(seed: u64, flows: u64, shards: usize, workers: usize) -> ServiceOutcome {
+    run_service_script_obs(seed, flows, shards, workers, &dmc_obs::Obs::disabled()).0
+}
+
+/// [`run_service_script`] with the service's telemetry wired to `obs`;
+/// additionally returns the service's merged
+/// [`obs_snapshot`](FleetService::obs_snapshot) (parent registry plus
+/// every shard fork, deterministic at any worker count).
+pub fn run_service_script_obs(
+    seed: u64,
+    flows: u64,
+    shards: usize,
+    workers: usize,
+    obs: &dmc_obs::Obs,
+) -> (ServiceOutcome, dmc_obs::Snapshot) {
     let shards = shards.clamp(1, MAX_SHARDS);
     let (paths, groups) = region_paths(shards);
     let num_paths = paths.len();
@@ -115,7 +129,10 @@ pub fn run_service_script(seed: u64, flows: u64, shards: usize, workers: usize) 
         &groups,
         ServiceConfig {
             workers,
-            fleet: FleetConfig::default(),
+            fleet: FleetConfig {
+                obs: obs.clone(),
+                ..FleetConfig::default()
+            },
         },
     )
     .expect("literal service parameters are valid");
@@ -260,7 +277,8 @@ pub fn run_service_script(seed: u64, flows: u64, shards: usize, workers: usize) 
 
     out.submissions = service.submissions();
     out.decision_hash = service.decision_hash();
-    out
+    let snapshot = service.obs_snapshot();
+    (out, snapshot)
 }
 
 /// Runs the same script at 1 and 4 workers and returns the common

@@ -6,7 +6,19 @@
 
 use crate::report;
 use crate::scenarios;
-use dmc_core::{Objective, Planner, Strategy};
+use dmc_core::{Objective, Planner, PlannerConfig, SolverOptions, Strategy};
+
+/// A fresh planner whose LP solves record into `obs` (disabled = the
+/// plain default planner).
+fn planner_with_obs(obs: &dmc_obs::Obs) -> Planner {
+    Planner::with_config(PlannerConfig {
+        solver: SolverOptions {
+            obs: obs.clone(),
+            ..SolverOptions::default()
+        },
+        ..PlannerConfig::default()
+    })
+}
 
 /// One row of Table IV.
 #[derive(Debug, Clone)]
@@ -54,7 +66,17 @@ pub const PAPER_BOTTOM: &[(f64, f64)] = &[
 ///
 /// Panics if the LP solver fails on these (always-feasible) scenarios.
 pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
-    let mut planner = Planner::new();
+    top_obs(lambdas_mbps, &dmc_obs::Obs::disabled())
+}
+
+/// [`top`] with the planner's LP solves recorded into `obs`
+/// (`lp.solves`, `lp.pivots`, warm-start counters, per-backend spans).
+///
+/// # Panics
+///
+/// Panics if the LP solver fails on these (always-feasible) scenarios.
+pub fn top_obs(lambdas_mbps: &[f64], obs: &dmc_obs::Obs) -> Vec<Table4Row> {
+    let mut planner = planner_with_obs(obs);
     let base = scenarios::table3_model_scenario(90e6, 0.800);
     lambdas_mbps
         .iter()
@@ -74,7 +96,17 @@ pub fn top(lambdas_mbps: &[f64]) -> Vec<Table4Row> {
 ///
 /// Panics if the LP solver fails on these (always-feasible) scenarios.
 pub fn bottom(deltas_ms: &[f64]) -> Vec<Table4Row> {
-    let mut planner = Planner::new();
+    bottom_obs(deltas_ms, &dmc_obs::Obs::disabled())
+}
+
+/// [`bottom`] with the planner's LP solves recorded into `obs` (see
+/// [`top_obs`]).
+///
+/// # Panics
+///
+/// Panics if the LP solver fails on these (always-feasible) scenarios.
+pub fn bottom_obs(deltas_ms: &[f64], obs: &dmc_obs::Obs) -> Vec<Table4Row> {
+    let mut planner = planner_with_obs(obs);
     let base = scenarios::table3_model_scenario(90e6, 0.800);
     deltas_ms
         .iter()

@@ -125,6 +125,15 @@ pub struct FleetConfig {
     /// Fault-injection harnesses turn this on so a bogus vertex aborts
     /// the run at the solve that produced it.
     pub certify: bool,
+    /// Telemetry registry (default disabled). When enabled the planner
+    /// records admission outcomes (`fleet.admits`, `fleet.refusals`),
+    /// shed-queue traffic (`fleet.sheds`, `fleet.revives`,
+    /// `fleet.shed_rejects`, the `fleet.shed_queue` gauge), departures
+    /// and joint warm-start outcomes (`fleet.warm_*`). If
+    /// `planner.solver.obs` is left disabled, [`FleetPlanner::new`]
+    /// propagates this registry into it so the `lp.*` metrics of the
+    /// per-flow and joint solves land in the same snapshot.
+    pub obs: dmc_obs::Obs,
 }
 
 impl Default for FleetConfig {
@@ -135,6 +144,7 @@ impl Default for FleetConfig {
             joint_backend: Backend::Sparse,
             incremental: true,
             certify: false,
+            obs: dmc_obs::Obs::disabled(),
         }
     }
 }
@@ -660,6 +670,10 @@ impl FleetPlanner {
                 )));
             }
         }
+        let mut config = config;
+        if config.obs.is_enabled() && !config.planner.solver.obs.is_enabled() {
+            config.planner.solver.obs = config.obs.clone();
+        }
         let flow_planner = Planner::with_config(config.planner.clone());
         Ok(FleetPlanner {
             config,
@@ -774,6 +788,10 @@ impl FleetPlanner {
                         predicted_quality,
                     });
                 }
+                self.config
+                    .obs
+                    .counter("fleet.admits")
+                    .add(decisions.len() as u64);
                 Ok(decisions)
             }
             Err(SolveError::Infeasible { .. }) => {
@@ -827,10 +845,13 @@ impl FleetPlanner {
     pub fn depart(&mut self, id: FlowId) -> Result<Plan, FleetError> {
         let Some(idx) = self.flows.iter().position(|f| f.id == id) else {
             if let Some(pos) = self.shed.iter().position(|s| s.id == id) {
+                self.config.obs.counter("fleet.departs").inc();
+                self.config.obs.gauge("fleet.shed_queue").sub(1);
                 return Ok(self.shed.remove(pos).plan);
             }
             return Err(FleetError::UnknownFlow(id));
         };
+        self.config.obs.counter("fleet.departs").inc();
         let departed = self.flows.remove(idx);
         if self.config.incremental {
             if let Some(a) = self.assembly.as_mut() {
@@ -973,6 +994,14 @@ impl FleetPlanner {
         let newly_shed = self.resettle()?;
         self.revive_shed()?;
         let ids: Vec<FlowId> = newly_shed.iter().map(|s| s.id).collect();
+        self.config
+            .obs
+            .counter("fleet.sheds")
+            .add(newly_shed.len() as u64);
+        self.config
+            .obs
+            .gauge("fleet.shed_queue")
+            .add(newly_shed.len() as i64);
         self.shed.extend(newly_shed);
         Ok(ids)
     }
@@ -1025,6 +1054,10 @@ impl FleetPlanner {
     /// Cold re-solves forced by a warm-start anomaly — a singular basis
     /// or a pivot-cap abort on the warm path. Each one dropped the cached
     /// basis and retried cold instead of failing the operation.
+    ///
+    /// MIGRATION: mirrored onto the `fleet.warm_anomalies` counter of
+    /// [`FleetConfig::obs`]; this accessor stays per-planner (a shared
+    /// registry aggregates across planners and replays).
     pub fn warm_anomalies(&self) -> u64 {
         self.warm_anomalies
     }
@@ -1120,6 +1153,11 @@ impl FleetPlanner {
 
     /// Warm-start cache counters of the joint solves (same semantics as
     /// [`dmc_core::Planner::warm_stats`]).
+    ///
+    /// MIGRATION: the same events are mirrored onto the `dmc_obs`
+    /// counters `fleet.warm_hits` / `fleet.warm_misses` of
+    /// [`FleetConfig::obs`] when that registry is enabled; prefer the
+    /// registry for exported telemetry.
     pub fn warm_stats(&self) -> WarmStats {
         WarmStats {
             hits: self.warm_hits,
@@ -1189,17 +1227,21 @@ impl FleetPlanner {
                     plan,
                     slot: slots[0],
                 });
+                self.config.obs.counter("fleet.admits").inc();
                 Ok(AdmissionDecision::Admitted {
                     id,
                     predicted_quality,
                 })
             }
-            Err(SolveError::Infeasible { .. }) => Ok(AdmissionDecision::Rejected {
-                id,
-                reason: "the remaining shared capacity cannot meet this flow's quality \
-                         floor alongside every admitted flow's"
-                    .into(),
-            }),
+            Err(SolveError::Infeasible { .. }) => {
+                self.config.obs.counter("fleet.refusals").inc();
+                Ok(AdmissionDecision::Rejected {
+                    id,
+                    reason: "the remaining shared capacity cannot meet this flow's quality \
+                             floor alongside every admitted flow's"
+                        .into(),
+                })
+            }
             Err(e) => Err(FleetError::Solve(e)),
         }
     }
@@ -1287,10 +1329,16 @@ impl FleetPlanner {
             }
             let model = self.flow_model(&s.request)?;
             match self.admit_candidate(s.id, s.request.clone(), model)? {
-                AdmissionDecision::Admitted { .. } => self.revived.push(s.id),
+                AdmissionDecision::Admitted { .. } => {
+                    self.config.obs.counter("fleet.revives").inc();
+                    self.config.obs.gauge("fleet.shed_queue").sub(1);
+                    self.revived.push(s.id);
+                }
                 AdmissionDecision::Rejected { .. } => {
                     s.attempts += 1;
                     if s.attempts >= Self::MAX_SHED_ATTEMPTS {
+                        self.config.obs.counter("fleet.shed_rejects").inc();
+                        self.config.obs.gauge("fleet.shed_queue").sub(1);
                         self.shed_rejected.push(s.id);
                     } else {
                         s.skip = ((1u32 << s.attempts) - 1).min(SHED_SKIP_CAP);
@@ -1347,6 +1395,9 @@ impl FleetPlanner {
                     Ok(s) => {
                         if s.used_warm_start() {
                             self.warm_hits += 1;
+                            self.config.obs.counter("fleet.warm_hits").inc();
+                        } else {
+                            self.config.obs.counter("fleet.warm_misses").inc();
                         }
                         s
                     }
@@ -1359,12 +1410,17 @@ impl FleetPlanner {
                         // solve succeeds (plans are only refreshed from a
                         // successful solution).
                         self.warm_anomalies += 1;
+                        self.config.obs.counter("fleet.warm_anomalies").inc();
+                        self.config.obs.counter("fleet.warm_misses").inc();
                         if let Some(k) = key {
                             self.warm_bases.remove(&k);
                         }
                         problem.solve_with(&opts, &mut self.workspace)?
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        self.config.obs.counter("fleet.warm_misses").inc();
+                        return Err(e);
+                    }
                 }
             }
             None => problem.solve_with(&opts, &mut self.workspace)?,

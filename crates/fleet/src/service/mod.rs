@@ -55,11 +55,25 @@ static WARNED_BAD_DMC_THREADS: AtomicBool = AtomicBool::new(false);
 /// verbatim; `0` defers to the `DMC_THREADS` environment variable, then
 /// to the machine's available parallelism.
 ///
+/// Thin shim over [`resolved_workers_with`] with a disabled telemetry
+/// registry: an unparseable `DMC_THREADS` warns on stderr at most once
+/// per process. Callers that own an [`dmc_obs::Obs`] should prefer
+/// [`resolved_workers_with`], which records the warning as a structured
+/// [`dmc_obs::WarningRecord`] instead.
+pub fn resolved_workers(requested: usize) -> usize {
+    resolved_workers_with(requested, &dmc_obs::Obs::disabled())
+}
+
+/// [`resolved_workers`] with a telemetry registry.
+///
 /// Parsed environment values are clamped to ≥ 1 — `DMC_THREADS=0` used
 /// to parse "successfully" and configure a zero-width pool — and an
-/// unparseable value is treated as unset, with a one-line warning the
-/// first time it is seen (instead of being silently swallowed).
-pub fn resolved_workers(requested: usize) -> usize {
+/// unparseable value is treated as unset instead of being silently
+/// swallowed. With an enabled registry the mishap is recorded once per
+/// registry under the warning key `service.bad_dmc_threads` (message,
+/// occurrence count) and echoed to stderr on first sight; with a
+/// disabled registry it falls back to a once-per-process stderr line.
+pub fn resolved_workers_with(requested: usize, obs: &dmc_obs::Obs) -> usize {
     if requested != 0 {
         return requested;
     }
@@ -67,8 +81,14 @@ pub fn resolved_workers(requested: usize) -> usize {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) => n.max(1),
             Err(_) => {
-                if !WARNED_BAD_DMC_THREADS.swap(true, Ordering::Relaxed) {
-                    eprintln!("warning: DMC_THREADS={raw:?} is not a number; treating it as unset");
+                let message = format!("DMC_THREADS={raw:?} is not a number; treating it as unset");
+                let first = if obs.is_enabled() {
+                    obs.warn_once("service.bad_dmc_threads", message.clone())
+                } else {
+                    !WARNED_BAD_DMC_THREADS.swap(true, Ordering::Relaxed)
+                };
+                if first {
+                    eprintln!("warning: {message}");
                 }
                 available_parallelism()
             }
@@ -107,6 +127,20 @@ mod tests {
         // instead of being silently treated as a count.
         std::env::set_var("DMC_THREADS", "lots");
         assert!(resolved_workers(0) >= 1);
+
+        // With a registry, the mishap becomes a structured warning:
+        // first message wins, later sightings only bump the count.
+        let obs = dmc_obs::Obs::enabled();
+        assert!(resolved_workers_with(0, &obs) >= 1);
+        assert!(resolved_workers_with(0, &obs) >= 1);
+        let snap = obs.snapshot();
+        let warning = snap
+            .warnings
+            .iter()
+            .find(|w| w.key == "service.bad_dmc_threads")
+            .expect("bad DMC_THREADS recorded as a warning");
+        assert_eq!(warning.count, 2);
+        assert!(warning.message.contains("lots"));
 
         std::env::remove_var("DMC_THREADS");
         assert!(resolved_workers(0) >= 1);

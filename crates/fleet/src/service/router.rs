@@ -7,7 +7,7 @@ use dmc_core::{Plan, ScenarioPath};
 use dmc_sim::LinkChange;
 
 use super::region::RegionMap;
-use super::resolved_workers;
+use super::resolved_workers_with;
 use super::shard::{Shard, ShardOp};
 use crate::error::FleetError;
 use crate::flow::{FlowId, FlowRequest};
@@ -20,11 +20,25 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
     /// Worker threads for the parallel tick phase. `0` (the default)
-    /// resolves through [`resolved_workers`](super::resolved_workers):
-    /// the `DMC_THREADS` environment variable (clamped to ≥ 1), then the
+    /// resolves through
+    /// [`resolved_workers_with`](super::resolved_workers_with): the
+    /// `DMC_THREADS` environment variable (clamped to ≥ 1), then the
     /// machine's available parallelism. Resolved once, at construction.
     pub workers: usize,
     /// Per-shard planner configuration (every shard gets a clone).
+    ///
+    /// Its [`FleetConfig::obs`] registry is the service's **parent**
+    /// telemetry registry. Each shard receives a private
+    /// [`fork`](dmc_obs::Obs::fork) of it (so the parallel tick phase
+    /// never races the router's own recordings), and
+    /// [`FleetService::obs_snapshot`] absorbs the forks back into the
+    /// parent's snapshot in shard order — deterministic at any worker
+    /// count. The router records `service.ticks`, `service.events`,
+    /// `service.queue_depth`, the spanning reserve/commit counters
+    /// (`service.spanning_offers` = `.spanning_commits` +
+    /// `.spanning_refusals`) and advances the logical clock by one tick
+    /// per drained submission; shards record `service.batch_size` plus
+    /// everything their planner and solver record.
     pub fleet: FleetConfig,
 }
 
@@ -151,6 +165,9 @@ pub struct FleetService {
     decision_hash: u64,
     /// Wire front end: service seq → client-chosen frame tag.
     echo: BTreeMap<u64, u64>,
+    /// The parent telemetry registry ([`ServiceConfig::fleet`]'s `obs`);
+    /// each shard holds a private fork of it.
+    obs: dmc_obs::Obs,
 }
 
 impl FleetService {
@@ -168,17 +185,20 @@ impl FleetService {
         config: ServiceConfig,
     ) -> Result<Self, FleetError> {
         let regions = RegionMap::new(paths.len(), groups)?;
+        let obs = config.fleet.obs.clone();
         let mut shards = Vec::with_capacity(regions.num_regions());
         for r in 0..regions.num_regions() {
             let global: Vec<usize> = regions.region_paths(r).to_vec();
             let subset: Vec<ScenarioPath> = global.iter().map(|&k| paths[k].clone()).collect();
-            shards.push(Shard::new(global, subset, config.fleet.clone())?);
+            let mut shard_config = config.fleet.clone();
+            shard_config.obs = obs.fork();
+            shards.push(Shard::new(global, subset, shard_config)?);
         }
         let path_bandwidth = paths.iter().map(ScenarioPath::bandwidth).collect();
         Ok(FleetService {
             regions,
             shards,
-            workers: resolved_workers(config.workers),
+            workers: resolved_workers_with(config.workers, &obs),
             next_seq: 0,
             owners: BTreeMap::new(),
             pending_span: Vec::new(),
@@ -187,6 +207,7 @@ impl FleetService {
             path_failed: vec![false; paths.len()],
             decision_hash: FNV_BASIS,
             echo: BTreeMap::new(),
+            obs,
         })
     }
 
@@ -302,6 +323,17 @@ impl FleetService {
     /// tick drops its queued work; the service should be considered
     /// poisoned for determinism purposes.
     pub fn tick(&mut self) -> Result<Vec<ServiceEvent>, FleetError> {
+        if self.obs.is_enabled() {
+            self.obs.counter("service.ticks").inc();
+            let mut drained = self.pending_span.len() as u64;
+            let depth = self.obs.histogram("service.queue_depth");
+            for shard in &self.shards {
+                depth.record(shard.queue_len() as u64);
+                drained += shard.queue_len() as u64;
+            }
+            // One logical-clock tick per submission drained this tick.
+            self.obs.advance(drained);
+        }
         self.run_shards();
         let mut first_error = None;
         for shard in &mut self.shards {
@@ -334,11 +366,25 @@ impl FleetService {
             }
         }
         events.sort_by_key(ServiceEvent::seq);
+        self.obs.counter("service.events").add(events.len() as u64);
         self.prune_owners(&events);
         for event in &events {
             self.fold_into_hash(event);
         }
         Ok(events)
+    }
+
+    /// One merged telemetry snapshot: the parent registry
+    /// ([`ServiceConfig::fleet`]'s `obs`) absorbed with every shard's
+    /// private fork, in ascending shard order. Deterministic for a fixed
+    /// submission script at any worker count, like the event stream.
+    /// Empty (all-default) when telemetry is disabled.
+    pub fn obs_snapshot(&self) -> dmc_obs::Snapshot {
+        let mut snap = self.obs.snapshot();
+        for shard in &self.shards {
+            snap.absorb(&shard.obs().snapshot());
+        }
+        snap
     }
 
     /// The region partition the service runs on.
@@ -508,8 +554,10 @@ impl FleetService {
                 });
             }
         }
+        self.obs.counter("service.spanning_offers").inc();
         let total: f64 = legs.iter().map(|leg| leg.bandwidth).sum();
         if legs.is_empty() || !(total > 0.0) {
+            self.obs.counter("service.spanning_refusals").inc();
             events.push(ServiceEvent::Decision {
                 seq,
                 admitted: false,
@@ -541,6 +589,7 @@ impl FleetService {
             }
         }
         if refused {
+            self.obs.counter("service.spanning_refusals").inc();
             // Roll back in reverse reservation order; the freed capacity
             // may revive shed flows, surfaced as capacity events.
             for &(shard, local, _, _) in reserved.iter().rev() {
@@ -562,6 +611,7 @@ impl FleetService {
             quality += rate * leg_quality;
         }
         quality /= request.data_rate();
+        self.obs.counter("service.spanning_commits").inc();
         self.owners.insert(seq, Owner::Spanning(committed));
         events.push(ServiceEvent::Decision {
             seq,

@@ -49,6 +49,10 @@ pub(crate) enum ShardOp {
 pub(crate) struct Shard {
     /// Sorted global indices of this region's paths.
     paths: Vec<usize>,
+    /// This shard's private telemetry fork (never the router's parent
+    /// registry): the parallel tick phase records into it freely, and
+    /// the router absorbs every fork in shard order at snapshot time.
+    obs: dmc_obs::Obs,
     planner: FleetPlanner,
     /// Global flow id (submission seq) → local planner id.
     to_local: BTreeMap<u64, FlowId>,
@@ -65,8 +69,10 @@ impl Shard {
         subset: Vec<ScenarioPath>,
         config: FleetConfig,
     ) -> Result<Self, FleetError> {
+        let obs = config.obs.clone();
         Ok(Shard {
             paths: global_paths,
+            obs,
             planner: FleetPlanner::new(subset, config)?,
             to_local: BTreeMap::new(),
             to_global: BTreeMap::new(),
@@ -79,6 +85,16 @@ impl Shard {
     /// Sorted global indices of this region's paths.
     pub(crate) fn global_paths(&self) -> &[usize] {
         &self.paths
+    }
+
+    /// The shard's telemetry fork (for the router's snapshot merge).
+    pub(crate) fn obs(&self) -> &dmc_obs::Obs {
+        &self.obs
+    }
+
+    /// Submissions currently queued for the next tick.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Maps a global path index into this shard (`None` if not ours).
@@ -162,6 +178,9 @@ impl Shard {
     }
 
     fn run_offers(&mut self, seqs: &[u64], requests: Vec<FlowRequest>) {
+        self.obs
+            .histogram("service.batch_size")
+            .record(seqs.len() as u64);
         match self.planner.offer_batch(requests) {
             Ok(decisions) => {
                 for (&seq, decision) in seqs.iter().zip(&decisions) {
@@ -192,6 +211,9 @@ impl Shard {
     }
 
     fn run_departs(&mut self, departs: &[(u64, u64)]) {
+        self.obs
+            .histogram("service.batch_size")
+            .record(departs.len() as u64);
         let mut known = Vec::new();
         for &(seq, flow) in departs {
             match self.to_local.get(&flow) {

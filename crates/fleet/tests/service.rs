@@ -351,6 +351,16 @@ fn spanning_refusal_rolls_back_the_reserved_leg() {
 /// departures, an outage/recovery cycle) and returns every tick's events
 /// plus the final decision hash.
 fn run_script(workers: usize) -> (Vec<Vec<ServiceEvent>>, u64) {
+    let (ticks, hash, _) = run_script_with(workers, dmc_obs::Obs::disabled());
+    (ticks, hash)
+}
+
+/// [`run_script`] with a telemetry registry; additionally returns the
+/// service's merged [`dmc_obs::Snapshot`].
+fn run_script_with(
+    workers: usize,
+    obs: dmc_obs::Obs,
+) -> (Vec<Vec<ServiceEvent>>, u64, dmc_obs::Snapshot) {
     // Six singleton regions so the worker chunking actually splits.
     let paths: Vec<ScenarioPath> = (0..6)
         .map(|k| {
@@ -367,7 +377,10 @@ fn run_script(workers: usize) -> (Vec<Vec<ServiceEvent>>, u64) {
         &[],
         ServiceConfig {
             workers,
-            fleet: FleetConfig::default(),
+            fleet: FleetConfig {
+                obs,
+                ..FleetConfig::default()
+            },
         },
     )
     .expect("valid service");
@@ -417,7 +430,8 @@ fn run_script(workers: usize) -> (Vec<Vec<ServiceEvent>>, u64) {
         .expect("valid change");
     ticks.push(svc.tick().expect("tick succeeds"));
 
-    (ticks, svc.decision_hash())
+    let snapshot = svc.obs_snapshot();
+    (ticks, svc.decision_hash(), snapshot)
 }
 
 #[test]
@@ -435,4 +449,37 @@ fn decision_stream_is_bitwise_identical_across_worker_counts() {
     // And the hash really covers the stream: a rerun reproduces it.
     let (_, hash_again) = run_script(4);
     assert_eq!(hash_4, hash_again);
+}
+
+#[test]
+fn telemetry_snapshot_is_identical_across_worker_counts() {
+    let (_, _, snap_1) = run_script_with(1, dmc_obs::Obs::enabled());
+    let (_, _, snap_4) = run_script_with(4, dmc_obs::Obs::enabled());
+    assert_eq!(
+        snap_1.fnv_hash(),
+        snap_4.fnv_hash(),
+        "telemetry snapshots diverged across worker counts:\n{}\nvs\n{}",
+        snap_1.to_jsonl(),
+        snap_4.to_jsonl()
+    );
+
+    // The script's shape is visible in the merged registry.
+    assert_eq!(snap_1.counter("service.ticks"), Some(3));
+    assert_eq!(snap_1.counter("service.spanning_offers"), Some(1));
+    assert_eq!(
+        snap_1.counter("service.spanning_commits").unwrap_or(0)
+            + snap_1.counter("service.spanning_refusals").unwrap_or(0),
+        1,
+        "every spanning offer either commits or refuses"
+    );
+    let depth = snap_1
+        .histogram("service.queue_depth")
+        .expect("queue depth recorded per shard per tick");
+    assert_eq!(depth.count, 3 * 6, "three ticks over six shards");
+    assert!(snap_1.histogram("service.batch_size").is_some());
+    assert!(snap_1.counter("fleet.admits").unwrap_or(0) > 0);
+    assert!(
+        snap_1.counter("lp.solves").unwrap_or(0) > 0,
+        "shard forks carry the solver metrics into the merged snapshot"
+    );
 }

@@ -39,8 +39,13 @@ pub struct Config {
 
 /// Crates whose library code must uphold the determinism invariants.
 /// `compat/` (external-API stand-ins), `bench/` (timing is its job) and
-/// `lint/` (not on any solver path) are deliberately absent.
+/// `lint/` (not on any solver path) are deliberately absent. `obs/` is
+/// *in* scope — telemetry that drifted from wallclock or map order would
+/// silently unpin every snapshot hash; its one sanctioned wallclock
+/// island (`WallProfiler`, driver-only) carries a file-level
+/// `allow-file(det-wallclock)` pragma in `crates/obs/src/wall.rs`.
 const DEFAULT_DET_SCOPE: &[&str] = &[
+    "crates/obs/",
     "crates/lp/",
     "crates/core/",
     "crates/fleet/",

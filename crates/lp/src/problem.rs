@@ -617,11 +617,54 @@ impl Problem {
         if self.objective.iter().any(|c| !c.is_finite()) {
             return Err(ProblemError::NonFiniteCoefficient.into());
         }
-        match options.backend {
+        let obs = &options.obs;
+        // The span closes after the pivot-count advance below, so its
+        // tick extent equals this solve's pivots.
+        let span = obs.span(match options.backend {
+            Backend::DenseTableau => "lp.solve.dense",
+            Backend::Revised => "lp.solve.revised",
+            Backend::Sparse => "lp.solve.sparse",
+        });
+        let result = match options.backend {
             Backend::DenseTableau => simplex::solve(self, options, workspace),
             Backend::Revised => revised::solve(self, options, workspace, warm),
             Backend::Sparse => sparse::solve(self, options, workspace, warm),
+        };
+        if obs.is_enabled() {
+            obs.counter("lp.solves").inc();
+            if warm.is_some() {
+                obs.counter("lp.warm_attempts").inc();
+            }
+            match &result {
+                Ok(s) => {
+                    let pivots = s.iterations() as u64;
+                    obs.counter("lp.pivots").add(pivots);
+                    obs.advance(pivots);
+                    if s.used_warm_start() {
+                        obs.counter("lp.warm_used").inc();
+                    }
+                }
+                Err(_) => obs.counter("lp.errors").inc(),
+            }
+            let stats = match options.backend {
+                Backend::DenseTableau => None,
+                Backend::Revised => Some(&workspace.revised.stats),
+                Backend::Sparse => Some(&workspace.sparse.stats),
+            };
+            if let Some(stats) = stats {
+                obs.counter("lp.refactorizations")
+                    .add(stats.refactorizations);
+                if stats.phase1_early_exit {
+                    obs.counter("lp.phase1_early_exits").inc();
+                }
+                let eta_len = obs.histogram("lp.eta_len");
+                for &len in &stats.eta_lengths {
+                    eta_len.record(len);
+                }
+            }
         }
+        drop(span);
+        result
     }
 
     /// Checks a candidate point against every constraint and the

@@ -125,6 +125,8 @@ pub(crate) struct RevisedWorkspace {
     face_fresh: bool,
     /// Bulk secondary-reduced-cost buffer for canonicalization.
     face_w2: Vec<f64>,
+    /// Per-solve telemetry, published by the dispatcher.
+    pub(crate) stats: crate::simplex::SolveStats,
 }
 
 /// Column layout of the assembled matrix.
@@ -151,6 +153,7 @@ pub(crate) fn solve(
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
     let ws = &mut workspace.revised;
+    ws.stats.reset();
     let rows = problem.constraints();
     let dims = build(problem, ws);
     let tol = options.tolerance;
@@ -682,6 +685,8 @@ fn try_warm_basis(
 /// clears the eta file. Returns `false` on a numerically singular basis.
 fn factor(rows: &[Constraint], ws: &mut RevisedWorkspace, dims: &Dims) -> bool {
     let m = dims.m;
+    ws.stats.refactorizations += 1;
+    ws.stats.eta_lengths.push(ws.eta_rows.len() as u64);
     ws.eta_rows.clear();
     ws.eta_data.clear();
     ws.lu.clear();
@@ -898,6 +903,7 @@ fn run_phase(
         0
     };
     if phase == Phase::One && basic_arts == 0 {
+        ws.stats.phase1_early_exit = true;
         return Ok(());
     }
     for _ in 0..options.max_iterations {
@@ -939,6 +945,7 @@ fn run_phase(
             if basic_arts == 0 {
                 // All artificials are nonbasic (at zero): Σ artificials is
                 // 0, the unimprovable phase-1 optimum.
+                ws.stats.phase1_early_exit = true;
                 return Ok(());
             }
         }

@@ -84,6 +84,13 @@ pub struct SolverOptions {
     pub degenerate_switch: usize,
     /// Simplex implementation (default [`Backend::Revised`]).
     pub backend: Backend,
+    /// Telemetry registry (default [`dmc_obs::Obs::disabled`]: every
+    /// recording is a no-op branch). When enabled, each solve records
+    /// `lp.solves`, `lp.pivots`, `lp.refactorizations`,
+    /// `lp.phase1_early_exits`, warm-start counters, the `lp.eta_len`
+    /// histogram, and a per-backend `lp.solve.*` span; the logical clock
+    /// advances by one tick per pivot.
+    pub obs: dmc_obs::Obs,
 }
 
 impl Default for SolverOptions {
@@ -94,7 +101,31 @@ impl Default for SolverOptions {
             pivot_rule: PivotRule::Adaptive,
             degenerate_switch: 64,
             backend: Backend::default(),
+            obs: dmc_obs::Obs::disabled(),
         }
+    }
+}
+
+/// Per-solve instrumentation filled in by the revised/sparse backends and
+/// published to [`SolverOptions::obs`] by the dispatcher — the kernels
+/// themselves never touch the registry.
+#[derive(Debug, Default)]
+pub(crate) struct SolveStats {
+    /// Basis (re)factorizations, the cold-start build included.
+    pub(crate) refactorizations: u64,
+    /// Eta-file length observed at each refactorization.
+    pub(crate) eta_lengths: Vec<u64>,
+    /// Whether phase 1 exited as soon as the last artificial left the
+    /// basis, skipping the final pricing wrap.
+    pub(crate) phase1_early_exit: bool,
+}
+
+impl SolveStats {
+    /// Clears the stats at the start of a solve (buffers retained).
+    pub(crate) fn reset(&mut self) {
+        self.refactorizations = 0;
+        self.eta_lengths.clear();
+        self.phase1_early_exit = false;
     }
 }
 

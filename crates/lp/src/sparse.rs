@@ -134,6 +134,8 @@ pub(crate) struct SparseWorkspace {
     face_fresh: bool,
     face_w2: Vec<f64>,
     w2: Vec<f64>,
+    /// Per-solve telemetry, published by the dispatcher.
+    pub(crate) stats: crate::simplex::SolveStats,
 }
 
 /// Column layout of the assembled matrix.
@@ -155,6 +157,7 @@ pub(crate) fn solve(
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
     let ws = &mut workspace.sparse;
+    ws.stats.reset();
     let rows = problem.constraints();
     let dims = build(problem, ws);
     let tol = options.tolerance;
@@ -561,6 +564,10 @@ fn try_warm_basis(ws: &mut SparseWorkspace, dims: &Dims, basis: &Basis, tol: f64
 /// bit-identical warm/cold guarantee.
 fn factor(ws: &mut SparseWorkspace, dims: &Dims) -> bool {
     let m = dims.m;
+    ws.stats.refactorizations += 1;
+    ws.stats
+        .eta_lengths
+        .push(ws.eta_ptr.len().saturating_sub(1) as u64);
     ws.eta_pivot.clear();
     ws.eta_pivot_val.clear();
     ws.eta_rows.clear();
@@ -1023,6 +1030,7 @@ fn run_phase(
         0
     };
     if phase == Phase::One && basic_arts == 0 {
+        ws.stats.phase1_early_exit = true;
         return Ok(());
     }
     for _ in 0..options.max_iterations {
@@ -1063,6 +1071,7 @@ fn run_phase(
         if phase == Phase::One && leaving_art {
             basic_arts -= 1;
             if basic_arts == 0 {
+                ws.stats.phase1_early_exit = true;
                 return Ok(());
             }
         }

@@ -1,0 +1,93 @@
+//! Telemetry contract of the solver: metrics recorded per solve, spans
+//! measured in pivots, and identical numerics with obs on or off.
+
+use dmc_lp::{Backend, Problem, SolverOptions, Workspace};
+use dmc_obs::Obs;
+
+fn sample_problem() -> Problem {
+    let mut p = Problem::maximize(vec![3.0, 5.0]);
+    p.add_le(vec![1.0, 0.0], 4.0).expect("valid row");
+    p.add_le(vec![0.0, 2.0], 12.0).expect("valid row");
+    p.add_le(vec![3.0, 2.0], 18.0).expect("valid row");
+    p
+}
+
+#[test]
+fn solve_records_counters_and_span() {
+    for (backend, span_name) in [
+        (Backend::DenseTableau, "lp.solve.dense"),
+        (Backend::Revised, "lp.solve.revised"),
+        (Backend::Sparse, "lp.solve.sparse"),
+    ] {
+        let obs = Obs::enabled();
+        let opts = SolverOptions {
+            backend,
+            obs: obs.clone(),
+            ..SolverOptions::default()
+        };
+        let s = sample_problem()
+            .solve(&opts)
+            .expect("sample LP is feasible");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("lp.solves"), Some(1), "{span_name}");
+        assert_eq!(
+            snap.counter("lp.pivots"),
+            Some(s.iterations() as u64),
+            "{span_name}"
+        );
+        assert_eq!(snap.clock, s.iterations() as u64, "clock ticks = pivots");
+        let span = snap.span(span_name).expect("solve span recorded");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.total_ticks, s.iterations() as u64);
+        if backend != Backend::DenseTableau {
+            assert!(
+                snap.counter("lp.refactorizations").unwrap_or(0) >= 1,
+                "cold start factorizes at least once"
+            );
+            assert!(snap.histogram("lp.eta_len").is_some());
+        }
+    }
+}
+
+#[test]
+fn warm_start_counters_and_unchanged_numerics() {
+    let obs = Obs::enabled();
+    let opts = SolverOptions {
+        obs: obs.clone(),
+        ..SolverOptions::default()
+    };
+    let plain = SolverOptions::default();
+    let p = sample_problem();
+    let mut ws = Workspace::new();
+
+    let cold_plain = p.solve(&plain).expect("cold solve");
+    let cold = p.solve_with(&opts, &mut ws).expect("cold solve");
+    assert_eq!(cold.x(), cold_plain.x(), "obs must not change results");
+    assert_eq!(cold.objective(), cold_plain.objective());
+
+    let basis = cold.basis().expect("optimal basis exported");
+    let warm = p
+        .solve_warm_with(&opts, &mut ws, basis)
+        .expect("warm solve");
+    assert!(warm.used_warm_start());
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("lp.solves"), Some(2));
+    assert_eq!(snap.counter("lp.warm_attempts"), Some(1));
+    assert_eq!(snap.counter("lp.warm_used"), Some(1));
+}
+
+#[test]
+fn infeasible_solves_count_as_errors() {
+    let obs = Obs::enabled();
+    let opts = SolverOptions {
+        obs: obs.clone(),
+        ..SolverOptions::default()
+    };
+    let mut p = Problem::maximize(vec![1.0]);
+    p.add_le(vec![1.0], 1.0).expect("valid row");
+    p.add_ge(vec![1.0], 2.0).expect("valid row");
+    assert!(p.solve(&opts).is_err());
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("lp.errors"), Some(1));
+    assert_eq!(snap.counter("lp.solves"), Some(1));
+}

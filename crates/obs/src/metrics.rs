@@ -1,0 +1,221 @@
+//! Metric handles and their shared cells.
+//!
+//! A handle is either attached to a live cell (registry enabled) or
+//! empty (registry disabled); every operation on an empty handle is a
+//! no-op branch. Cells are atomics, and every update is commutative
+//! (add / max / min), so any interleaving of concurrent recorders
+//! produces the same final value — the property the workspace's
+//! bit-identical-across-thread-counts snapshots rest on.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 histogram buckets: bucket 0 for zero, buckets 1..=64
+/// for `[2^(i-1), 2^i)`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The log2 bucket a value falls into: 0 for 0, otherwise
+/// `floor(log2(v)) + 1` — i.e. bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `i` admits (inclusive): 0 for bucket 0,
+/// `2^i − 1` otherwise (saturating at `u64::MAX` for bucket 64).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached no-op counter (what a disabled registry hands out).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A signed level (queue depth, eta-file length).
+///
+/// In parallel contexts use the commutative [`Gauge::add`]/[`Gauge::sub`]
+/// rather than [`Gauge::set`], whose last-writer-wins outcome depends on
+/// scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A detached no-op gauge.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Overwrites the level (single-threaded recorders only).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the level by `d` (commutative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Lowers the level by `d` (commutative).
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.add(-d);
+    }
+
+    /// Current level (0 when detached).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    /// `u64::MAX` until the first record (rendered as absent).
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistogramCell {
+    pub(crate) fn new() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A distribution over `u64` values in fixed log2 buckets.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A detached no-op histogram.
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.min.fetch_min(v, Ordering::Relaxed);
+            cell.max.fetch_max(v, Ordering::Relaxed);
+            cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded observations (0 when detached).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket 0: only zero.
+        assert_eq!(bucket_index(0), 0);
+        // Bucket i ≥ 1 holds [2^(i-1), 2^i): both endpoints pinned.
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+            assert_eq!(bucket_upper_bound(i), hi);
+        }
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn detached_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(3);
+        g.add(2);
+        g.sub(1);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.record(9);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_cell_tracks_extremes() {
+        let h = Histogram(Some(Arc::new(HistogramCell::new())));
+        for v in [4u64, 1, 9, 0] {
+            h.record(v);
+        }
+        let cell = h.0.as_ref().expect("histogram was built attached");
+        assert_eq!(cell.count.load(Ordering::Relaxed), 4);
+        assert_eq!(cell.sum.load(Ordering::Relaxed), 14);
+        assert_eq!(cell.min.load(Ordering::Relaxed), 0);
+        assert_eq!(cell.max.load(Ordering::Relaxed), 9);
+        assert_eq!(cell.buckets[0].load(Ordering::Relaxed), 1); // 0
+        assert_eq!(cell.buckets[1].load(Ordering::Relaxed), 1); // 1
+        assert_eq!(cell.buckets[3].load(Ordering::Relaxed), 1); // 4
+        assert_eq!(cell.buckets[4].load(Ordering::Relaxed), 1); // 9
+    }
+}

@@ -1,0 +1,508 @@
+//! The registry handle: metric registration, the logical clock, span
+//! recording, forking and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCell};
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSummary, WarningRecord};
+use crate::span::{SpanAgg, SpanEvent, SpanGuard, MAX_SPAN_EVENTS};
+
+/// One registered metric cell.
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+/// Span trace storage: bounded event list plus unbounded aggregates.
+#[derive(Debug, Default)]
+struct SpanLog {
+    aggs: BTreeMap<&'static str, SpanAgg>,
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+/// Structured warnings: one record per key, with a repeat count.
+#[derive(Debug, Default)]
+struct WarnLog {
+    entries: BTreeMap<&'static str, (String, u64)>,
+}
+
+/// Registry internals behind one [`Obs`] handle.
+#[derive(Debug)]
+struct Inner {
+    /// The logical clock: monotone ticks advanced by instrumented code
+    /// (pivots, simulated nanoseconds, submission seqs) — never wallclock.
+    clock: AtomicU64,
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+    spans: Mutex<SpanLog>,
+    warnings: Mutex<WarnLog>,
+}
+
+/// Recovers the data behind a poisoned lock: every recorder only ever
+/// appends commutative updates, so a panicking holder cannot leave the
+/// maps structurally broken — telemetry keeps collecting.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A cheap, cloneable, `Send + Sync` handle to a telemetry registry —
+/// or to nothing at all ([`Obs::disabled`], the default), in which case
+/// every operation is a no-op branch with no allocation.
+///
+/// Clones share the registry. Equality is identity: two handles compare
+/// equal iff they are both disabled or share one registry (this is what
+/// lets configuration structs like `SolverOptions` keep `PartialEq`).
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<Inner>>);
+
+impl PartialEq for Obs {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Obs {
+    /// The no-op handle: collects nothing, allocates nothing.
+    pub fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// A fresh, empty, enabled registry.
+    pub fn enabled() -> Self {
+        Obs(Some(Arc::new(Inner {
+            clock: AtomicU64::new(0),
+            metrics: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanLog::default()),
+            warnings: Mutex::new(WarnLog::default()),
+        })))
+    }
+
+    /// Whether this handle is attached to a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// An independent registry with its own clock, enabled iff `self`
+    /// is. This is the unit of parallelism: give each worker/shard/trial
+    /// a fork, then [`Obs::absorb`] the forks' snapshots in a fixed
+    /// order — span traces and clock reads stay deterministic because
+    /// each fork only ever sees one deterministic operation sequence.
+    pub fn fork(&self) -> Obs {
+        if self.is_enabled() {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    // ---- logical clock --------------------------------------------------
+
+    /// Advances the logical clock by `n` ticks (commutative).
+    #[inline]
+    pub fn advance(&self, n: u64) {
+        if let Some(inner) = &self.0 {
+            inner.clock.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the logical clock to at least `t` (commutative; used by
+    /// recorders whose domain already has a monotone time, e.g.
+    /// simulated nanoseconds).
+    #[inline]
+    pub fn advance_to(&self, t: u64) {
+        if let Some(inner) = &self.0 {
+            inner.clock.fetch_max(t, Ordering::Relaxed);
+        }
+    }
+
+    /// Current logical clock (0 when disabled). Not commutative with
+    /// concurrent [`Obs::advance`] calls — read it only from contexts
+    /// that own the registry (or a fork).
+    pub fn tick(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.clock.load(Ordering::Relaxed))
+    }
+
+    // ---- metric registration --------------------------------------------
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// A name can hold only one metric kind; asking for a registered
+    /// name with a different kind records a structured warning and
+    /// returns a detached handle (the misuse is visible in the snapshot
+    /// instead of panicking mid-solve).
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let Some(inner) = &self.0 else {
+            return Counter(None);
+        };
+        let mut metrics = relock(inner.metrics.lock());
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Metric::Counter(cell) => Counter(Some(Arc::clone(&*cell))),
+            _ => {
+                drop(metrics);
+                self.warn_once("obs.kind_mismatch", format!("{name} is not a counter"));
+                Counter(None)
+            }
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use (same
+    /// kind-mismatch contract as [`Obs::counter`]).
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let Some(inner) = &self.0 else {
+            return Gauge(None);
+        };
+        let mut metrics = relock(inner.metrics.lock());
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicI64::new(0))))
+        {
+            Metric::Gauge(cell) => Gauge(Some(Arc::clone(&*cell))),
+            _ => {
+                drop(metrics);
+                self.warn_once("obs.kind_mismatch", format!("{name} is not a gauge"));
+                Gauge(None)
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use
+    /// (same kind-mismatch contract as [`Obs::counter`]).
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let Some(inner) = &self.0 else {
+            return Histogram(None);
+        };
+        let mut metrics = relock(inner.metrics.lock());
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCell::new())))
+        {
+            Metric::Histogram(cell) => Histogram(Some(Arc::clone(&*cell))),
+            _ => {
+                drop(metrics);
+                self.warn_once("obs.kind_mismatch", format!("{name} is not a histogram"));
+                Histogram(None)
+            }
+        }
+    }
+
+    // ---- spans ----------------------------------------------------------
+
+    /// Opens a span at the current logical clock; its exit is recorded
+    /// when the guard drops. Spans are per-registry state: record them
+    /// only from contexts that own the registry (or a fork).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            obs: self,
+            name,
+            enter: self.tick(),
+            live: self.is_enabled(),
+        }
+    }
+
+    /// Closes a span opened at `enter` (called by [`SpanGuard::drop`]).
+    pub(crate) fn record_span(&self, name: &'static str, enter: u64) {
+        let Some(inner) = &self.0 else {
+            return;
+        };
+        let exit = inner.clock.load(Ordering::Relaxed);
+        let ticks = exit.saturating_sub(enter);
+        let mut spans = relock(inner.spans.lock());
+        let agg = spans.aggs.entry(name).or_default();
+        agg.count += 1;
+        agg.total_ticks += ticks;
+        agg.max_ticks = agg.max_ticks.max(ticks);
+        if spans.events.len() < MAX_SPAN_EVENTS {
+            spans.events.push(SpanEvent { name, enter, exit });
+        } else {
+            spans.dropped += 1;
+        }
+    }
+
+    // ---- warnings -------------------------------------------------------
+
+    /// Records a structured warning under `key`. The message of the
+    /// first occurrence is kept, later occurrences only bump the count —
+    /// so parallel drivers get one clean record instead of interleaved
+    /// stderr garbage. Returns `true` iff this was the first occurrence
+    /// (callers that also want a human-visible line print on `true`).
+    pub fn warn_once(&self, key: &'static str, message: String) -> bool {
+        let Some(inner) = &self.0 else {
+            return false;
+        };
+        let mut warnings = relock(inner.warnings.lock());
+        let entry = warnings.entries.entry(key).or_insert_with(|| (message, 0));
+        entry.1 += 1;
+        entry.1 == 1
+    }
+
+    // ---- snapshot / diff / merge ----------------------------------------
+
+    /// Freezes the registry into a name-sorted, deterministic
+    /// [`Snapshot`]. Disabled handles return the empty snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.0 else {
+            return Snapshot::default();
+        };
+        let mut snap = Snapshot {
+            clock: inner.clock.load(Ordering::Relaxed),
+            ..Snapshot::default()
+        };
+        {
+            let metrics = relock(inner.metrics.lock());
+            for (name, metric) in metrics.iter() {
+                match metric {
+                    Metric::Counter(c) => snap.counters.push((name, c.load(Ordering::Relaxed))),
+                    Metric::Gauge(g) => snap.gauges.push((name, g.load(Ordering::Relaxed))),
+                    Metric::Histogram(h) => {
+                        let count = h.count.load(Ordering::Relaxed);
+                        let buckets: Vec<(u8, u64)> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                (n > 0).then_some((i as u8, n))
+                            })
+                            .collect();
+                        snap.histograms.push((
+                            name,
+                            HistogramSnapshot {
+                                count,
+                                sum: h.sum.load(Ordering::Relaxed),
+                                min: (count > 0).then(|| h.min.load(Ordering::Relaxed)),
+                                max: h.max.load(Ordering::Relaxed),
+                                buckets,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        {
+            let spans = relock(inner.spans.lock());
+            for (name, agg) in spans.aggs.iter() {
+                snap.spans.push(SpanSummary {
+                    name,
+                    count: agg.count,
+                    total_ticks: agg.total_ticks,
+                    max_ticks: agg.max_ticks,
+                });
+            }
+            snap.events = spans.events.clone();
+            snap.events_dropped = spans.dropped;
+        }
+        {
+            let warnings = relock(inner.warnings.lock());
+            for (key, (message, count)) in warnings.entries.iter() {
+                snap.warnings.push(WarningRecord {
+                    key,
+                    message: message.clone(),
+                    count: *count,
+                });
+            }
+        }
+        snap
+    }
+
+    /// The delta since `before`: shorthand for
+    /// `self.snapshot().diff(before)`.
+    pub fn diff(&self, before: &Snapshot) -> Snapshot {
+        self.snapshot().diff(before)
+    }
+
+    /// Folds a snapshot (typically of a fork) into this registry:
+    /// counters/gauges add, histograms add bucket-wise, span aggregates
+    /// add and events append (respecting [`MAX_SPAN_EVENTS`]), warnings
+    /// add, and the clock advances by the snapshot's clock (forks start
+    /// at zero, so total ticks accumulate). Absorbing forks in a fixed
+    /// order yields a deterministic merged registry.
+    pub fn absorb(&self, snap: &Snapshot) {
+        if !self.is_enabled() {
+            return;
+        }
+        for &(name, v) in &snap.counters {
+            self.counter(name).add(v);
+        }
+        for &(name, v) in &snap.gauges {
+            self.gauge(name).add(v);
+        }
+        for (name, h) in &snap.histograms {
+            let target = self.histogram(name);
+            if let Some(cell) = &target.0 {
+                cell.count.fetch_add(h.count, Ordering::Relaxed);
+                cell.sum.fetch_add(h.sum, Ordering::Relaxed);
+                if let Some(min) = h.min {
+                    cell.min.fetch_min(min, Ordering::Relaxed);
+                }
+                cell.max.fetch_max(h.max, Ordering::Relaxed);
+                for &(i, n) in &h.buckets {
+                    cell.buckets[i as usize].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(inner) = &self.0 {
+            let mut spans = relock(inner.spans.lock());
+            for s in &snap.spans {
+                let agg = spans.aggs.entry(s.name).or_default();
+                agg.count += s.count;
+                agg.total_ticks += s.total_ticks;
+                agg.max_ticks = agg.max_ticks.max(s.max_ticks);
+            }
+            for e in &snap.events {
+                if spans.events.len() < MAX_SPAN_EVENTS {
+                    spans.events.push(*e);
+                } else {
+                    spans.dropped += 1;
+                }
+            }
+            spans.dropped += snap.events_dropped;
+            let mut warnings = relock(inner.warnings.lock());
+            for w in &snap.warnings {
+                let entry = warnings
+                    .entries
+                    .entry(w.key)
+                    .or_insert_with(|| (w.message.clone(), 0));
+                entry.1 += w.count;
+            }
+        }
+        self.advance(snap.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert_and_equal_to_itself() {
+        let off = Obs::disabled();
+        assert!(!off.is_enabled());
+        off.advance(5);
+        assert_eq!(off.tick(), 0);
+        off.counter("x").inc();
+        off.warn_once("k", "m".into());
+        let snap = off.snapshot();
+        assert!(snap.counters.is_empty() && snap.warnings.is_empty());
+        assert_eq!(off, Obs::disabled());
+        assert_ne!(off, Obs::enabled());
+    }
+
+    #[test]
+    fn clones_share_the_registry_and_compare_equal() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        a.counter("n").add(2);
+        b.counter("n").add(3);
+        assert_eq!(a.snapshot().counter("n"), Some(5));
+        assert_eq!(a, b);
+        assert_ne!(a, Obs::enabled());
+    }
+
+    #[test]
+    fn kind_mismatch_warns_instead_of_panicking() {
+        let obs = Obs::enabled();
+        obs.counter("m").inc();
+        let g = obs.gauge("m");
+        g.set(7); // detached: must not corrupt the counter
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("m"), Some(1));
+        assert_eq!(snap.warnings.len(), 1);
+        assert_eq!(snap.warnings[0].key, "obs.kind_mismatch");
+    }
+
+    #[test]
+    fn spans_measure_logical_ticks() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("outer");
+            obs.advance(10);
+            {
+                let _inner = obs.span("inner");
+                obs.advance(3);
+            }
+            obs.advance(2);
+        }
+        let snap = obs.snapshot();
+        let outer = snap.span("outer").expect("outer span was recorded");
+        assert_eq!(
+            (outer.count, outer.total_ticks, outer.max_ticks),
+            (1, 15, 15)
+        );
+        let inner = snap.span("inner").expect("inner span was recorded");
+        assert_eq!(inner.total_ticks, 3);
+        // Events record absolute enter/exit ticks, inner closes first.
+        assert_eq!(
+            snap.events[0],
+            SpanEvent {
+                name: "inner",
+                enter: 10,
+                exit: 13
+            }
+        );
+        assert_eq!(
+            snap.events[1],
+            SpanEvent {
+                name: "outer",
+                enter: 0,
+                exit: 15
+            }
+        );
+    }
+
+    #[test]
+    fn warn_once_keeps_one_record_with_a_count() {
+        let obs = Obs::enabled();
+        assert!(obs.warn_once("env", "first message".into()));
+        assert!(!obs.warn_once("env", "second message ignored".into()));
+        let snap = obs.snapshot();
+        assert_eq!(snap.warnings.len(), 1);
+        assert_eq!(snap.warnings[0].message, "first message");
+        assert_eq!(snap.warnings[0].count, 2);
+    }
+
+    #[test]
+    fn absorb_merges_forks_deterministically() {
+        let parent = Obs::enabled();
+        let mk = |pivots: u64, depth: u64| {
+            let f = parent.fork();
+            f.counter("pivots").add(pivots);
+            f.histogram("depth").record(depth);
+            {
+                let _s = f.span("solve");
+                f.advance(pivots);
+            }
+            f.snapshot()
+        };
+        let (a, b) = (mk(4, 1), mk(6, 8));
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("pivots"), Some(10));
+        assert_eq!(snap.clock, 10);
+        let h = snap.histogram("depth").expect("depth histogram merged");
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (Some(1), 8));
+        let s = snap.span("solve").expect("solve spans merged");
+        assert_eq!((s.count, s.total_ticks, s.max_ticks), (2, 10, 6));
+        // Same forks absorbed in the same order → identical snapshot.
+        let parent2 = Obs::enabled();
+        parent2.absorb(&a);
+        parent2.absorb(&b);
+        assert_eq!(parent2.snapshot().fnv_hash(), snap.fnv_hash());
+    }
+}

@@ -1,0 +1,47 @@
+//! Span tracing against the logical clock.
+
+use crate::registry::Obs;
+
+/// Cap on the retained span-event trace per registry; aggregates
+/// ([`crate::SpanSummary`]) keep counting past it, and the snapshot
+/// reports how many events were dropped.
+pub const MAX_SPAN_EVENTS: usize = 8192;
+
+/// One recorded enter/exit pair, in logical-clock ticks of the registry
+/// that recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span's name.
+    pub name: &'static str,
+    /// Logical clock at entry.
+    pub enter: u64,
+    /// Logical clock at exit (`exit − enter` is the span's tick cost).
+    pub exit: u64,
+}
+
+/// Per-name running aggregate of closed spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanAgg {
+    pub(crate) count: u64,
+    pub(crate) total_ticks: u64,
+    pub(crate) max_ticks: u64,
+}
+
+/// An open span: records its exit (at the registry's then-current
+/// logical clock) when dropped. Obtained from [`Obs::span`]; a span from
+/// a disabled registry is inert.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    pub(crate) obs: &'a Obs,
+    pub(crate) name: &'static str,
+    pub(crate) enter: u64,
+    pub(crate) live: bool,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            self.obs.record_span(self.name, self.enter);
+        }
+    }
+}

@@ -241,6 +241,43 @@ impl AdaptiveSender {
         self.ladder_dropped
     }
 
+    /// Publishes the adaptive loop's counters — and the wrapped sender's
+    /// [`SenderStats`](crate::SenderStats) — into a telemetry registry:
+    /// `proto.adapt.*` for the loop, per-rung `proto.ladder.*` counters
+    /// for degradation-ladder engagements, and the `proto.backoff.exp`
+    /// histogram of each path's *current* probe-backoff exponent. The
+    /// counters are cumulative, so call this once per sender per run
+    /// (publishing twice double-counts). Rung counters are derived from
+    /// the retained event log and undercount once
+    /// [`AdaptiveSender::ladder_events_dropped`] is nonzero (the drop
+    /// count is published as `proto.ladder.dropped`).
+    pub fn publish_obs(&self, obs: &dmc_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        self.inner.stats().publish_obs(obs);
+        obs.counter("proto.adapt.resolves").add(self.resolves);
+        obs.counter("proto.adapt.notice_replans")
+            .add(self.notice_replans);
+        obs.counter("proto.adapt.probes_sent").add(self.probes);
+        obs.counter("proto.adapt.stale_notices")
+            .add(self.stale_notices_dropped);
+        for event in &self.ladder {
+            let name = match event.rung {
+                LadderRung::RelaxedFloor { .. } => "proto.ladder.relaxed_floor",
+                LadderRung::BestEffort => "proto.ladder.best_effort",
+                LadderRung::SinglePath { .. } => "proto.ladder.single_path",
+                LadderRung::Stuck => "proto.ladder.stuck",
+            };
+            obs.counter(name).inc();
+        }
+        obs.counter("proto.ladder.dropped").add(self.ladder_dropped);
+        let exp = obs.histogram("proto.backoff.exp");
+        for state in &self.backoff {
+            exp.record(u64::from(state.exp));
+        }
+    }
+
     /// Sends one [`PathNotice`]-framed probe on each failed path that is
     /// due under its exponential backoff. The re-planned strategy carries
     /// no data on those paths, so without probing a recovery could never

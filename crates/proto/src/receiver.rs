@@ -109,6 +109,32 @@ pub struct ReceiverStats {
     pub stale_probes_dropped: u64,
 }
 
+impl ReceiverStats {
+    /// Publishes the counters into a telemetry registry under the
+    /// `proto.rx.*` names. The stats are cumulative, so call this once
+    /// per receiver per run (publishing twice double-counts).
+    pub fn publish_obs(&self, obs: &dmc_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("proto.rx.transmissions")
+            .add(self.transmissions_received);
+        obs.counter("proto.rx.in_time").add(self.unique_in_time);
+        obs.counter("proto.rx.late").add(self.unique_late);
+        obs.counter("proto.rx.duplicates").add(self.duplicates);
+        obs.counter("proto.rx.malformed").add(self.malformed);
+        obs.counter("proto.rx.acks_sent").add(self.acks_sent);
+        obs.counter("proto.rx.acks_nic_dropped")
+            .add(self.acks_nic_dropped);
+        obs.counter("proto.rx.failure_notices")
+            .add(self.failure_notices_sent);
+        obs.counter("proto.rx.recovery_notices")
+            .add(self.recovery_notices_sent);
+        obs.counter("proto.rx.stale_probes")
+            .add(self.stale_probes_dropped);
+    }
+}
+
 /// The receiving endpoint ("server" in the paper's simulation).
 ///
 /// On every data packet it verifies the deadline with the enclosed

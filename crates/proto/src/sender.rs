@@ -233,6 +233,28 @@ pub struct SenderStats {
     pub fast_retransmits: u64,
 }
 
+impl SenderStats {
+    /// Publishes the counters into a telemetry registry under the
+    /// `proto.tx.*` names. The stats are cumulative, so call this once
+    /// per sender per run (publishing twice double-counts).
+    pub fn publish_obs(&self, obs: &dmc_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("proto.tx.generated").add(self.generated);
+        obs.counter("proto.tx.blackholed").add(self.blackholed);
+        obs.counter("proto.tx.transmissions")
+            .add(self.transmissions);
+        obs.counter("proto.tx.retransmissions")
+            .add(self.retransmissions);
+        obs.counter("proto.tx.nic_dropped").add(self.nic_dropped);
+        obs.counter("proto.tx.acked").add(self.acked);
+        obs.counter("proto.tx.expired").add(self.expired);
+        obs.counter("proto.tx.fast_retransmits")
+            .add(self.fast_retransmits);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct InFlight {
     combo: usize,

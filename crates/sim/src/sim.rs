@@ -340,6 +340,32 @@ impl<C: Agent, S: Agent> TwoHostSim<C, S> {
         }
     }
 
+    /// Publishes the run's simulator-side telemetry into a registry:
+    /// the per-direction packet-fault counters under `sim.fwd.*` /
+    /// `sim.bwd.*`, the dispatched-event total as `sim.events`, and the
+    /// event total folded into the registry's logical clock (via
+    /// [`dmc_obs::Obs::advance_to`], so re-publishing is clock-idempotent).
+    ///
+    /// MIGRATION: this is the registry-facing face of
+    /// [`TwoHostSim::fault_stats`]; the per-direction accessor remains
+    /// the source of truth for a single simulation. Counters are
+    /// cumulative — call this once per simulation per registry.
+    pub fn publish_obs(&self, obs: &dmc_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let fwd = self.fault_stats(Dir::Forward);
+        obs.counter("sim.fwd.corrupted").add(fwd.corrupted);
+        obs.counter("sim.fwd.duplicated").add(fwd.duplicated);
+        obs.counter("sim.fwd.reordered").add(fwd.reordered);
+        let bwd = self.fault_stats(Dir::Backward);
+        obs.counter("sim.bwd.corrupted").add(bwd.corrupted);
+        obs.counter("sim.bwd.duplicated").add(bwd.duplicated);
+        obs.counter("sim.bwd.reordered").add(bwd.reordered);
+        obs.counter("sim.events").add(self.events_processed);
+        obs.advance_to(self.events_processed);
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;

@@ -11,6 +11,7 @@
 //!
 //! | Crate | Re-exported as | What it is |
 //! |---|---|---|
+//! | `dmc-obs` | [`obs`] | deterministic telemetry: counters/histograms/span traces on a logical clock, JSONL + Prometheus export (`--metrics` in every driver) |
 //! | `dmc-lp` | [`lp`] | dense two-phase simplex LP solver with reusable workspaces |
 //! | `dmc-stats` | [`stats`] | gamma special functions, shifted-gamma delays, convolution |
 //! | `dmc-core` | [`model`] | **the paper's model** behind the `Scenario` → `Planner` → `Plan` pipeline |
@@ -88,6 +89,7 @@ pub use dmc_core as model;
 pub use dmc_experiments as experiments;
 pub use dmc_fleet as fleet;
 pub use dmc_lp as lp;
+pub use dmc_obs as obs;
 pub use dmc_proto as proto;
 pub use dmc_sim as sim;
 pub use dmc_stats as stats;
