@@ -36,6 +36,7 @@ fn service(shards: usize) -> FleetService {
         ServiceConfig {
             workers: 1,
             fleet: FleetConfig::default(),
+            grid: None,
         },
     )
     .expect("bench service parameters are valid")

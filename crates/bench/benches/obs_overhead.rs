@@ -44,6 +44,7 @@ fn service(obs: Obs) -> FleetService {
                 obs,
                 ..FleetConfig::default()
             },
+            grid: None,
         },
     )
     .expect("bench service parameters are valid")

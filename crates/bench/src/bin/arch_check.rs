@@ -1,0 +1,138 @@
+//! Fails when `ARCHITECTURE.md`'s crate map drifts from the workspace:
+//! every `[workspace] members` path of `Cargo.toml` must appear as a
+//! backtick-quoted `crates/...` path inside the "## Crate map" section,
+//! and every such path in the section must be a member. Run from CI as
+//! `cargo run -p dmc-bench --bin arch_check` (exit 1 on drift).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the root")
+        .to_path_buf()
+}
+
+/// The `members = [ ... ]` paths of the root manifest.
+fn workspace_members(manifest: &str) -> BTreeSet<String> {
+    let mut members = BTreeSet::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+            continue;
+        }
+        if in_members {
+            if line.starts_with(']') {
+                break;
+            }
+            if let Some(member) = line.split('"').nth(1) {
+                members.insert(member.to_string());
+            }
+        }
+    }
+    members
+}
+
+/// Backtick-quoted `crates/...` paths in the table rows (`|`-prefixed
+/// lines) of the "## Crate map" section, up to the next `## ` heading —
+/// prose around the table may cite source files without tripping the
+/// drift check.
+fn documented_crates(architecture: &str) -> BTreeSet<String> {
+    let mut documented = BTreeSet::new();
+    let mut in_section = false;
+    for line in architecture.lines() {
+        if line.starts_with("## ") {
+            in_section = line.trim() == "## Crate map";
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for token in line.split('`').skip(1).step_by(2) {
+            if token.starts_with("crates/") {
+                documented.insert(token.to_string());
+            }
+        }
+    }
+    documented
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let manifest = match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("arch_check: cannot read Cargo.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let architecture = match std::fs::read_to_string(root.join("ARCHITECTURE.md")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("arch_check: cannot read ARCHITECTURE.md: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let members = workspace_members(&manifest);
+    let documented = documented_crates(&architecture);
+    if members.is_empty() || documented.is_empty() {
+        eprintln!(
+            "arch_check: parsed {} workspace member(s) and {} documented crate path(s) — \
+             at least one side came up empty, refusing to vacuously pass",
+            members.len(),
+            documented.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let missing: Vec<_> = members.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&members).collect();
+    for m in &missing {
+        eprintln!("arch_check: workspace member `{m}` is missing from ARCHITECTURE.md's crate map");
+    }
+    for s in &stale {
+        eprintln!("arch_check: ARCHITECTURE.md documents `{s}`, which is not a workspace member");
+    }
+    if !missing.is_empty() || !stale.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "arch_check: ARCHITECTURE.md crate map matches the {} workspace members",
+        members.len()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_parser_reads_the_real_manifest_shape() {
+        let manifest = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"crates/b/c\",\n]\n";
+        let members = workspace_members(manifest);
+        assert_eq!(
+            members.into_iter().collect::<Vec<_>>(),
+            vec!["crates/a".to_string(), "crates/b/c".to_string()]
+        );
+    }
+
+    #[test]
+    fn documented_crates_only_counts_the_crate_map_section() {
+        let md = "## Crate map\n| `x` | `crates/a` |\n## Data flow\nsee `crates/zzz/file.rs`\n";
+        let documented = documented_crates(md);
+        assert_eq!(
+            documented.into_iter().collect::<Vec<_>>(),
+            vec!["crates/a".to_string()]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Time-expanded scheduling driver: reservation-vs-reject sweep on the
+//! slotted horizon (advance reservations, store-and-forward buffering).
+//!
+//! Both arms replay the same windowed offered trace; the **reserve**
+//! arm keeps [`dmc_fleet::ScheduleDecision::Reserved`] flows for their
+//! granted future windows, the **reject** arm departs them on the
+//! spot. The `served Δ` column is what reservations buy. LP-only —
+//! `--messages` is accepted for flag parity but unused; see `--help`
+//! for the shared `--trials/--threads/--seed/--flows` flags.
+
+#![forbid(unsafe_code)]
+
+use dmc_experiments::schedule;
+
+fn main() {
+    let args = dmc_experiments::parse_args(1);
+    let mc = args.montecarlo();
+    let obs = args.obs();
+    eprintln!(
+        "schedule: {} windowed flows/trial on a {}-slot × {:.1} s horizon over {:.0} Mbps \
+         shared; {} trial(s) per point on {} thread(s), seed {:#x}…",
+        args.flows,
+        schedule::HORIZON_SLOTS,
+        schedule::SLOT_WIDTH_S,
+        dmc_experiments::fleet::total_capacity() / 1e6,
+        mc.trials,
+        mc.resolved_threads(),
+        mc.base_seed
+    );
+
+    println!("# Time-expanded scheduling: reservations vs. reject-only admission\n");
+    let pts = schedule::load_sweep_mc(
+        &dmc_experiments::fleet::paper_loads(),
+        &mc,
+        args.flows,
+        &obs,
+    );
+    println!("{}", schedule::render(&pts));
+
+    dmc_experiments::finish_metrics(&args, &obs);
+}

@@ -51,32 +51,32 @@ pub fn paper_loads() -> Vec<f64> {
 /// Deterministic scalar stream derived from a trial seed (stateless
 /// SplitMix64 finalization via [`trial_seed`], so a trace is a pure
 /// function of its seed).
-struct SeedStream {
+pub(crate) struct SeedStream {
     seed: u64,
     k: u64,
 }
 
 impl SeedStream {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SeedStream { seed, k: 0 }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.k += 1;
         trial_seed(self.seed, self.k)
     }
 
     /// Uniform in `[0, 1)`.
-    fn unit(&mut self) -> f64 {
+    pub(crate) fn unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
-    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+    pub(crate) fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
         lo + (hi - lo) * self.unit()
     }
 
-    fn pick(&mut self, xs: &[f64]) -> f64 {
+    pub(crate) fn pick(&mut self, xs: &[f64]) -> f64 {
         xs[(self.next_u64() % xs.len() as u64) as usize]
     }
 }

@@ -40,6 +40,7 @@ pub mod montecarlo;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod schedule;
 pub mod service;
 pub mod table4;
 

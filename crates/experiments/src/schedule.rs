@@ -1,0 +1,329 @@
+//! Time-expanded scheduling experiment: what do advance reservations
+//! buy over plain admission control?
+//!
+//! Both arms replay the *same* windowed offered trace against a
+//! [`SchedulePlanner`] on the same [`TimeGrid`]:
+//!
+//! * **reserve** — the planner's native behavior: a flow whose window
+//!   is infeasible *now* may come back [`ScheduleDecision::Reserved`]
+//!   with the earliest feasible future window, and stays in the fleet
+//!   until that window completes.
+//! * **reject** — reservation-free admission: the moment a decision
+//!   comes back `Reserved` the flow is departed again, modelling a
+//!   controller that only knows "yes, starting now" and "no".
+//!
+//! After the offers, both fleets are drained by advancing the horizon
+//! past every granted window; a flow counts as *served* when the
+//! advance reports it completed (every granted window fits inside the
+//! horizon, so nothing is truncated by the drain). The gap between the
+//! two served fractions is the reservation dividend; `mean wait` is
+//! the average reservation delay ([`ScheduleDecision::opens_in`]) in
+//! slots over the reserved flows.
+//!
+//! LP-only (no packet simulation): the point of the experiment is the
+//! admission verdicts and the predicted allocations, and skipping the
+//! per-flow simulation keeps the sweep cheap enough for CI smoke runs.
+
+use dmc_fleet::{
+    FleetConfig, FlowRequest, ScheduleDecision, SchedulePlanner, ScheduleRequest, SlotWindow,
+    TimeGrid,
+};
+use dmc_stats::TrialStats;
+
+use crate::fleet::{shared_paths, total_capacity, SeedStream};
+use crate::montecarlo::{run_trials_parallel, MonteCarloConfig};
+
+/// Slot width of the experiment's horizon, in seconds.
+pub const SLOT_WIDTH_S: f64 = 0.5;
+
+/// Number of slots in the experiment's horizon.
+pub const HORIZON_SLOTS: usize = 8;
+
+/// The grid every trial runs on: [`HORIZON_SLOTS`] slots of
+/// [`SLOT_WIDTH_S`] seconds starting at slot 0.
+///
+/// # Panics
+///
+/// Never — the literal parameters are valid.
+pub fn grid() -> TimeGrid {
+    TimeGrid::new(SLOT_WIDTH_S, HORIZON_SLOTS).expect("literal grid parameters are valid")
+}
+
+/// One windowed request of the offered trace.
+#[derive(Debug, Clone)]
+pub struct WindowedOffer {
+    /// The flow (rate, lifetime, optional floor).
+    pub flow: FlowRequest,
+    /// The requested service window.
+    pub window: SlotWindow,
+    /// Store-and-forward buffer fraction (`0` for most flows).
+    pub buffer: f64,
+}
+
+/// Deterministic windowed trace: `flows` requests whose aggregate rate
+/// averages `load ×` the shared capacity, with window lengths drawn
+/// from the flows' lifetimes and start slots spread across the
+/// horizon. A pure function of `(load, seed, flows)`.
+///
+/// # Panics
+///
+/// Never — drawn parameters stay inside the validated ranges.
+pub fn offered_windows(load: f64, seed: u64, flows: u64) -> Vec<WindowedOffer> {
+    let flows = flows.max(1);
+    let mut rng = SeedStream::new(seed);
+    let mean_rate = load * total_capacity() / flows as f64;
+    let horizon = HORIZON_SLOTS as u64;
+    (0..flows)
+        .map(|_| {
+            let rate = mean_rate * rng.in_range(0.5, 1.5);
+            let lifetime = rng.in_range(0.3, 1.2);
+            let floor = rng.pick(&[0.0, 0.8, 0.9, 0.95]);
+            let flow = FlowRequest::new(rate, lifetime)
+                .expect("valid request")
+                .with_min_quality(floor);
+            // Window length from the lifetime; start anywhere it fits.
+            let len = ((lifetime / SLOT_WIDTH_S).ceil() as u64)
+                .max(1)
+                .min(horizon);
+            let start = (rng.next_u64() % (horizon - len + 1)).min(horizon - len);
+            let window =
+                SlotWindow::new(start, start + len).expect("window is nonempty since len >= 1");
+            // A third of the flows tolerate one slot of buffering.
+            let buffer = if rng.next_u64() % 3 == 0 { 0.5 } else { 0.0 };
+            WindowedOffer {
+                flow,
+                window,
+                buffer,
+            }
+        })
+        .collect()
+}
+
+/// Per-trial outcome of one arm (folded into a [`SchedulePoint`] in
+/// trial order).
+struct ArmOutcome {
+    served: f64,
+    quality: f64,
+}
+
+/// Per-trial outcome of both arms.
+struct TrialOutcome {
+    scheduled_rate: f64,
+    reserved_rate: f64,
+    mean_wait_slots: f64,
+    reserve: ArmOutcome,
+    reject: ArmOutcome,
+}
+
+fn run_trial(load: f64, seed: u64, flows: u64, obs: &dmc_obs::Obs) -> Result<TrialOutcome, String> {
+    let offers = offered_windows(load, seed, flows);
+    let config = FleetConfig {
+        obs: obs.clone(),
+        ..FleetConfig::default()
+    };
+    let mut reserve =
+        SchedulePlanner::new(shared_paths(), grid(), config.clone()).map_err(|e| e.to_string())?;
+    let mut reject =
+        SchedulePlanner::new(shared_paths(), grid(), config).map_err(|e| e.to_string())?;
+
+    let mut scheduled = 0u64;
+    let mut reserved = 0u64;
+    let mut wait_slots = 0u64;
+    for offer in &offers {
+        let mut request = ScheduleRequest::new(offer.flow.clone(), offer.window);
+        if offer.buffer > 0.0 {
+            request = request.with_buffer(offer.buffer);
+        }
+        let verdict = reserve.offer(request.clone()).map_err(|e| e.to_string())?;
+        match &verdict {
+            ScheduleDecision::Scheduled { .. } => scheduled += 1,
+            ScheduleDecision::Reserved { .. } => {
+                reserved += 1;
+                wait_slots += verdict.opens_in();
+            }
+            ScheduleDecision::Rejected { .. } => {}
+        }
+        // The reservation-free arm sees the same offer but refuses to
+        // hold capacity for the future: a Reserved verdict is departed
+        // on the spot.
+        let verdict = reject.offer(request).map_err(|e| e.to_string())?;
+        if verdict.is_reserved() {
+            reject.depart(verdict.id()).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let quality_reserve = reserve.aggregate_quality();
+    let quality_reject = reject.aggregate_quality();
+
+    // Drain: every granted window ends within the horizon, so advancing
+    // to the horizon's end completes exactly the flows that were served.
+    let end = grid().end();
+    let done_reserve = reserve.advance_to(end).map_err(|e| e.to_string())?;
+    let done_reject = reject.advance_to(end).map_err(|e| e.to_string())?;
+    debug_assert!(done_reserve.dropped.is_empty() && done_reject.dropped.is_empty());
+
+    let n = flows.max(1) as f64;
+    Ok(TrialOutcome {
+        scheduled_rate: scheduled as f64 / n,
+        reserved_rate: reserved as f64 / n,
+        mean_wait_slots: if reserved > 0 {
+            wait_slots as f64 / reserved as f64
+        } else {
+            0.0
+        },
+        reserve: ArmOutcome {
+            served: done_reserve.completed.len() as f64 / n,
+            quality: quality_reserve,
+        },
+        reject: ArmOutcome {
+            served: done_reject.completed.len() as f64 / n,
+            quality: quality_reject,
+        },
+    })
+}
+
+/// One point of the windowed offered-load sweep.
+#[derive(Debug, Clone)]
+pub struct SchedulePoint {
+    /// Offered load `ρ` (aggregate requested rate / aggregate capacity).
+    pub offered_load: f64,
+    /// Flows offered per trial.
+    pub offered: u64,
+    /// Fraction of offers scheduled in their requested window.
+    pub scheduled_rate: TrialStats,
+    /// Fraction of offers granted a *future* window instead.
+    pub reserved_rate: TrialStats,
+    /// Mean reservation delay over reserved flows, in slots.
+    pub mean_wait_slots: TrialStats,
+    /// Fraction of offers served to completion with reservations on.
+    pub served_reserve: TrialStats,
+    /// Fraction of offers served to completion with reservations off.
+    pub served_reject: TrialStats,
+    /// Volume-weighted predicted quality of the reservation fleet.
+    pub quality_reserve: TrialStats,
+    /// Volume-weighted predicted quality of the reservation-free fleet.
+    pub quality_reject: TrialStats,
+}
+
+/// Sweeps offered load through the parallel Monte-Carlo engine; per
+/// point the trial outcomes (and the planners' telemetry forks, when
+/// `obs` is enabled) are folded in trial order, so the sweep is
+/// bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if a trial fails (not reachable from the library's own
+/// scenario set).
+pub fn load_sweep_mc(
+    loads: &[f64],
+    mc: &MonteCarloConfig,
+    flows: u64,
+    obs: &dmc_obs::Obs,
+) -> Vec<SchedulePoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let outcomes = run_trials_parallel(mc, |_trial, seed| {
+                let fork = obs.fork();
+                let outcome = run_trial(load, seed, flows, &fork);
+                (outcome, fork.snapshot())
+            });
+            let mut point = SchedulePoint {
+                offered_load: load,
+                offered: flows.max(1),
+                scheduled_rate: TrialStats::new(),
+                reserved_rate: TrialStats::new(),
+                mean_wait_slots: TrialStats::new(),
+                served_reserve: TrialStats::new(),
+                served_reject: TrialStats::new(),
+                quality_reserve: TrialStats::new(),
+                quality_reject: TrialStats::new(),
+            };
+            for (outcome, snap) in outcomes {
+                let o = outcome.expect("schedule trial failed");
+                point.scheduled_rate.push(o.scheduled_rate);
+                point.reserved_rate.push(o.reserved_rate);
+                point.mean_wait_slots.push(o.mean_wait_slots);
+                point.served_reserve.push(o.reserve.served);
+                point.served_reject.push(o.reject.served);
+                point.quality_reserve.push(o.reserve.quality);
+                point.quality_reject.push(o.reject.quality);
+                obs.absorb(&snap);
+            }
+            point
+        })
+        .collect()
+}
+
+/// Renders the sweep as a markdown table. `served Δ` is the
+/// reservation dividend: percentage points of offered flows served to
+/// completion that a reservation-free controller loses.
+pub fn render(points: &[SchedulePoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let dividend = (p.served_reserve.mean() - p.served_reject.mean()) * 100.0;
+            vec![
+                format!("{:.1}", p.offered_load),
+                format!("{:.0} %", p.scheduled_rate.mean() * 100.0),
+                format!("{:.0} %", p.reserved_rate.mean() * 100.0),
+                format!("{:.1}", p.mean_wait_slots.mean()),
+                format!("{:.0} %", p.served_reserve.mean() * 100.0),
+                format!("{:.0} %", p.served_reject.mean() * 100.0),
+                format!("{dividend:+.1} pp"),
+                crate::report::pct(p.quality_reserve.mean()),
+            ]
+        })
+        .collect();
+    let header = vec![
+        "ρ",
+        "scheduled",
+        "reserved",
+        "mean wait (slots)",
+        "served (reserve)",
+        "served (reject)",
+        "served Δ",
+        "predicted Q",
+    ];
+    crate::report::markdown_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_windows_is_deterministic_and_in_horizon() {
+        let a = offered_windows(1.0, 7, 16);
+        let b = offered_windows(1.0, 7, 16);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.window, y.window);
+            assert_eq!(x.flow.data_rate().to_bits(), y.flow.data_rate().to_bits());
+            assert!(grid().contains_window(&x.window));
+        }
+    }
+
+    #[test]
+    fn the_reserve_arm_never_serves_fewer_flows_than_the_reject_arm() {
+        let mc = MonteCarloConfig::single(0xD5);
+        let points = load_sweep_mc(&[1.5], &mc, 24, &dmc_obs::Obs::disabled());
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.served_reserve.mean() >= p.served_reject.mean() - 1e-12);
+        // Scheduled-now flows are served in both arms.
+        assert!(p.served_reject.mean() >= p.scheduled_rate.mean() - 1e-12);
+    }
+
+    #[test]
+    fn reservations_show_up_in_telemetry() {
+        let obs = dmc_obs::Obs::enabled();
+        let mc = MonteCarloConfig::single(0xD5);
+        let points = load_sweep_mc(&[2.0], &mc, 24, &obs);
+        let snap = obs.snapshot();
+        let reserved = snap.counter("fleet.reservations").unwrap_or(0);
+        if points[0].reserved_rate.mean() > 0.0 {
+            assert!(reserved > 0, "reserved flows must tick fleet.reservations");
+        }
+    }
+}

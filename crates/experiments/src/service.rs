@@ -133,6 +133,7 @@ pub fn run_service_script_obs(
                 obs: obs.clone(),
                 ..FleetConfig::default()
             },
+            grid: None,
         },
     )
     .expect("literal service parameters are valid");

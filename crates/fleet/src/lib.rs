@@ -36,6 +36,15 @@
 //! deadline-ordered admission), `MaxTotalQuality` (rate-weighted
 //! aggregate quality) and `WeightedFair` (priority-weighted).
 //!
+//! Beyond the steady-state instant, [`SchedulePlanner`] expands the
+//! joint LP over a slotted [`TimeGrid`] horizon: flows carry
+//! `[start, deadline)` [`SlotWindow`]s, refused-now flows receive
+//! **advance reservations** for the earliest feasible later window,
+//! store-and-forward buffering drains traffic across slot boundaries,
+//! and maintenance windows are zero-capacity slots — see the
+//! [`schedule`-module docs](SchedulePlanner) and `ARCHITECTURE.md` at
+//! the repository root for where it sits in the stack.
+//!
 //! With exactly one flow the joint LP degenerates — row for row — to the
 //! single-flow planner's, so `FleetPlanner` answers match
 //! [`dmc_core::Planner::plan`] bit for bit (`tests/parity_single_flow.rs`).
@@ -68,14 +77,19 @@
 mod error;
 mod flow;
 mod planner;
+mod schedule;
 pub mod service;
 mod timeline;
 
 pub use error::FleetError;
 pub use flow::{FlowId, FlowRequest};
 pub use planner::{AdmissionDecision, FleetConfig, FleetObjective, FleetPlanner};
+pub use schedule::{
+    ScheduleAdvance, ScheduleDecision, SchedulePlanner, ScheduleRequest, ScheduleShuffle,
+    SlotWindow, TimeGrid,
+};
 pub use service::{FleetService, RegionMap, ServiceConfig, ServiceEvent};
-pub use timeline::{FleetEvent, FleetSnapshot, FleetTrace, TraceEvent};
+pub use timeline::{FleetEvent, FleetSnapshot, FleetTrace, ScheduleSnapshot, TraceEvent};
 
 // Re-exported so fleet callers can name the shared counter type without
 // depending on dmc-core directly.

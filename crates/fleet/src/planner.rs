@@ -186,17 +186,28 @@ impl AdmissionDecision {
 }
 
 /// One shared path's mutable state (the base description plus the link
-/// dynamics applied so far).
+/// dynamics applied so far). Shared with the slotted
+/// [`SchedulePlanner`](crate::SchedulePlanner), which tracks link
+/// dynamics the same way.
 #[derive(Debug, Clone)]
-struct SharedPath {
-    base: ScenarioPath,
-    bandwidth: f64,
-    loss: f64,
-    failed: bool,
+pub(crate) struct SharedPath {
+    pub(crate) base: ScenarioPath,
+    pub(crate) bandwidth: f64,
+    pub(crate) loss: f64,
+    pub(crate) failed: bool,
 }
 
 impl SharedPath {
-    fn effective(&self) -> Result<ScenarioPath, FleetError> {
+    pub(crate) fn from_scenario(p: ScenarioPath) -> Self {
+        SharedPath {
+            bandwidth: p.bandwidth(),
+            loss: p.loss(),
+            failed: false,
+            base: p,
+        }
+    }
+
+    pub(crate) fn effective(&self) -> Result<ScenarioPath, FleetError> {
         let loss = if self.failed { 1.0 } else { self.loss };
         ScenarioPath::new(
             self.bandwidth,
@@ -240,14 +251,14 @@ struct FlowState {
 /// churn phase its own cache entry, so steady-state churn alternates
 /// between two entries that both keep hitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct JointShapeKey {
+pub(crate) struct JointShapeKey {
     n_vars: usize,
     n_rows: usize,
     kind_hash: u64,
 }
 
 impl JointShapeKey {
-    fn of(problem: &Problem) -> Self {
+    pub(crate) fn of(problem: &Problem) -> Self {
         let mut kind_hash: u64 = 0xcbf2_9ce4_8422_2325;
         for c in problem.constraints() {
             let kind: u64 = match c.kind() {
@@ -269,7 +280,7 @@ impl JointShapeKey {
 
 /// Bound on cached joint shapes; a fleet cycling through more shapes than
 /// this restarts its cache (churn touches one shape per admitted count).
-const MAX_CACHED_SHAPES: usize = 64;
+pub(crate) const MAX_CACHED_SHAPES: usize = 64;
 
 /// Compact the incremental assembly once it holds at least this many
 /// slots *and* tombstoned slots outnumber the active ones.
@@ -677,15 +688,7 @@ impl FleetPlanner {
         let flow_planner = Planner::with_config(config.planner.clone());
         Ok(FleetPlanner {
             config,
-            paths: paths
-                .into_iter()
-                .map(|p| SharedPath {
-                    bandwidth: p.bandwidth(),
-                    loss: p.loss(),
-                    failed: false,
-                    base: p,
-                })
-                .collect(),
+            paths: paths.into_iter().map(SharedPath::from_scenario).collect(),
             flows: Vec::new(),
             next_id: 0,
             flow_planner,
@@ -1585,7 +1588,7 @@ impl FleetPlanner {
 /// The flow-local index of global path `k` under an optional path subset
 /// (`None` = the identity mapping: the flow's model covers every shared
 /// path), or `None` when the flow does not use the path at all.
-fn local_path_index(subset: Option<&[usize]>, k: usize) -> Option<usize> {
+pub(crate) fn local_path_index(subset: Option<&[usize]>, k: usize) -> Option<usize> {
     match subset {
         None => Some(k),
         Some(s) => s.binary_search(&k).ok(),

@@ -1,0 +1,1957 @@
+//! Time-expanded scheduling: the joint fleet LP over a slotted horizon.
+//!
+//! The instant [`FleetPlanner`](crate::FleetPlanner) allocates one
+//! steady-state moment; this module adds the **time axis**: a
+//! [`TimeGrid`] of fixed-width slots, per-slot shared capacity rows, and
+//! flows carrying a `[start, deadline)` [`SlotWindow`] whose assignment
+//! block only touches the slots inside the window — the DDCCast/Ahani
+//! style of deadline scheduling as capacity allocation over time.
+//!
+//! # The time-expanded LP
+//!
+//! For a grid of `S` slots over `K` shared paths and flows `f` with
+//! window slots `s ∈ W_f` (`L_f = |W_f|`), with `x^{f,s}` the fraction
+//! of flow `f`'s *total* window volume served in slot `s` per path
+//! combination and `c^f_i ≥ 0` the fraction buffered across the slot
+//! boundary after the `i`-th window slot (store-and-forward):
+//!
+//! ```text
+//! max  Σ_f w_f (λ_f·L_f/Λ) p_f·Σ_s x^{f,s}
+//! s.t. Σ_f (λ_f·L_f/Λ) usage_{f,k}·x^{f,s} ≤ b_k(s)/Λ   (per slot s, path k)
+//!      cost_f·Σ_s x^{f,s} ≤ µ_f/λ_f                     (per budgeted flow)
+//!      p_f·Σ_s x^{f,s} ≥ q_f                            (per flow with a floor)
+//!      Σ_j x^{f,s_i}_j + c^f_i − c^f_{i−1} = 1/L_f      (balance, per window slot)
+//!      c^f_i ≤ B_f/L_f                                  (buffer cap, per boundary)
+//!      x, c ≥ 0
+//! ```
+//!
+//! `Λ = Σ_f λ_f·L_f` is the aggregate *volume* rate, so coefficients
+//! stay O(1) like the instant LP's. The balance rows say a slot's
+//! generation (`1/L_f` of the window volume) is either served now or
+//! buffered into the next slot — never served *before* it is generated
+//! — and the missing `c` terms at the window edges (`c_{−1} = c_{L−1} =
+//! 0`) force the buffer empty at both ends. `b_k(s)` is the path's live
+//! bandwidth, or **zero during a maintenance window**
+//! ([`SchedulePlanner::set_maintenance`]).
+//!
+//! With `S = 1` and every window a single slot, each reduction is exact
+//! in floating point (`λ·1.0 ≡ λ`, `1.0/1.0 ≡ 1.0`), and the assembly
+//! emits the *same* `Problem` mutation sequence as the instant planner —
+//! so a single-slot horizon reproduces [`crate::FleetPlanner`] **bit for
+//! bit** (`tests/schedule_parity.rs`).
+//!
+//! # Incremental machinery, reused
+//!
+//! A (flow × window) block is just another
+//! [`append_block`](dmc_lp::Problem::append_block): the shared rows are
+//! the `S·K` per-slot capacity rows, **ring-indexed** (`row(s, k) =
+//! (s mod S)·K + k`) so a slot's row index never moves as the horizon
+//! advances. Departures and expiries tombstone the block exactly like
+//! the instant assembly (balance RHS `1/L → 0` forces the block to
+//! zero without changing the LP's shape), so the shape-keyed warm-basis
+//! cache keeps hitting across [`SchedulePlanner::advance_to`]: expired
+//! slots' rows are recycled in place for the new tail slots, and a new
+//! arrival with the same width/window-ring pattern takes a tombstoned
+//! slot over in place. That is what the `schedule_horizon` bench
+//! measures against a rebuild-per-solve baseline.
+//!
+//! # Advance reservations
+//!
+//! A flow refused at its requested window is offered the **earliest
+//! feasible later window** of the same width inside the grid
+//! ([`ScheduleDecision::Reserved`]) — the admit-at-t+Δ verdict, with the
+//! window certifying exactly when capacity opens. Flows displaced by a
+//! link change get the same treatment (*slot-based revival*): each is
+//! first retried at its own window, then slid forward, and only dropped
+//! when no window of the remaining horizon fits it.
+
+use crate::error::FleetError;
+use crate::flow::{FlowId, FlowRequest};
+use crate::planner::{
+    local_path_index, FleetConfig, FleetObjective, JointShapeKey, SharedPath, MAX_CACHED_SHAPES,
+};
+use dmc_core::{Objective, Plan, Planner, Scenario, ScenarioModel, ScenarioPath, WarmStats};
+use dmc_lp::{Basis, Problem, SolveError, SolveStatus, SolverOptions, Workspace};
+use dmc_sim::LinkChange;
+use std::collections::BTreeSet;
+// dmc-lint: allow(det-unordered-map) key-lookup-only warm-basis cache (get/insert/contains_key/len/clear, never iterated), mirroring FleetPlanner's
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+/// A slotted scheduling horizon: `horizon` slots of `slot_width`
+/// seconds each, starting at absolute slot number `origin`.
+///
+/// Slot numbers are **absolute** (slot `s` covers wall time
+/// `[s·width, (s+1)·width)`), so they stay meaningful as the horizon
+/// advances; the grid is the moving window `[origin, origin+horizon)`
+/// of slots the planner can currently allocate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeGrid {
+    slot_width: f64,
+    horizon: usize,
+    origin: u64,
+}
+
+impl TimeGrid {
+    /// A grid of `horizon_slots` slots of `slot_width_s` seconds,
+    /// starting at slot 0.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite or non-positive width and a zero horizon.
+    pub fn new(slot_width_s: f64, horizon_slots: usize) -> Result<Self, FleetError> {
+        if !(slot_width_s > 0.0) || !slot_width_s.is_finite() {
+            return Err(FleetError::Invalid(format!(
+                "slot width must be finite and > 0, got {slot_width_s}"
+            )));
+        }
+        if horizon_slots == 0 {
+            return Err(FleetError::Invalid(
+                "a time grid needs at least one slot".into(),
+            ));
+        }
+        Ok(TimeGrid {
+            slot_width: slot_width_s,
+            horizon: horizon_slots,
+            origin: 0,
+        })
+    }
+
+    /// Slot width in seconds.
+    pub fn slot_width(&self) -> f64 {
+        self.slot_width
+    }
+
+    /// Number of slots in the horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// First (oldest) slot currently in the horizon.
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// One past the last slot in the horizon.
+    pub fn end(&self) -> u64 {
+        self.origin + self.horizon as u64
+    }
+
+    /// The absolute slot containing wall time `at_s`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or negative times.
+    pub fn slot_of(&self, at_s: f64) -> Result<u64, FleetError> {
+        if !(at_s >= 0.0) || !at_s.is_finite() {
+            return Err(FleetError::Invalid(format!(
+                "time must be finite and ≥ 0, got {at_s}"
+            )));
+        }
+        Ok((at_s / self.slot_width).floor() as u64)
+    }
+
+    /// Wall-clock start of a slot, in seconds.
+    pub fn start_of(&self, slot: u64) -> f64 {
+        slot as f64 * self.slot_width
+    }
+
+    /// Whether `slot` is inside the current horizon.
+    pub fn contains(&self, slot: u64) -> bool {
+        slot >= self.origin && slot < self.end()
+    }
+
+    /// Whether a whole window is inside the current horizon.
+    pub fn contains_window(&self, window: &SlotWindow) -> bool {
+        window.start() >= self.origin && window.end() <= self.end()
+    }
+
+    /// The capacity-row ring position of a slot: rows are laid out
+    /// `(slot mod horizon)·K + k`, so a surviving slot's rows never move
+    /// when the horizon advances and an expired slot's rows are recycled
+    /// in place by the slot that takes over its ring position.
+    pub(crate) fn ring(&self, slot: u64) -> usize {
+        (slot % self.horizon as u64) as usize
+    }
+
+    fn advanced_to(mut self, new_origin: u64) -> Self {
+        self.origin = new_origin;
+        self
+    }
+}
+
+/// A half-open window of slots `[start, end)` — the flow may only be
+/// served inside it (`start` = release slot, `end` = deadline slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotWindow {
+    start: u64,
+    end: u64,
+}
+
+impl SlotWindow {
+    /// The window `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `end ≤ start` (use [`SlotWindow::instant`] for the
+    /// zero-width "serve within this one slot" window).
+    pub fn new(start: u64, end: u64) -> Result<Self, FleetError> {
+        if end <= start {
+            return Err(FleetError::Invalid(format!(
+                "slot window [{start}, {end}) is empty"
+            )));
+        }
+        Ok(SlotWindow { start, end })
+    }
+
+    /// The degenerate window whose release and deadline land in the same
+    /// slot — the whole demand must be served inside `slot`. On a
+    /// single-slot grid this reproduces the instant joint LP bit for bit.
+    pub fn instant(slot: u64) -> Self {
+        SlotWindow {
+            start: slot,
+            end: slot + 1,
+        }
+    }
+
+    /// First slot of the window.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last slot of the window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of slots in the window (≥ 1).
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Always `false` — constructors reject empty windows; provided for
+    /// clippy's `len`-without-`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The same-width window starting at `start` instead.
+    pub fn shifted_to(&self, start: u64) -> SlotWindow {
+        SlotWindow {
+            start,
+            end: start + (self.end - self.start),
+        }
+    }
+
+    /// The slots of the window, ascending.
+    pub fn slots(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+}
+
+impl fmt::Display for SlotWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A windowed admission request: a plain [`FlowRequest`] plus the slot
+/// window it must be served in and, optionally, a store-and-forward
+/// buffer allowance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    flow: FlowRequest,
+    window: SlotWindow,
+    buffer: f64,
+}
+
+impl ScheduleRequest {
+    /// A request to serve `flow` inside `window`, with no buffering.
+    pub fn new(flow: FlowRequest, window: SlotWindow) -> Self {
+        ScheduleRequest {
+            flow,
+            window,
+            buffer: 0.0,
+        }
+    }
+
+    /// Allows up to `frac` of one slot's generation to be buffered
+    /// across each slot boundary inside the window (store-and-forward:
+    /// traffic generated in slot `t` may drain in `t+1`). `0` (the
+    /// default) disables buffering; `1` allows a full slot's worth.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `frac ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_buffer(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "buffer fraction must be in [0, 1], got {frac}"
+        );
+        self.buffer = frac;
+        self
+    }
+
+    /// The underlying flow request.
+    pub fn flow(&self) -> &FlowRequest {
+        &self.flow
+    }
+
+    /// The requested service window.
+    pub fn window(&self) -> SlotWindow {
+        self.window
+    }
+
+    /// The buffer allowance (fraction of one slot's generation).
+    pub fn buffer(&self) -> f64 {
+        self.buffer
+    }
+
+    fn shifted_to(&self, start: u64) -> ScheduleRequest {
+        ScheduleRequest {
+            window: self.window.shifted_to(start),
+            ..self.clone()
+        }
+    }
+}
+
+/// Outcome of one [`SchedulePlanner::offer`].
+#[derive(Debug, Clone)]
+pub enum ScheduleDecision {
+    /// The flow fits at its requested window.
+    Scheduled {
+        /// The assigned flow id.
+        id: FlowId,
+        /// The granted window (= the requested one).
+        window: SlotWindow,
+        /// Predicted in-time delivery fraction over the window.
+        predicted_quality: f64,
+    },
+    /// The requested window is infeasible, but a later same-width window
+    /// inside the horizon fits: the flow holds an **advance reservation**
+    /// for the earliest such window — `window.start() -
+    /// requested.start()` slots after it asked.
+    Reserved {
+        /// The assigned flow id.
+        id: FlowId,
+        /// The window the tenant asked for.
+        requested: SlotWindow,
+        /// The earliest feasible window actually granted.
+        window: SlotWindow,
+        /// Predicted in-time delivery fraction over the granted window.
+        predicted_quality: f64,
+    },
+    /// No window of the requested width inside the horizon fits.
+    Rejected {
+        /// The id the offer consumed (ids are offer-ordered).
+        id: FlowId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl ScheduleDecision {
+    /// Whether the flow holds capacity (scheduled or reserved).
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, ScheduleDecision::Rejected { .. })
+    }
+
+    /// Whether the flow was granted its requested window.
+    pub fn is_scheduled(&self) -> bool {
+        matches!(self, ScheduleDecision::Scheduled { .. })
+    }
+
+    /// Whether the flow holds an advance reservation for a later window.
+    pub fn is_reserved(&self) -> bool {
+        matches!(self, ScheduleDecision::Reserved { .. })
+    }
+
+    /// The flow id this decision is about.
+    pub fn id(&self) -> FlowId {
+        match self {
+            ScheduleDecision::Scheduled { id, .. }
+            | ScheduleDecision::Reserved { id, .. }
+            | ScheduleDecision::Rejected { id, .. } => *id,
+        }
+    }
+
+    /// The granted window, if any.
+    pub fn window(&self) -> Option<SlotWindow> {
+        match self {
+            ScheduleDecision::Scheduled { window, .. }
+            | ScheduleDecision::Reserved { window, .. } => Some(*window),
+            ScheduleDecision::Rejected { .. } => None,
+        }
+    }
+
+    /// Predicted in-time delivery fraction (`None` when rejected).
+    pub fn predicted_quality(&self) -> Option<f64> {
+        match self {
+            ScheduleDecision::Scheduled {
+                predicted_quality, ..
+            }
+            | ScheduleDecision::Reserved {
+                predicted_quality, ..
+            } => Some(*predicted_quality),
+            ScheduleDecision::Rejected { .. } => None,
+        }
+    }
+
+    /// How many slots after the requested start the granted window opens
+    /// (0 when scheduled as asked or rejected).
+    pub fn opens_in(&self) -> u64 {
+        match self {
+            ScheduleDecision::Reserved {
+                requested, window, ..
+            } => window.start() - requested.start(),
+            _ => 0,
+        }
+    }
+}
+
+/// What one [`SchedulePlanner::advance_to`] did.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleAdvance {
+    /// Flows whose window ended at or before the new origin — their
+    /// service is complete and they left the fleet.
+    pub completed: Vec<FlowId>,
+    /// Flows whose window straddled the new origin: they stay, truncated
+    /// to the remaining `[new_origin, end)` slots (their remaining
+    /// demand renormalized over the shorter window).
+    pub truncated: Vec<FlowId>,
+    /// Flows rescheduled to a later window because their own no longer
+    /// fit after the advance (slot-based revival).
+    pub rescheduled: Vec<(FlowId, SlotWindow)>,
+    /// Flows dropped because no remaining window fits them.
+    pub dropped: Vec<FlowId>,
+}
+
+/// What a capacity change (link change or maintenance edit) did to the
+/// scheduled flows.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleShuffle {
+    /// Flows moved to a later window (slot-based revival), in
+    /// re-admission order.
+    pub rescheduled: Vec<(FlowId, SlotWindow)>,
+    /// Flows dropped because no window of the remaining horizon fits.
+    pub dropped: Vec<FlowId>,
+}
+
+impl ScheduleShuffle {
+    /// Whether every flow kept its window.
+    pub fn is_quiet(&self) -> bool {
+        self.rescheduled.is_empty() && self.dropped.is_empty()
+    }
+}
+
+/// One scheduled flow: its (possibly slid or truncated) request, model,
+/// per-slot allocation and aggregate plan, plus its block slot.
+#[derive(Debug)]
+struct SchedFlowState {
+    id: FlowId,
+    request: ScheduleRequest,
+    model: ScenarioModel,
+    /// Aggregate plan over the window (decomposed exactly like the
+    /// instant planner's, from the slot-summed assignment vector).
+    plan: Plan,
+    /// Per-window-slot assignment segments (`x^{f,s}`, slot-ascending).
+    slot_x: Vec<Vec<f64>>,
+    /// Largest buffer level the allocation uses (0 without buffering).
+    peak_carry: f64,
+    /// Index into the assembly's slot table.
+    slot: usize,
+}
+
+/// One flow's block in the time-expanded assembly: `L·n` assignment
+/// columns (window-slot-major) plus `carry` buffer columns, its
+/// optional cost/floor rows, its `L` balance rows and `carry` cap rows.
+/// Tombstoning zeroes the balance/floor/cap RHS — forcing the whole
+/// block to zero without changing the LP's shape — and a later flow
+/// with the same width, window length, buffering and window *ring
+/// phase* takes the slot over in place.
+#[derive(Debug, Clone)]
+struct SchedSlot {
+    cols: Range<usize>,
+    window: SlotWindow,
+    n_combos: usize,
+    carry: usize,
+    cost_row: Option<usize>,
+    floor_row: Option<usize>,
+    /// First of the `window.len()` balance rows (contiguous).
+    balance_start: usize,
+    /// First of the `carry` buffer-cap rows (contiguous, after balance).
+    cap_start: usize,
+    active: bool,
+}
+
+impl SchedSlot {
+    /// Column offset of window-slot `i`'s assignment segment.
+    fn combo_start(&self, i: usize) -> usize {
+        self.cols.start + i * self.n_combos
+    }
+}
+
+/// How a tentative placement got its slot (mirrors the instant
+/// assembly's rollback contract).
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    Appended { prev_vars: usize, prev_rows: usize },
+    Reused,
+}
+
+/// The incrementally maintained time-expanded joint LP.
+///
+/// Row layout: the `S·K` ring-indexed per-slot capacity rows first,
+/// then per-block rows in slot order — optional cost row, optional
+/// floor row, the `L` balance equalities, the `carry` buffer caps. At
+/// `S = 1`, `L = 1`, no buffering, this is exactly the instant
+/// assembly's layout.
+#[derive(Debug)]
+struct SchedAssembly {
+    problem: Problem,
+    slots: Vec<SchedSlot>,
+    seg: Vec<f64>,
+}
+
+impl SchedAssembly {
+    fn new() -> Self {
+        SchedAssembly {
+            problem: Problem::maximize(Vec::new()),
+            slots: Vec::new(),
+            seg: Vec::new(),
+        }
+    }
+
+    /// A compatible tombstoned slot: same assignment width, window
+    /// length, buffering, row pattern *and ring phase* (the capacity
+    /// rows a block touches are baked into its coefficients, so only a
+    /// window hitting the same rings can take the block over).
+    fn reusable_slot(&self, grid: &TimeGrid, req: &ScheduleRequest, n: usize) -> Option<usize> {
+        let window = req.window();
+        let carry = carry_vars(req);
+        let has_cost = req.flow().cost_budget().is_finite();
+        let has_floor = req.flow().min_quality() > 0.0;
+        self.slots.iter().position(|s| {
+            !s.active
+                && s.n_combos == n
+                && s.window.len() == window.len()
+                && s.carry == carry
+                && grid.ring(s.window.start()) == grid.ring(window.start())
+                && s.cost_row.is_some() == has_cost
+                && s.floor_row.is_some() == has_floor
+        })
+    }
+
+    /// Places a flow's block — reusing a compatible tombstone in place,
+    /// else appending (adding the `S·K` shared capacity rows first if
+    /// this is the very first block). Objective and shared-row segments
+    /// are left to [`SchedAssembly::rescale`], which every solve runs.
+    fn place(
+        &mut self,
+        grid: &TimeGrid,
+        n_paths: usize,
+        req: &ScheduleRequest,
+        model: &ScenarioModel,
+    ) -> (usize, Placement) {
+        let n = model.num_combos();
+        let window = req.window();
+        let len = window.len();
+        let carry = carry_vars(req);
+        let g = 1.0 / len as f64;
+        if let Some(idx) = self.reusable_slot(grid, req, n) {
+            let slot = self.slots[idx].clone();
+            if let Some(row) = slot.cost_row {
+                self.seg.clear();
+                for _ in 0..len {
+                    self.seg.extend_from_slice(model.cost_coeffs());
+                }
+                self.seg.resize(len * n + carry, 0.0);
+                let seg = std::mem::take(&mut self.seg);
+                self.problem
+                    .set_row_range(row, slot.cols.start, &seg)
+                    .expect("cost segment fits");
+                self.problem
+                    .set_rhs(row, req.flow().cost_budget() / req.flow().data_rate())
+                    .expect("row index recorded at assembly stays in range");
+                self.seg = seg;
+            }
+            if let Some(row) = slot.floor_row {
+                // `add_ge` stores the row negated; patch it the same way.
+                self.seg.clear();
+                for _ in 0..len {
+                    self.seg.extend(model.quality_coeffs().iter().map(|p| -p));
+                }
+                self.seg.resize(len * n + carry, 0.0);
+                let seg = std::mem::take(&mut self.seg);
+                self.problem
+                    .set_row_range(row, slot.cols.start, &seg)
+                    .expect("floor segment fits");
+                self.problem
+                    .set_rhs(row, -req.flow().min_quality())
+                    .expect("row index recorded at assembly stays in range");
+                self.seg = seg;
+            }
+            for i in 0..len {
+                self.problem
+                    .set_rhs(slot.balance_start + i, g)
+                    .expect("balance row exists");
+            }
+            for i in 0..carry {
+                self.problem
+                    .set_rhs(slot.cap_start + i, req.buffer() * g)
+                    .expect("cap row exists");
+            }
+            self.slots[idx].active = true;
+            self.slots[idx].window = window;
+            return (idx, Placement::Reused);
+        }
+
+        // Append a fresh block.
+        let prev_vars = self.problem.num_vars();
+        let prev_rows = self.problem.num_constraints();
+        let width = len * n + carry;
+        self.seg.clear();
+        self.seg.resize(width, 0.0);
+        let seg = std::mem::take(&mut self.seg);
+        let cols = self.problem.append_block(&seg).expect("nonempty block");
+        self.seg = seg;
+        if prev_rows == 0 {
+            // First block: create the S·K ring-indexed capacity rows
+            // (coefficients and RHS are rescale's job).
+            for _ in 0..grid.horizon() * n_paths {
+                self.problem
+                    .add_le_sparse(&[], 1.0)
+                    .expect("empty shared row");
+            }
+        }
+        let cost_row = req.flow().cost_budget().is_finite().then(|| {
+            let mut entries: Vec<(usize, f64)> = Vec::new();
+            for i in 0..len {
+                entries.extend(
+                    model
+                        .cost_triplets()
+                        .map(|(j, v)| (cols.start + i * n + j, v)),
+                );
+            }
+            self.problem
+                .add_le_sparse(&entries, req.flow().cost_budget() / req.flow().data_rate())
+                .expect("valid cost row");
+            self.problem.num_constraints() - 1
+        });
+        let floor_row = (req.flow().min_quality() > 0.0).then(|| {
+            let mut entries: Vec<(usize, f64)> = Vec::new();
+            for i in 0..len {
+                entries.extend(
+                    model
+                        .quality_triplets()
+                        .map(|(j, v)| (cols.start + i * n + j, v)),
+                );
+            }
+            self.problem
+                .add_ge_sparse(&entries, req.flow().min_quality())
+                .expect("valid floor row");
+            self.problem.num_constraints() - 1
+        });
+        let balance_start = self.problem.num_constraints();
+        for i in 0..len {
+            let mut entries: Vec<(usize, f64)> =
+                (0..n).map(|j| (cols.start + i * n + j, 1.0)).collect();
+            if carry > 0 {
+                // Sparse rows want ascending columns: carry-in (slot
+                // boundary i-1) sits below carry-out (boundary i).
+                let carry_base = cols.start + len * n;
+                if i >= 1 {
+                    entries.push((carry_base + i - 1, -1.0));
+                }
+                if i < carry {
+                    entries.push((carry_base + i, 1.0));
+                }
+            }
+            self.problem
+                .add_eq_sparse(&entries, g)
+                .expect("valid balance row");
+        }
+        let cap_start = self.problem.num_constraints();
+        for i in 0..carry {
+            self.problem
+                .add_le_sparse(&[(cols.start + len * n + i, 1.0)], req.buffer() * g)
+                .expect("valid buffer cap row");
+        }
+        self.slots.push(SchedSlot {
+            cols,
+            window,
+            n_combos: n,
+            carry,
+            cost_row,
+            floor_row,
+            balance_start,
+            cap_start,
+            active: true,
+        });
+        (
+            self.slots.len() - 1,
+            Placement::Appended {
+                prev_vars,
+                prev_rows,
+            },
+        )
+    }
+
+    /// Tombstones a slot: objective and capacity-row segments zeroed,
+    /// every balance RHS `1/L → 0` (with the floor and cap RHS relaxed
+    /// to 0), which forces every variable of the block to zero — the
+    /// balance rows telescope to `Σx = 0` — while preserving the LP's
+    /// shape, so the cached basis of this shape keeps working.
+    fn deactivate(&mut self, grid: &TimeGrid, n_paths: usize, idx: usize) {
+        let slot = self.slots[idx].clone();
+        self.seg.clear();
+        self.seg.resize(slot.cols.len(), 0.0);
+        let seg = std::mem::take(&mut self.seg);
+        self.problem
+            .set_objective_range(slot.cols.start, &seg)
+            .expect("objective segment fits");
+        for (i, s) in slot.window.slots().enumerate() {
+            for k in 0..n_paths {
+                self.problem
+                    .set_row_range(
+                        grid.ring(s) * n_paths + k,
+                        slot.combo_start(i),
+                        &seg[..slot.n_combos],
+                    )
+                    .expect("shared segment fits");
+            }
+        }
+        self.seg = seg;
+        for i in 0..slot.window.len() {
+            self.problem
+                .set_rhs(slot.balance_start + i, 0.0)
+                .expect("balance row exists");
+        }
+        if let Some(row) = slot.floor_row {
+            self.problem.set_rhs(row, 0.0).expect("floor row exists");
+        }
+        for i in 0..slot.carry {
+            self.problem
+                .set_rhs(slot.cap_start + i, 0.0)
+                .expect("cap row exists");
+        }
+        self.slots[idx].active = false;
+    }
+
+    /// Rolls a tentative placement back; appended placements must be
+    /// rolled back in reverse order (same contract as the instant
+    /// assembly — a middle truncation would shift later slots' indices).
+    fn rollback(
+        &mut self,
+        grid: &TimeGrid,
+        n_paths: usize,
+        idx: usize,
+        placement: Placement,
+    ) -> Result<(), FleetError> {
+        match placement {
+            Placement::Appended {
+                prev_vars,
+                prev_rows,
+            } => {
+                if idx + 1 != self.slots.len() {
+                    return Err(FleetError::Invalid(format!(
+                        "rollback out of order: appended slot {idx} is not the last of {} slots",
+                        self.slots.len()
+                    )));
+                }
+                self.problem.truncate_rows(prev_rows);
+                self.problem.truncate_vars(prev_vars);
+                self.slots.pop();
+            }
+            Placement::Reused => self.deactivate(grid, n_paths, idx),
+        }
+        Ok(())
+    }
+
+    /// Recomputes every Λ-dependent coefficient from the given
+    /// membership with fresh arithmetic (never by scaling running
+    /// values), exactly like the instant assembly: per-block objective
+    /// segments `w·(λ_f·L_f/Λ)·p_f`, per-(slot, path) capacity segments
+    /// `(λ_f·L_f/Λ)·usage_f`, and the capacity RHS `b_k(s)/Λ` — zero
+    /// for maintenance slots.
+    fn rescale(
+        &mut self,
+        objective: FleetObjective,
+        grid: &TimeGrid,
+        paths: &[SharedPath],
+        maintenance: &BTreeSet<(u64, usize)>,
+        members: &[(usize, &ScheduleRequest, &ScenarioModel)],
+    ) {
+        let lambda_vol: f64 = members
+            .iter()
+            .map(|(_, r, _)| r.flow().data_rate() * r.window().len() as f64)
+            .sum();
+        let mut seg = std::mem::take(&mut self.seg);
+        for &(slot_idx, r, m) in members {
+            let slot = self.slots[slot_idx].clone();
+            let start = slot.cols.start;
+            let n = m.num_combos();
+            let len = r.window().len();
+            let w = match objective {
+                FleetObjective::WeightedFair => r.flow().priority(),
+                FleetObjective::MaxAdmitted | FleetObjective::MaxTotalQuality => 1.0,
+            };
+            let share = r.flow().data_rate() * len as f64 / lambda_vol;
+            seg.clear();
+            for _ in 0..len {
+                seg.extend(m.quality_coeffs().iter().map(|p| w * share * p));
+            }
+            seg.resize(slot.cols.len(), 0.0);
+            self.problem
+                .set_objective_range(start, &seg)
+                .expect("objective segment fits");
+            for k in 0..paths.len() {
+                for (i, s) in r.window().slots().enumerate() {
+                    seg.clear();
+                    match local_path_index(r.flow().paths(), k) {
+                        Some(lk) => seg.extend(m.usage_coeffs(lk).iter().map(|u| share * u)),
+                        None => seg.resize(n, 0.0),
+                    }
+                    self.problem
+                        .set_row_range(grid.ring(s) * paths.len() + k, slot.combo_start(i), &seg)
+                        .expect("shared segment fits");
+                }
+            }
+        }
+        for s in grid.origin()..grid.end() {
+            for (k, path) in paths.iter().enumerate() {
+                let rhs = if maintenance.contains(&(s, k)) {
+                    0.0
+                } else {
+                    path.bandwidth / lambda_vol
+                };
+                self.problem
+                    .set_rhs(grid.ring(s) * paths.len() + k, rhs)
+                    .expect("shared row exists");
+            }
+        }
+        self.seg = seg;
+    }
+}
+
+/// Number of carry (store-and-forward buffer) variables a request needs:
+/// one per interior slot boundary when buffering is enabled, none for
+/// single-slot windows or a zero buffer.
+fn carry_vars(req: &ScheduleRequest) -> usize {
+    if req.buffer() > 0.0 && req.window().len() > 1 {
+        req.window().len() - 1
+    } else {
+        0
+    }
+}
+
+/// The slotted fleet planner: admission control and joint allocation
+/// over a [`TimeGrid`] horizon, with advance reservations,
+/// store-and-forward buffering and maintenance windows.
+///
+/// ```
+/// use dmc_core::ScenarioPath;
+/// use dmc_fleet::{FleetConfig, SchedulePlanner, ScheduleRequest, SlotWindow, TimeGrid, FlowRequest};
+///
+/// # fn main() -> Result<(), dmc_fleet::FleetError> {
+/// let mut sched = SchedulePlanner::new(
+///     vec![
+///         ScenarioPath::constant(80e6, 0.450, 0.2)?,
+///         ScenarioPath::constant(20e6, 0.150, 0.0)?,
+///     ],
+///     TimeGrid::new(1.0, 8)?, // 8 one-second slots
+///     FleetConfig::default(),
+/// )?;
+/// // A two-slot transfer that may buffer half a slot across boundaries.
+/// let d = sched.offer(
+///     ScheduleRequest::new(FlowRequest::new(30e6, 0.750)?, SlotWindow::new(0, 2)?)
+///         .with_buffer(0.5),
+/// )?;
+/// assert!(d.is_scheduled());
+/// // Advancing the horizon expires slot 0 and recycles its capacity rows.
+/// let adv = sched.advance_to(1)?;
+/// assert_eq!(adv.truncated, vec![d.id()]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SchedulePlanner {
+    config: FleetConfig,
+    grid: TimeGrid,
+    paths: Vec<SharedPath>,
+    flows: Vec<SchedFlowState>,
+    next_id: u64,
+    /// Builds per-flow coefficient models (never solves).
+    flow_planner: Planner,
+    workspace: Workspace,
+    // dmc-lint: allow(det-unordered-map) key-lookup-only cache: get/insert/contains_key/len/clear, never iterated, so key order cannot reach results
+    warm_bases: HashMap<JointShapeKey, Basis>,
+    warm_attempts: u64,
+    warm_hits: u64,
+    warm_anomalies: u64,
+    /// Zero-capacity (slot, path) pairs — scheduled maintenance.
+    maintenance: BTreeSet<(u64, usize)>,
+    assembly: Option<SchedAssembly>,
+    /// Objective value of the last successful joint solve (0 when empty).
+    last_objective: f64,
+}
+
+impl SchedulePlanner {
+    /// A slotted fleet over `paths` and `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty path set and paths whose delay distribution has
+    /// a non-finite mean (same contract as [`crate::FleetPlanner::new`]).
+    pub fn new(
+        paths: Vec<ScenarioPath>,
+        grid: TimeGrid,
+        config: FleetConfig,
+    ) -> Result<Self, FleetError> {
+        if paths.is_empty() {
+            return Err(FleetError::Invalid(
+                "a fleet needs at least one shared path".into(),
+            ));
+        }
+        for (k, p) in paths.iter().enumerate() {
+            if !p.delay().mean().is_finite() {
+                return Err(FleetError::Invalid(format!(
+                    "shared path {k} has a non-finite mean delay"
+                )));
+            }
+        }
+        let mut config = config;
+        if config.obs.is_enabled() && !config.planner.solver.obs.is_enabled() {
+            config.planner.solver.obs = config.obs.clone();
+        }
+        let flow_planner = Planner::with_config(config.planner.clone());
+        Ok(SchedulePlanner {
+            config,
+            grid,
+            paths: paths.into_iter().map(SharedPath::from_scenario).collect(),
+            flows: Vec::new(),
+            next_id: 0,
+            flow_planner,
+            workspace: Workspace::new(),
+            // dmc-lint: allow(det-unordered-map) constructor of the key-lookup-only warm-basis cache above
+            warm_bases: HashMap::new(),
+            warm_attempts: 0,
+            warm_hits: 0,
+            warm_anomalies: 0,
+            maintenance: BTreeSet::new(),
+            assembly: None,
+            last_objective: 0.0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The current horizon.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// Offers one windowed flow.
+    ///
+    /// The requested window must lie inside the current horizon. If the
+    /// joint LP is feasible with the flow at its requested window the
+    /// flow is [`ScheduleDecision::Scheduled`]; otherwise the window is
+    /// slid forward one slot at a time (keeping its width) and the
+    /// earliest feasible start yields a [`ScheduleDecision::Reserved`]
+    /// — the admit-at-t+Δ advance reservation. Only when no start fits
+    /// is the flow [`ScheduleDecision::Rejected`]. A rejection leaves
+    /// the incumbents' allocation untouched.
+    ///
+    /// # Errors
+    ///
+    /// Invalid windows/scenarios and non-infeasibility solver failures.
+    pub fn offer(&mut self, request: ScheduleRequest) -> Result<ScheduleDecision, FleetError> {
+        if !self.grid.contains_window(&request.window()) {
+            return Err(FleetError::Invalid(format!(
+                "window {} is outside the horizon [{}, {})",
+                request.window(),
+                self.grid.origin(),
+                self.grid.end()
+            )));
+        }
+        let id = FlowId::new(self.next_id);
+        self.next_id += 1;
+        let model = self.flow_model(request.flow())?;
+        match self.try_admit(id, &request, &model)? {
+            Some(q) => {
+                self.config.obs.counter("fleet.admits").inc();
+                Ok(ScheduleDecision::Scheduled {
+                    id,
+                    window: request.window(),
+                    predicted_quality: q,
+                })
+            }
+            None => {
+                let requested = request.window();
+                let len = requested.len() as u64;
+                let mut start = requested.start() + 1;
+                while start + len <= self.grid.end() {
+                    let slid = request.shifted_to(start);
+                    if let Some(q) = self.try_admit(id, &slid, &model)? {
+                        self.config.obs.counter("fleet.reservations").inc();
+                        return Ok(ScheduleDecision::Reserved {
+                            id,
+                            requested,
+                            window: slid.window(),
+                            predicted_quality: q,
+                        });
+                    }
+                    start += 1;
+                }
+                self.config.obs.counter("fleet.refusals").inc();
+                Ok(ScheduleDecision::Rejected {
+                    id,
+                    reason: "no window of the requested width inside the horizon can meet \
+                             this flow's quality floor alongside every scheduled flow's"
+                        .into(),
+                })
+            }
+        }
+    }
+
+    /// Withdraws a scheduled flow before (or during) its window.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids.
+    pub fn depart(&mut self, id: FlowId) -> Result<(), FleetError> {
+        let Some(pos) = self.flows.iter().position(|f| f.id == id) else {
+            return Err(FleetError::UnknownFlow(id));
+        };
+        let f = self.flows.remove(pos);
+        if let Some(assembly) = self.assembly.as_mut() {
+            assembly.deactivate(&self.grid, self.paths.len(), f.slot);
+        }
+        self.resolve_members()?;
+        Ok(())
+    }
+
+    /// Advances the horizon so `new_origin` becomes its first slot.
+    ///
+    /// Flows whose window has fully passed are **completed**; flows
+    /// whose window straddles the boundary are **truncated** to the
+    /// remaining slots (their remaining demand renormalized over the
+    /// shorter window) — and if the truncated window no longer fits,
+    /// they get the reservation slide before being dropped. Expired
+    /// slots' capacity rows are recycled in place (ring indexing), so
+    /// the LP's shape — and with it the warm-basis cache — survives the
+    /// advance; the `schedule_horizon` bench pins the payoff.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a `new_origin` before the current origin; forwards
+    /// solver failures.
+    pub fn advance_to(&mut self, new_origin: u64) -> Result<ScheduleAdvance, FleetError> {
+        if new_origin < self.grid.origin() {
+            return Err(FleetError::Invalid(format!(
+                "cannot advance backwards: origin {} to {new_origin}",
+                self.grid.origin()
+            )));
+        }
+        if new_origin == self.grid.origin() {
+            return Ok(ScheduleAdvance::default());
+        }
+        let mut out = ScheduleAdvance::default();
+        self.grid = self.grid.advanced_to(new_origin);
+        self.maintenance.retain(|&(s, _)| s >= new_origin);
+
+        // Completed flows leave; straddling flows are truncated (and
+        // re-placed — their window length changed, so their block does
+        // too).
+        let mut keep = Vec::with_capacity(self.flows.len());
+        let mut truncate = Vec::new();
+        for f in std::mem::take(&mut self.flows) {
+            if f.request.window().end() <= new_origin {
+                out.completed.push(f.id);
+                if let Some(assembly) = self.assembly.as_mut() {
+                    assembly.deactivate(&self.grid, self.paths.len(), f.slot);
+                }
+            } else if f.request.window().start() < new_origin {
+                truncate.push(f);
+            } else {
+                keep.push(f);
+            }
+        }
+        self.flows = keep;
+        for f in truncate {
+            if let Some(assembly) = self.assembly.as_mut() {
+                assembly.deactivate(&self.grid, self.paths.len(), f.slot);
+            }
+            let truncated = ScheduleRequest {
+                window: SlotWindow::new(new_origin, f.request.window().end())
+                    .expect("straddling window keeps at least one slot past the new origin"),
+                ..f.request.clone()
+            };
+            match self.try_admit(f.id, &truncated, &f.model)? {
+                Some(_) => out.truncated.push(f.id),
+                None => match self.slide_into_horizon(f.id, &truncated, &f.model)? {
+                    Some(window) => out.rescheduled.push((f.id, window)),
+                    None => out.dropped.push(f.id),
+                },
+            }
+        }
+        // One settle pass for the survivors: the recycled tail slots may
+        // carry maintenance, so the whole membership re-solves (and, on
+        // collective infeasibility, resettles deterministically).
+        let shuffle = self.settle_all()?;
+        out.rescheduled.extend(shuffle.rescheduled);
+        out.dropped.extend(shuffle.dropped);
+        Ok(out)
+    }
+
+    /// Declares a maintenance window: path `path` has zero capacity
+    /// during `slot`. Flows already scheduled over that slot are
+    /// re-settled (rescheduled to later windows where needed — the
+    /// returned [`ScheduleShuffle`] says who moved or fell out).
+    ///
+    /// # Errors
+    ///
+    /// Bad path index, a slot before the horizon, or solver failures.
+    pub fn set_maintenance(
+        &mut self,
+        slot: u64,
+        path: usize,
+    ) -> Result<ScheduleShuffle, FleetError> {
+        if path >= self.paths.len() {
+            return Err(FleetError::Invalid(format!(
+                "path index {path} out of range ({} shared paths)",
+                self.paths.len()
+            )));
+        }
+        if slot < self.grid.origin() {
+            return Err(FleetError::Invalid(format!(
+                "maintenance slot {slot} is before the horizon origin {}",
+                self.grid.origin()
+            )));
+        }
+        self.maintenance.insert((slot, path));
+        self.settle_all()
+    }
+
+    /// Cancels a maintenance window (a no-op if none was declared).
+    ///
+    /// # Errors
+    ///
+    /// Forwards solver failures from the re-solve.
+    pub fn clear_maintenance(&mut self, slot: u64, path: usize) -> Result<(), FleetError> {
+        if self.maintenance.remove(&(slot, path)) {
+            self.resolve_members()?;
+        }
+        Ok(())
+    }
+
+    /// The declared maintenance windows, sorted by (slot, path).
+    pub fn maintenance(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.maintenance.iter().copied()
+    }
+
+    /// Applies a link change ([`dmc_sim::LinkChange`] vocabulary) to a
+    /// shared path. Every flow's model is rebuilt against the changed
+    /// paths and the fleet re-settles; displaced flows get the
+    /// reservation slide — **slot-based revival**: instead of the
+    /// instant planner's shed queue, a flow that no longer fits *now*
+    /// is moved to the earliest later window that still fits it, and
+    /// only dropped when none does.
+    ///
+    /// # Errors
+    ///
+    /// Bad path index, invalid change parameters, or solver failures.
+    pub fn apply_link_change(
+        &mut self,
+        path: usize,
+        change: &LinkChange,
+    ) -> Result<ScheduleShuffle, FleetError> {
+        let Some(shared) = self.paths.get_mut(path) else {
+            return Err(FleetError::Invalid(format!(
+                "path index {path} out of range ({} shared paths)",
+                self.paths.len()
+            )));
+        };
+        match change {
+            LinkChange::Fail => shared.failed = true,
+            LinkChange::Recover => shared.failed = false,
+            LinkChange::SetBandwidth(bps) => {
+                if !(*bps > 0.0) || !bps.is_finite() {
+                    return Err(FleetError::Invalid(format!(
+                        "bandwidth must be finite and > 0, got {bps}"
+                    )));
+                }
+                shared.bandwidth = *bps;
+            }
+            LinkChange::SetLoss(model) => {
+                model.validate().map_err(FleetError::Invalid)?;
+                shared.loss = model.stationary_loss();
+            }
+        }
+        for i in 0..self.flows.len() {
+            let flow = self.flows[i].request.flow().clone();
+            self.flows[i].model = self.flow_model(&flow)?;
+        }
+        // Coefficients changed wholesale: rebuild the assembly from the
+        // new models (shape usually unchanged, so the cached basis of
+        // the shape still applies), then settle.
+        self.assembly = None;
+        self.settle_all()
+    }
+
+    /// Number of scheduled flows (including reservations).
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Scheduled flow ids, in admission order.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.iter().map(|f| f.id).collect()
+    }
+
+    /// The granted window of a scheduled flow.
+    pub fn window_of(&self, id: FlowId) -> Option<SlotWindow> {
+        self.flows
+            .iter()
+            .find(|f| f.id == id)
+            .map(|f| f.request.window())
+    }
+
+    /// The aggregate per-flow plan (slot-summed assignment decomposed
+    /// exactly like the instant planner's).
+    pub fn plan_of(&self, id: FlowId) -> Option<&Plan> {
+        self.flows.iter().find(|f| f.id == id).map(|f| &f.plan)
+    }
+
+    /// Per-window-slot delivered-quality profile of a flow: entry `i`
+    /// is the in-time fraction served in the window's `i`-th slot
+    /// (summing to the plan's quality).
+    pub fn slot_quality_of(&self, id: FlowId) -> Option<Vec<f64>> {
+        let f = self.flows.iter().find(|f| f.id == id)?;
+        Some(
+            f.slot_x
+                .iter()
+                .map(|seg| {
+                    f.model
+                        .quality_coeffs()
+                        .iter()
+                        .zip(seg)
+                        .map(|(p, x)| p * x)
+                        .sum()
+                })
+                .collect(),
+        )
+    }
+
+    /// The largest store-and-forward buffer level a flow's allocation
+    /// uses, as a fraction of its window volume (0 without buffering).
+    pub fn peak_carry_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.peak_carry)
+    }
+
+    /// Per-slot, per-path utilization of the horizon: `out[i][k]` is the
+    /// fraction of path `k`'s capacity consumed in slot `origin + i`
+    /// (0 for maintenance slots, whose capacity is zero).
+    pub fn utilization(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.paths.len()]; self.grid.horizon()];
+        for f in &self.flows {
+            let vol = f.request.flow().data_rate() * f.request.window().len() as f64;
+            for (i, s) in f.request.window().slots().enumerate() {
+                let Some(rel) = s.checked_sub(self.grid.origin()) else {
+                    continue;
+                };
+                for (k, _) in self.paths.iter().enumerate() {
+                    if let Some(lk) = local_path_index(f.request.flow().paths(), k) {
+                        let used: f64 = f
+                            .model
+                            .usage_coeffs(lk)
+                            .iter()
+                            .zip(&f.slot_x[i])
+                            .map(|(u, x)| u * x)
+                            .sum();
+                        out[rel as usize][k] += vol * used;
+                    }
+                }
+            }
+        }
+        for (i, s) in (self.grid.origin()..self.grid.end()).enumerate() {
+            for (k, path) in self.paths.iter().enumerate() {
+                if self.maintenance.contains(&(s, k)) {
+                    out[i][k] = 0.0;
+                } else {
+                    out[i][k] /= path.bandwidth;
+                }
+            }
+        }
+        out
+    }
+
+    /// Volume-weighted mean predicted quality of the scheduled flows.
+    pub fn aggregate_quality(&self) -> f64 {
+        let vol: f64 = self
+            .flows
+            .iter()
+            .map(|f| f.request.flow().data_rate() * f.request.window().len() as f64)
+            .sum();
+        // dmc-lint: allow(float-exact) vol is a sum of validated positive rates; it is exactly 0.0 iff the fleet is empty
+        if vol == 0.0 {
+            return 0.0;
+        }
+        self.flows
+            .iter()
+            .map(|f| {
+                f.request.flow().data_rate() * f.request.window().len() as f64 * f.plan.quality()
+            })
+            .sum::<f64>()
+            / vol
+    }
+
+    /// Objective value of the last successful joint solve (the unique
+    /// LP optimum — what the advance-vs-fresh differential tests
+    /// compare, since per-flow splits can differ at degenerate
+    /// vertices).
+    pub fn objective_value(&self) -> f64 {
+        self.last_objective
+    }
+
+    /// Warm-start statistics of the joint solves.
+    pub fn warm_stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.warm_hits,
+            misses: self.warm_attempts - self.warm_hits,
+        }
+    }
+
+    /// Cold re-solves forced by a warm-start anomaly.
+    pub fn warm_anomalies(&self) -> u64 {
+        self.warm_anomalies
+    }
+
+    /// Effective shared paths (base description + link dynamics so far).
+    ///
+    /// # Errors
+    ///
+    /// A path whose effective parameters no longer validate.
+    pub fn shared_paths(&self) -> Result<Vec<ScenarioPath>, FleetError> {
+        self.paths.iter().map(SharedPath::effective).collect()
+    }
+
+    /// Builds the candidate's per-flow model against the current shared
+    /// paths (same contract as the instant planner's).
+    fn flow_model(&mut self, request: &FlowRequest) -> Result<ScenarioModel, FleetError> {
+        let effective = self.shared_paths()?;
+        let flow_paths = match request.paths() {
+            Some(subset) => {
+                if let Some(&bad) = subset.iter().find(|&&k| k >= effective.len()) {
+                    return Err(FleetError::Invalid(format!(
+                        "flow path index {bad} out of range ({} shared paths)",
+                        effective.len()
+                    )));
+                }
+                subset.iter().map(|&k| effective[k].clone()).collect()
+            }
+            None => effective,
+        };
+        let mut builder = Scenario::builder()
+            .paths(flow_paths)
+            .data_rate(request.data_rate())
+            .lifetime(request.lifetime())
+            .transmissions(request.transmissions());
+        if request.cost_budget().is_finite() {
+            builder = builder.cost_budget(request.cost_budget());
+        }
+        let scenario = builder.build().map_err(FleetError::Spec)?;
+        Ok(self.flow_planner.model(&scenario))
+    }
+
+    /// Tentatively admits `id` at the request's window: commits and
+    /// returns the predicted quality on feasibility, rolls back and
+    /// returns `None` on infeasibility.
+    fn try_admit(
+        &mut self,
+        id: FlowId,
+        request: &ScheduleRequest,
+        model: &ScenarioModel,
+    ) -> Result<Option<f64>, FleetError> {
+        match self.solve_with_extra(Some((request, model))) {
+            Ok(segments) => {
+                let mut segments = segments;
+                let candidate = segments.pop().expect("candidate segment present");
+                let slot = candidate.0;
+                self.refresh_plans(segments);
+                let state = self.decompose(id, request.clone(), model.clone(), slot, candidate.1);
+                if state.peak_carry > 0.0 {
+                    self.config.obs.counter("fleet.carryover").inc();
+                }
+                self.flows.push(state);
+                let q = self
+                    .flows
+                    .last()
+                    .map(|f| f.plan.quality())
+                    .expect("flow just pushed");
+                Ok(Some(q))
+            }
+            Err(SolveError::Infeasible { .. }) => Ok(None),
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// The reservation slide: earliest feasible same-width window at or
+    /// after the request's start. The request itself is tried first.
+    fn slide_into_horizon(
+        &mut self,
+        id: FlowId,
+        request: &ScheduleRequest,
+        model: &ScenarioModel,
+    ) -> Result<Option<SlotWindow>, FleetError> {
+        let len = request.window().len() as u64;
+        let mut start = request.window().start().max(self.grid.origin());
+        while start + len <= self.grid.end() {
+            let slid = request.shifted_to(start);
+            if self.try_admit(id, &slid, model)?.is_some() {
+                self.config.obs.counter("fleet.reservations").inc();
+                return Ok(Some(slid.window()));
+            }
+            start += 1;
+        }
+        Ok(None)
+    }
+
+    /// Re-solves over the current membership (no candidate), refreshing
+    /// every plan. Infeasibility is an invariant breach here — callers
+    /// that can face it use [`SchedulePlanner::settle_all`] instead.
+    fn resolve_members(&mut self) -> Result<(), FleetError> {
+        match self.solve_with_extra(None) {
+            Ok(segments) => {
+                self.refresh_plans(segments);
+                Ok(())
+            }
+            Err(SolveError::Infeasible { .. }) => Err(FleetError::Invalid(
+                "removing capacity demand made the joint LP infeasible".into(),
+            )),
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// Re-solves the whole membership; on collective infeasibility,
+    /// re-admits deterministically (highest priority first, admission
+    /// order within ties), giving each refused flow the reservation
+    /// slide before dropping it.
+    fn settle_all(&mut self) -> Result<ScheduleShuffle, FleetError> {
+        let mut out = ScheduleShuffle::default();
+        if self.flows.is_empty() {
+            // The joint optimum of an empty membership is 0 — keep the
+            // reported objective honest when an advance clears the fleet.
+            self.last_objective = 0.0;
+            return Ok(out);
+        }
+        match self.solve_with_extra(None) {
+            Ok(segments) => {
+                self.refresh_plans(segments);
+                Ok(out)
+            }
+            Err(SolveError::Infeasible { .. }) => {
+                let mut survivors = std::mem::take(&mut self.flows);
+                self.assembly = None;
+                survivors.sort_by(|a, b| {
+                    b.request
+                        .flow()
+                        .priority()
+                        .partial_cmp(&a.request.flow().priority())
+                        .expect("priorities are finite")
+                        .then(a.id.cmp(&b.id))
+                });
+                for f in survivors {
+                    let original = f.request.window();
+                    match self.slide_into_horizon(f.id, &f.request, &f.model)? {
+                        Some(window) if window != original => {
+                            out.rescheduled.push((f.id, window));
+                        }
+                        Some(_) => {}
+                        None => out.dropped.push(f.id),
+                    }
+                }
+                Ok(out)
+            }
+            Err(e) => Err(FleetError::Solve(e)),
+        }
+    }
+
+    /// Assembles and solves the joint LP over the scheduled flows plus
+    /// an optional candidate, returning `(slot, raw block x)` per flow —
+    /// members first (admission order), candidate last. Any error rolls
+    /// the candidate's placement back, leaving the incumbents untouched.
+    #[allow(clippy::type_complexity)]
+    fn solve_with_extra(
+        &mut self,
+        extra: Option<(&ScheduleRequest, &ScenarioModel)>,
+    ) -> Result<Vec<(usize, Vec<f64>)>, SolveError> {
+        if self.flows.is_empty() && extra.is_none() {
+            self.last_objective = 0.0;
+            return Ok(Vec::new());
+        }
+        let n_paths = self.paths.len();
+        if !self.config.incremental {
+            // Differential baseline: rebuild the assembly from scratch
+            // on every solve (the pre-incremental behavior).
+            self.assembly = None;
+        }
+        if self.assembly.is_none() {
+            let mut fresh = SchedAssembly::new();
+            for f in &mut self.flows {
+                let (slot, _) = fresh.place(&self.grid, n_paths, &f.request, &f.model);
+                f.slot = slot;
+            }
+            self.assembly = Some(fresh);
+        }
+        let mut assembly = self.assembly.take().expect("assembly ensured above");
+        let placement = extra.map(|(r, m)| assembly.place(&self.grid, n_paths, r, m));
+        let members: Vec<(usize, &ScheduleRequest, &ScenarioModel)> = self
+            .flows
+            .iter()
+            .map(|f| (f.slot, &f.request, &f.model))
+            .chain(
+                placement
+                    .iter()
+                    .zip(extra.iter())
+                    .map(|(&(slot, _), &(r, m))| (slot, r, m)),
+            )
+            .collect();
+        assembly.rescale(
+            self.config.objective,
+            &self.grid,
+            &self.paths,
+            &self.maintenance,
+            &members,
+        );
+        drop(members);
+        match self.solve_joint_problem(&assembly.problem) {
+            Ok(solution) => {
+                let x = solution.into_x();
+                self.last_objective = assembly.problem.objective_value(&x);
+                let out = self
+                    .flows
+                    .iter()
+                    .map(|f| f.slot)
+                    .chain(placement.iter().map(|&(slot, _)| slot))
+                    .map(|slot| (slot, x[assembly.slots[slot].cols.clone()].to_vec()))
+                    .collect();
+                self.assembly = Some(assembly);
+                Ok(out)
+            }
+            Err(e) => {
+                let clean = placement
+                    .into_iter()
+                    .all(|(slot, p)| assembly.rollback(&self.grid, n_paths, slot, p).is_ok());
+                if clean {
+                    self.assembly = Some(assembly);
+                } else {
+                    // Inconsistent rollback: rebuild lazily on the next
+                    // solve rather than patch shifted indices in place.
+                    self.assembly = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Solves an assembled problem with the shape-keyed warm-start
+    /// cache (the instant planner's logic, applied to the slotted LP).
+    fn solve_joint_problem(&mut self, problem: &Problem) -> Result<dmc_lp::Solution, SolveError> {
+        let opts = SolverOptions {
+            backend: self.config.joint_backend,
+            ..self.config.planner.solver.clone()
+        };
+        let key = self
+            .config
+            .planner
+            .warm_start
+            .then(|| JointShapeKey::of(problem));
+        let solution = match key.and_then(|k| self.warm_bases.get(&k)) {
+            Some(basis) => {
+                self.warm_attempts += 1;
+                match problem.solve_warm_with(&opts, &mut self.workspace, basis) {
+                    Ok(s) => {
+                        if s.used_warm_start() {
+                            self.warm_hits += 1;
+                            self.config.obs.counter("fleet.warm_hits").inc();
+                        } else {
+                            self.config.obs.counter("fleet.warm_misses").inc();
+                        }
+                        s
+                    }
+                    Err(e) if SolveStatus::of_error(&e).is_anomaly() => {
+                        self.warm_anomalies += 1;
+                        self.config.obs.counter("fleet.warm_anomalies").inc();
+                        self.config.obs.counter("fleet.warm_misses").inc();
+                        if let Some(k) = key {
+                            self.warm_bases.remove(&k);
+                        }
+                        problem.solve_with(&opts, &mut self.workspace)?
+                    }
+                    Err(e) => {
+                        self.config.obs.counter("fleet.warm_misses").inc();
+                        return Err(e);
+                    }
+                }
+            }
+            None => problem.solve_with(&opts, &mut self.workspace)?,
+        };
+        if let (Some(k), Some(basis)) = (key, solution.basis()) {
+            if self.warm_bases.len() >= MAX_CACHED_SHAPES && !self.warm_bases.contains_key(&k) {
+                self.warm_bases.clear();
+            }
+            self.warm_bases.insert(k, basis.clone());
+        }
+        if cfg!(debug_assertions) || self.config.certify {
+            solution
+                .certify(problem)
+                .expect("joint LP solution failed its feasibility certificate");
+        }
+        Ok(solution)
+    }
+
+    /// Splits a block's raw solution into per-slot segments, the
+    /// aggregate assignment (slot-summed, fed to `plan_for` exactly
+    /// like the instant planner's), and the peak carry level.
+    fn decompose(
+        &self,
+        id: FlowId,
+        request: ScheduleRequest,
+        model: ScenarioModel,
+        slot: usize,
+        raw: Vec<f64>,
+    ) -> SchedFlowState {
+        let n = model.num_combos();
+        let len = request.window().len();
+        let mut slot_x: Vec<Vec<f64>> = Vec::with_capacity(len);
+        for i in 0..len {
+            slot_x.push(raw[i * n..(i + 1) * n].to_vec());
+        }
+        let mut total = slot_x[0].clone();
+        for seg in &slot_x[1..] {
+            for (t, v) in total.iter_mut().zip(seg) {
+                *t += v;
+            }
+        }
+        let peak_carry = raw[len * n..].iter().copied().fold(0.0, f64::max);
+        let plan = model.plan_for(Objective::MaxQuality, total);
+        SchedFlowState {
+            id,
+            request,
+            model,
+            plan,
+            slot_x,
+            peak_carry,
+            slot,
+        }
+    }
+
+    /// Re-packages a fresh joint solution's member segments into the
+    /// scheduled flows' plans (admission order).
+    fn refresh_plans(&mut self, segments: Vec<(usize, Vec<f64>)>) {
+        debug_assert_eq!(segments.len(), self.flows.len());
+        for (i, (slot, raw)) in segments.into_iter().enumerate() {
+            let f = &self.flows[i];
+            let state = self.decompose(f.id, f.request.clone(), f.model.clone(), slot, raw);
+            self.flows[i] = state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_core::ScenarioPath;
+
+    fn paths() -> Vec<ScenarioPath> {
+        vec![
+            ScenarioPath::constant(80e6, 0.450, 0.2).expect("valid path"),
+            ScenarioPath::constant(20e6, 0.150, 0.0).expect("valid path"),
+        ]
+    }
+
+    fn sched(horizon: usize) -> SchedulePlanner {
+        SchedulePlanner::new(
+            paths(),
+            TimeGrid::new(1.0, horizon).expect("valid grid"),
+            FleetConfig::default(),
+        )
+        .expect("valid planner")
+    }
+
+    #[test]
+    fn grid_and_window_validation() {
+        assert!(TimeGrid::new(0.0, 4).is_err());
+        assert!(TimeGrid::new(f64::NAN, 4).is_err());
+        assert!(TimeGrid::new(1.0, 0).is_err());
+        let g = TimeGrid::new(0.5, 4).expect("valid grid");
+        assert_eq!(g.slot_of(0.0).expect("finite"), 0);
+        assert_eq!(g.slot_of(1.25).expect("finite"), 2);
+        assert!(g.slot_of(-1.0).is_err());
+        assert!(SlotWindow::new(3, 3).is_err());
+        assert_eq!(SlotWindow::instant(3).len(), 1);
+        let w = SlotWindow::new(1, 4).expect("valid window");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.shifted_to(5), SlotWindow::new(5, 8).expect("valid"));
+        assert_eq!(format!("{w}"), "[1, 4)");
+        assert!(g.contains_window(&w));
+        assert!(!g.contains_window(&SlotWindow::new(2, 5).expect("valid")));
+    }
+
+    #[test]
+    fn windowed_flows_schedule_and_complete() {
+        let mut s = sched(4);
+        let flow = FlowRequest::new(20e6, 0.8).expect("valid flow");
+        let d = s
+            .offer(ScheduleRequest::new(
+                flow.clone(),
+                SlotWindow::new(0, 2).expect("valid"),
+            ))
+            .expect("offer");
+        assert!(d.is_scheduled());
+        assert_eq!(
+            s.window_of(d.id()),
+            Some(SlotWindow::new(0, 2).expect("valid"))
+        );
+        // Per-slot quality sums to the plan's quality.
+        let per_slot = s.slot_quality_of(d.id()).expect("scheduled");
+        let q: f64 = per_slot.iter().sum();
+        let plan_q = s.plan_of(d.id()).expect("plan").quality();
+        assert!((q - plan_q).abs() < 1e-9, "{q} vs {plan_q}");
+        // Advancing past the window completes the flow.
+        let adv = s.advance_to(2).expect("advance");
+        assert_eq!(adv.completed, vec![d.id()]);
+        assert!(s.is_empty());
+        assert_eq!(s.grid().origin(), 2);
+        assert!(s.advance_to(1).is_err());
+    }
+
+    #[test]
+    fn refused_now_gets_a_future_reservation() {
+        let mut s = sched(6);
+        // A fat strict flow fills slot 0.
+        let hog = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(90e6, 0.8)
+                    .expect("valid flow")
+                    .with_min_quality(0.9),
+                SlotWindow::instant(0),
+            ))
+            .expect("offer");
+        assert!(hog.is_scheduled());
+        // A second strict flow cannot fit in slot 0 alongside it…
+        let d = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(60e6, 0.8)
+                    .expect("valid flow")
+                    .with_min_quality(0.9),
+                SlotWindow::instant(0),
+            ))
+            .expect("offer");
+        // …so it is reserved for the earliest free slot instead.
+        match &d {
+            ScheduleDecision::Reserved {
+                requested, window, ..
+            } => {
+                assert_eq!(*requested, SlotWindow::instant(0));
+                assert_eq!(*window, SlotWindow::instant(1));
+                assert_eq!(d.opens_in(), 1);
+            }
+            other => panic!("expected a reservation, got {other:?}"),
+        }
+        assert_eq!(s.num_flows(), 2);
+    }
+
+    #[test]
+    fn store_and_forward_uses_the_buffer_only_when_allowed() {
+        // Slot 1 of path 0 is under maintenance, so a two-slot flow
+        // over [0, 2) must either lean on path 1 in slot 1 or buffer.
+        let mut s = sched(2);
+        s.set_maintenance(1, 0).expect("maintenance");
+        let buffered = s
+            .offer(
+                ScheduleRequest::new(
+                    FlowRequest::new(30e6, 0.8).expect("valid flow"),
+                    SlotWindow::new(0, 2).expect("valid"),
+                )
+                .with_buffer(1.0),
+            )
+            .expect("offer");
+        assert!(buffered.is_admitted());
+        // Buffering can only help (a larger feasible region).
+        let q_buffered = buffered.predicted_quality().expect("admitted");
+        let mut s2 = sched(2);
+        s2.set_maintenance(1, 0).expect("maintenance");
+        let plain = s2
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(30e6, 0.8).expect("valid flow"),
+                SlotWindow::new(0, 2).expect("valid"),
+            ))
+            .expect("offer");
+        let q_plain = plain.predicted_quality().expect("admitted");
+        assert!(
+            q_buffered >= q_plain - 1e-9,
+            "buffering shrank quality: {q_buffered} < {q_plain}"
+        );
+        assert_eq!(s2.peak_carry_of(plain.id()), Some(0.0));
+    }
+
+    #[test]
+    fn buffered_windows_of_three_or_more_slots_assemble() {
+        // Regression: a middle slot of a buffered window has BOTH a
+        // carry-in and a carry-out term in its balance row; the sparse
+        // row must be emitted in ascending column order or assembly
+        // rejects it (`UnsortedSparseColumn`). Needs window length ≥ 3.
+        let mut s = sched(4);
+        let d = s
+            .offer(
+                ScheduleRequest::new(
+                    FlowRequest::new(30e6, 0.8).expect("valid flow"),
+                    SlotWindow::new(0, 3).expect("valid"),
+                )
+                .with_buffer(0.5),
+            )
+            .expect("a buffered three-slot window must assemble");
+        assert!(d.is_scheduled());
+        // Depart and re-offer so the tombstone-reuse path builds the
+        // same balance rows through `set_row_range` as well.
+        s.depart(d.id()).expect("depart");
+        let again = s
+            .offer(
+                ScheduleRequest::new(
+                    FlowRequest::new(30e6, 0.8).expect("valid flow"),
+                    SlotWindow::new(0, 3).expect("valid"),
+                )
+                .with_buffer(0.5),
+            )
+            .expect("reused buffered block must assemble");
+        assert!(again.is_scheduled());
+        assert_eq!(
+            d.predicted_quality().expect("admitted").to_bits(),
+            again.predicted_quality().expect("admitted").to_bits(),
+            "tombstone reuse must reproduce the fresh block bit for bit"
+        );
+    }
+
+    #[test]
+    fn maintenance_zeroes_the_slot() {
+        let mut s = sched(3);
+        let d = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(20e6, 0.8).expect("valid flow"),
+                SlotWindow::new(0, 3).expect("valid"),
+            ))
+            .expect("offer");
+        assert!(d.is_scheduled());
+        let shuffle = s.set_maintenance(1, 0).expect("maintenance");
+        assert!(shuffle.dropped.is_empty());
+        let util = s.utilization();
+        assert_eq!(util.len(), 3);
+        assert_eq!(util[1][0], 0.0, "maintenance slot reports zero utilization");
+        s.clear_maintenance(1, 0).expect("clear");
+        assert_eq!(s.maintenance().count(), 0);
+    }
+
+    #[test]
+    fn depart_frees_the_window() {
+        let mut s = sched(2);
+        let a = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(90e6, 0.8)
+                    .expect("valid flow")
+                    .with_min_quality(0.9),
+                SlotWindow::instant(0),
+            ))
+            .expect("offer");
+        s.depart(a.id()).expect("depart");
+        assert!(s.is_empty());
+        assert!(s.depart(a.id()).is_err());
+        // The freed slot admits a new strict flow again.
+        let b = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(90e6, 0.8)
+                    .expect("valid flow")
+                    .with_min_quality(0.9),
+                SlotWindow::instant(0),
+            ))
+            .expect("offer");
+        assert!(b.is_scheduled());
+    }
+
+    #[test]
+    fn link_failure_triggers_slot_based_revival() {
+        let mut s = sched(4);
+        // Two strict flows in slot 0, feasible only with both paths up.
+        let a = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(60e6, 0.8)
+                    .expect("valid flow")
+                    .with_min_quality(0.9),
+                SlotWindow::instant(0),
+            ))
+            .expect("offer");
+        assert!(a.is_scheduled());
+        let shuffle = s.apply_link_change(0, &LinkChange::Fail).expect("fail");
+        // The strict flow cannot be served on the thin path alone in any
+        // slot: it is dropped (no shed queue — the horizon is the queue).
+        assert!(shuffle.rescheduled.is_empty());
+        assert_eq!(shuffle.dropped, vec![a.id()]);
+        assert!(s.is_empty());
+        let back = s
+            .apply_link_change(0, &LinkChange::Recover)
+            .expect("recover");
+        assert!(back.is_quiet());
+    }
+
+    #[test]
+    fn advance_truncates_straddling_windows() {
+        let mut s = sched(4);
+        let d = s
+            .offer(ScheduleRequest::new(
+                FlowRequest::new(20e6, 0.8).expect("valid flow"),
+                SlotWindow::new(0, 3).expect("valid"),
+            ))
+            .expect("offer");
+        let adv = s.advance_to(1).expect("advance");
+        assert_eq!(adv.truncated, vec![d.id()]);
+        assert_eq!(
+            s.window_of(d.id()),
+            Some(SlotWindow::new(1, 3).expect("valid"))
+        );
+        // The truncated flow's demand renormalizes over two slots.
+        let per_slot = s.slot_quality_of(d.id()).expect("scheduled");
+        assert_eq!(per_slot.len(), 2);
+    }
+
+    #[test]
+    fn tombstoned_blocks_are_reused_across_churn() {
+        let mut s = sched(4);
+        let mk = || {
+            ScheduleRequest::new(
+                FlowRequest::new(20e6, 0.8).expect("valid flow"),
+                SlotWindow::new(1, 3).expect("valid"),
+            )
+        };
+        let a = s.offer(mk()).expect("offer");
+        let vars_before = s.assembly.as_ref().expect("assembled").problem.num_vars();
+        s.depart(a.id()).expect("depart");
+        let b = s.offer(mk()).expect("offer");
+        assert!(b.is_scheduled());
+        let vars_after = s.assembly.as_ref().expect("assembled").problem.num_vars();
+        assert_eq!(
+            vars_before, vars_after,
+            "an equivalent flow must take the tombstoned block over in place"
+        );
+    }
+}

@@ -36,6 +36,58 @@
 //! sequence order — so a fixed submission script produces **bitwise
 //! identical** decisions, plans and [`FleetService::decision_hash`] at
 //! *any* worker count (`tests/service.rs` pins workers 1 vs 4).
+//!
+//! # The reservation plane
+//!
+//! When [`ServiceConfig::grid`] carries a
+//! [`TimeGrid`](crate::TimeGrid), every shard additionally hosts a
+//! [`SchedulePlanner`](crate::SchedulePlanner): windowed offers
+//! ([`FleetService::offer_windowed`]) are answered **synchronously**
+//! with a [`ScheduleDecision`](crate::ScheduleDecision) — scheduled in
+//! the requested [`SlotWindow`](crate::SlotWindow), *reserved* for the
+//! earliest feasible later window, or rejected — and
+//! [`FleetService::advance_to`] slides every shard's horizon in step.
+//! Reservation decisions are control-plane and region-scoped; they
+//! never ride the tick queue and never contend with the instant
+//! admission path.
+//!
+//! # Example
+//!
+//! ```
+//! use dmc_core::ScenarioPath;
+//! use dmc_fleet::service::{FleetService, ServiceConfig};
+//! use dmc_fleet::{FlowRequest, ScheduleRequest, ServiceEvent, SlotWindow, TimeGrid};
+//!
+//! # fn main() -> Result<(), dmc_fleet::FleetError> {
+//! let paths = vec![
+//!     ScenarioPath::constant(80e6, 0.450, 0.2)?,
+//!     ScenarioPath::constant(20e6, 0.150, 0.0)?,
+//! ];
+//! let config = ServiceConfig {
+//!     grid: Some(TimeGrid::new(0.5, 8)?), // enable the reservation plane
+//!     ..ServiceConfig::default()
+//! };
+//! // One declared flow class may use both paths → one capacity region.
+//! let mut service = FleetService::new(paths, &[vec![0, 1]], config)?;
+//!
+//! // Instant plane: queue an offer, tick, read the decision.
+//! let seq = service.submit(FlowRequest::new(30e6, 0.8)?)?;
+//! let events = service.tick()?;
+//! assert!(matches!(
+//!     events[0],
+//!     ServiceEvent::Decision { seq: s, admitted: true, .. } if s == seq
+//! ));
+//!
+//! // Reservation plane: a windowed offer is answered synchronously.
+//! let request = ScheduleRequest::new(FlowRequest::new(20e6, 0.8)?, SlotWindow::new(0, 2)?);
+//! let (region, decision) = service.offer_windowed(request)?;
+//! assert!(decision.is_admitted());
+//! // Slide the horizon past the window: the flow completes.
+//! let advances = service.advance_to(2)?;
+//! assert_eq!(advances[region].completed, vec![decision.id()]);
+//! # Ok(())
+//! # }
+//! ```
 
 mod region;
 mod router;

@@ -12,6 +12,7 @@ use super::shard::{Shard, ShardOp};
 use crate::error::FleetError;
 use crate::flow::{FlowId, FlowRequest};
 use crate::planner::{AdmissionDecision, FleetConfig};
+use crate::schedule::{ScheduleAdvance, ScheduleDecision, ScheduleRequest, TimeGrid};
 
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -40,6 +41,14 @@ pub struct ServiceConfig {
     /// per drained submission; shards record `service.batch_size` plus
     /// everything their planner and solver record.
     pub fleet: FleetConfig,
+    /// Optional slotted reservation horizon. When set, every shard also
+    /// carries a [`SchedulePlanner`](crate::SchedulePlanner) over the
+    /// same [`TimeGrid`], and the service accepts windowed offers
+    /// ([`FleetService::offer_windowed`]) and horizon advances
+    /// ([`FleetService::advance_to`]). The instant admission plane
+    /// (submit/tick) is unaffected. `None` (the default) disables the
+    /// reservation plane.
+    pub grid: Option<TimeGrid>,
 }
 
 /// One entry of a tick's merged, sequence-ordered event stream.
@@ -168,6 +177,9 @@ pub struct FleetService {
     /// The parent telemetry registry ([`ServiceConfig::fleet`]'s `obs`);
     /// each shard holds a private fork of it.
     obs: dmc_obs::Obs,
+    /// The configured reservation grid, `None` when the slotted plane is
+    /// off. The live grids (origin advances) are inside the shards.
+    grid: Option<TimeGrid>,
 }
 
 impl FleetService {
@@ -192,7 +204,7 @@ impl FleetService {
             let subset: Vec<ScenarioPath> = global.iter().map(|&k| paths[k].clone()).collect();
             let mut shard_config = config.fleet.clone();
             shard_config.obs = obs.fork();
-            shards.push(Shard::new(global, subset, shard_config)?);
+            shards.push(Shard::new(global, subset, shard_config, config.grid)?);
         }
         let path_bandwidth = paths.iter().map(ScenarioPath::bandwidth).collect();
         Ok(FleetService {
@@ -208,6 +220,7 @@ impl FleetService {
             decision_hash: FNV_BASIS,
             echo: BTreeMap::new(),
             obs,
+            grid: config.grid,
         })
     }
 
@@ -452,6 +465,114 @@ impl FleetService {
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// The configured reservation grid, `None` when windowed offers are
+    /// disabled. (The live per-shard grids advance their origin through
+    /// [`FleetService::advance_to`]; this is the construction-time grid.)
+    pub fn schedule_grid(&self) -> Option<TimeGrid> {
+        self.grid
+    }
+
+    /// Offers a windowed request to the slotted reservation plane,
+    /// synchronously (reservations are forward-looking control-plane
+    /// decisions — they never ride the tick queue, so the answer is
+    /// immediate and the instant plane's event stream is untouched).
+    ///
+    /// The decision's [`FlowId`] is scoped to the returned region index:
+    /// pass both back to [`FleetService::depart_windowed`]. Deterministic
+    /// like everything else — windowed offers run on the caller's
+    /// thread, one at a time.
+    ///
+    /// # Errors
+    ///
+    /// No grid configured ([`ServiceConfig::grid`]), an out-of-range
+    /// path index, a request spanning more than one capacity region
+    /// (split it per region and offer each leg), or a planner failure.
+    pub fn offer_windowed(
+        &mut self,
+        request: ScheduleRequest,
+    ) -> Result<(usize, ScheduleDecision), FleetError> {
+        if self.grid.is_none() {
+            return Err(FleetError::Invalid(
+                "windowed offers need a TimeGrid in ServiceConfig::grid".into(),
+            ));
+        }
+        let n = self.path_bandwidth.len();
+        if let Some(&bad) = request
+            .flow()
+            .paths()
+            .and_then(|s| s.iter().find(|&&k| k >= n))
+        {
+            return Err(FleetError::Invalid(format!(
+                "flow path index {bad} out of range ({n} shared paths)"
+            )));
+        }
+        let touched = match request.flow().paths() {
+            Some(subset) => self.regions.regions_of(subset),
+            None => (0..self.regions.num_regions()).collect(),
+        };
+        let [region] = touched[..] else {
+            return Err(FleetError::Invalid(format!(
+                "windowed offers must stay within one capacity region \
+                 (this one touches {}); split the request per region",
+                touched.len()
+            )));
+        };
+        let localized = self.localize(request.flow(), region);
+        let mut windowed = ScheduleRequest::new(localized, request.window());
+        if request.buffer() > 0.0 {
+            windowed = windowed.with_buffer(request.buffer());
+        }
+        let decision = self.shards[region].offer_windowed(windowed)?;
+        Ok((region, decision))
+    }
+
+    /// Withdraws a windowed flow from its region's reservation plane
+    /// (scheduled or still-reserved alike).
+    ///
+    /// # Errors
+    ///
+    /// Unknown region/flow, or no grid configured.
+    pub fn depart_windowed(&mut self, region: usize, id: FlowId) -> Result<(), FleetError> {
+        let Some(shard) = self.shards.get_mut(region) else {
+            return Err(FleetError::Invalid(format!(
+                "region index {region} out of range ({} regions)",
+                self.regions.num_regions()
+            )));
+        };
+        shard.depart_windowed(id)
+    }
+
+    /// Advances every shard's reservation horizon to `new_origin`, in
+    /// ascending region order: expired windows complete, straddling ones
+    /// truncate, reservations whose windows opened re-certify. Returns
+    /// one [`ScheduleAdvance`] per region (flow ids are region-scoped).
+    ///
+    /// # Errors
+    ///
+    /// No grid configured, `new_origin` before a shard's current origin,
+    /// or a solver failure mid-advance (the service should then be
+    /// considered poisoned for determinism purposes, like a failed tick).
+    pub fn advance_to(&mut self, new_origin: u64) -> Result<Vec<ScheduleAdvance>, FleetError> {
+        if self.grid.is_none() {
+            return Err(FleetError::Invalid(
+                "horizon advance needs a TimeGrid in ServiceConfig::grid".into(),
+            ));
+        }
+        self.shards
+            .iter_mut()
+            .map(|shard| shard.advance_schedule(new_origin))
+            .collect()
+    }
+
+    /// Scheduled-or-reserved windowed flows per region (ascending region
+    /// order). Empty when no grid is configured.
+    pub fn windowed_flows(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.schedule().map(crate::SchedulePlanner::num_flows))
+            .collect()
     }
 
     pub(crate) fn alloc_seq(&mut self) -> u64 {

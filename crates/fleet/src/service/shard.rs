@@ -10,6 +10,9 @@ use super::router::ServiceEvent;
 use crate::error::FleetError;
 use crate::flow::{FlowId, FlowRequest};
 use crate::planner::{AdmissionDecision, FleetConfig, FleetPlanner};
+use crate::schedule::{
+    ScheduleAdvance, ScheduleDecision, SchedulePlanner, ScheduleRequest, TimeGrid,
+};
 
 /// One queued submission, already localized to this shard (path indices
 /// are shard-local; `seq` is the global submission sequence number).
@@ -54,6 +57,12 @@ pub(crate) struct Shard {
     /// the router absorbs every fork in shard order at snapshot time.
     obs: dmc_obs::Obs,
     planner: FleetPlanner,
+    /// The optional slotted reservation plane over the same path subset
+    /// (present iff [`super::ServiceConfig`] carries a [`TimeGrid`]).
+    /// It shares this shard's telemetry fork, so its
+    /// `fleet.reservations`/`fleet.carryover` counters surface through
+    /// the router's snapshot merge like everything else.
+    schedule: Option<SchedulePlanner>,
     /// Global flow id (submission seq) → local planner id.
     to_local: BTreeMap<u64, FlowId>,
     /// Local planner id → global flow id.
@@ -68,12 +77,18 @@ impl Shard {
         global_paths: Vec<usize>,
         subset: Vec<ScenarioPath>,
         config: FleetConfig,
+        grid: Option<TimeGrid>,
     ) -> Result<Self, FleetError> {
         let obs = config.obs.clone();
+        let schedule = match grid {
+            Some(grid) => Some(SchedulePlanner::new(subset.clone(), grid, config.clone())?),
+            None => None,
+        };
         Ok(Shard {
             paths: global_paths,
             obs,
             planner: FleetPlanner::new(subset, config)?,
+            schedule,
             to_local: BTreeMap::new(),
             to_global: BTreeMap::new(),
             queue: Vec::new(),
@@ -250,6 +265,15 @@ impl Shard {
     }
 
     fn run_link(&mut self, seq: u64, path: usize, change: &LinkChange) {
+        // The reservation plane tracks the same links: forward the change
+        // so future-window feasibility stays honest. Its reschedules are
+        // internal (slot-based revival); drops surface via its counters.
+        if let Some(schedule) = &mut self.schedule {
+            if let Err(e) = schedule.apply_link_change(path, change) {
+                self.error = Some(e);
+                return;
+            }
+        }
         match self.planner.apply_link_change(path, change) {
             Ok(shed_ids) => {
                 let shed: Vec<u64> = shed_ids.iter().map(|id| self.global_of(id)).collect();
@@ -267,6 +291,48 @@ impl Shard {
             }
             Err(e) => self.error = Some(e),
         }
+    }
+
+    /// Offer an already-localized windowed request to the reservation
+    /// plane (router's sequential control path — windowed offers never
+    /// ride the tick queue).
+    pub(crate) fn offer_windowed(
+        &mut self,
+        request: ScheduleRequest,
+    ) -> Result<ScheduleDecision, FleetError> {
+        self.schedule
+            .as_mut()
+            .ok_or_else(|| {
+                FleetError::Invalid("windowed offers need a TimeGrid in ServiceConfig::grid".into())
+            })?
+            .offer(request)
+    }
+
+    /// Withdraw a windowed flow from the reservation plane.
+    pub(crate) fn depart_windowed(&mut self, id: FlowId) -> Result<(), FleetError> {
+        self.schedule
+            .as_mut()
+            .ok_or_else(|| {
+                FleetError::Invalid("windowed offers need a TimeGrid in ServiceConfig::grid".into())
+            })?
+            .depart(id)
+    }
+
+    /// Advances the reservation plane's horizon. The router only calls
+    /// this on shards built with a grid.
+    pub(crate) fn advance_schedule(
+        &mut self,
+        new_origin: u64,
+    ) -> Result<ScheduleAdvance, FleetError> {
+        self.schedule
+            .as_mut()
+            .expect("the router only advances shards built with a grid")
+            .advance_to(new_origin)
+    }
+
+    /// The shard's reservation plane, when configured.
+    pub(crate) fn schedule(&self) -> Option<&SchedulePlanner> {
+        self.schedule.as_ref()
     }
 
     /// Offer one already-localized leg of a spanning flow directly

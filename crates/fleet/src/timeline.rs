@@ -8,10 +8,26 @@
 //! bit-identical snapshot sequences (the `admission_invariants` test pins
 //! this), which is what lets the experiment layer sweep offered load with
 //! Monte-Carlo trials whose aggregates are thread-count independent.
+//!
+//! Two replay modes consume a trace:
+//!
+//! * [`FleetPlanner::replay`] — the instant planner: events run in
+//!   order and timestamps are informational only.
+//! * [`SchedulePlanner::replay`] — the slotted planner: each event's
+//!   timestamp is mapped to its [`TimeGrid`] slot, the horizon advances
+//!   to it, and arrivals become windowed offers covering the flow's
+//!   lifetime — so the *same* trace exercises expiry, truncation and
+//!   slot-based revival. With a single-slot horizon wider than the
+//!   trace, the slotted replay degenerates to the instant one
+//!   (`tests/schedule_parity.rs` pins this).
 
 use crate::error::FleetError;
 use crate::flow::{FlowId, FlowRequest};
 use crate::planner::{AdmissionDecision, FleetPlanner};
+use crate::schedule::{
+    ScheduleAdvance, ScheduleDecision, SchedulePlanner, ScheduleRequest, ScheduleShuffle,
+    SlotWindow,
+};
 use dmc_sim::LinkChange;
 
 /// One fleet-level event.
@@ -38,8 +54,9 @@ pub enum FleetEvent {
 /// One scheduled event.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
-    /// When the event happens (seconds; informational — replay is
-    /// sequential, not clocked).
+    /// When the event happens (seconds). [`FleetPlanner::replay`] only
+    /// uses it for ordering; [`SchedulePlanner::replay`] maps it to a
+    /// [`TimeGrid`](crate::TimeGrid) slot and advances the horizon to it.
     pub at: f64,
     /// What happens.
     pub event: FleetEvent,
@@ -177,10 +194,92 @@ impl FleetPlanner {
     }
 }
 
+/// The slotted fleet's state right after one replayed event.
+#[derive(Debug, Clone)]
+pub struct ScheduleSnapshot {
+    /// The event's scheduled time.
+    pub at: f64,
+    /// The [`TimeGrid`](crate::TimeGrid) slot the time maps to.
+    pub slot: u64,
+    /// What advancing the horizon to the event's slot did (`None` when
+    /// the event landed in the current origin slot).
+    pub advance: Option<ScheduleAdvance>,
+    /// The scheduling decision, for `Arrive` events.
+    pub decision: Option<ScheduleDecision>,
+    /// The flow that left, for effective `Depart` events.
+    pub departed: Option<FlowId>,
+    /// Who a link change rescheduled or dropped, for `Link` events.
+    pub shuffle: Option<ScheduleShuffle>,
+    /// Scheduled flows after the event, in admission order.
+    pub active: Vec<FlowId>,
+    /// Volume-weighted mean predicted quality after the event.
+    pub aggregate_quality: f64,
+}
+
+impl SchedulePlanner {
+    /// Replays a trace against the slotted horizon: each event's
+    /// timestamp is mapped to its slot, the horizon advances to it
+    /// (expiring and truncating windows on the way), and arrivals
+    /// become windowed offers — the window opens at the event's slot
+    /// and spans the flow's lifetime, rounded up to whole slots and
+    /// clamped to the horizon.
+    ///
+    /// Replay is deterministic: the same trace through the same initial
+    /// state yields bit-identical snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Forwards offer/advance/link errors. Departing a never-admitted
+    /// flow is a recorded no-op, matching [`FleetPlanner::replay`].
+    pub fn replay(&mut self, trace: &FleetTrace) -> Result<Vec<ScheduleSnapshot>, FleetError> {
+        let mut snapshots = Vec::with_capacity(trace.events().len());
+        for e in trace.events() {
+            let slot = self.grid().slot_of(e.at)?;
+            let advance = if slot > self.grid().origin() {
+                Some(self.advance_to(slot)?)
+            } else {
+                None
+            };
+            let (decision, departed, shuffle) = match &e.event {
+                FleetEvent::Arrive(request) => {
+                    let width = self.grid().slot_width();
+                    let len = ((request.lifetime() / width).ceil() as u64).max(1);
+                    let start = slot.max(self.grid().origin());
+                    let end = (start + len).min(self.grid().end());
+                    let window = SlotWindow::new(start, end)
+                        .expect("the horizon always extends past its origin slot");
+                    let offer = self.offer(ScheduleRequest::new(request.clone(), window))?;
+                    (Some(offer), None, None)
+                }
+                FleetEvent::Depart(id) => match self.depart(*id) {
+                    Ok(()) => (None, Some(*id), None),
+                    Err(FleetError::UnknownFlow(_)) => (None, None, None),
+                    Err(other) => return Err(other),
+                },
+                FleetEvent::Link { path, change } => {
+                    (None, None, Some(self.apply_link_change(*path, change)?))
+                }
+            };
+            snapshots.push(ScheduleSnapshot {
+                at: e.at,
+                slot,
+                advance,
+                decision,
+                departed,
+                shuffle,
+                active: self.flow_ids(),
+                aggregate_quality: self.aggregate_quality(),
+            });
+        }
+        Ok(snapshots)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::planner::FleetConfig;
+    use crate::schedule::TimeGrid;
     use dmc_core::ScenarioPath;
 
     fn paths() -> Vec<ScenarioPath> {
@@ -239,6 +338,50 @@ mod tests {
         // Departing a never-admitted id is a recorded no-op.
         assert_eq!(snaps[4].departed, None);
         assert_eq!(snaps[4].admitted, snaps[3].admitted);
+    }
+
+    #[test]
+    fn slotted_replay_honors_event_timestamps() {
+        let grid = TimeGrid::new(1.0, 8).unwrap();
+        let mut fleet = SchedulePlanner::new(paths(), grid, FleetConfig::default()).unwrap();
+        let snaps = fleet.replay(&sample_trace()).unwrap();
+        assert_eq!(snaps.len(), 5);
+        // Timestamps map to slots instead of being flattened to "now".
+        assert_eq!(
+            snaps.iter().map(|s| s.slot).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 3]
+        );
+        // The first event lands in the origin slot: no advance.
+        assert!(snaps[0].advance.is_none());
+        assert!(snaps[0].decision.as_ref().unwrap().is_scheduled());
+        // Crossing into slot 1 advances the horizon, completing flow#0
+        // (lifetime 0.8 s rounds up to the one-slot window [0, 1)).
+        let adv = snaps[1].advance.as_ref().unwrap();
+        assert_eq!(adv.completed, vec![FlowId::new(0)]);
+        assert!(snaps[1].decision.as_ref().unwrap().is_scheduled());
+        // By slot 2 both short flows have completed, so the bandwidth
+        // cut shuffles nobody.
+        assert!(snaps[2].shuffle.as_ref().unwrap().is_quiet());
+        assert!(snaps[2].active.is_empty());
+        // flow#0 already completed: its departure is a recorded no-op.
+        assert_eq!(snaps[3].departed, None);
+        assert_eq!(snaps[4].departed, None);
+    }
+
+    #[test]
+    fn slotted_replay_is_deterministic_across_fresh_fleets() {
+        let run = || {
+            let grid = TimeGrid::new(1.0, 8).unwrap();
+            let mut fleet = SchedulePlanner::new(paths(), grid, FleetConfig::default()).unwrap();
+            fleet.replay(&sample_trace()).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.active, y.active);
+            assert_eq!(x.aggregate_quality, y.aggregate_quality); // bitwise
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn service(groups: &[Vec<usize>], workers: usize) -> FleetService {
         ServiceConfig {
             workers,
             fleet: FleetConfig::default(),
+            grid: None,
         },
     )
     .expect("valid service")
@@ -381,6 +382,7 @@ fn run_script_with(
                 obs,
                 ..FleetConfig::default()
             },
+            grid: None,
         },
     )
     .expect("valid service");
@@ -482,4 +484,108 @@ fn telemetry_snapshot_is_identical_across_worker_counts() {
         snap_1.counter("lp.solves").unwrap_or(0) > 0,
         "shard forks carry the solver metrics into the merged snapshot"
     );
+}
+
+// ---------------------------------------------------------------------
+// 4. The slotted reservation plane (ServiceConfig::grid)
+// ---------------------------------------------------------------------
+
+#[test]
+fn windowed_offers_ride_the_reservation_plane() {
+    use dmc_fleet::{ScheduleRequest, SlotWindow, TimeGrid};
+
+    let mut svc = FleetService::new(
+        shared_paths(),
+        &[vec![0, 1, 2, 3]], // one capacity region
+        ServiceConfig {
+            workers: 1,
+            fleet: FleetConfig::default(),
+            grid: Some(TimeGrid::new(1.0, 8).expect("valid grid")),
+        },
+    )
+    .expect("valid service");
+
+    let request = ScheduleRequest::new(
+        FlowRequest::new(30e6, 0.8)
+            .expect("valid request")
+            .with_min_quality(0.8),
+        SlotWindow::new(0, 2).expect("valid window"),
+    );
+    let (region, decision) = svc.offer_windowed(request).expect("windowed offer runs");
+    assert_eq!(region, 0);
+    assert!(decision.is_scheduled(), "plenty of capacity: {decision:?}");
+    assert_eq!(svc.windowed_flows(), vec![1]);
+    // The instant admission plane is untouched by windowed offers.
+    assert_eq!(svc.num_admitted_legs(), 0);
+    assert_eq!(svc.submissions(), 0);
+
+    // Advancing past the window completes the flow in every region.
+    let advances = svc.advance_to(2).expect("advance runs");
+    assert_eq!(advances.len(), 1);
+    assert_eq!(advances[0].completed, vec![decision.id()]);
+    assert_eq!(svc.windowed_flows(), vec![0]);
+}
+
+#[test]
+fn windowed_departure_frees_the_reservation() {
+    use dmc_fleet::{ScheduleRequest, SlotWindow, TimeGrid};
+
+    let mut svc = FleetService::new(
+        shared_paths(),
+        &[vec![0, 1, 2, 3]],
+        ServiceConfig {
+            workers: 1,
+            fleet: FleetConfig::default(),
+            grid: Some(TimeGrid::new(1.0, 8).expect("valid grid")),
+        },
+    )
+    .expect("valid service");
+    let (region, decision) = svc
+        .offer_windowed(ScheduleRequest::new(
+            FlowRequest::new(20e6, 0.8).expect("valid request"),
+            SlotWindow::new(1, 3).expect("valid window"),
+        ))
+        .expect("windowed offer runs");
+    svc.depart_windowed(region, decision.id())
+        .expect("known windowed flow departs");
+    assert_eq!(svc.windowed_flows(), vec![0]);
+    // Departing it again is an UnknownFlow error, not a silent no-op.
+    assert!(svc.depart_windowed(region, decision.id()).is_err());
+}
+
+#[test]
+fn spanning_windowed_offers_and_gridless_services_are_rejected() {
+    use dmc_fleet::{ScheduleRequest, SlotWindow, TimeGrid};
+
+    // Two regions: an unpinned windowed offer touches both -> invalid.
+    let mut split = FleetService::new(
+        shared_paths(),
+        &[vec![0, 1], vec![2, 3]],
+        ServiceConfig {
+            workers: 1,
+            fleet: FleetConfig::default(),
+            grid: Some(TimeGrid::new(1.0, 4).expect("valid grid")),
+        },
+    )
+    .expect("valid service");
+    let unpinned = ScheduleRequest::new(
+        FlowRequest::new(10e6, 0.5).expect("valid request"),
+        SlotWindow::instant(0),
+    );
+    assert!(split.offer_windowed(unpinned.clone()).is_err());
+    // Pinned to one region it goes through.
+    let pinned = ScheduleRequest::new(
+        FlowRequest::new(10e6, 0.5)
+            .expect("valid request")
+            .with_paths(vec![2, 3]),
+        SlotWindow::instant(0),
+    );
+    let (region, decision) = split.offer_windowed(pinned).expect("pinned offer runs");
+    assert_eq!(region, 1);
+    assert!(decision.is_admitted());
+
+    // Without a grid the whole plane is off.
+    let mut gridless = service(&[vec![0, 1, 2, 3]], 1);
+    assert!(gridless.offer_windowed(unpinned).is_err());
+    assert!(gridless.advance_to(1).is_err());
 }

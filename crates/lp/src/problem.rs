@@ -329,6 +329,15 @@ impl Problem {
     /// block boundary is recorded at the old variable count. Returns the
     /// new columns' index range.
     ///
+    /// Incremental callers **tombstone rather than remove** departed
+    /// blocks (set the block's `Σx = 1` row to `Σx = 0` via
+    /// [`Problem::set_rhs`]) so every surviving column and row keeps its
+    /// index; a later arrival of the same shape reclaims the dead
+    /// columns in place with [`Problem::set_row_range`] /
+    /// [`Problem::set_objective_range`] instead of appending. Only
+    /// rollback of the **most recent** block may physically shrink the
+    /// problem ([`Problem::truncate_vars`] / [`Problem::truncate_rows`]).
+    ///
     /// # Errors
     ///
     /// [`ProblemError::NonFiniteCoefficient`] on NaN/∞ objective entries
@@ -456,6 +465,24 @@ impl Problem {
     /// Overwrites row `row`'s right-hand side **as stored** (a
     /// [`Problem::add_ge`] row stores `-rhs`).
     ///
+    /// # Tombstone invariant
+    ///
+    /// This is the **deactivation** op of the block-incremental idiom:
+    /// setting a block's convexity row `Σx = 1` to `Σx = 0` forces every
+    /// variable of the block to zero (they are non-negative and must sum
+    /// to the rhs — with carry variables the balance rows telescope the
+    /// same way), so the block drops out of the optimum **without any
+    /// shape change** — no rows or columns move, and the tombstoned
+    /// columns can later be reclaimed in place by a same-shape arrival
+    /// (see [`Problem::append_block`]).
+    ///
+    /// Callers that key warm-start basis caches on problem shape must
+    /// fold exactly the rhs's **zero-ness** (`rhs == 0.0`), never its
+    /// magnitude, into the key: retuning a capacity row's rhs keeps the
+    /// cached basis reusable, while tombstoning/reviving a block flips
+    /// the tag and correctly maps to a different cached basis. This is
+    /// what `dmc-fleet`'s joint assemblies do.
+    ///
     /// # Errors
     ///
     /// [`ProblemError::OutOfRange`] / [`ProblemError::NonFiniteCoefficient`].
@@ -529,6 +556,14 @@ impl Problem {
 
     /// Drops every constraint row with index ≥ `m` (undoing appended
     /// rows). No-op when `m` is not smaller than the current row count.
+    ///
+    /// With [`Problem::set_rhs`] this is the **horizon-advance** pair of
+    /// the time-expanded idiom: ring-indexed shared rows are *recycled*
+    /// (`set_rhs` retunes or zeroes them in place, so surviving rows
+    /// never move), while per-block rows past a rollback point are
+    /// physically truncated. Truncating rows that an active block still
+    /// references leaves the problem well-formed but semantically
+    /// unconstrained — callers own that invariant.
     pub fn truncate_rows(&mut self, m: usize) {
         self.constraints.truncate(m);
     }
@@ -776,6 +811,61 @@ mod tests {
             ProblemError::NonFiniteCoefficient
         );
         assert_eq!(p.num_constraints(), 0, "failed adds leave no rows");
+    }
+
+    #[test]
+    fn horizon_advance_tombstones_recycles_and_rolls_back() {
+        // The time-expanded idiom from the mutator docs, end to end on a
+        // 2-slot × 1-path horizon: capacity rows first (ring-indexed, row
+        // s = slot s), then per-flow [serve, blackhole] blocks with a
+        // Σx = 1 convexity row each.
+        let opts = SolverOptions::default();
+        let mut p = Problem::maximize(vec![]);
+        let a = p.append_block(&[1.0, 0.0]).unwrap();
+        p.add_le_sparse(&[(a.start, 1.0)], 0.8).unwrap(); // slot 0 capacity (ring 0); A serves in it
+        p.add_le_sparse(&[], 0.8).unwrap(); // slot 1 capacity (ring 1)
+        p.add_eq_sparse(&[(a.start, 1.0), (a.start + 1, 1.0)], 1.0)
+            .unwrap();
+        let b = p.append_block(&[0.6, 0.0]).unwrap();
+        p.set_row_range(1, b.start, &[1.0]).unwrap(); // B serves in slot 1
+        p.add_eq_sparse(&[(b.start, 1.0), (b.start + 1, 1.0)], 1.0)
+            .unwrap();
+        let full = p.solve(&opts).unwrap();
+        assert!((full.objective() - (0.8 + 0.6 * 0.8)).abs() < 1e-9);
+
+        // Advance: slot 0 expired. Tombstone A (Σx = 1 → 0) and recycle
+        // its ring row in place as the incoming slot 2 — here a
+        // zero-capacity maintenance slot. No rows or columns move.
+        p.set_rhs(2, 0.0).unwrap(); // A's convexity row
+        p.set_rhs(0, 0.0).unwrap(); // ring 0 is now slot 2
+        p.set_row_range(0, a.start, &[0.0]).unwrap(); // A leaves the ring row
+        let advanced = p.solve(&opts).unwrap();
+        // The tombstone pins the whole dead block at zero ...
+        let x = advanced.x();
+        assert!(x[a.start].abs() < 1e-12 && x[a.start + 1].abs() < 1e-12);
+        // ... and the optimum equals a fresh build of the truncated
+        // horizon (flow B alone on slots 1–2).
+        let mut fresh = Problem::maximize(vec![]);
+        let fb = fresh.append_block(&[0.6, 0.0]).unwrap();
+        fresh.add_le_sparse(&[], 0.0).unwrap();
+        fresh.add_le_sparse(&[(fb.start, 1.0)], 0.8).unwrap();
+        fresh
+            .add_eq_sparse(&[(fb.start, 1.0), (fb.start + 1, 1.0)], 1.0)
+            .unwrap();
+        let rebuilt = fresh.solve(&opts).unwrap();
+        assert!((advanced.objective() - rebuilt.objective()).abs() < 1e-9);
+
+        // Rolling back the newest block really shrinks the problem back
+        // to its pre-arrival state (truncate_rows then truncate_vars).
+        let before = p.clone();
+        let c = p.append_block(&[0.9, 0.0]).unwrap();
+        p.set_row_range(1, c.start, &[1.0]).unwrap();
+        p.add_eq_sparse(&[(c.start, 1.0), (c.start + 1, 1.0)], 1.0)
+            .unwrap();
+        p.truncate_rows(4);
+        p.set_row_range(1, c.start, &[0.0]).unwrap();
+        p.truncate_vars(c.start);
+        assert_eq!(p, before);
     }
 
     #[test]

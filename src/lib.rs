@@ -79,8 +79,12 @@
 //! | one `Planner` per flow, each assuming it owns the `Scenario` | [`dmc_fleet::FleetPlanner`] — admission control + one joint LP whose capacity rows are shared across all concurrent flows (multi-flow use) |
 //! | one `FleetPlanner` serializing every offer/depart | [`dmc_fleet::FleetService`] — capacity-region sharding (one planner + warm-basis cache per shard), batched worker ticks, two-phase spanning admission, and a checksummed wire front end (`dmc_proto::wire` offer/decision/depart/link frames) |
 //!
-//! See `crates/core/src/lib.rs` for the model-level table and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `crates/core/src/lib.rs` for the model-level table,
+//! `EXPERIMENTS.md` for the paper-vs-measured record, and
+//! `ARCHITECTURE.md` for the crate dependency map, the data-flow
+//! diagrams, the determinism rules, and "where to add X" pointers
+//! (its crate table is kept in lockstep with the workspace by the
+//! `arch_check` CI gate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
